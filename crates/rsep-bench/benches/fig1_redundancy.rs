@@ -1,0 +1,20 @@
+//! Criterion bench: Figure 1 redundancy analysis (also asserts the
+//! zero-heavy shape on the zeusmp-like profile).
+use criterion::{criterion_group, criterion_main, Criterion};
+use rsep_core::{RedundancyAnalyzer, RedundancyConfig};
+use rsep_trace::{BenchmarkProfile, TraceGenerator};
+
+fn bench(c: &mut Criterion) {
+    let profile = BenchmarkProfile::by_name("zeusmp").unwrap();
+    c.bench_function("fig1/redundancy_analysis_20k", |b| {
+        b.iter(|| {
+            let trace = TraceGenerator::new(&profile, 3).take(20_000);
+            let report = RedundancyAnalyzer::analyze(RedundancyConfig::default(), trace);
+            assert!(report.zero_other_fraction() > 0.05);
+            report
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Criterion bench: one Figure 4 cell (RSEP-ideal on the libquantum-like
+//! profile) at smoke scale — times the full simulation path.
+use criterion::{criterion_group, criterion_main, Criterion};
+use rsep_core::{run_benchmark, MechanismConfig};
+use rsep_trace::{BenchmarkProfile, CheckpointSpec};
+use rsep_uarch::CoreConfig;
+
+fn bench(c: &mut Criterion) {
+    let profile = BenchmarkProfile::by_name("libquantum").unwrap();
+    let spec = CheckpointSpec::scaled(1, 2_000, 6_000);
+    let config = CoreConfig::table1();
+    c.bench_function("fig4/rsep_ideal_libquantum_8k", |b| {
+        b.iter(|| run_benchmark(&profile, &MechanismConfig::rsep_ideal(), &config, spec, 42))
+    });
+    c.bench_function("fig4/baseline_libquantum_8k", |b| {
+        b.iter(|| run_benchmark(&profile, &MechanismConfig::baseline(), &config, spec, 42))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Criterion bench: the validation-policy variants of Figure 6 on one
+//! profile at smoke scale.
+use criterion::{criterion_group, criterion_main, Criterion};
+use rsep_core::run_benchmark;
+use rsep_trace::{BenchmarkProfile, CheckpointSpec};
+use rsep_uarch::CoreConfig;
+
+fn bench(c: &mut Criterion) {
+    let profile = BenchmarkProfile::by_name("dealII").unwrap();
+    let spec = CheckpointSpec::scaled(1, 2_000, 5_000);
+    let config = CoreConfig::table1();
+    for (label, mechanism) in rsep_bench::figure6_variants() {
+        c.bench_function(&format!("fig6/{label}_dealII_7k"), |b| {
+            b.iter(|| run_benchmark(&profile, &mechanism, &config, spec, 42))
+        });
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

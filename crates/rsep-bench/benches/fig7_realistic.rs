@@ -1,0 +1,21 @@
+//! Criterion bench: ideal vs realistic RSEP (Figure 7) on one profile at
+//! smoke scale.
+use criterion::{criterion_group, criterion_main, Criterion};
+use rsep_core::{run_benchmark, MechanismConfig};
+use rsep_trace::{BenchmarkProfile, CheckpointSpec};
+use rsep_uarch::CoreConfig;
+
+fn bench(c: &mut Criterion) {
+    let profile = BenchmarkProfile::by_name("mcf").unwrap();
+    let spec = CheckpointSpec::scaled(1, 2_000, 5_000);
+    let config = CoreConfig::table1();
+    for mechanism in [MechanismConfig::rsep_ideal(), MechanismConfig::rsep_realistic()] {
+        let label = mechanism.label.clone();
+        c.bench_function(&format!("fig7/{label}_mcf_7k"), |b| {
+            b.iter(|| run_benchmark(&profile, &mechanism, &config, spec, 42))
+        });
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

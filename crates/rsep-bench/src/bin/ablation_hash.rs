@@ -1,0 +1,6 @@
+//! Section IV-A ablation: pairing-hash width sensitivity.
+fn main() {
+    let scale = rsep_bench::scale_from_env();
+    let exp = rsep_bench::ablation_hash(&scale);
+    rsep_bench::emit(&exp);
+}

@@ -1,0 +1,6 @@
+//! Section VI-A2 ablation: FIFO history depth sensitivity.
+fn main() {
+    let scale = rsep_bench::scale_from_env();
+    let exp = rsep_bench::ablation_history(&scale);
+    rsep_bench::emit(&exp);
+}

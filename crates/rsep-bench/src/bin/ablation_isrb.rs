@@ -1,0 +1,6 @@
+//! Section VI-A3 ablation: ISRB size sensitivity.
+fn main() {
+    let scale = rsep_bench::scale_from_env();
+    let exp = rsep_bench::ablation_isrb(&scale);
+    rsep_bench::emit(&exp);
+}

@@ -1,0 +1,7 @@
+//! Regenerates Figure 5: percentage of committed instructions covered by
+//! each mechanism (RSEP alone, and VP on top of RSEP).
+fn main() {
+    let scale = rsep_bench::scale_from_env();
+    let exp = rsep_bench::figure5(&scale);
+    rsep_bench::emit(&exp);
+}

@@ -1,0 +1,4 @@
+//! Prints Table I: the simulated core configuration.
+fn main() {
+    println!("{}", rsep_bench::table1());
+}

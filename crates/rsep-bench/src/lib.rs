@@ -1,0 +1,389 @@
+//! # rsep-bench
+//!
+//! Experiment harness regenerating every table and figure of the paper's
+//! evaluation (Section VI). Each `src/bin/*` binary prints one experiment as
+//! a text table (and JSON when `--json` is passed); the Criterion benches in
+//! `benches/` exercise the same code paths at a reduced scale so `cargo
+//! bench` both times the simulator and re-derives the headline shapes.
+//!
+//! Scale is controlled with environment variables so the full campaign can
+//! be made as small (CI smoke run) or large (overnight) as desired:
+//!
+//! | variable | default | meaning |
+//! |---|---|---|
+//! | `RSEP_CHECKPOINTS` | 1 | checkpoints per benchmark |
+//! | `RSEP_WARMUP` | 100000 | warm-up instructions per checkpoint |
+//! | `RSEP_MEASURE` | 60000 | measured instructions per checkpoint |
+//! | `RSEP_BENCHMARKS` | all | comma-separated benchmark subset |
+//! | `RSEP_SEED` | 42 | trace generation seed |
+//!
+//! The paper's own scale (10 × (50M + 100M) instructions per benchmark) is
+//! available through [`paper_scale`] but is far too slow for routine use.
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+use rsep_core::{
+    run_benchmark, BenchmarkResult, FifoHistoryConfig, IsrbConfig, MechanismConfig, RedundancyAnalyzer,
+    RedundancyConfig, RsepConfig, SamplingConfig,
+};
+use rsep_stats::{speedup_percent, Experiment};
+use rsep_trace::{BenchmarkProfile, CheckpointSpec, TraceGenerator};
+use rsep_uarch::{CoreConfig, ValidationKind};
+
+/// Experiment scale (checkpoints, warm-up, measurement, seed, benchmarks).
+#[derive(Debug, Clone)]
+pub struct Scale {
+    /// Checkpoint specification.
+    pub spec: CheckpointSpec,
+    /// Trace seed.
+    pub seed: u64,
+    /// Benchmarks to run.
+    pub benchmarks: Vec<BenchmarkProfile>,
+}
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+/// Reads the experiment scale from the environment (see crate docs).
+pub fn scale_from_env() -> Scale {
+    let checkpoints = env_u64("RSEP_CHECKPOINTS", 1) as usize;
+    let warmup = env_u64("RSEP_WARMUP", 100_000);
+    let measure = env_u64("RSEP_MEASURE", 60_000);
+    let seed = env_u64("RSEP_SEED", 42);
+    let all = BenchmarkProfile::spec2006();
+    let benchmarks = match std::env::var("RSEP_BENCHMARKS") {
+        Ok(list) if !list.trim().is_empty() && list != "all" => {
+            let wanted: Vec<&str> = list.split(',').map(|s| s.trim()).collect();
+            all.into_iter().filter(|p| wanted.contains(&p.name)).collect()
+        }
+        _ => all,
+    };
+    Scale { spec: CheckpointSpec::scaled(checkpoints, warmup, measure), seed, benchmarks }
+}
+
+/// A small scale for Criterion benches and tests: a handful of
+/// representative benchmarks at reduced instruction counts.
+pub fn smoke_scale() -> Scale {
+    let names = ["mcf", "dealII", "libquantum", "perlbench", "gcc", "zeusmp"];
+    Scale {
+        spec: CheckpointSpec::scaled(1, 2_000, 8_000),
+        seed: 42,
+        benchmarks: names.iter().filter_map(|n| BenchmarkProfile::by_name(n)).collect(),
+    }
+}
+
+/// The paper's own scale (Section V): 10 checkpoints × (50M + 100M)
+/// instructions per benchmark. Provided for completeness.
+pub fn paper_scale() -> Scale {
+    Scale { spec: CheckpointSpec::paper(), seed: 42, benchmarks: BenchmarkProfile::spec2006() }
+}
+
+/// Core configuration used by the experiments (Table I).
+pub fn core_config() -> CoreConfig {
+    CoreConfig::table1()
+}
+
+// --------------------------------------------------------------- Table I
+
+/// Renders Table I (the simulated configuration).
+pub fn table1() -> String {
+    let config = core_config();
+    let mut out = String::from("TABLE I: Simulator configuration overview\n");
+    for (section, value) in config.table1_rows() {
+        out.push_str(&format!("{section:<18}{value}\n"));
+    }
+    out
+}
+
+// --------------------------------------------------------------- Figure 1
+
+/// Figure 1: ratio of committed instructions whose result is zero or
+/// already in the PRF, split by loads vs other producers.
+pub fn figure1(scale: &Scale) -> Experiment {
+    let mut exp = Experiment::new("figure1", "% of committed instructions");
+    let insts = scale.spec.count as u64 * (scale.spec.warmup + scale.spec.measure);
+    for profile in &scale.benchmarks {
+        let trace = TraceGenerator::new(profile, scale.seed).take(insts as usize);
+        let report = RedundancyAnalyzer::analyze(RedundancyConfig::default(), trace);
+        exp.push(profile.name, "zero (load)", report.zero_load_fraction() * 100.0);
+        exp.push(profile.name, "zero (other)", report.zero_other_fraction() * 100.0);
+        exp.push(profile.name, "in PRF (load)", report.prf_load_fraction() * 100.0);
+        exp.push(profile.name, "in PRF (other)", report.prf_other_fraction() * 100.0);
+    }
+    exp
+}
+
+// --------------------------------------------------------------- Figure 4
+
+/// Runs one benchmark under a list of mechanisms plus the baseline, and
+/// returns `(baseline, results)`.
+pub fn run_mechanisms(
+    profile: &BenchmarkProfile,
+    mechanisms: &[MechanismConfig],
+    scale: &Scale,
+) -> (BenchmarkResult, Vec<BenchmarkResult>) {
+    let config = core_config();
+    let baseline = run_benchmark(profile, &MechanismConfig::baseline(), &config, scale.spec, scale.seed);
+    let results = mechanisms
+        .iter()
+        .map(|m| run_benchmark(profile, m, &config, scale.spec, scale.seed))
+        .collect();
+    (baseline, results)
+}
+
+/// Figure 4: speedup over baseline of zero prediction, move elimination,
+/// RSEP (ideal), value prediction and RSEP + VP.
+pub fn figure4(scale: &Scale) -> Experiment {
+    let mut exp = Experiment::new("figure4", "speedup % over baseline");
+    let mechanisms = MechanismConfig::figure4_suite();
+    for profile in &scale.benchmarks {
+        let (baseline, results) = run_mechanisms(profile, &mechanisms, scale);
+        for result in &results {
+            exp.push(profile.name, result.mechanism.clone(), speedup_percent(result.ipc, baseline.ipc));
+        }
+    }
+    exp
+}
+
+// --------------------------------------------------------------- Figure 5
+
+/// Figure 5: percentage of committed instructions covered by each
+/// mechanism, for RSEP alone and for VP on top of RSEP.
+pub fn figure5(scale: &Scale) -> Experiment {
+    let mut exp = Experiment::new("figure5", "% of committed instructions");
+    let config = core_config();
+    for profile in &scale.benchmarks {
+        for mechanism in [MechanismConfig::rsep_ideal(), MechanismConfig::rsep_plus_vp()] {
+            let result = run_benchmark(profile, &mechanism, &config, scale.spec, scale.seed);
+            let committed = result.stats.committed.max(1) as f64;
+            let c = &result.stats.coverage;
+            let prefix = if mechanism.vp.is_some() { "rsep+vp" } else { "rsep" };
+            let pairs = [
+                ("zero-idiom-elim", c.zero_idiom_elim),
+                ("move-elim", c.move_elim),
+                ("zero-pred", c.zero_pred),
+                ("load-zero-pred", c.load_zero_pred),
+                ("dist-pred", c.dist_pred),
+                ("load-dist-pred", c.load_dist_pred),
+                ("value-pred", c.value_pred),
+                ("load-value-pred", c.load_value_pred),
+            ];
+            for (name, count) in pairs {
+                exp.push(profile.name, format!("{prefix}:{name}"), count as f64 / committed * 100.0);
+            }
+        }
+    }
+    exp
+}
+
+// --------------------------------------------------------------- Figure 6
+
+/// The validation/sampling variants of Figure 6.
+pub fn figure6_variants() -> Vec<(String, MechanismConfig)> {
+    let base = RsepConfig::ideal();
+    let mk = |label: &str, validation: ValidationKind, sampling: Option<SamplingConfig>| {
+        let mut cfg = base.clone();
+        cfg.validation = validation;
+        cfg.sampling = sampling;
+        let mut mechanism = MechanismConfig::rsep(cfg);
+        mechanism.label = label.to_string();
+        (label.to_string(), mechanism)
+    };
+    vec![
+        mk("ideal-validation", ValidationKind::Free, None),
+        mk("issue2x-lock-fu", ValidationKind::SameFu, None),
+        mk("issue2x", ValidationKind::AnyFu, None),
+        mk("issue2x-sample-t15", ValidationKind::AnyFu, Some(SamplingConfig::threshold_15())),
+        mk("issue2x-sample-t63", ValidationKind::AnyFu, Some(SamplingConfig::threshold_63())),
+    ]
+}
+
+/// Figure 6: impact of the validation mechanism and commit sampling.
+pub fn figure6(scale: &Scale) -> Experiment {
+    let mut exp = Experiment::new("figure6", "speedup % over baseline");
+    let variants = figure6_variants();
+    let mechanisms: Vec<MechanismConfig> = variants.iter().map(|(_, m)| m.clone()).collect();
+    for profile in &scale.benchmarks {
+        let (baseline, results) = run_mechanisms(profile, &mechanisms, scale);
+        for ((label, _), result) in variants.iter().zip(&results) {
+            exp.push(profile.name, label.clone(), speedup_percent(result.ipc, baseline.ipc));
+        }
+    }
+    exp
+}
+
+// --------------------------------------------------------------- Figure 7
+
+/// Figure 7: ideal RSEP vs the realistic 10.1 KB configuration, plus the
+/// Section VI-B summary metrics (accuracy, coverage, storage).
+pub fn figure7(scale: &Scale) -> (Experiment, Experiment) {
+    let mut speedups = Experiment::new("figure7", "speedup % over baseline");
+    let mut summary = Experiment::new("figure7-summary", "value");
+    let mechanisms = vec![MechanismConfig::rsep_ideal(), MechanismConfig::rsep_realistic()];
+    for profile in &scale.benchmarks {
+        let (baseline, results) = run_mechanisms(profile, &mechanisms, scale);
+        for result in &results {
+            speedups.push(profile.name, result.mechanism.clone(), speedup_percent(result.ipc, baseline.ipc));
+            if result.mechanism == "rsep-realistic" {
+                summary.push(profile.name, "accuracy %", result.stats.prediction_accuracy() * 100.0);
+                summary.push(
+                    profile.name,
+                    "coverage % of eligible",
+                    result.stats.eligible_coverage_fraction() * 100.0,
+                );
+            }
+        }
+    }
+    summary.push("storage", "rsep-realistic KB", RsepConfig::realistic().storage_kb());
+    summary.push("storage", "rsep-ideal KB", RsepConfig::ideal().storage_kb());
+    summary.push("storage", "d-vtage KB", rsep_core::VpConfig::paper().storage_kb());
+    (speedups, summary)
+}
+
+// --------------------------------------------------------------- Ablations
+
+/// Section VI-A2: FIFO history depth sensitivity (and the DDT comparison
+/// point).
+pub fn ablation_history(scale: &Scale) -> Experiment {
+    let mut exp = Experiment::new("ablation-history", "speedup % over baseline");
+    let depths = [32usize, 128, 256, 2048];
+    let mechanisms: Vec<MechanismConfig> = depths
+        .iter()
+        .map(|&capacity| {
+            let mut cfg = RsepConfig::ideal();
+            cfg.history = FifoHistoryConfig { capacity, ..FifoHistoryConfig::ideal() };
+            let mut m = MechanismConfig::rsep(cfg);
+            m.label = format!("history-{capacity}");
+            m
+        })
+        .collect();
+    for profile in &scale.benchmarks {
+        let (baseline, results) = run_mechanisms(profile, &mechanisms, scale);
+        for result in &results {
+            exp.push(profile.name, result.mechanism.clone(), speedup_percent(result.ipc, baseline.ipc));
+        }
+    }
+    exp
+}
+
+/// Section VI-A3: ISRB size sensitivity.
+pub fn ablation_isrb(scale: &Scale) -> Experiment {
+    let mut exp = Experiment::new("ablation-isrb", "speedup % over baseline");
+    let sizes = [4usize, 8, 16, 24, 48];
+    let mut mechanisms: Vec<MechanismConfig> = sizes
+        .iter()
+        .map(|&entries| {
+            let mut cfg = RsepConfig::ideal();
+            cfg.isrb = IsrbConfig { entries, counter_bits: 6 };
+            let mut m = MechanismConfig::rsep(cfg);
+            m.label = format!("isrb-{entries}");
+            m
+        })
+        .collect();
+    let mut unlimited = MechanismConfig::rsep_ideal();
+    unlimited.label = "isrb-unlimited".into();
+    mechanisms.push(unlimited);
+    for profile in &scale.benchmarks {
+        let (baseline, results) = run_mechanisms(profile, &mechanisms, scale);
+        for result in &results {
+            exp.push(profile.name, result.mechanism.clone(), speedup_percent(result.ipc, baseline.ipc));
+        }
+    }
+    exp
+}
+
+/// Section IV-A: hash width sensitivity (false-match rate of the pairing
+/// hash vs storage).
+pub fn ablation_hash(scale: &Scale) -> Experiment {
+    let mut exp = Experiment::new("ablation-hash", "speedup % over baseline");
+    let widths = [8u8, 10, 14, 16];
+    let mechanisms: Vec<MechanismConfig> = widths
+        .iter()
+        .map(|&hash_bits| {
+            let mut cfg = RsepConfig::ideal();
+            cfg.history = FifoHistoryConfig { hash_bits, ..FifoHistoryConfig::ideal() };
+            let mut m = MechanismConfig::rsep(cfg);
+            m.label = format!("hash-{hash_bits}b");
+            m
+        })
+        .collect();
+    for profile in &scale.benchmarks {
+        let (baseline, results) = run_mechanisms(profile, &mechanisms, scale);
+        for result in &results {
+            exp.push(profile.name, result.mechanism.clone(), speedup_percent(result.ipc, baseline.ipc));
+        }
+    }
+    exp
+}
+
+/// Prints an experiment to stdout and optionally writes JSON next to the
+/// binary when `--json` was passed on the command line.
+pub fn emit(exp: &Experiment) {
+    println!("{}", exp.to_table());
+    if std::env::args().any(|a| a == "--json") {
+        let path = format!("{}.json", exp.id);
+        std::fs::write(&path, exp.to_json()).expect("failed to write JSON output");
+        println!("(wrote {path})");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_scale(names: &[&str]) -> Scale {
+        Scale {
+            spec: CheckpointSpec::scaled(1, 500, 2_000),
+            seed: 7,
+            benchmarks: names.iter().filter_map(|n| BenchmarkProfile::by_name(n)).collect(),
+        }
+    }
+
+    #[test]
+    fn table1_mentions_the_headline_parameters() {
+        let t = table1();
+        assert!(t.contains("192-entry ROB"));
+        assert!(t.contains("8-wide fetch"));
+    }
+
+    #[test]
+    fn figure1_produces_four_series_per_benchmark() {
+        let exp = figure1(&tiny_scale(&["gcc", "zeusmp"]));
+        assert_eq!(exp.benchmarks().len(), 2);
+        assert_eq!(exp.series().len(), 4);
+        for p in &exp.points {
+            assert!(p.value >= 0.0 && p.value <= 100.0);
+        }
+    }
+
+    #[test]
+    fn figure6_has_five_validation_variants() {
+        let variants = figure6_variants();
+        assert_eq!(variants.len(), 5);
+        assert!(variants.iter().any(|(l, _)| l == "ideal-validation"));
+        assert!(variants.iter().any(|(l, _)| l == "issue2x-sample-t63"));
+    }
+
+    #[test]
+    fn scale_from_env_defaults_cover_the_whole_suite() {
+        // Only check the default path (no env manipulation to stay
+        // parallel-test safe).
+        if std::env::var("RSEP_BENCHMARKS").is_err() {
+            let scale = scale_from_env();
+            assert_eq!(scale.benchmarks.len(), 29);
+            assert!(scale.spec.measure > 0);
+        }
+    }
+
+    #[test]
+    fn figure4_smoke_run_produces_bounded_speedups() {
+        let exp = figure4(&tiny_scale(&["libquantum"]));
+        assert_eq!(exp.benchmarks().len(), 1);
+        assert_eq!(exp.series().len(), 5);
+        for p in &exp.points {
+            assert!(p.value > -50.0 && p.value < 100.0, "{}: {}", p.series, p.value);
+        }
+    }
+}

@@ -1,0 +1,288 @@
+//! Mechanism configurations and storage accounting.
+//!
+//! [`RsepConfig`] bundles every parameter of the equality-prediction
+//! mechanism (distance predictor size, FIFO history depth, ISRB size,
+//! validation policy, commit sampling) with the two named configurations
+//! evaluated in the paper — *ideal* (Section VI-A1, 42.6 KB predictor,
+//! history much larger than the ROB, unlimited ISRB, free validation) and
+//! *realistic* (Section VI-B, 10.1 KB predictor, 128-entry history,
+//! 24-entry ISRB, issue-twice validation, sampling threshold 63).
+//!
+//! [`MechanismConfig`] composes the five mechanisms compared in Figure 4:
+//! zero prediction, move elimination, RSEP, value prediction and RSEP+VP.
+
+use crate::fifo_history::FifoHistoryConfig;
+use crate::isrb::IsrbConfig;
+use rsep_predictors::{DistancePredictorConfig, DvtageConfig, ZeroPredictorConfig};
+use rsep_uarch::ValidationKind;
+
+/// Commit-time sampling parameters (Section IV-B3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SamplingConfig {
+    /// Raw confidence value (`start_train`) above which an instruction is a
+    /// *likely candidate* and keeps training through the validation path
+    /// even when it loses the commit-time sampling lottery.
+    ///
+    /// The paper expresses thresholds (15, 63) on an effective 255-scale
+    /// counter; with 3-bit probabilistic counters of denominator 36 those
+    /// correspond approximately to raw values 1 and 2.
+    pub start_train_raw: u8,
+    /// The effective (255-scale) threshold, for reporting.
+    pub start_train_effective: u32,
+}
+
+impl SamplingConfig {
+    /// The threshold-63 configuration chosen in Section VI-A4.
+    pub fn threshold_63() -> SamplingConfig {
+        SamplingConfig { start_train_raw: 2, start_train_effective: 63 }
+    }
+
+    /// The threshold-15 configuration (shown to hurt bzip2).
+    pub fn threshold_15() -> SamplingConfig {
+        SamplingConfig { start_train_raw: 1, start_train_effective: 15 }
+    }
+}
+
+/// Full configuration of the RSEP mechanism.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RsepConfig {
+    /// Distance predictor configuration.
+    pub predictor: DistancePredictorConfig,
+    /// FIFO history configuration.
+    pub history: FifoHistoryConfig,
+    /// ISRB configuration.
+    pub isrb: IsrbConfig,
+    /// Validation policy.
+    pub validation: ValidationKind,
+    /// Commit-time sampling (None = every committing producer searches the
+    /// history).
+    pub sampling: Option<SamplingConfig>,
+    /// Bytes reserved for propagating predicted distances to commit
+    /// (Section VI-B counts 224 B for this dedicated FIFO).
+    pub distance_propagation_bytes: u64,
+}
+
+impl RsepConfig {
+    /// The ideal configuration of Section VI-A1: large predictor, history
+    /// much larger than the ROB, unlimited ISRB, free validation, no
+    /// sampling.
+    pub fn ideal() -> RsepConfig {
+        RsepConfig {
+            predictor: DistancePredictorConfig::ideal(),
+            history: FifoHistoryConfig::ideal(),
+            isrb: IsrbConfig::unlimited(),
+            validation: ValidationKind::Free,
+            sampling: None,
+            distance_propagation_bytes: 224,
+        }
+    }
+
+    /// The realistic configuration of Section VI-B: 10.1 KB predictor,
+    /// 128-entry history, 24-entry ISRB, issue-twice (any FU) validation and
+    /// sampling with threshold 63.
+    pub fn realistic() -> RsepConfig {
+        RsepConfig {
+            predictor: DistancePredictorConfig::realistic(),
+            history: FifoHistoryConfig::realistic(),
+            isrb: IsrbConfig::paper(),
+            validation: ValidationKind::AnyFu,
+            sampling: Some(SamplingConfig::threshold_63()),
+            distance_propagation_bytes: 224,
+        }
+    }
+
+    /// Total storage in bytes (predictor + history + distance propagation +
+    /// ISRB), the ≈10.8 KB figure of Section VI-B for the realistic
+    /// configuration.
+    pub fn storage_bytes(&self) -> f64 {
+        self.predictor.storage_bits() as f64 / 8.0
+            + self.history.storage_bits() as f64 / 8.0
+            + self.distance_propagation_bytes as f64
+            + self.isrb.storage_bits() as f64 / 8.0
+    }
+
+    /// Storage in kilobytes.
+    pub fn storage_kb(&self) -> f64 {
+        self.storage_bytes() / 1024.0
+    }
+}
+
+/// Configuration of the value-prediction baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VpConfig {
+    /// D-VTAGE predictor configuration.
+    pub predictor: DvtageConfig,
+}
+
+impl VpConfig {
+    /// The paper's ≈256 KB D-VTAGE baseline.
+    pub fn paper() -> VpConfig {
+        VpConfig { predictor: DvtageConfig::paper_256kb() }
+    }
+
+    /// Storage in kilobytes.
+    pub fn storage_kb(&self) -> f64 {
+        self.predictor.storage_kb()
+    }
+}
+
+/// Composition of the mechanisms studied in the paper.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MechanismConfig {
+    /// Human-readable label (used in reports).
+    pub label: String,
+    /// Non-speculative zero-idiom elimination (part of the Table I baseline
+    /// rename stage).
+    pub zero_idiom_elim: bool,
+    /// Move elimination (enabled alongside RSEP, Section IV-H1).
+    pub move_elim: bool,
+    /// Zero prediction (Section III).
+    pub zero_pred: Option<ZeroPredictorConfig>,
+    /// RSEP equality prediction.
+    pub rsep: Option<RsepConfig>,
+    /// Conventional value prediction (D-VTAGE).
+    pub vp: Option<VpConfig>,
+}
+
+impl MechanismConfig {
+    /// The baseline: zero-idiom elimination only (as in Table I).
+    pub fn baseline() -> MechanismConfig {
+        MechanismConfig {
+            label: "baseline".into(),
+            zero_idiom_elim: true,
+            move_elim: false,
+            zero_pred: None,
+            rsep: None,
+            vp: None,
+        }
+    }
+
+    /// Zero prediction only (first bar of Figure 4).
+    pub fn zero_pred() -> MechanismConfig {
+        MechanismConfig {
+            label: "zero-pred".into(),
+            zero_pred: Some(ZeroPredictorConfig::default_config()),
+            ..MechanismConfig::baseline()
+        }
+    }
+
+    /// Move elimination only (second bar of Figure 4).
+    pub fn move_elim() -> MechanismConfig {
+        MechanismConfig { label: "move-elim".into(), move_elim: true, ..MechanismConfig::baseline() }
+    }
+
+    /// RSEP with the given configuration (move elimination included, as in
+    /// the paper).
+    pub fn rsep(config: RsepConfig) -> MechanismConfig {
+        MechanismConfig {
+            label: if config.sampling.is_some() || config.isrb.entries != usize::MAX {
+                "rsep-realistic".into()
+            } else {
+                "rsep-ideal".into()
+            },
+            move_elim: true,
+            rsep: Some(config),
+            ..MechanismConfig::baseline()
+        }
+    }
+
+    /// RSEP in its ideal configuration (third bar of Figure 4).
+    pub fn rsep_ideal() -> MechanismConfig {
+        MechanismConfig::rsep(RsepConfig::ideal())
+    }
+
+    /// RSEP in its realistic configuration (Figure 7).
+    pub fn rsep_realistic() -> MechanismConfig {
+        MechanismConfig::rsep(RsepConfig::realistic())
+    }
+
+    /// Value prediction only (fourth bar of Figure 4).
+    pub fn value_pred() -> MechanismConfig {
+        MechanismConfig {
+            label: "vpred".into(),
+            vp: Some(VpConfig::paper()),
+            ..MechanismConfig::baseline()
+        }
+    }
+
+    /// RSEP combined with value prediction (fifth bar of Figure 4).
+    pub fn rsep_plus_vp() -> MechanismConfig {
+        MechanismConfig {
+            label: "rsep+vpred".into(),
+            move_elim: true,
+            rsep: Some(RsepConfig::ideal()),
+            vp: Some(VpConfig::paper()),
+            ..MechanismConfig::baseline()
+        }
+    }
+
+    /// All the Figure 4 configurations, in plotting order.
+    pub fn figure4_suite() -> Vec<MechanismConfig> {
+        vec![
+            MechanismConfig::zero_pred(),
+            MechanismConfig::move_elim(),
+            MechanismConfig::rsep_ideal(),
+            MechanismConfig::value_pred(),
+            MechanismConfig::rsep_plus_vp(),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_and_realistic_storage_match_the_paper() {
+        let ideal = RsepConfig::ideal();
+        let realistic = RsepConfig::realistic();
+        // Predictor alone: 42.6 KB vs 10.1 KB.
+        assert!((ideal.predictor.storage_kb() - 42.6).abs() < 1.0);
+        assert!((realistic.predictor.storage_kb() - 10.1).abs() < 0.7);
+        // Full realistic mechanism: about 10.8 KB (predictor + 384 B history
+        // + 224 B propagation + 63 B ISRB).
+        let total = realistic.storage_kb();
+        assert!((total - 10.8).abs() < 0.8, "realistic RSEP storage {total:.2} KB");
+        // The paper's headline comparison: an order of magnitude below the
+        // 256 KB value predictor.
+        assert!(VpConfig::paper().storage_kb() > 10.0 * total);
+    }
+
+    #[test]
+    fn sampling_thresholds() {
+        assert_eq!(SamplingConfig::threshold_63().start_train_effective, 63);
+        assert_eq!(SamplingConfig::threshold_15().start_train_effective, 15);
+        assert!(SamplingConfig::threshold_63().start_train_raw > SamplingConfig::threshold_15().start_train_raw);
+    }
+
+    #[test]
+    fn figure4_suite_has_five_configurations() {
+        let suite = MechanismConfig::figure4_suite();
+        assert_eq!(suite.len(), 5);
+        let labels: Vec<_> = suite.iter().map(|c| c.label.as_str()).collect();
+        assert_eq!(labels, vec!["zero-pred", "move-elim", "rsep-ideal", "vpred", "rsep+vpred"]);
+    }
+
+    #[test]
+    fn rsep_configurations_enable_move_elimination() {
+        assert!(MechanismConfig::rsep_ideal().move_elim);
+        assert!(MechanismConfig::rsep_realistic().move_elim);
+        assert!(MechanismConfig::rsep_plus_vp().move_elim);
+        assert!(!MechanismConfig::value_pred().move_elim);
+    }
+
+    #[test]
+    fn baseline_keeps_zero_idiom_elimination() {
+        // Table I's rename stage performs zero-idiom elimination even in the
+        // baseline.
+        assert!(MechanismConfig::baseline().zero_idiom_elim);
+        assert!(MechanismConfig::baseline().rsep.is_none());
+        assert!(MechanismConfig::baseline().vp.is_none());
+    }
+
+    #[test]
+    fn labels_distinguish_ideal_from_realistic() {
+        assert_eq!(MechanismConfig::rsep_ideal().label, "rsep-ideal");
+        assert_eq!(MechanismConfig::rsep_realistic().label, "rsep-realistic");
+    }
+}

@@ -1,0 +1,117 @@
+//! Data Dependency Table (DDT) pairing, Section IV-B1.
+//!
+//! The DDT is the pairing structure of Sha et al.'s NoSQ design: a table
+//! indexed (here) by the hash of the produced value, where each entry holds
+//! the commit sequence number of the most recent producer of that value.
+//! The paper argues the DDT is impractical for RSEP because it would need
+//! one port per committing instruction, and shows the FIFO history performs
+//! slightly better because it can prefer the *predicted* distance instead of
+//! the most recent match; the DDT is implemented here so that the
+//! history-depth ablation can compare the two (Section VI-A2).
+
+use rsep_isa::FoldHash;
+
+/// Configuration of the DDT.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DdtConfig {
+    /// log2 of the number of entries.
+    pub entries_log2: u8,
+    /// Hash width used for indexing.
+    pub hash_bits: u8,
+    /// Stored CSN width (storage accounting only).
+    pub csn_bits: u8,
+}
+
+impl DdtConfig {
+    /// The "unrealistic 16KB DDT" the paper compares the FIFO against
+    /// (Section VI-A2): 8K entries of 16-bit CSNs.
+    pub fn paper_16kb() -> DdtConfig {
+        DdtConfig { entries_log2: 13, hash_bits: 14, csn_bits: 16 }
+    }
+
+    /// Storage in bits.
+    pub fn storage_bits(&self) -> u64 {
+        (1u64 << self.entries_log2) * u64::from(self.csn_bits)
+    }
+}
+
+/// Hash-indexed table of last-producer commit sequence numbers.
+#[derive(Debug)]
+pub struct Ddt {
+    config: DdtConfig,
+    hash: FoldHash,
+    entries: Vec<Option<u64>>,
+}
+
+impl Ddt {
+    /// Creates a DDT.
+    pub fn new(config: DdtConfig) -> Ddt {
+        Ddt {
+            config,
+            hash: FoldHash::new(config.hash_bits),
+            entries: vec![None; 1 << config.entries_log2],
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> DdtConfig {
+        self.config
+    }
+
+    fn index(&self, result: u64) -> usize {
+        (self.hash.hash(result) as usize) & ((1 << self.config.entries_log2) - 1)
+    }
+
+    /// Looks up the distance to the most recent producer of `result` and
+    /// records the committing instruction as the new most recent producer.
+    ///
+    /// Returns `None` when no producer was recorded (or the previous
+    /// producer is too old to be encodable, i.e. the distance exceeds
+    /// `u32::MAX`).
+    pub fn observe(&mut self, csn: u64, result: u64) -> Option<u32> {
+        let idx = self.index(result);
+        let previous = self.entries[idx];
+        self.entries[idx] = Some(csn);
+        match previous {
+            Some(prev) if prev < csn => u32::try_from(csn - prev).ok(),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn storage_matches_the_paper_comparison_point() {
+        let kb = DdtConfig::paper_16kb().storage_bits() as f64 / 8.0 / 1024.0;
+        assert!((kb - 16.0).abs() < 0.01, "DDT storage {kb} KB");
+    }
+
+    #[test]
+    fn distance_is_measured_to_the_most_recent_producer() {
+        let mut ddt = Ddt::new(DdtConfig::paper_16kb());
+        assert_eq!(ddt.observe(10, 0xabc), None);
+        assert_eq!(ddt.observe(25, 0xabc), Some(15));
+        assert_eq!(ddt.observe(30, 0xabc), Some(5));
+    }
+
+    #[test]
+    fn different_values_do_not_alias_with_wide_hashes() {
+        let mut ddt = Ddt::new(DdtConfig::paper_16kb());
+        assert_eq!(ddt.observe(1, 111), None);
+        assert_eq!(ddt.observe(2, 222), None);
+        assert_eq!(ddt.observe(3, 111), Some(2));
+    }
+
+    #[test]
+    fn aliasing_produces_noisy_distances_with_small_tables() {
+        // A 1-entry DDT aliases everything: the distance reported for a
+        // value may come from a different value — the "per chance" matches
+        // the FIFO history avoids.
+        let mut ddt = Ddt::new(DdtConfig { entries_log2: 0, hash_bits: 14, csn_bits: 16 });
+        assert_eq!(ddt.observe(1, 111), None);
+        assert_eq!(ddt.observe(5, 999), Some(4));
+    }
+}

@@ -1,0 +1,202 @@
+//! Benchmark runner: profiles × mechanism configurations × checkpoints.
+//!
+//! This is the experiment methodology of Section V packaged as a function:
+//! for one benchmark profile and one mechanism configuration, simulate the
+//! requested checkpoints (warm-up then measurement), and report the
+//! harmonic-mean IPC together with the merged coverage and accuracy
+//! statistics. Speedups (Figures 4, 6, 7) are then ratios of these IPCs
+//! against the baseline configuration.
+
+use crate::config::MechanismConfig;
+use crate::engine::RsepEngine;
+use rsep_trace::{BenchmarkProfile, CheckpointSpec, TraceGenerator};
+use rsep_uarch::{Core, CoreConfig, SimStats};
+
+/// Result of running one benchmark under one mechanism configuration.
+#[derive(Debug, Clone)]
+pub struct BenchmarkResult {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Mechanism label.
+    pub mechanism: String,
+    /// Harmonic mean of the per-checkpoint IPCs (Section V).
+    pub ipc: f64,
+    /// Per-checkpoint IPCs.
+    pub checkpoint_ipcs: Vec<f64>,
+    /// Statistics merged over all checkpoints.
+    pub stats: SimStats,
+}
+
+impl BenchmarkResult {
+    /// Speedup of this result over a baseline result for the same
+    /// benchmark.
+    pub fn speedup_over(&self, baseline: &BenchmarkResult) -> f64 {
+        if baseline.ipc == 0.0 {
+            0.0
+        } else {
+            self.ipc / baseline.ipc
+        }
+    }
+}
+
+/// Harmonic mean of a slice of positive numbers.
+fn harmonic_mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let sum: f64 = values.iter().map(|v| if *v > 0.0 { 1.0 / v } else { 0.0 }).sum();
+    if sum == 0.0 {
+        0.0
+    } else {
+        values.len() as f64 / sum
+    }
+}
+
+fn merge_stats(total: &mut SimStats, part: &SimStats) {
+    total.cycles += part.cycles;
+    total.committed += part.committed;
+    total.committed_loads += part.committed_loads;
+    total.committed_stores += part.committed_stores;
+    total.committed_branches += part.committed_branches;
+    total.branch_mispredictions += part.branch_mispredictions;
+    total.prediction_squashes += part.prediction_squashes;
+    total.correct_predictions += part.correct_predictions;
+    total.incorrect_predictions += part.incorrect_predictions;
+    total.eligible_instructions += part.eligible_instructions;
+    total.prf_stall_cycles += part.prf_stall_cycles;
+    total.queue_stall_cycles += part.queue_stall_cycles;
+    total.validation_issues += part.validation_issues;
+    total.validation_port_conflicts += part.validation_port_conflicts;
+    total.rob_occupancy_sum += part.rob_occupancy_sum;
+    total.coverage.zero_idiom_elim += part.coverage.zero_idiom_elim;
+    total.coverage.move_elim += part.coverage.move_elim;
+    total.coverage.zero_pred += part.coverage.zero_pred;
+    total.coverage.load_zero_pred += part.coverage.load_zero_pred;
+    total.coverage.dist_pred += part.coverage.dist_pred;
+    total.coverage.load_dist_pred += part.coverage.load_dist_pred;
+    total.coverage.value_pred += part.coverage.value_pred;
+    total.coverage.load_value_pred += part.coverage.load_value_pred;
+}
+
+/// Runs one benchmark profile under one mechanism configuration.
+///
+/// Each checkpoint uses a fresh core (cold structures) warmed over
+/// `spec.warmup` instructions before `spec.measure` instructions are
+/// measured, mirroring the paper's methodology at a configurable scale.
+pub fn run_benchmark(
+    profile: &BenchmarkProfile,
+    mechanism: &MechanismConfig,
+    core_config: &CoreConfig,
+    spec: CheckpointSpec,
+    seed: u64,
+) -> BenchmarkResult {
+    let mut ipcs = Vec::with_capacity(spec.count);
+    let mut merged = SimStats::default();
+    let mut trace = TraceGenerator::new(profile, seed);
+    for checkpoint in 0..spec.count {
+        let engine = RsepEngine::new(mechanism.clone());
+        let mut core = Core::new(core_config.clone(), Box::new(engine));
+        core.run(&mut trace, spec.warmup);
+        core.reset_stats();
+        core.run(&mut trace, spec.measure);
+        let stats = core.take_stats();
+        ipcs.push(stats.ipc());
+        merge_stats(&mut merged, &stats);
+        let _ = checkpoint;
+    }
+    BenchmarkResult {
+        benchmark: profile.name.to_string(),
+        mechanism: mechanism.label.clone(),
+        ipc: harmonic_mean(&ipcs),
+        checkpoint_ipcs: ipcs,
+        stats: merged,
+    }
+}
+
+/// Runs a benchmark under the baseline and one or more mechanism
+/// configurations and returns `(baseline, results)`.
+pub fn run_comparison(
+    profile: &BenchmarkProfile,
+    mechanisms: &[MechanismConfig],
+    core_config: &CoreConfig,
+    spec: CheckpointSpec,
+    seed: u64,
+) -> (BenchmarkResult, Vec<BenchmarkResult>) {
+    let baseline = run_benchmark(profile, &MechanismConfig::baseline(), core_config, spec, seed);
+    let results = mechanisms
+        .iter()
+        .map(|m| run_benchmark(profile, m, core_config, spec, seed))
+        .collect();
+    (baseline, results)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_spec() -> CheckpointSpec {
+        CheckpointSpec::scaled(2, 1_000, 4_000)
+    }
+
+    #[test]
+    fn harmonic_mean_basics() {
+        assert_eq!(harmonic_mean(&[]), 0.0);
+        assert!((harmonic_mean(&[2.0, 2.0]) - 2.0).abs() < 1e-12);
+        assert!((harmonic_mean(&[1.0, 2.0]) - 4.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn baseline_run_produces_sane_ipc() {
+        let profile = BenchmarkProfile::by_name("gcc").unwrap();
+        let result = run_benchmark(
+            &profile,
+            &MechanismConfig::baseline(),
+            &CoreConfig::small_test(),
+            quick_spec(),
+            3,
+        );
+        assert_eq!(result.checkpoint_ipcs.len(), 2);
+        // The core may commit a few extra instructions past the target in
+        // its final commit group.
+        assert!(result.stats.committed >= 8_000 && result.stats.committed < 8_020);
+        assert!(result.ipc > 0.1 && result.ipc < 8.0, "ipc = {}", result.ipc);
+        assert_eq!(result.mechanism, "baseline");
+        assert_eq!(result.benchmark, "gcc");
+    }
+
+    #[test]
+    fn rsep_runs_and_reports_coverage_on_a_redundant_profile() {
+        let profile = BenchmarkProfile::by_name("libquantum").unwrap();
+        let spec = CheckpointSpec::scaled(1, 8_000, 15_000);
+        let result = run_benchmark(
+            &profile,
+            &MechanismConfig::rsep_ideal(),
+            &CoreConfig::small_test(),
+            spec,
+            3,
+        );
+        assert!(result.stats.coverage.total_dist_pred() > 0, "no distance predictions at all");
+        assert!(
+            result.stats.prediction_accuracy() > 0.95,
+            "accuracy = {}",
+            result.stats.prediction_accuracy()
+        );
+    }
+
+    #[test]
+    fn comparison_returns_one_result_per_mechanism() {
+        let profile = BenchmarkProfile::by_name("hmmer").unwrap();
+        let (baseline, results) = run_comparison(
+            &profile,
+            &[MechanismConfig::move_elim(), MechanismConfig::value_pred()],
+            &CoreConfig::small_test(),
+            CheckpointSpec::scaled(1, 500, 2_000),
+            7,
+        );
+        assert_eq!(results.len(), 2);
+        for r in &results {
+            let speedup = r.speedup_over(&baseline);
+            assert!(speedup > 0.5 && speedup < 2.0, "{}: speedup {speedup}", r.mechanism);
+        }
+    }
+}

@@ -1,0 +1,97 @@
+//! Property-based tests on the RSEP hardware structures: the ISRB
+//! reference-counting protocol and the commit FIFO history.
+
+use proptest::prelude::*;
+use rsep_core::{FifoHistory, FifoHistoryConfig, Isrb, IsrbConfig};
+use rsep_isa::{PhysReg, RegClass};
+
+proptest! {
+    /// ISRB protocol invariant: for a register shared `n` times (all sharers
+    /// committed), the register is freed exactly on the `n + 1`-th committed
+    /// de-reference and never before.
+    #[test]
+    fn isrb_frees_after_the_last_dereference(shares in 1usize..8) {
+        let mut isrb = Isrb::new(IsrbConfig { entries: 32, counter_bits: 8 });
+        let preg = PhysReg::new(RegClass::Int, 17);
+        for seq in 0..shares as u64 {
+            prop_assert!(isrb.try_share(preg, seq));
+            isrb.on_sharer_commit(seq);
+        }
+        // The first `shares` de-references must not free the register.
+        for _ in 0..shares {
+            prop_assert!(!isrb.on_release(preg));
+        }
+        // The final de-reference frees it.
+        prop_assert!(isrb.on_release(preg));
+        prop_assert_eq!(isrb.occupancy(), 0);
+    }
+
+    /// Squashing every speculative sharer leaves the buffer consistent: a
+    /// subsequent single de-reference (the provider's own mapping) frees the
+    /// register.
+    #[test]
+    fn isrb_squash_rolls_back_all_speculative_references(shares in 1usize..8) {
+        let mut isrb = Isrb::new(IsrbConfig { entries: 32, counter_bits: 8 });
+        let preg = PhysReg::new(RegClass::Int, 3);
+        for seq in 0..shares as u64 {
+            prop_assert!(isrb.try_share(preg, seq));
+        }
+        let freed = isrb.on_squash(0);
+        prop_assert!(freed.is_empty());
+        prop_assert!(isrb.on_release(preg));
+    }
+
+    /// The ISRB never exceeds its configured capacity, regardless of the
+    /// request stream.
+    #[test]
+    fn isrb_occupancy_is_bounded(requests in proptest::collection::vec((0u16..64, 0u64..1000), 1..200),
+                                 capacity in 1usize..16) {
+        let mut isrb = Isrb::new(IsrbConfig { entries: capacity, counter_bits: 6 });
+        for (reg, seq) in requests {
+            let _ = isrb.try_share(PhysReg::new(RegClass::Int, reg), seq);
+            prop_assert!(isrb.occupancy() <= capacity);
+        }
+    }
+
+    /// FIFO history: a producer pushed within the last `capacity` producers
+    /// is always found, and the reported distance is exact.
+    #[test]
+    fn fifo_history_finds_recent_producers(gap in 1u64..100, value in any::<u64>()) {
+        let mut fifo = FifoHistory::new(FifoHistoryConfig { capacity: 128, hash_bits: 14, csn_bits: 10 });
+        fifo.push(1000, value);
+        // Push unrelated producers in between (odd values that cannot hash
+        // equal to themselves being irrelevant — distance must still point
+        // at the most recent equal-hash producer or closer).
+        for i in 0..gap.min(100) {
+            fifo.push(1001 + i, value ^ (0xdead_beef << 1) ^ i);
+        }
+        let csn = 1001 + gap.min(100);
+        let m = fifo.find_pair(csn, value, None);
+        prop_assert!(m.is_some());
+        prop_assert!(m.unwrap().distance <= (csn - 1000) as u32);
+    }
+
+    /// FIFO history: the propagated predicted distance is preferred whenever
+    /// it corresponds to a real match.
+    #[test]
+    fn fifo_history_prefers_the_predicted_distance(extra in 1u64..50, value in any::<u64>()) {
+        let mut fifo = FifoHistory::new(FifoHistoryConfig::ideal());
+        fifo.push(100, value);          // older instance, distance = extra + 10
+        fifo.push(100 + extra, value);  // most recent instance, distance = 10
+        let csn = 110 + extra;
+        let predicted = (csn - 100) as u32;
+        let m = fifo.find_pair(csn, value, Some(predicted)).unwrap();
+        prop_assert!(m.matched_prediction);
+        prop_assert_eq!(m.distance, predicted);
+    }
+
+    /// FIFO history never remembers more than its capacity.
+    #[test]
+    fn fifo_history_capacity_is_bounded(pushes in 1usize..500, capacity in 1usize..64) {
+        let mut fifo = FifoHistory::new(FifoHistoryConfig { capacity, hash_bits: 14, csn_bits: 10 });
+        for i in 0..pushes {
+            fifo.push(i as u64, i as u64);
+            prop_assert!(fifo.len() <= capacity);
+        }
+    }
+}

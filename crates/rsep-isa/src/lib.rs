@@ -1,0 +1,33 @@
+//! # rsep-isa
+//!
+//! Micro-ISA used by the RSEP reproduction (see `DESIGN.md` at the workspace
+//! root).
+//!
+//! The paper evaluates on Aarch64; for the reproduction we only need the
+//! *register-producing structure* of the instruction stream, so this crate
+//! defines a small RISC-style micro-ISA:
+//!
+//! * [`ArchReg`] / [`PhysReg`] — architectural and physical register
+//!   identifiers, including a hardwired zero register (as in MIPS/Aarch64).
+//! * [`OpClass`] — operation classes matching the functional-unit inventory
+//!   of Table I of the paper (ALU, Mul, Div, FP, loads, stores, branches,
+//!   plus `Move` and `ZeroIdiom` forms used by move elimination and
+//!   zero-idiom elimination).
+//! * [`DynInst`] — one dynamic (trace) instruction: program counter, operands,
+//!   the concrete result value, the memory address for loads/stores and the
+//!   branch outcome for branches.
+//! * [`FoldHash`] — the n-bit folding hash of Section IV-A used to compare
+//!   results cheaply in the Hash Register File and the commit FIFO history.
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+pub mod hash;
+pub mod inst;
+pub mod op;
+pub mod reg;
+
+pub use hash::FoldHash;
+pub use inst::{BranchInfo, BranchKind, DynInst, DynInstBuilder, MemInfo};
+pub use op::OpClass;
+pub use reg::{ArchReg, PhysReg, RegClass};

@@ -1,0 +1,51 @@
+//! Property-based tests for the folding result hash (Section IV-A).
+
+use proptest::prelude::*;
+use rsep_isa::FoldHash;
+
+proptest! {
+    /// Hashing is a pure function: equal inputs give equal hashes.
+    #[test]
+    fn hash_is_deterministic(value in any::<u64>(), width in 1u8..=16) {
+        let h = FoldHash::new(width);
+        prop_assert_eq!(h.hash(value), h.hash(value));
+    }
+
+    /// The hash always fits within the configured width.
+    #[test]
+    fn hash_fits_width(value in any::<u64>(), width in 1u8..=16) {
+        let h = FoldHash::new(width);
+        prop_assert!(u64::from(h.hash(value)) <= h.mask());
+    }
+
+    /// Equal results always collide (no false negatives): this is what makes
+    /// hashing safe for RSEP — only false *positives* are possible, and they
+    /// are caught by validation.
+    #[test]
+    fn equal_values_always_match(value in any::<u64>()) {
+        let h = FoldHash::paper_default();
+        prop_assert_eq!(h.hash(value), h.hash(value));
+    }
+
+    /// The paper's 14-bit fold matches its closed-form definition.
+    #[test]
+    fn paper_fold_matches_formula(value in any::<u64>()) {
+        let h = FoldHash::new(14);
+        let expected = (value & 0x3fff)
+            ^ ((value >> 14) & 0x3fff)
+            ^ ((value >> 28) & 0x3fff)
+            ^ ((value >> 42) & 0x3fff)
+            ^ ((value >> 56) & 0x3fff);
+        prop_assert_eq!(u64::from(h.hash(value)), expected);
+    }
+
+    /// Flipping a single low-order bit always changes the 14-bit hash
+    /// (the fold XORs disjoint chunks, so a single-bit difference in one
+    /// chunk propagates).
+    #[test]
+    fn single_bit_flips_change_the_hash(value in any::<u64>(), bit in 0u32..14) {
+        let h = FoldHash::new(14);
+        let flipped = value ^ (1u64 << bit);
+        prop_assert_ne!(h.hash(value), h.hash(flipped));
+    }
+}

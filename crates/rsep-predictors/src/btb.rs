@@ -1,0 +1,181 @@
+//! Branch target buffer and return address stack (Table I front end).
+
+/// A set-associative branch target buffer.
+///
+/// Table I specifies a 2-way, 4K-entry BTB. The BTB supplies the target of
+/// taken branches at fetch time; a taken branch that misses in the BTB
+/// cannot be redirected by the front end and is charged as a misprediction
+/// by the core model.
+#[derive(Debug)]
+pub struct Btb {
+    sets: Vec<[BtbEntry; 2]>,
+    set_mask: u64,
+    /// Round-robin replacement pointer per set.
+    replace: Vec<u8>,
+}
+
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct BtbEntry {
+    valid: bool,
+    tag: u64,
+    target: u64,
+}
+
+impl Btb {
+    /// Creates a BTB with `entries` total entries, 2-way associative.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a power of two or is smaller than 2.
+    pub fn new(entries: usize) -> Btb {
+        assert!(entries >= 2 && entries.is_power_of_two(), "BTB entries must be a power of two >= 2");
+        let sets = entries / 2;
+        Btb {
+            sets: vec![[BtbEntry::default(); 2]; sets],
+            set_mask: sets as u64 - 1,
+            replace: vec![0; sets],
+        }
+    }
+
+    /// The Table I configuration (2-way, 4K entries).
+    pub fn table1() -> Btb {
+        Btb::new(4096)
+    }
+
+    fn set_index(&self, pc: u64) -> usize {
+        ((pc >> 2) & self.set_mask) as usize
+    }
+
+    /// Looks up the predicted target of the branch at `pc`.
+    pub fn lookup(&self, pc: u64) -> Option<u64> {
+        let set = &self.sets[self.set_index(pc)];
+        set.iter().find(|e| e.valid && e.tag == pc).map(|e| e.target)
+    }
+
+    /// Installs or updates the target of the branch at `pc`.
+    pub fn update(&mut self, pc: u64, target: u64) {
+        let idx = self.set_index(pc);
+        let set = &mut self.sets[idx];
+        if let Some(entry) = set.iter_mut().find(|e| e.valid && e.tag == pc) {
+            entry.target = target;
+            return;
+        }
+        if let Some(entry) = set.iter_mut().find(|e| !e.valid) {
+            *entry = BtbEntry { valid: true, tag: pc, target };
+            return;
+        }
+        let way = self.replace[idx] as usize % 2;
+        set[way] = BtbEntry { valid: true, tag: pc, target };
+        self.replace[idx] = self.replace[idx].wrapping_add(1);
+    }
+}
+
+/// A return address stack.
+///
+/// Table I specifies a 32-entry RAS. Pushes wrap around (overwriting the
+/// oldest entry) as in real hardware.
+#[derive(Debug)]
+pub struct ReturnAddressStack {
+    entries: Vec<u64>,
+    top: usize,
+    depth: usize,
+}
+
+impl ReturnAddressStack {
+    /// Creates a RAS with the given capacity.
+    pub fn new(capacity: usize) -> ReturnAddressStack {
+        assert!(capacity > 0);
+        ReturnAddressStack { entries: vec![0; capacity], top: 0, depth: 0 }
+    }
+
+    /// The Table I configuration (32 entries).
+    pub fn table1() -> ReturnAddressStack {
+        ReturnAddressStack::new(32)
+    }
+
+    /// Pushes a return address (on a call).
+    pub fn push(&mut self, return_addr: u64) {
+        self.top = (self.top + 1) % self.entries.len();
+        self.entries[self.top] = return_addr;
+        self.depth = (self.depth + 1).min(self.entries.len());
+    }
+
+    /// Pops the predicted return address (on a return). Returns `None` when
+    /// the stack is empty.
+    pub fn pop(&mut self) -> Option<u64> {
+        if self.depth == 0 {
+            return None;
+        }
+        let addr = self.entries[self.top];
+        self.top = (self.top + self.entries.len() - 1) % self.entries.len();
+        self.depth -= 1;
+        Some(addr)
+    }
+
+    /// Number of valid entries.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn btb_stores_and_returns_targets() {
+        let mut btb = Btb::table1();
+        assert_eq!(btb.lookup(0x1000), None);
+        btb.update(0x1000, 0x2000);
+        assert_eq!(btb.lookup(0x1000), Some(0x2000));
+        btb.update(0x1000, 0x3000);
+        assert_eq!(btb.lookup(0x1000), Some(0x3000));
+    }
+
+    #[test]
+    fn btb_two_way_associativity_avoids_immediate_eviction() {
+        let mut btb = Btb::new(8); // 4 sets, 2 ways.
+        // Two PCs mapping to the same set (stride = 4 sets * 4 bytes).
+        btb.update(0x1000, 0xa);
+        btb.update(0x1000 + 16, 0xb);
+        assert_eq!(btb.lookup(0x1000), Some(0xa));
+        assert_eq!(btb.lookup(0x1000 + 16), Some(0xb));
+        // A third conflicting PC evicts one of them but not both.
+        btb.update(0x1000 + 32, 0xc);
+        let survivors = [0x1000u64, 0x1000 + 16]
+            .iter()
+            .filter(|&&pc| btb.lookup(pc).is_some())
+            .count();
+        assert_eq!(survivors, 1);
+        assert_eq!(btb.lookup(0x1000 + 32), Some(0xc));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn btb_size_is_validated() {
+        let _ = Btb::new(3);
+    }
+
+    #[test]
+    fn ras_is_lifo() {
+        let mut ras = ReturnAddressStack::table1();
+        ras.push(0x100);
+        ras.push(0x200);
+        assert_eq!(ras.depth(), 2);
+        assert_eq!(ras.pop(), Some(0x200));
+        assert_eq!(ras.pop(), Some(0x100));
+        assert_eq!(ras.pop(), None);
+    }
+
+    #[test]
+    fn ras_overflow_wraps() {
+        let mut ras = ReturnAddressStack::new(2);
+        ras.push(1);
+        ras.push(2);
+        ras.push(3);
+        assert_eq!(ras.depth(), 2);
+        assert_eq!(ras.pop(), Some(3));
+        assert_eq!(ras.pop(), Some(2));
+        assert_eq!(ras.pop(), None);
+    }
+}

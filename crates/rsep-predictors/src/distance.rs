@@ -1,0 +1,559 @@
+//! TAGE-like instruction-distance predictor (Section IV-C of the paper).
+//!
+//! The distance predictor maps a static instruction (by PC, refined with
+//! global branch/path history in the tagged components) to the *Instruction
+//! Distance* (IDist): how many instructions separate it from the most recent
+//! older instruction producing the same result. Because mispredicting costs
+//! a full pipeline squash, each entry carries a probabilistic confidence
+//! counter and a prediction is only *used* once the counter is saturated;
+//! a lower `start_train` threshold marks an instruction as a *likely
+//! candidate* so commit-time sampling can hand training over to the
+//! validation path (Section IV-B3).
+//!
+//! Two standard configurations are provided:
+//!
+//! * [`DistancePredictorConfig::ideal`] — 16K-entry base + 6 × 1K-entry
+//!   tagged components with 13..18-bit tags, ≈ 42.6 KB (Section IV-C).
+//! * [`DistancePredictorConfig::realistic`] — 2K-entry base + 6 × 512-entry
+//!   tagged components with 5..10-bit tags, ≈ 10.1 KB (Section VI-B).
+
+use crate::counters::{Lfsr, ProbabilisticCounter};
+use crate::history::{FoldedHistory, GlobalHistory};
+
+/// Configuration of the distance predictor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DistancePredictorConfig {
+    /// log2 of the number of entries of the untagged base component.
+    pub base_log2: u8,
+    /// log2 of the number of entries of each tagged component.
+    pub tagged_log2: u8,
+    /// Number of tagged components.
+    pub num_tagged: usize,
+    /// Tag width per tagged component, shortest history first.
+    pub tag_bits: Vec<u8>,
+    /// Shortest and longest history lengths of the tagged components.
+    pub min_history: usize,
+    /// Longest history length.
+    pub max_history: usize,
+    /// Number of bits used to store a distance (8 for a 256-entry ROB,
+    /// 9 for 512).
+    pub distance_bits: u8,
+    /// Width of the confidence counters in bits.
+    pub confidence_bits: u8,
+    /// Denominator of the probabilistic confidence increment (an increment
+    /// happens with probability 1 / `confidence_denominator`).
+    pub confidence_denominator: u32,
+}
+
+impl DistancePredictorConfig {
+    /// The large exploration configuration of Section IV-C: 16K-entry base
+    /// plus six 1K-entry tagged components with 13–18-bit tags (≈ 42.6 KB).
+    pub fn ideal() -> DistancePredictorConfig {
+        DistancePredictorConfig {
+            base_log2: 14,
+            tagged_log2: 10,
+            num_tagged: 6,
+            tag_bits: vec![13, 14, 15, 16, 17, 18],
+            min_history: 2,
+            max_history: 64,
+            distance_bits: 8,
+            confidence_bits: 3,
+            confidence_denominator: 36,
+        }
+    }
+
+    /// The realistic configuration of Section VI-B: 2K-entry base plus six
+    /// 512-entry tagged components with 5–10-bit tags (≈ 10.1 KB).
+    pub fn realistic() -> DistancePredictorConfig {
+        DistancePredictorConfig {
+            base_log2: 11,
+            tagged_log2: 9,
+            num_tagged: 6,
+            tag_bits: vec![5, 6, 7, 8, 9, 10],
+            min_history: 2,
+            max_history: 64,
+            distance_bits: 8,
+            confidence_bits: 3,
+            confidence_denominator: 36,
+        }
+    }
+
+    /// Maximum representable distance.
+    pub fn max_distance(&self) -> u32 {
+        (1u32 << self.distance_bits) - 1
+    }
+
+    /// Geometric history length of tagged component `i`.
+    pub fn history_length(&self, i: usize) -> usize {
+        if self.num_tagged <= 1 {
+            return self.min_history;
+        }
+        let ratio = (self.max_history as f64 / self.min_history as f64)
+            .powf(1.0 / (self.num_tagged as f64 - 1.0));
+        ((self.min_history as f64) * ratio.powi(i as i32)).round() as usize
+    }
+
+    /// Total storage in bits (the quantity reported by the paper: 42.6 KB
+    /// for the ideal configuration, 10.1 KB for the realistic one).
+    pub fn storage_bits(&self) -> u64 {
+        let base_entry = u64::from(self.distance_bits) + u64::from(self.confidence_bits);
+        let base = (1u64 << self.base_log2) * base_entry;
+        let mut tagged = 0u64;
+        for i in 0..self.num_tagged {
+            let per_entry = u64::from(self.distance_bits)
+                + u64::from(self.confidence_bits)
+                + 1 /* useful */
+                + u64::from(self.tag_bits[i]);
+            tagged += (1u64 << self.tagged_log2) * per_entry;
+        }
+        base + tagged
+    }
+
+    /// Total storage in kilobytes.
+    pub fn storage_kb(&self) -> f64 {
+        self.storage_bits() as f64 / 8.0 / 1024.0
+    }
+}
+
+#[derive(Debug, Clone)]
+struct BaseEntry {
+    distance: u16,
+    confidence: ProbabilisticCounter,
+}
+
+#[derive(Debug, Clone)]
+struct TaggedEntry {
+    tag: u32,
+    distance: u16,
+    confidence: ProbabilisticCounter,
+    useful: bool,
+}
+
+/// Identifies the component that provided a prediction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Provider {
+    Base,
+    Tagged(usize),
+}
+
+/// A distance prediction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DistancePrediction {
+    /// Predicted instruction distance.
+    pub distance: u32,
+    /// Raw confidence counter value of the providing entry.
+    pub confidence: u8,
+    /// Maximum value the confidence counter can take.
+    pub confidence_max: u8,
+    /// Which component provided the prediction (internal; used by `train`).
+    provider: Provider,
+    provider_index: usize,
+}
+
+impl DistancePrediction {
+    /// Returns `true` when the prediction is confident enough to be *used*
+    /// (the `use_pred` threshold of Section IV-B3: the counter is
+    /// saturated).
+    pub fn usable(&self) -> bool {
+        self.confidence == self.confidence_max
+    }
+
+    /// Returns `true` when the instruction is at least a *likely candidate*
+    /// for RSEP at the given raw `start_train` threshold (Section IV-B3).
+    pub fn likely_candidate(&self, start_train: u8) -> bool {
+        self.confidence >= start_train.min(self.confidence_max)
+    }
+}
+
+/// Outcome statistics of the distance predictor.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DistancePredictorStats {
+    /// Lookups performed.
+    pub lookups: u64,
+    /// Lookups that found a usable (saturated-confidence) prediction.
+    pub usable_predictions: u64,
+    /// Training updates where the stored distance matched the observed one.
+    pub correct_trainings: u64,
+    /// Training updates where the stored distance differed.
+    pub incorrect_trainings: u64,
+}
+
+/// TAGE-like instruction-distance predictor.
+#[derive(Debug)]
+pub struct DistancePredictor {
+    config: DistancePredictorConfig,
+    base: Vec<BaseEntry>,
+    tagged: Vec<Vec<TaggedEntry>>,
+    index_fold: Vec<FoldedHistory>,
+    tag_fold: Vec<FoldedHistory>,
+    lfsr: Lfsr,
+    stats: DistancePredictorStats,
+}
+
+impl DistancePredictor {
+    /// Creates a predictor with the given configuration.
+    pub fn new(config: DistancePredictorConfig) -> DistancePredictor {
+        assert_eq!(config.tag_bits.len(), config.num_tagged, "one tag width per component");
+        let proto = ProbabilisticCounter::new(config.confidence_bits, config.confidence_denominator);
+        let base = vec![
+            BaseEntry { distance: u16::MAX, confidence: proto };
+            1 << config.base_log2
+        ];
+        let tagged = (0..config.num_tagged)
+            .map(|_| {
+                vec![
+                    TaggedEntry { tag: u32::MAX, distance: u16::MAX, confidence: proto, useful: false };
+                    1 << config.tagged_log2
+                ]
+            })
+            .collect();
+        let index_fold = (0..config.num_tagged)
+            .map(|i| FoldedHistory::new(config.history_length(i), config.tagged_log2 as usize))
+            .collect();
+        let tag_fold = (0..config.num_tagged)
+            .map(|i| FoldedHistory::new(config.history_length(i), config.tag_bits[i] as usize))
+            .collect();
+        DistancePredictor {
+            config,
+            base,
+            tagged,
+            index_fold,
+            tag_fold,
+            lfsr: Lfsr::new(0xdeed_beef_1234_5678),
+            stats: DistancePredictorStats::default(),
+        }
+    }
+
+    /// Creates the large exploration predictor (≈ 42.6 KB).
+    pub fn ideal() -> DistancePredictor {
+        DistancePredictor::new(DistancePredictorConfig::ideal())
+    }
+
+    /// Creates the realistic predictor (≈ 10.1 KB).
+    pub fn realistic() -> DistancePredictor {
+        DistancePredictor::new(DistancePredictorConfig::realistic())
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &DistancePredictorConfig {
+        &self.config
+    }
+
+    /// Statistics collected so far.
+    pub fn stats(&self) -> DistancePredictorStats {
+        self.stats
+    }
+
+    fn base_index(&self, pc: u64) -> usize {
+        ((pc >> 2) as usize) & ((1 << self.config.base_log2) - 1)
+    }
+
+    fn tagged_index(&self, pc: u64, comp: usize, history: &GlobalHistory) -> usize {
+        let mask = (1usize << self.config.tagged_log2) - 1;
+        let pc = pc >> 2;
+        let h = self.index_fold[comp].value();
+        let path = history.path(6);
+        ((pc ^ (pc >> self.config.tagged_log2 as u64) ^ h ^ (path << 2) ^ (comp as u64) << 1) as usize) & mask
+    }
+
+    fn tag(&self, pc: u64, comp: usize) -> u32 {
+        let mask = (1u64 << self.config.tag_bits[comp]) - 1;
+        let pc = pc >> 2;
+        ((pc ^ (pc >> 7) ^ self.tag_fold[comp].value()) & mask) as u32
+    }
+
+    /// Looks up a distance prediction for the instruction at `pc`.
+    ///
+    /// Returns `None` when no component holds an entry for this
+    /// instruction. The returned prediction may still be unusable if its
+    /// confidence is not saturated — check [`DistancePrediction::usable`].
+    pub fn predict(&mut self, pc: u64, history: &GlobalHistory) -> Option<DistancePrediction> {
+        self.stats.lookups += 1;
+        // Longest-history matching tagged component wins.
+        for comp in (0..self.config.num_tagged).rev() {
+            let idx = self.tagged_index(pc, comp, history);
+            let entry = &self.tagged[comp][idx];
+            if entry.tag == self.tag(pc, comp) && entry.distance != u16::MAX {
+                let p = DistancePrediction {
+                    distance: u32::from(entry.distance),
+                    confidence: entry.confidence.value(),
+                    confidence_max: entry.confidence.max(),
+                    provider: Provider::Tagged(comp),
+                    provider_index: idx,
+                };
+                if p.usable() {
+                    self.stats.usable_predictions += 1;
+                }
+                return Some(p);
+            }
+        }
+        let idx = self.base_index(pc);
+        let entry = &self.base[idx];
+        if entry.distance == u16::MAX {
+            return None;
+        }
+        let p = DistancePrediction {
+            distance: u32::from(entry.distance),
+            confidence: entry.confidence.value(),
+            confidence_max: entry.confidence.max(),
+            provider: Provider::Base,
+            provider_index: idx,
+        };
+        if p.usable() {
+            self.stats.usable_predictions += 1;
+        }
+        Some(p)
+    }
+
+    /// Trains the predictor with an observed distance for the instruction
+    /// at `pc`.
+    ///
+    /// `observed` is the IDist computed at commit (from the FIFO history or
+    /// from the validation mechanism); distances larger than the
+    /// representable maximum are clamped and treated as "no pair".
+    pub fn train(&mut self, pc: u64, observed: u32, history: &GlobalHistory) {
+        let observed = observed.min(self.config.max_distance()) as u16;
+        // Find the providing component exactly as predict would.
+        let prediction = self.lookup_provider(pc, history);
+        match prediction {
+            Some((Provider::Tagged(comp), idx)) => {
+                let tag = self.tag(pc, comp);
+                let entry = &mut self.tagged[comp][idx];
+                debug_assert_eq!(entry.tag, tag);
+                if entry.distance == observed {
+                    self.stats.correct_trainings += 1;
+                    entry.confidence.record_correct(&mut self.lfsr);
+                    entry.useful = true;
+                } else {
+                    self.stats.incorrect_trainings += 1;
+                    if entry.confidence.value() == 0 {
+                        entry.distance = observed;
+                        entry.useful = false;
+                    } else {
+                        entry.confidence.record_incorrect();
+                    }
+                    self.allocate(pc, observed, comp + 1, history);
+                }
+            }
+            Some((Provider::Base, idx)) => {
+                let entry = &mut self.base[idx];
+                if entry.distance == observed {
+                    self.stats.correct_trainings += 1;
+                    entry.confidence.record_correct(&mut self.lfsr);
+                } else {
+                    self.stats.incorrect_trainings += 1;
+                    if entry.confidence.value() == 0 {
+                        entry.distance = observed;
+                    } else {
+                        entry.confidence.record_incorrect();
+                    }
+                    self.allocate(pc, observed, 0, history);
+                }
+            }
+            None => {
+                // First sighting: install in the base component.
+                let idx = self.base_index(pc);
+                let entry = &mut self.base[idx];
+                entry.distance = observed;
+                entry.confidence.record_incorrect();
+            }
+        }
+    }
+
+    fn lookup_provider(&self, pc: u64, history: &GlobalHistory) -> Option<(Provider, usize)> {
+        for comp in (0..self.config.num_tagged).rev() {
+            let idx = self.tagged_index(pc, comp, history);
+            let entry = &self.tagged[comp][idx];
+            if entry.tag == self.tag(pc, comp) && entry.distance != u16::MAX {
+                return Some((Provider::Tagged(comp), idx));
+            }
+        }
+        let idx = self.base_index(pc);
+        if self.base[idx].distance != u16::MAX {
+            return Some((Provider::Base, idx));
+        }
+        None
+    }
+
+    /// Allocates an entry in a component with longer history than
+    /// `from_comp` (TAGE allocation on mis-training).
+    fn allocate(&mut self, pc: u64, observed: u16, from_comp: usize, history: &GlobalHistory) {
+        for comp in from_comp..self.config.num_tagged {
+            let idx = self.tagged_index(pc, comp, history);
+            let tag = self.tag(pc, comp);
+            let entry = &mut self.tagged[comp][idx];
+            if !entry.useful {
+                entry.tag = tag;
+                entry.distance = observed;
+                entry.confidence.record_incorrect();
+                return;
+            }
+        }
+        // No room: occasionally age useful bits so allocation cannot starve.
+        if self.lfsr.one_in(8) {
+            for comp in from_comp..self.config.num_tagged {
+                let idx = self.tagged_index(pc, comp, history);
+                self.tagged[comp][idx].useful = false;
+            }
+        }
+    }
+
+    /// Advances the folded histories after a branch outcome has been pushed
+    /// into the global history.
+    pub fn on_history_update(&mut self, history: &GlobalHistory) {
+        for f in self.index_fold.iter_mut() {
+            f.update(history);
+        }
+        for f in self.tag_fold.iter_mut() {
+            f.update(history);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn storage_matches_paper_figures() {
+        let ideal = DistancePredictorConfig::ideal();
+        let realistic = DistancePredictorConfig::realistic();
+        let ideal_kb = ideal.storage_kb();
+        let realistic_kb = realistic.storage_kb();
+        assert!(
+            (ideal_kb - 42.6).abs() < 1.0,
+            "ideal distance predictor is {ideal_kb:.1} KB, paper says 42.6 KB"
+        );
+        assert!(
+            (realistic_kb - 10.1).abs() < 0.7,
+            "realistic distance predictor is {realistic_kb:.1} KB, paper says 10.1 KB"
+        );
+    }
+
+    #[test]
+    fn max_distance_fits_rob() {
+        assert_eq!(DistancePredictorConfig::ideal().max_distance(), 255);
+    }
+
+    #[test]
+    fn stable_distances_become_usable_after_training() {
+        let mut p = DistancePredictor::ideal();
+        let hist = GlobalHistory::new();
+        let pc = 0x40_1000;
+        let expected_training = ProbabilisticCounter::paper_default().expected_training_length();
+        let mut first_usable = None;
+        for i in 0..(expected_training * 4) {
+            if let Some(pred) = p.predict(pc, &hist) {
+                if pred.usable() && first_usable.is_none() {
+                    first_usable = Some(i);
+                }
+                if pred.usable() {
+                    assert_eq!(pred.distance, 17);
+                }
+            }
+            p.train(pc, 17, &hist);
+        }
+        let when = first_usable.expect("prediction never became usable");
+        // Training length should be in the same ballpark as the paper's 255
+        // occurrences (probabilistic, so allow a wide band).
+        assert!(when > 20, "became usable suspiciously fast ({when})");
+        assert!(when < expected_training * 4, "became usable too slowly ({when})");
+    }
+
+    #[test]
+    fn unstable_distances_never_reach_confidence() {
+        let mut p = DistancePredictor::ideal();
+        let hist = GlobalHistory::new();
+        let pc = 0x40_2000;
+        for i in 0..20_000u32 {
+            let d = if i % 2 == 0 { 10 } else { 30 };
+            p.train(pc, d, &hist);
+            if let Some(pred) = p.predict(pc, &hist) {
+                assert!(!pred.usable(), "iteration {i}: unstable distance became usable");
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_pc_has_no_prediction() {
+        let mut p = DistancePredictor::realistic();
+        let hist = GlobalHistory::new();
+        assert!(p.predict(0xdead_0000, &hist).is_none());
+    }
+
+    #[test]
+    fn distances_are_clamped_to_the_representable_range() {
+        let mut p = DistancePredictor::ideal();
+        let hist = GlobalHistory::new();
+        let pc = 0x40_3000;
+        for _ in 0..50_000 {
+            p.train(pc, 10_000, &hist);
+        }
+        let pred = p.predict(pc, &hist).unwrap();
+        assert_eq!(pred.distance, 255);
+    }
+
+    #[test]
+    fn history_dependent_distances_use_tagged_components() {
+        // A PC whose distance depends on recent branch history: the base
+        // component alone cannot capture it, the tagged components can.
+        let mut p = DistancePredictor::ideal();
+        let mut hist = GlobalHistory::new();
+        let pc = 0x40_4000;
+        let mut usable_correct = 0u64;
+        let mut usable_total = 0u64;
+        for i in 0..400_000u64 {
+            // Alternate history phases of 8 branches.
+            let phase_taken = (i / 8) % 2 == 0;
+            hist.push(phase_taken, 0x500 + (i % 8) * 4);
+            p.on_history_update(&hist);
+            let d = if phase_taken { 12 } else { 40 };
+            if let Some(pred) = p.predict(pc, &hist) {
+                if pred.usable() {
+                    usable_total += 1;
+                    if pred.distance == d {
+                        usable_correct += 1;
+                    }
+                }
+            }
+            p.train(pc, d, &hist);
+        }
+        if usable_total > 0 {
+            let acc = usable_correct as f64 / usable_total as f64;
+            assert!(acc > 0.9, "history-dependent accuracy {acc}");
+        }
+    }
+
+    #[test]
+    fn likely_candidate_threshold_is_lower_than_usable() {
+        let mut p = DistancePredictor::ideal();
+        let hist = GlobalHistory::new();
+        let pc = 0x40_5000;
+        // A handful of trainings: not enough to saturate (on average), but
+        // enough that confidence is non-decreasing.
+        for _ in 0..100 {
+            p.train(pc, 5, &hist);
+        }
+        if let Some(pred) = p.predict(pc, &hist) {
+            assert!(pred.likely_candidate(0));
+            // usable() implies likely_candidate at any threshold <= max.
+            if pred.usable() {
+                assert!(pred.likely_candidate(pred.confidence_max));
+            }
+        }
+    }
+
+    #[test]
+    fn stats_are_collected() {
+        let mut p = DistancePredictor::realistic();
+        let hist = GlobalHistory::new();
+        let _ = p.predict(0x100, &hist);
+        p.train(0x100, 3, &hist);
+        p.train(0x100, 3, &hist);
+        p.train(0x100, 9, &hist);
+        let s = p.stats();
+        assert_eq!(s.lookups, 1);
+        assert!(s.correct_trainings >= 1);
+        assert!(s.incorrect_trainings >= 1);
+    }
+}

@@ -1,0 +1,37 @@
+//! # rsep-predictors
+//!
+//! Prediction structures used by the RSEP reproduction:
+//!
+//! * [`Tage`] — the TAGE conditional branch predictor of the Table I front
+//!   end (1 + 12 components, ~15K entries).
+//! * [`DistancePredictor`] — the TAGE-like instruction-distance predictor of
+//!   Section IV-C, in its *ideal* (42.6 KB) and *realistic* (10.1 KB)
+//!   configurations.
+//! * [`Dvtage`] — the D-VTAGE value predictor (≈256 KB) used as the paper's
+//!   VP baseline.
+//! * [`ZeroPredictor`] — the zero predictor of Section III.
+//! * [`Btb`] / [`ReturnAddressStack`] — front-end target prediction.
+//! * [`ProbabilisticCounter`] — 3-bit probabilistic (FPC) confidence
+//!   counters shared by the value/distance/zero predictors.
+//!
+//! All predictors are deterministic given their internal LFSR seeds, so
+//! simulations are reproducible.
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+pub mod btb;
+pub mod counters;
+pub mod distance;
+pub mod dvtage;
+pub mod history;
+pub mod tage;
+pub mod zero;
+
+pub use btb::{Btb, ReturnAddressStack};
+pub use counters::{Lfsr, ProbabilisticCounter, SaturatingCounter};
+pub use distance::{DistancePrediction, DistancePredictor, DistancePredictorConfig, DistancePredictorStats};
+pub use dvtage::{Dvtage, DvtageConfig, DvtageStats, ValuePrediction};
+pub use history::{FoldedHistory, GlobalHistory};
+pub use tage::{Tage, TageConfig, TagePrediction, TageStats};
+pub use zero::{ZeroPredictor, ZeroPredictorConfig, ZeroPredictorStats};

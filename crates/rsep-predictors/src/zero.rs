@@ -1,0 +1,181 @@
+//! Zero predictor (Section III of the paper).
+//!
+//! Zero-idiom elimination only covers instructions that *provably* write
+//! zero. The zero predictor goes further: it speculates that a static
+//! instruction's result is zero based on its history, renaming the
+//! destination onto the hardwired zero register. The instruction still
+//! executes to validate the prediction, but register sharing is trivial
+//! (the zero register is never allocated or freed).
+
+use crate::counters::{Lfsr, ProbabilisticCounter};
+
+/// Configuration of the zero predictor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ZeroPredictorConfig {
+    /// log2 of the number of entries (PC-indexed, untagged).
+    pub entries_log2: u8,
+    /// Confidence counter width in bits.
+    pub confidence_bits: u8,
+    /// Probabilistic increment denominator.
+    pub confidence_denominator: u32,
+}
+
+impl ZeroPredictorConfig {
+    /// Default configuration: 4K entries of 3-bit probabilistic counters
+    /// (1.5 KB).
+    pub fn default_config() -> ZeroPredictorConfig {
+        ZeroPredictorConfig { entries_log2: 12, confidence_bits: 3, confidence_denominator: 36 }
+    }
+
+    /// Storage in bits.
+    pub fn storage_bits(&self) -> u64 {
+        (1u64 << self.entries_log2) * u64::from(self.confidence_bits)
+    }
+}
+
+impl Default for ZeroPredictorConfig {
+    fn default() -> Self {
+        ZeroPredictorConfig::default_config()
+    }
+}
+
+/// PC-indexed zero predictor.
+#[derive(Debug)]
+pub struct ZeroPredictor {
+    config: ZeroPredictorConfig,
+    table: Vec<ProbabilisticCounter>,
+    lfsr: Lfsr,
+    stats: ZeroPredictorStats,
+}
+
+/// Statistics of a [`ZeroPredictor`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ZeroPredictorStats {
+    /// Lookups that returned "predict zero".
+    pub zero_predictions: u64,
+    /// Commit-time updates where the result was indeed zero.
+    pub correct_trainings: u64,
+    /// Commit-time updates where the result was not zero.
+    pub incorrect_trainings: u64,
+}
+
+impl ZeroPredictor {
+    /// Creates a predictor with the given configuration.
+    pub fn new(config: ZeroPredictorConfig) -> ZeroPredictor {
+        let counter = ProbabilisticCounter::new(config.confidence_bits, config.confidence_denominator);
+        ZeroPredictor {
+            config,
+            table: vec![counter; 1 << config.entries_log2],
+            lfsr: Lfsr::new(0x02e0_5eed),
+            stats: ZeroPredictorStats::default(),
+        }
+    }
+
+    /// Creates a predictor with the default configuration.
+    pub fn default_config() -> ZeroPredictor {
+        ZeroPredictor::new(ZeroPredictorConfig::default_config())
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> ZeroPredictorConfig {
+        self.config
+    }
+
+    /// Statistics collected so far.
+    pub fn stats(&self) -> ZeroPredictorStats {
+        self.stats
+    }
+
+    fn index(&self, pc: u64) -> usize {
+        ((pc >> 2) as usize) & ((1 << self.config.entries_log2) - 1)
+    }
+
+    /// Returns `true` if the instruction at `pc` should be predicted to
+    /// produce zero.
+    pub fn predict(&mut self, pc: u64) -> bool {
+        let saturated = self.table[self.index(pc)].is_saturated();
+        if saturated {
+            self.stats.zero_predictions += 1;
+        }
+        saturated
+    }
+
+    /// Trains the predictor with the committed result of the instruction at
+    /// `pc`.
+    pub fn train(&mut self, pc: u64, result_was_zero: bool) {
+        let idx = self.index(pc);
+        if result_was_zero {
+            self.stats.correct_trainings += 1;
+            self.table[idx].record_correct(&mut self.lfsr);
+        } else {
+            self.stats.incorrect_trainings += 1;
+            self.table[idx].record_incorrect();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn storage_is_small() {
+        let cfg = ZeroPredictorConfig::default_config();
+        assert_eq!(cfg.storage_bits(), 4096 * 3);
+    }
+
+    #[test]
+    fn always_zero_instructions_become_predicted() {
+        let mut p = ZeroPredictor::default_config();
+        let pc = 0x40_0000;
+        let mut predicted = 0;
+        for _ in 0..20_000 {
+            if p.predict(pc) {
+                predicted += 1;
+            }
+            p.train(pc, true);
+        }
+        assert!(predicted > 5_000, "always-zero instruction never became predicted");
+    }
+
+    #[test]
+    fn occasionally_nonzero_instructions_are_not_predicted() {
+        let mut p = ZeroPredictor::default_config();
+        let pc = 0x40_0040;
+        let mut predicted = 0;
+        for i in 0..20_000 {
+            if p.predict(pc) {
+                predicted += 1;
+            }
+            // Non-zero once every 16 instances: the counter keeps resetting
+            // before it can express high confidence for long.
+            p.train(pc, i % 16 != 0);
+        }
+        assert!(
+            predicted < 2_000,
+            "unstable zero behaviour predicted too often ({predicted})"
+        );
+    }
+
+    #[test]
+    fn distinct_pcs_do_not_interfere_when_not_aliased() {
+        let mut p = ZeroPredictor::default_config();
+        for _ in 0..20_000 {
+            p.train(0x40_0000, true);
+            p.train(0x40_0004, false);
+        }
+        assert!(p.predict(0x40_0000));
+        assert!(!p.predict(0x40_0004));
+    }
+
+    #[test]
+    fn stats_are_collected() {
+        let mut p = ZeroPredictor::default_config();
+        p.train(0x10, true);
+        p.train(0x10, false);
+        let _ = p.predict(0x10);
+        let s = p.stats();
+        assert_eq!(s.correct_trainings, 1);
+        assert_eq!(s.incorrect_trainings, 1);
+    }
+}

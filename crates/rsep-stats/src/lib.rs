@@ -1,0 +1,221 @@
+//! # rsep-stats
+//!
+//! Statistics and report formatting for the RSEP reproduction: the
+//! harmonic-mean IPC aggregation of Section V, speedup computation, and
+//! simple fixed-width table / JSON rendering used by every experiment
+//! binary in `rsep-bench`.
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+use serde::{Deserialize, Serialize};
+
+/// Harmonic mean of a slice (0.0 for an empty slice). Non-positive entries
+/// are ignored, matching how IPC means are computed.
+pub fn harmonic_mean(values: &[f64]) -> f64 {
+    let positive: Vec<f64> = values.iter().copied().filter(|v| *v > 0.0).collect();
+    if positive.is_empty() {
+        return 0.0;
+    }
+    positive.len() as f64 / positive.iter().map(|v| 1.0 / v).sum::<f64>()
+}
+
+/// Geometric mean of a slice (0.0 for an empty slice).
+pub fn geometric_mean(values: &[f64]) -> f64 {
+    let positive: Vec<f64> = values.iter().copied().filter(|v| *v > 0.0).collect();
+    if positive.is_empty() {
+        return 0.0;
+    }
+    (positive.iter().map(|v| v.ln()).sum::<f64>() / positive.len() as f64).exp()
+}
+
+/// Arithmetic mean of a slice (0.0 for an empty slice).
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+/// Speedup of `value` over `baseline`, expressed as a percentage
+/// (`5.0` means 5% faster). Returns 0 for a non-positive baseline.
+pub fn speedup_percent(value: f64, baseline: f64) -> f64 {
+    if baseline <= 0.0 {
+        0.0
+    } else {
+        (value / baseline - 1.0) * 100.0
+    }
+}
+
+/// One data point of an experiment: a benchmark × series value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DataPoint {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Series (mechanism / configuration) name.
+    pub series: String,
+    /// Value (IPC, speedup %, coverage %, ... depending on the experiment).
+    pub value: f64,
+}
+
+/// A full experiment result: an id (e.g. "figure4"), a unit label, and the
+/// data points.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Experiment {
+    /// Experiment identifier (e.g. `figure4`).
+    pub id: String,
+    /// What the values mean (e.g. `speedup %`).
+    pub unit: String,
+    /// All collected points.
+    pub points: Vec<DataPoint>,
+}
+
+impl Experiment {
+    /// Creates an empty experiment.
+    pub fn new(id: impl Into<String>, unit: impl Into<String>) -> Experiment {
+        Experiment { id: id.into(), unit: unit.into(), points: Vec::new() }
+    }
+
+    /// Adds a data point.
+    pub fn push(&mut self, benchmark: impl Into<String>, series: impl Into<String>, value: f64) {
+        self.points.push(DataPoint { benchmark: benchmark.into(), series: series.into(), value });
+    }
+
+    /// Distinct series names, in insertion order.
+    pub fn series(&self) -> Vec<String> {
+        let mut out: Vec<String> = Vec::new();
+        for p in &self.points {
+            if !out.contains(&p.series) {
+                out.push(p.series.clone());
+            }
+        }
+        out
+    }
+
+    /// Distinct benchmark names, in insertion order.
+    pub fn benchmarks(&self) -> Vec<String> {
+        let mut out: Vec<String> = Vec::new();
+        for p in &self.points {
+            if !out.contains(&p.benchmark) {
+                out.push(p.benchmark.clone());
+            }
+        }
+        out
+    }
+
+    /// Value for a benchmark × series pair.
+    pub fn value(&self, benchmark: &str, series: &str) -> Option<f64> {
+        self.points
+            .iter()
+            .find(|p| p.benchmark == benchmark && p.series == series)
+            .map(|p| p.value)
+    }
+
+    /// All values of one series, in benchmark order.
+    pub fn series_values(&self, series: &str) -> Vec<f64> {
+        self.benchmarks()
+            .iter()
+            .filter_map(|b| self.value(b, series))
+            .collect()
+    }
+
+    /// Renders the experiment as a fixed-width text table: one row per
+    /// benchmark, one column per series.
+    pub fn to_table(&self) -> String {
+        let series = self.series();
+        let benchmarks = self.benchmarks();
+        let mut out = String::new();
+        out.push_str(&format!("# {} ({})\n", self.id, self.unit));
+        out.push_str(&format!("{:<14}", "benchmark"));
+        for s in &series {
+            out.push_str(&format!("{:>16}", s));
+        }
+        out.push('\n');
+        for b in &benchmarks {
+            out.push_str(&format!("{:<14}", b));
+            for s in &series {
+                match self.value(b, s) {
+                    Some(v) => out.push_str(&format!("{:>16.3}", v)),
+                    None => out.push_str(&format!("{:>16}", "-")),
+                }
+            }
+            out.push('\n');
+        }
+        out.push_str(&format!("{:<14}", "mean"));
+        for s in &series {
+            out.push_str(&format!("{:>16.3}", mean(&self.series_values(s))));
+        }
+        out.push('\n');
+        out
+    }
+
+    /// Serialises the experiment as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("experiments always serialise")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harmonic_mean_matches_hand_computation() {
+        assert_eq!(harmonic_mean(&[]), 0.0);
+        assert!((harmonic_mean(&[1.0, 2.0]) - 4.0 / 3.0).abs() < 1e-12);
+        assert!((harmonic_mean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+        // Non-positive entries are ignored.
+        assert!((harmonic_mean(&[2.0, 0.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geometric_and_arithmetic_means() {
+        assert!((geometric_mean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(geometric_mean(&[]), 0.0);
+        assert!((mean(&[1.0, 2.0, 3.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn speedup_percent_computation() {
+        assert!((speedup_percent(1.1, 1.0) - 10.0).abs() < 1e-9);
+        assert!((speedup_percent(0.9, 1.0) + 10.0).abs() < 1e-9);
+        assert_eq!(speedup_percent(1.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn experiment_collects_and_queries_points() {
+        let mut exp = Experiment::new("figure4", "speedup %");
+        exp.push("mcf", "rsep", 8.0);
+        exp.push("mcf", "vpred", 3.0);
+        exp.push("gcc", "rsep", 1.0);
+        assert_eq!(exp.series(), vec!["rsep".to_string(), "vpred".to_string()]);
+        assert_eq!(exp.benchmarks(), vec!["mcf".to_string(), "gcc".to_string()]);
+        assert_eq!(exp.value("mcf", "rsep"), Some(8.0));
+        assert_eq!(exp.value("gcc", "vpred"), None);
+        assert_eq!(exp.series_values("rsep"), vec![8.0, 1.0]);
+    }
+
+    #[test]
+    fn table_rendering_contains_all_cells() {
+        let mut exp = Experiment::new("figure7", "speedup %");
+        exp.push("mcf", "ideal", 9.5);
+        exp.push("mcf", "realistic", 7.5);
+        let table = exp.to_table();
+        assert!(table.contains("figure7"));
+        assert!(table.contains("mcf"));
+        assert!(table.contains("9.500"));
+        assert!(table.contains("7.500"));
+        assert!(table.contains("mean"));
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let mut exp = Experiment::new("figure1", "% committed");
+        exp.push("zeusmp", "zero-other", 20.0);
+        let json = exp.to_json();
+        let back: Experiment = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, exp);
+    }
+}

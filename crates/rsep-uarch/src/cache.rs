@@ -1,0 +1,417 @@
+//! Cache hierarchy, prefetchers and memory latency model.
+//!
+//! Three levels of set-associative, LRU, 64-byte-line caches (Table I)
+//! backed by a flat DRAM latency. A per-PC stride prefetcher sits at the
+//! L1D and simple next-line stream prefetchers at L2/L3, all of degree 1 as
+//! in Table I. Port and MSHR contention are not modelled (documented
+//! simplification in `DESIGN.md`); latency and hit/miss behaviour are.
+
+use crate::config::CoreConfig;
+
+/// A set-associative cache with LRU replacement.
+#[derive(Debug)]
+pub struct Cache {
+    name: &'static str,
+    sets: Vec<Vec<Line>>,
+    assoc: usize,
+    line_shift: u32,
+    set_mask: u64,
+    latency: u64,
+    stats: CacheStats,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Line {
+    tag: u64,
+    valid: bool,
+    /// LRU timestamp (larger = more recently used).
+    lru: u64,
+}
+
+/// Hit/miss statistics of a cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Demand accesses.
+    pub accesses: u64,
+    /// Demand misses.
+    pub misses: u64,
+    /// Prefetch fills issued into this cache.
+    pub prefetch_fills: u64,
+}
+
+impl CacheStats {
+    /// Miss ratio over demand accesses.
+    pub fn miss_ratio(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+}
+
+impl Cache {
+    /// Creates a cache of `bytes` capacity, `assoc` ways and `line_bytes`
+    /// lines, with the given hit latency.
+    pub fn new(name: &'static str, bytes: usize, assoc: usize, line_bytes: usize, latency: u64) -> Cache {
+        assert!(line_bytes.is_power_of_two());
+        let num_lines = bytes / line_bytes;
+        let num_sets = (num_lines / assoc).max(1);
+        assert!(num_sets.is_power_of_two(), "{name}: number of sets must be a power of two");
+        Cache {
+            name,
+            sets: vec![vec![Line { tag: 0, valid: false, lru: 0 }; assoc]; num_sets],
+            assoc,
+            line_shift: line_bytes.trailing_zeros(),
+            set_mask: num_sets as u64 - 1,
+            latency,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Hit latency in cycles.
+    pub fn latency(&self) -> u64 {
+        self.latency
+    }
+
+    /// Cache name (for reporting).
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Statistics collected so far.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    fn set_and_tag(&self, addr: u64) -> (usize, u64) {
+        let line = addr >> self.line_shift;
+        ((line & self.set_mask) as usize, line >> self.set_mask.count_ones())
+    }
+
+    /// Looks up `addr`; returns `true` on hit and updates LRU. `now` is the
+    /// current cycle, used as the LRU timestamp.
+    pub fn access(&mut self, addr: u64, now: u64) -> bool {
+        self.stats.accesses += 1;
+        let (set_idx, tag) = self.set_and_tag(addr);
+        let set = &mut self.sets[set_idx];
+        if let Some(line) = set.iter_mut().find(|l| l.valid && l.tag == tag) {
+            line.lru = now;
+            return true;
+        }
+        self.stats.misses += 1;
+        false
+    }
+
+    /// Checks for a hit without updating statistics or LRU state.
+    pub fn probe(&self, addr: u64) -> bool {
+        let (set_idx, tag) = self.set_and_tag(addr);
+        self.sets[set_idx].iter().any(|l| l.valid && l.tag == tag)
+    }
+
+    /// Fills the line containing `addr`, evicting the LRU way.
+    pub fn fill(&mut self, addr: u64, now: u64, is_prefetch: bool) {
+        if is_prefetch {
+            self.stats.prefetch_fills += 1;
+        }
+        let (set_idx, tag) = self.set_and_tag(addr);
+        let set = &mut self.sets[set_idx];
+        if let Some(line) = set.iter_mut().find(|l| l.valid && l.tag == tag) {
+            line.lru = now;
+            return;
+        }
+        let victim = match set.iter_mut().position(|l| !l.valid) {
+            Some(idx) => &mut set[idx],
+            None => set.iter_mut().min_by_key(|l| l.lru).expect("cache set cannot be empty"),
+        };
+        *victim = Line { tag, valid: true, lru: now };
+        debug_assert!(self.assoc == set.len());
+    }
+}
+
+/// A per-PC stride prefetcher (degree 1), as attached to the L1D in
+/// Table I.
+#[derive(Debug)]
+pub struct StridePrefetcher {
+    entries: Vec<StrideEntry>,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct StrideEntry {
+    pc_tag: u64,
+    last_addr: u64,
+    stride: i64,
+    confident: bool,
+    valid: bool,
+}
+
+impl StridePrefetcher {
+    /// Creates a prefetcher with the given number of tracking entries.
+    pub fn new(entries: usize) -> StridePrefetcher {
+        StridePrefetcher { entries: vec![StrideEntry::default(); entries.max(1)] }
+    }
+
+    /// Observes a demand access and possibly returns an address to
+    /// prefetch.
+    pub fn observe(&mut self, pc: u64, addr: u64) -> Option<u64> {
+        let idx = ((pc >> 2) as usize) % self.entries.len();
+        let e = &mut self.entries[idx];
+        if !e.valid || e.pc_tag != pc {
+            *e = StrideEntry { pc_tag: pc, last_addr: addr, stride: 0, confident: false, valid: true };
+            return None;
+        }
+        let stride = addr as i64 - e.last_addr as i64;
+        let predict = if stride != 0 && stride == e.stride {
+            e.confident = true;
+            Some(addr.wrapping_add_signed(stride))
+        } else {
+            e.confident = false;
+            None
+        };
+        e.stride = stride;
+        e.last_addr = addr;
+        predict
+    }
+}
+
+/// Memory access type, for the hierarchy interface.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessKind {
+    /// Demand load.
+    Load,
+    /// Demand store (write-allocate).
+    Store,
+    /// Instruction fetch.
+    Fetch,
+}
+
+/// The full cache hierarchy of Table I.
+#[derive(Debug)]
+pub struct CacheHierarchy {
+    l1i: Cache,
+    l1d: Cache,
+    l2: Cache,
+    l3: Cache,
+    dram_latency: u64,
+    line_bytes: u64,
+    l1d_prefetcher: Option<StridePrefetcher>,
+    l2_stream_prefetch: bool,
+}
+
+impl CacheHierarchy {
+    /// Builds the hierarchy from a core configuration.
+    pub fn new(config: &CoreConfig) -> CacheHierarchy {
+        CacheHierarchy {
+            l1i: Cache::new("L1I", config.l1i_bytes, config.l1i_assoc, config.line_bytes, config.l1i_latency),
+            l1d: Cache::new("L1D", config.l1d_bytes, config.l1d_assoc, config.line_bytes, config.l1d_latency),
+            l2: Cache::new("L2", config.l2_bytes, config.l2_assoc, config.line_bytes, config.l2_latency),
+            l3: Cache::new("L3", config.l3_bytes, config.l3_assoc, config.line_bytes, config.l3_latency),
+            dram_latency: config.dram_latency,
+            line_bytes: config.line_bytes as u64,
+            l1d_prefetcher: if config.l1d_prefetch { Some(StridePrefetcher::new(256)) } else { None },
+            l2_stream_prefetch: config.l2_prefetch,
+        }
+    }
+
+    /// Performs a data access and returns its latency in cycles.
+    ///
+    /// `pc` is the accessing instruction's PC (used by the stride
+    /// prefetcher).
+    pub fn access_data(&mut self, pc: u64, addr: u64, kind: AccessKind, now: u64) -> u64 {
+        let latency = self.lookup_and_fill(addr, now, false);
+        // Stride prefetcher observes demand loads and prefetches one line
+        // ahead into the whole hierarchy (degree 1).
+        if kind == AccessKind::Load {
+            let prediction = self.l1d_prefetcher.as_mut().and_then(|p| p.observe(pc, addr));
+            if let Some(target) = prediction {
+                self.prefetch(target, now);
+            }
+        }
+        // Stream prefetch: on an L2-or-beyond miss, grab the next line too.
+        if self.l2_stream_prefetch && latency > self.l1d.latency() + self.l2.latency() {
+            self.prefetch(addr.wrapping_add(self.line_bytes), now);
+        }
+        latency
+    }
+
+    /// Performs an instruction fetch access and returns its latency.
+    pub fn access_inst(&mut self, addr: u64, now: u64) -> u64 {
+        if self.l1i.access(addr, now) {
+            return self.l1i.latency();
+        }
+        // Instruction miss: walk L2/L3/DRAM.
+        let mut latency = self.l1i.latency();
+        if self.l2.access(addr, now) {
+            latency += self.l2.latency();
+        } else if self.l3.access(addr, now) {
+            latency += self.l2.latency() + self.l3.latency();
+            self.l2.fill(addr, now, false);
+        } else {
+            latency += self.l2.latency() + self.l3.latency() + self.dram_latency;
+            self.l3.fill(addr, now, false);
+            self.l2.fill(addr, now, false);
+        }
+        self.l1i.fill(addr, now, false);
+        latency
+    }
+
+    fn lookup_and_fill(&mut self, addr: u64, now: u64, is_prefetch: bool) -> u64 {
+        if self.l1d.access(addr, now) {
+            return self.l1d.latency();
+        }
+        let mut latency = self.l1d.latency();
+        if self.l2.access(addr, now) {
+            latency += self.l2.latency();
+        } else if self.l3.access(addr, now) {
+            latency += self.l2.latency() + self.l3.latency();
+            self.l2.fill(addr, now, is_prefetch);
+        } else {
+            latency += self.l2.latency() + self.l3.latency() + self.dram_latency;
+            self.l3.fill(addr, now, is_prefetch);
+            self.l2.fill(addr, now, is_prefetch);
+        }
+        self.l1d.fill(addr, now, is_prefetch);
+        latency
+    }
+
+    fn prefetch(&mut self, addr: u64, now: u64) {
+        // Prefetches install lines without being charged as demand accesses
+        // (and without a latency cost to the requesting instruction).
+        if self.l1d.probe(addr) {
+            return;
+        }
+        if !self.l3.probe(addr) {
+            self.l3.fill(addr, now, true);
+        }
+        if !self.l2.probe(addr) {
+            self.l2.fill(addr, now, true);
+        }
+        self.l1d.fill(addr, now, true);
+    }
+
+    /// Statistics of the four caches (L1I, L1D, L2, L3).
+    pub fn stats(&self) -> [(&'static str, CacheStats); 4] {
+        [
+            (self.l1i.name(), self.l1i.stats()),
+            (self.l1d.name(), self.l1d.stats()),
+            (self.l2.name(), self.l2.stats()),
+            (self.l3.name(), self.l3.stats()),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hierarchy() -> CacheHierarchy {
+        CacheHierarchy::new(&CoreConfig::table1())
+    }
+
+    #[test]
+    fn repeated_access_hits_in_l1() {
+        let mut h = hierarchy();
+        let cold = h.access_data(0x400, 0x10_0000, AccessKind::Load, 0);
+        let warm = h.access_data(0x400, 0x10_0000, AccessKind::Load, 1);
+        assert!(cold > warm);
+        assert_eq!(warm, 4); // Table I: 4-cycle load-to-use.
+    }
+
+    #[test]
+    fn cold_miss_pays_dram_latency() {
+        let mut h = hierarchy();
+        let latency = h.access_data(0x400, 0x5000_0000, AccessKind::Load, 0);
+        assert!(latency >= 225, "cold miss latency {latency}");
+    }
+
+    #[test]
+    fn working_set_larger_than_l1_misses_in_l1_but_hits_l2() {
+        let mut h = hierarchy();
+        // Touch 64 KB (twice the L1D) then re-touch: the second pass should
+        // mostly hit in the L2 (latency well below DRAM).
+        let lines: Vec<u64> = (0..1024u64).map(|i| 0x20_0000 + i * 64).collect();
+        for (i, &a) in lines.iter().enumerate() {
+            h.access_data(0x999, a, AccessKind::Load, i as u64);
+        }
+        let mut second_pass = 0u64;
+        for (i, &a) in lines.iter().enumerate() {
+            second_pass += h.access_data(0x999, a, AccessKind::Load, 2000 + i as u64);
+        }
+        let avg = second_pass as f64 / lines.len() as f64;
+        assert!(avg < 30.0, "average second-pass latency {avg}");
+    }
+
+    #[test]
+    fn stride_prefetcher_detects_streams() {
+        let mut p = StridePrefetcher::new(64);
+        assert_eq!(p.observe(0x400, 1000), None);
+        assert_eq!(p.observe(0x400, 1064), None); // stride learned, not yet confident
+        assert_eq!(p.observe(0x400, 1128), Some(1192));
+        assert_eq!(p.observe(0x400, 1192), Some(1256));
+    }
+
+    #[test]
+    fn stride_prefetcher_resets_on_pc_conflict() {
+        let mut p = StridePrefetcher::new(1);
+        assert_eq!(p.observe(0x400, 1000), None);
+        assert_eq!(p.observe(0x404, 2000), None); // evicts the previous entry
+        assert_eq!(p.observe(0x400, 1064), None);
+    }
+
+    #[test]
+    fn streaming_access_benefits_from_prefetch() {
+        let mut with = CacheHierarchy::new(&CoreConfig::table1());
+        let mut without_cfg = CoreConfig::table1();
+        without_cfg.l1d_prefetch = false;
+        without_cfg.l2_prefetch = false;
+        let mut without = CacheHierarchy::new(&without_cfg);
+        let mut lat_with = 0u64;
+        let mut lat_without = 0u64;
+        for i in 0..4096u64 {
+            let addr = 0x4000_0000 + i * 64;
+            lat_with += with.access_data(0x500, addr, AccessKind::Load, i);
+            lat_without += without.access_data(0x500, addr, AccessKind::Load, i);
+        }
+        assert!(
+            lat_with < lat_without,
+            "prefetching should reduce total latency ({lat_with} vs {lat_without})"
+        );
+    }
+
+    #[test]
+    fn instruction_fetches_hit_after_first_touch() {
+        let mut h = hierarchy();
+        let cold = h.access_inst(0x40_0000, 0);
+        let warm = h.access_inst(0x40_0000, 1);
+        assert!(cold > warm);
+        assert_eq!(warm, 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        // Direct construction of a tiny cache: 2 sets, 2 ways, 64B lines.
+        let mut c = Cache::new("tiny", 256, 2, 64, 1);
+        let set0 = |i: u64| i * 128; // same set, different tags
+        assert!(!c.access(set0(0), 0));
+        c.fill(set0(0), 0, false);
+        assert!(!c.access(set0(1), 1));
+        c.fill(set0(1), 1, false);
+        // Touch line 0 so line 1 is LRU.
+        assert!(c.access(set0(0), 2));
+        c.fill(set0(2), 3, false);
+        assert!(c.probe(set0(0)), "recently used line was evicted");
+        assert!(!c.probe(set0(1)), "LRU line should have been evicted");
+    }
+
+    #[test]
+    fn stats_track_accesses_and_misses() {
+        let mut h = hierarchy();
+        h.access_data(0x1, 0x100, AccessKind::Load, 0);
+        h.access_data(0x1, 0x100, AccessKind::Load, 1);
+        let stats = h.stats();
+        let l1d = stats.iter().find(|(n, _)| *n == "L1D").unwrap().1;
+        assert_eq!(l1d.accesses, 2);
+        assert_eq!(l1d.misses, 1);
+        assert!((l1d.miss_ratio() - 0.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,1268 @@
+//! The cycle-level out-of-order core.
+//!
+//! [`Core`] models the Table I superscalar pipeline stage by stage:
+//! fetch (branch prediction, I-cache, taken-branch limits), decode latency,
+//! rename (register allocation, speculation-engine actions), dispatch into
+//! ROB/IQ/LQ/SQ, out-of-order issue constrained by functional-unit ports,
+//! execution latencies including the data-cache hierarchy and
+//! store-to-load forwarding, and in-order commit with mechanism validation.
+//!
+//! Documented simplifications (see `DESIGN.md`): the model is trace driven,
+//! so wrong-path instructions are not executed — a mispredicted branch
+//! stalls fetch until it resolves and then pays the redirect penalty; and
+//! memory disambiguation is oracle-based (addresses travel with the trace).
+//! Mechanism-relevant behaviour (rename, sharing, validation issue slots,
+//! commit-time squash on mispredictions) is modelled in full.
+
+use crate::cache::{AccessKind, CacheHierarchy};
+use crate::config::CoreConfig;
+use crate::engine::{Disposition, RenameAction, RenameContext, SpecEngine, ValidationKind};
+use crate::regfile::{PhysRegFile, RegisterFiles};
+use crate::rename::RenameMap;
+use crate::rob::{InflightInst, Rob};
+use crate::stats::SimStats;
+use rsep_isa::{BranchKind, DynInst, OpClass, PhysReg};
+use rsep_predictors::{Btb, GlobalHistory, ReturnAddressStack, Tage};
+use std::collections::VecDeque;
+
+/// An instruction sitting in the fetch/decode queue.
+#[derive(Debug, Clone)]
+struct FetchedInst {
+    inst: DynInst,
+    /// Cycle at which it becomes visible to rename.
+    ready_at: u64,
+    /// Whether the front end mispredicted this branch.
+    mispredicted: bool,
+}
+
+/// An in-flight store, tracked for store-to-load forwarding.
+#[derive(Debug, Clone, Copy)]
+struct StoreRecord {
+    seq: u64,
+    /// Address divided by 8 (double-word granularity, as in the generator).
+    dword: u64,
+    issued: bool,
+    complete_at: u64,
+}
+
+/// A pending validation µ-op (second issue of an RSEP-predicted
+/// instruction, Section IV-F).
+#[derive(Debug, Clone, Copy)]
+struct PendingValidation {
+    ready_at: u64,
+    kind: ValidationKind,
+    op: OpClass,
+}
+
+/// Per-cycle issue-port budget (Table I functional units).
+#[derive(Debug)]
+struct PortBudget {
+    slots: usize,
+    alu: usize,
+    mul: usize,
+    div: usize,
+    fp: usize,
+    fpmul: usize,
+    fpdiv: usize,
+    ldst: usize,
+    st_only: usize,
+}
+
+impl PortBudget {
+    fn new(config: &CoreConfig) -> PortBudget {
+        PortBudget {
+            slots: config.issue_width,
+            alu: config.int_alu_ports,
+            mul: config.int_mul_units,
+            div: config.int_div_units,
+            fp: config.fp_ports,
+            fpmul: config.fp_mul_units,
+            fpdiv: config.fp_div_units,
+            ldst: config.load_ports,
+            st_only: config.store_ports.saturating_sub(config.load_ports),
+        }
+    }
+
+    fn exhausted(&self) -> bool {
+        self.slots == 0
+    }
+
+    fn try_issue(&mut self, op: OpClass, div_free: bool, fpdiv_free: bool) -> bool {
+        if self.slots == 0 {
+            return false;
+        }
+        let ok = match op {
+            OpClass::IntAlu | OpClass::Move | OpClass::ZeroIdiom | OpClass::Branch | OpClass::Nop => {
+                if self.alu > 0 {
+                    self.alu -= 1;
+                    true
+                } else {
+                    false
+                }
+            }
+            OpClass::IntMul => {
+                if self.alu > 0 && self.mul > 0 {
+                    self.alu -= 1;
+                    self.mul -= 1;
+                    true
+                } else {
+                    false
+                }
+            }
+            OpClass::IntDiv => {
+                if self.alu > 0 && self.div > 0 && div_free {
+                    self.alu -= 1;
+                    self.div -= 1;
+                    true
+                } else {
+                    false
+                }
+            }
+            OpClass::FpAlu => {
+                if self.fp > 0 {
+                    self.fp -= 1;
+                    true
+                } else {
+                    false
+                }
+            }
+            OpClass::FpMul => {
+                if self.fp > 0 && self.fpmul > 0 {
+                    self.fp -= 1;
+                    self.fpmul -= 1;
+                    true
+                } else {
+                    false
+                }
+            }
+            OpClass::FpDiv => {
+                if self.fp > 0 && self.fpdiv > 0 && fpdiv_free {
+                    self.fp -= 1;
+                    self.fpdiv -= 1;
+                    true
+                } else {
+                    false
+                }
+            }
+            OpClass::Load => {
+                if self.ldst > 0 {
+                    self.ldst -= 1;
+                    true
+                } else {
+                    false
+                }
+            }
+            OpClass::Store => {
+                if self.st_only > 0 {
+                    self.st_only -= 1;
+                    true
+                } else if self.ldst > 0 {
+                    self.ldst -= 1;
+                    true
+                } else {
+                    false
+                }
+            }
+        };
+        if ok {
+            self.slots -= 1;
+        }
+        ok
+    }
+
+    /// Issues a validation µ-op (a simple comparison). `SameFu` charges the
+    /// port class of the validated instruction; `AnyFu` prefers non-load
+    /// ports and falls back to load/store ports only when nothing else is
+    /// available (the bypass-network scheme of Section IV-F1b).
+    fn try_validation(&mut self, kind: ValidationKind, op: OpClass) -> bool {
+        if self.slots == 0 {
+            return false;
+        }
+        let ok = match kind {
+            ValidationKind::Free => true,
+            ValidationKind::SameFu => match op {
+                OpClass::Load => {
+                    if self.ldst > 0 {
+                        self.ldst -= 1;
+                        true
+                    } else {
+                        false
+                    }
+                }
+                OpClass::FpAlu | OpClass::FpMul | OpClass::FpDiv => {
+                    if self.fp > 0 {
+                        self.fp -= 1;
+                        true
+                    } else {
+                        false
+                    }
+                }
+                _ => {
+                    if self.alu > 0 {
+                        self.alu -= 1;
+                        true
+                    } else {
+                        false
+                    }
+                }
+            },
+            ValidationKind::AnyFu => {
+                if self.alu > 0 {
+                    self.alu -= 1;
+                    true
+                } else if self.fp > 0 {
+                    self.fp -= 1;
+                    true
+                } else if self.st_only > 0 {
+                    self.st_only -= 1;
+                    true
+                } else if self.ldst > 0 {
+                    self.ldst -= 1;
+                    true
+                } else {
+                    false
+                }
+            }
+        };
+        if ok && kind != ValidationKind::Free {
+            self.slots -= 1;
+        }
+        ok
+    }
+}
+
+/// The cycle-level core.
+#[derive(Debug)]
+pub struct Core {
+    config: CoreConfig,
+    clock: u64,
+    hierarchy: CacheHierarchy,
+    regs: RegisterFiles,
+    spec_map: RenameMap,
+    arch_map: RenameMap,
+    rob: Rob,
+    iq_count: usize,
+    lq_count: usize,
+    sq_count: usize,
+    fetch_queue: VecDeque<FetchedInst>,
+    replay: VecDeque<DynInst>,
+    stores: Vec<StoreRecord>,
+    pending_validations: Vec<PendingValidation>,
+    tage: Tage,
+    btb: Btb,
+    ras: ReturnAddressStack,
+    ghist: GlobalHistory,
+    fetch_resume_at: u64,
+    pending_redirect: Option<u64>,
+    div_busy_until: u64,
+    fpdiv_busy_until: u64,
+    last_fetch_block: u64,
+    engine: Box<dyn SpecEngine>,
+    stats: SimStats,
+    trace_done: bool,
+    last_commit_cycle: u64,
+}
+
+impl Core {
+    /// Creates a core with the given configuration and speculation engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is inconsistent (see
+    /// [`CoreConfig::validate`]).
+    pub fn new(config: CoreConfig, engine: Box<dyn SpecEngine>) -> Core {
+        if let Err(problem) = config.validate() {
+            panic!("invalid core configuration: {problem}");
+        }
+        let mut regs = RegisterFiles::new(config.int_prf_size, config.fp_prf_size);
+        let spec_map = RenameMap::initial();
+        // Reserve the physical registers backing the initial architectural
+        // state so they never enter the free list.
+        for (_, preg) in spec_map.iter() {
+            if preg != PhysRegFile::zero_reg() {
+                regs.file_mut(preg.class()).reserve(preg);
+            }
+            regs.set_ready_at(preg, 0);
+        }
+        let hierarchy = CacheHierarchy::new(&config);
+        let rob = Rob::new(config.rob_size);
+        Core {
+            arch_map: spec_map.clone(),
+            spec_map,
+            regs,
+            hierarchy,
+            rob,
+            iq_count: 0,
+            lq_count: 0,
+            sq_count: 0,
+            fetch_queue: VecDeque::new(),
+            replay: VecDeque::new(),
+            stores: Vec::new(),
+            pending_validations: Vec::new(),
+            tage: Tage::table1(),
+            btb: Btb::table1(),
+            ras: ReturnAddressStack::table1(),
+            ghist: GlobalHistory::new(),
+            fetch_resume_at: 0,
+            pending_redirect: None,
+            div_busy_until: 0,
+            fpdiv_busy_until: 0,
+            last_fetch_block: u64::MAX,
+            engine,
+            stats: SimStats::default(),
+            trace_done: false,
+            clock: 0,
+            config,
+            last_commit_cycle: 0,
+        }
+    }
+
+    /// Creates a baseline core (no speculation engine).
+    pub fn baseline(config: CoreConfig) -> Core {
+        Core::new(config, Box::new(crate::engine::NullEngine))
+    }
+
+    /// Current cycle.
+    pub fn clock(&self) -> u64 {
+        self.clock
+    }
+
+    /// Statistics accumulated since the last [`Core::reset_stats`].
+    pub fn stats(&self) -> &SimStats {
+        self.stats_snapshot()
+    }
+
+    fn stats_snapshot(&self) -> &SimStats {
+        &self.stats
+    }
+
+    /// Resets measurement counters while keeping all microarchitectural
+    /// state (used to separate warm-up from measurement, Section V).
+    pub fn reset_stats(&mut self) {
+        self.stats = SimStats::default();
+    }
+
+    /// Finalises and returns the statistics, attaching cache counters.
+    pub fn take_stats(&mut self) -> SimStats {
+        let mut stats = std::mem::take(&mut self.stats);
+        stats.cache = self.hierarchy.stats().to_vec();
+        stats
+    }
+
+    /// The speculation engine driving this core.
+    pub fn engine(&self) -> &dyn SpecEngine {
+        self.engine.as_ref()
+    }
+
+    /// Runs until `commits` further instructions commit (or the trace ends
+    /// and the pipeline drains). Returns the number of instructions
+    /// actually committed.
+    pub fn run(&mut self, trace: &mut dyn Iterator<Item = DynInst>, commits: u64) -> u64 {
+        let target = self.stats.committed + commits;
+        self.trace_done = false;
+        self.last_commit_cycle = self.clock;
+        while self.stats.committed < target {
+            self.step(trace);
+            if self.trace_done
+                && self.rob.is_empty()
+                && self.fetch_queue.is_empty()
+                && self.replay.is_empty()
+            {
+                break;
+            }
+            // Watchdog: if the head of the ROB has not made progress for a
+            // long time (a corner case of the speculative register-sharing
+            // bookkeeping), recover with a full pipeline flush and replay —
+            // the same recovery a real design would perform — instead of
+            // wedging the simulation. This is counted in the statistics and
+            // is rare enough not to perturb the results.
+            if self.clock - self.last_commit_cycle >= 2_000 {
+                if let Some(head_seq) = self.rob.head().map(|h| h.seq()) {
+                    self.stats.watchdog_flushes += 1;
+                    self.flush_younger(head_seq);
+                    self.last_commit_cycle = self.clock;
+                } else {
+                    assert!(
+                        self.clock - self.last_commit_cycle < 100_000,
+                        "pipeline deadlock: no commit for 100000 cycles at cycle {} (rob={}, iq={}, engine={})",
+                        self.clock,
+                        self.rob.len(),
+                        self.iq_count,
+                        self.engine.name()
+                    );
+                }
+            }
+        }
+        self.stats.committed
+    }
+
+    /// Advances the core by one cycle.
+    fn step(&mut self, trace: &mut dyn Iterator<Item = DynInst>) {
+        self.resolve_redirect();
+        self.commit();
+        self.issue();
+        self.rename_dispatch();
+        self.fetch(trace);
+        self.stats.rob_occupancy_sum += self.rob.len() as u64;
+        self.stats.cycles += 1;
+        self.clock += 1;
+    }
+
+    // ------------------------------------------------------------ commit
+
+    fn commit(&mut self) {
+        let mut committed_this_cycle = 0;
+        while committed_this_cycle < self.config.commit_width {
+            let ready = match self.rob.head() {
+                Some(head) => head.is_completed(self.clock),
+                None => false,
+            };
+            if !ready {
+                break;
+            }
+            let entry = self.rob.pop_head().expect("head checked above");
+            committed_this_cycle += 1;
+            self.last_commit_cycle = self.clock;
+            // A mispredicted branch may commit in the same cycle it
+            // resolves; make sure the front end is released.
+            if self.pending_redirect == Some(entry.seq()) {
+                self.fetch_resume_at = self
+                    .fetch_resume_at
+                    .max(entry.complete_at + self.config.redirect_penalty);
+                self.pending_redirect = None;
+            }
+            self.retire_resources(&entry);
+            self.retire_registers(&entry);
+            self.record_commit_stats(&entry);
+            self.engine.at_commit(&entry.inst, entry.disposition, self.clock);
+            if entry.disposition.is_misprediction() {
+                self.stats.prediction_squashes += 1;
+                self.flush_younger(entry.seq() + 1);
+                break;
+            }
+        }
+    }
+
+    fn retire_resources(&mut self, entry: &InflightInst) {
+        if entry.uses_lq {
+            self.lq_count -= 1;
+        }
+        if entry.uses_sq {
+            self.sq_count -= 1;
+            self.stores.retain(|s| s.seq != entry.seq());
+        }
+        if entry.in_iq {
+            // An eliminated instruction never occupied the IQ, and an issued
+            // one already released its entry; anything still marked in_iq at
+            // commit would be a bookkeeping bug.
+            debug_assert!(false, "instruction committed while still in the IQ");
+        }
+    }
+
+    fn retire_registers(&mut self, entry: &InflightInst) {
+        let (Some(dest), Some(dest_preg)) = (entry.inst.dest, entry.dest_preg) else {
+            return;
+        };
+        if dest.is_zero_reg() {
+            return;
+        }
+        let prev_arch = self.arch_map.rename(dest, dest_preg);
+        if prev_arch == dest_preg || prev_arch == PhysRegFile::zero_reg() {
+            return;
+        }
+        // A register may only return to the free list when (a) the sharing
+        // engine agrees (ISRB reference counting), and (b) no architectural
+        // or speculative mapping still points at it — move elimination and
+        // register sharing both create multiple mappings to one physical
+        // register (Section II-B: these optimisations rely on register
+        // sharing support).
+        let still_mapped = self.arch_map.maps_to(prev_arch) || self.spec_map.maps_to(prev_arch);
+        if self.engine.release_register(prev_arch)
+            && !still_mapped
+            && self.regs.file(prev_arch.class()).is_allocated(prev_arch)
+        {
+            self.regs.free(prev_arch);
+        }
+    }
+
+    fn record_commit_stats(&mut self, entry: &InflightInst) {
+        let inst = &entry.inst;
+        self.stats.committed += 1;
+        if inst.op.is_load() {
+            self.stats.committed_loads += 1;
+        }
+        if inst.op.is_store() {
+            self.stats.committed_stores += 1;
+        }
+        if inst.op.is_branch() {
+            self.stats.committed_branches += 1;
+            if entry.branch_mispredicted {
+                self.stats.branch_mispredictions += 1;
+            }
+        }
+        if inst.eligible_for_prediction() {
+            self.stats.eligible_instructions += 1;
+        }
+        self.stats.coverage.record(entry.disposition, inst.op.is_load());
+        match entry.disposition {
+            Disposition::ZeroPred { correct }
+            | Disposition::DistPred { correct }
+            | Disposition::ValuePred { correct } => {
+                if correct {
+                    self.stats.correct_predictions += 1;
+                } else {
+                    self.stats.incorrect_predictions += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn flush_younger(&mut self, from_seq: u64) {
+        let squashed = self.rob.squash_from(from_seq);
+        let mut to_replay: Vec<DynInst> = Vec::with_capacity(squashed.len() + self.fetch_queue.len());
+        for entry in squashed {
+            if entry.in_iq {
+                self.iq_count -= 1;
+            }
+            if entry.uses_lq {
+                self.lq_count -= 1;
+            }
+            if entry.uses_sq {
+                self.sq_count -= 1;
+            }
+            if entry.allocated_new_preg {
+                if let Some(preg) = entry.dest_preg {
+                    if self.regs.file(preg.class()).is_allocated(preg) {
+                        self.regs.free(preg);
+                    }
+                }
+            }
+            to_replay.push(entry.inst);
+        }
+        self.stores.retain(|s| s.seq < from_seq);
+        for fetched in self.fetch_queue.drain(..) {
+            to_replay.push(fetched.inst);
+        }
+        // Older squashed instructions come before anything already waiting
+        // for replay.
+        for inst in std::mem::take(&mut self.replay) {
+            to_replay.push(inst);
+        }
+        self.replay = to_replay.into();
+        self.spec_map.restore_from(&self.arch_map);
+        self.pending_validations.clear();
+        self.pending_redirect = None;
+        for preg in self.engine.on_squash(from_seq) {
+            // Shared registers whose only remaining references were squashed
+            // return to the free list (unless something else already freed
+            // them, e.g. the provider itself was squashed, a mapping still
+            // points at them, or a surviving in-flight instruction owns
+            // them).
+            let owned_in_flight = self
+                .rob
+                .iter()
+                .any(|e| e.allocated_new_preg && e.dest_preg == Some(preg));
+            if preg != PhysRegFile::zero_reg()
+                && !owned_in_flight
+                && !self.arch_map.maps_to(preg)
+                && !self.spec_map.maps_to(preg)
+                && self.regs.file(preg.class()).is_allocated(preg)
+            {
+                self.regs.free(preg);
+            }
+        }
+        self.fetch_resume_at = self
+            .fetch_resume_at
+            .max(self.clock + self.config.redirect_penalty);
+        self.last_fetch_block = u64::MAX;
+    }
+
+    // ---------------------------------------------------------- redirect
+
+    fn resolve_redirect(&mut self) {
+        let Some(seq) = self.pending_redirect else {
+            return;
+        };
+        if let Some(entry) = self.rob.find_by_seq(seq) {
+            if entry.is_completed(self.clock) {
+                self.fetch_resume_at = self
+                    .fetch_resume_at
+                    .max(entry.complete_at + self.config.redirect_penalty);
+                self.pending_redirect = None;
+            }
+        }
+    }
+
+    // ------------------------------------------------------------- issue
+
+    fn issue(&mut self) {
+        let mut ports = PortBudget::new(&self.config);
+        let div_free = self.div_busy_until <= self.clock;
+        let fpdiv_free = self.fpdiv_busy_until <= self.clock;
+
+        // Validation µ-ops are prioritised so they issue back-to-back with
+        // the instruction they validate (Section IV-F1).
+        let clock = self.clock;
+        let mut conflicts = 0u64;
+        let mut issued_validations = 0u64;
+        self.pending_validations.retain(|v| {
+            if v.ready_at > clock {
+                return true;
+            }
+            if ports.try_validation(v.kind, v.op) {
+                issued_validations += 1;
+                false
+            } else {
+                conflicts += 1;
+                true
+            }
+        });
+        self.stats.validation_issues += issued_validations;
+        self.stats.validation_port_conflicts += conflicts;
+
+        // Regular out-of-order issue, oldest first.
+        let mut issued: Vec<u64> = Vec::new();
+        let mut load_plans: Vec<(u64, u64)> = Vec::new(); // (seq, complete_at)
+        {
+            let regs = &self.regs;
+            let stores = &self.stores;
+            for entry in self.rob.iter() {
+                if ports.exhausted() {
+                    break;
+                }
+                if !entry.in_iq || entry.issued || entry.eliminated {
+                    continue;
+                }
+                let sources_ready = entry.src_pregs.iter().all(|&p| regs.is_ready(p, clock));
+                if !sources_ready {
+                    continue;
+                }
+                if entry.inst.op.is_load() {
+                    // Oracle memory disambiguation: a load waits for any
+                    // older store to the same double-word to have issued.
+                    if let Some(m) = entry.inst.mem {
+                        let dword = m.addr >> 3;
+                        let blocked = stores
+                            .iter()
+                            .any(|s| s.seq < entry.seq() && s.dword == dword && !s.issued);
+                        if blocked {
+                            continue;
+                        }
+                    }
+                }
+                if !ports.try_issue(entry.inst.op, div_free, fpdiv_free) {
+                    continue;
+                }
+                issued.push(entry.seq());
+                if entry.inst.op.is_load() {
+                    load_plans.push((entry.seq(), 0));
+                }
+            }
+        }
+
+        // Apply the issue decisions (needs mutable access to several parts
+        // of `self`, hence the two-phase structure).
+        for seq in issued {
+            self.apply_issue(seq);
+        }
+        let _ = load_plans;
+    }
+
+    fn apply_issue(&mut self, seq: u64) {
+        let clock = self.clock;
+        // Compute latency first (immutable reasoning over stores/caches).
+        let (op, mem, srcs_latency_extra) = {
+            let entry = self.rob.find_by_seq(seq).expect("issued instruction must be in the ROB");
+            (entry.inst.op, entry.inst.mem, 0u64)
+        };
+        let complete_at = match op {
+            OpClass::Load => {
+                let m = mem.expect("loads carry an address");
+                let dword = m.addr >> 3;
+                let forwarding = self
+                    .stores
+                    .iter()
+                    .filter(|s| s.seq < seq && s.dword == dword && s.issued)
+                    .map(|s| s.complete_at)
+                    .max();
+                match forwarding {
+                    Some(store_ready) => {
+                        store_ready.max(clock) + self.config.stlf_latency
+                    }
+                    None => {
+                        let latency = self.hierarchy.access_data(
+                            self.rob.find_by_seq(seq).unwrap().inst.pc,
+                            m.addr,
+                            AccessKind::Load,
+                            clock,
+                        );
+                        clock + latency
+                    }
+                }
+            }
+            OpClass::Store => {
+                if let Some(m) = mem {
+                    // Stores probe the cache for the write allocate but do
+                    // not delay commit on it.
+                    let _ = self.hierarchy.access_data(
+                        self.rob.find_by_seq(seq).unwrap().inst.pc,
+                        m.addr,
+                        AccessKind::Store,
+                        clock,
+                    );
+                }
+                clock + 1
+            }
+            _ => clock + u64::from(op.base_latency()) + srcs_latency_extra,
+        };
+
+        if op == OpClass::IntDiv {
+            self.div_busy_until = complete_at;
+        }
+        if op == OpClass::FpDiv {
+            self.fpdiv_busy_until = complete_at;
+        }
+
+        let needs_validation;
+        let dest_to_mark;
+        {
+            let entry = self.rob.find_by_seq_mut(seq).expect("issued instruction must be in the ROB");
+            entry.issued = true;
+            entry.complete_at = complete_at;
+            entry.in_iq = false;
+            needs_validation = entry.needs_validation_issue;
+            dest_to_mark = if entry.allocated_new_preg
+                && !matches!(entry.disposition, Disposition::ValuePred { .. })
+            {
+                entry.dest_preg
+            } else {
+                None
+            };
+        }
+        self.iq_count -= 1;
+        if let Some(preg) = dest_to_mark {
+            self.regs.set_ready_at(preg, complete_at);
+        }
+        if let Some(store) = self.stores.iter_mut().find(|s| s.seq == seq) {
+            store.issued = true;
+            store.complete_at = complete_at;
+        }
+        if let Some(kind) = needs_validation {
+            if kind != ValidationKind::Free {
+                self.pending_validations.push(PendingValidation { ready_at: clock + 1, kind, op });
+            }
+        }
+    }
+
+    // ---------------------------------------------------------- rename
+
+    fn rename_dispatch(&mut self) {
+        let mut renamed = 0;
+        while renamed < self.config.rename_width {
+            let Some(front) = self.fetch_queue.front() else {
+                break;
+            };
+            if front.ready_at > self.clock {
+                break;
+            }
+            if self.rob.is_full() {
+                self.stats.queue_stall_cycles += 1;
+                break;
+            }
+            let inst = &front.inst;
+            let executes_by_default = !matches!(inst.op, OpClass::Nop);
+            if executes_by_default && self.iq_count >= self.config.iq_size {
+                self.stats.queue_stall_cycles += 1;
+                break;
+            }
+            if inst.op.is_load() && self.lq_count >= self.config.lq_size {
+                self.stats.queue_stall_cycles += 1;
+                break;
+            }
+            if inst.op.is_store() && self.sq_count >= self.config.sq_size {
+                self.stats.queue_stall_cycles += 1;
+                break;
+            }
+            let produces = inst.produces_register();
+            if produces {
+                let class = inst.dest.expect("producer has a destination").class();
+                // Moves and zero idioms never need a fresh register, but any
+                // other producer might (depending on the engine's decision),
+                // so require one free register up front to keep engine calls
+                // side-effect-safe.
+                let needs_possible_alloc = !matches!(inst.op, OpClass::Move | OpClass::ZeroIdiom);
+                if needs_possible_alloc && self.regs.file(class).free_count() == 0 {
+                    self.stats.prf_stall_cycles += 1;
+                    break;
+                }
+            }
+
+            let fetched = self.fetch_queue.pop_front().expect("front checked above");
+            let inst = fetched.inst;
+            let action = if inst.produces_register() {
+                let ctx = RenameContext { clock: self.clock, rob: &self.rob };
+                self.engine.at_rename(&inst, &ctx)
+            } else {
+                RenameAction::Normal
+            };
+            self.dispatch_one(inst, action, fetched.mispredicted);
+            renamed += 1;
+        }
+    }
+
+    fn dispatch_one(&mut self, inst: DynInst, action: RenameAction, mispredicted: bool) {
+        let clock = self.clock;
+        // Renamed sources (the hardwired zero register is always ready).
+        let mut src_pregs: Vec<PhysReg> = inst
+            .sources()
+            .filter(|s| !s.is_zero_reg())
+            .map(|s| self.spec_map.lookup(s))
+            .collect();
+
+        let mut dest_preg = None;
+        let mut prev_preg = None;
+        let mut allocated_new_preg = false;
+        let mut eliminated = false;
+        let mut needs_validation = None;
+        let mut disposition = Disposition::from(action);
+
+        if let Some(dest) = inst.dest {
+            if dest.is_zero_reg() {
+                // Writes to the architectural zero register are discarded.
+                eliminated = true;
+            } else {
+                match action {
+                    RenameAction::Normal => {
+                        let preg = self
+                            .regs
+                            .allocate(dest.class())
+                            .expect("free register availability checked before dispatch");
+                        prev_preg = Some(self.spec_map.rename(dest, preg));
+                        dest_preg = Some(preg);
+                        allocated_new_preg = true;
+                    }
+                    RenameAction::PredictValue { .. } => {
+                        let preg = self
+                            .regs
+                            .allocate(dest.class())
+                            .expect("free register availability checked before dispatch");
+                        prev_preg = Some(self.spec_map.rename(dest, preg));
+                        dest_preg = Some(preg);
+                        allocated_new_preg = true;
+                        // Dependents may consume the predicted value right
+                        // away: the register is ready immediately.
+                        self.regs.set_ready_at(preg, clock);
+                    }
+                    RenameAction::EliminateZeroIdiom => {
+                        let zero = PhysRegFile::zero_reg();
+                        prev_preg = Some(self.spec_map.rename(dest, zero));
+                        dest_preg = Some(zero);
+                        eliminated = true;
+                    }
+                    RenameAction::PredictZero { .. } => {
+                        let zero = PhysRegFile::zero_reg();
+                        prev_preg = Some(self.spec_map.rename(dest, zero));
+                        dest_preg = Some(zero);
+                        // Still executes to validate the speculation.
+                    }
+                    RenameAction::EliminateMove => {
+                        // Rename the destination onto the move's source.
+                        let src = inst
+                            .sources()
+                            .next()
+                            .expect("move elimination requires a source register");
+                        let src_preg = if src.is_zero_reg() {
+                            PhysRegFile::zero_reg()
+                        } else {
+                            self.spec_map.lookup(src)
+                        };
+                        prev_preg = Some(self.spec_map.rename(dest, src_preg));
+                        dest_preg = Some(src_preg);
+                        eliminated = true;
+                    }
+                    RenameAction::Share { provider_seq, correct, validation } => {
+                        match self.rob.find_by_seq(provider_seq).and_then(|p| p.dest_preg) {
+                            Some(provider_preg) => {
+                                prev_preg = Some(self.spec_map.rename(dest, provider_preg));
+                                dest_preg = Some(provider_preg);
+                                // The predicted instruction is made dependent
+                                // on the provider (Section IV-F1).
+                                src_pregs.push(provider_preg);
+                                needs_validation = Some(validation);
+                                let _ = correct;
+                            }
+                            None => {
+                                // Provider left the window between the
+                                // engine's decision and dispatch; fall back
+                                // to normal renaming.
+                                let preg = self
+                                    .regs
+                                    .allocate(dest.class())
+                                    .expect("free register availability checked before dispatch");
+                                prev_preg = Some(self.spec_map.rename(dest, preg));
+                                dest_preg = Some(preg);
+                                allocated_new_preg = true;
+                                disposition = Disposition::None;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        if inst.op == OpClass::Nop {
+            eliminated = true;
+        }
+
+        let uses_lq = inst.op.is_load();
+        let uses_sq = inst.op.is_store();
+        if uses_lq {
+            self.lq_count += 1;
+        }
+        if uses_sq {
+            self.sq_count += 1;
+            if let Some(m) = inst.mem {
+                self.stores.push(StoreRecord {
+                    seq: inst.seq,
+                    dword: m.addr >> 3,
+                    issued: false,
+                    complete_at: u64::MAX,
+                });
+            }
+        }
+        let in_iq = !eliminated;
+        if in_iq {
+            self.iq_count += 1;
+        }
+
+        self.rob.push(InflightInst {
+            inst,
+            dest_preg,
+            prev_preg,
+            allocated_new_preg,
+            src_pregs,
+            disposition,
+            eliminated,
+            in_iq,
+            issued: false,
+            complete_at: clock,
+            renamed_at: clock,
+            branch_mispredicted: mispredicted,
+            needs_validation_issue: needs_validation,
+            uses_lq,
+            uses_sq,
+        });
+    }
+
+    // ------------------------------------------------------------- fetch
+
+    fn fetch(&mut self, trace: &mut dyn Iterator<Item = DynInst>) {
+        if self.clock < self.fetch_resume_at || self.pending_redirect.is_some() {
+            return;
+        }
+        let mut fetched = 0;
+        let mut taken_branches = 0;
+        while fetched < self.config.fetch_width && self.fetch_queue.len() < self.config.fetch_queue_size {
+            let inst = match self.replay.pop_front() {
+                Some(inst) => inst,
+                None => match trace.next() {
+                    Some(inst) => inst,
+                    None => {
+                        self.trace_done = true;
+                        break;
+                    }
+                },
+            };
+            // Instruction cache: charge once per new cache block.
+            let block = inst.pc / self.config.line_bytes as u64;
+            let mut extra_latency = 0;
+            if block != self.last_fetch_block {
+                let latency = self.hierarchy.access_inst(inst.pc, self.clock);
+                extra_latency = latency.saturating_sub(self.config.l1i_latency);
+                self.last_fetch_block = block;
+            }
+
+            let mut mispredicted = false;
+            if let Some(branch) = inst.branch {
+                mispredicted = self.predict_branch(inst.pc, branch);
+            }
+
+            let ready_at = self.clock + self.config.frontend_depth + extra_latency;
+            let is_taken = inst.branch.map(|b| b.taken).unwrap_or(false);
+            let seq = inst.seq;
+            self.fetch_queue.push_back(FetchedInst { inst, ready_at, mispredicted });
+            fetched += 1;
+
+            if mispredicted {
+                self.pending_redirect = Some(seq);
+                break;
+            }
+            if is_taken {
+                taken_branches += 1;
+                if taken_branches > self.config.fetch_taken_branches {
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Predicts one branch, updates the predictors and returns `true` if
+    /// the front end mispredicted it.
+    fn predict_branch(&mut self, pc: u64, branch: rsep_isa::BranchInfo) -> bool {
+        let prediction = self.tage.predict(pc, &self.ghist);
+        let mispredicted = match branch.kind {
+            BranchKind::Return => match self.ras.pop() {
+                Some(target) => target != branch.target,
+                None => true,
+            },
+            BranchKind::Unconditional | BranchKind::Indirect => {
+                // Direction is known; the target must come from the BTB.
+                self.btb.lookup(pc) != Some(branch.target)
+            }
+            BranchKind::Conditional => {
+                let direction_wrong = prediction.taken != branch.taken;
+                let target_wrong = branch.taken && self.btb.lookup(pc) != Some(branch.target);
+                direction_wrong || target_wrong
+            }
+        };
+        if branch.kind == BranchKind::Conditional {
+            self.tage.update(pc, branch.taken, prediction, &self.ghist);
+        }
+        if branch.taken {
+            self.btb.update(pc, branch.target);
+        }
+        if branch.kind == BranchKind::Unconditional {
+            // Calls push the fall-through address for a later return.
+            self.ras.push(pc + 4);
+        }
+        self.ghist.push(branch.taken, pc);
+        self.tage.on_history_update(&self.ghist);
+        self.engine.on_branch(pc, branch.taken);
+        mispredicted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsep_isa::{ArchReg, DynInstBuilder};
+
+    fn alu(seq: u64, pc: u64, dest: u8, src: Option<u8>, result: u64) -> DynInst {
+        let mut b = DynInstBuilder::new(seq, pc, OpClass::IntAlu)
+            .dest(ArchReg::int(dest))
+            .result(result);
+        if let Some(s) = src {
+            b = b.src(ArchReg::int(s));
+        }
+        b.build()
+    }
+
+    fn run_trace(insts: Vec<DynInst>) -> SimStats {
+        let mut core = Core::baseline(CoreConfig::small_test());
+        let count = insts.len() as u64;
+        let mut trace = insts.into_iter();
+        core.run(&mut trace, count);
+        core.take_stats()
+    }
+
+    #[test]
+    fn independent_alu_instructions_reach_high_ipc() {
+        // 8-wide core, fully independent single-cycle instructions: IPC
+        // should be well above 2.
+        let insts: Vec<DynInst> = (0..4000u64)
+            .map(|i| alu(i, 0x40_0000 + (i % 16) * 4, (i % 8) as u8, None, i))
+            .collect();
+        let stats = run_trace(insts);
+        assert_eq!(stats.committed, 4000);
+        assert!(stats.ipc() > 2.0, "ipc = {}", stats.ipc());
+    }
+
+    #[test]
+    fn serial_dependency_chain_limits_ipc_to_one() {
+        // Every instruction depends on the previous one: IPC cannot exceed 1.
+        let insts: Vec<DynInst> = (0..2000u64)
+            .map(|i| alu(i, 0x40_0000 + (i % 16) * 4, 1, Some(1), i))
+            .collect();
+        let stats = run_trace(insts);
+        assert_eq!(stats.committed, 2000);
+        assert!(stats.ipc() <= 1.05, "ipc = {}", stats.ipc());
+        assert!(stats.ipc() > 0.5, "ipc = {}", stats.ipc());
+    }
+
+    #[test]
+    fn long_latency_divides_throttle_ipc() {
+        let insts: Vec<DynInst> = (0..1000u64)
+            .map(|i| {
+                DynInstBuilder::new(i, 0x40_0000 + (i % 8) * 4, OpClass::IntDiv)
+                    .dest(ArchReg::int((i % 4) as u8))
+                    .result(i)
+                    .build()
+            })
+            .collect();
+        let stats = run_trace(insts);
+        // The single unpipelined divider (25 cycles) bounds IPC to 1/25.
+        assert!(stats.ipc() < 0.06, "ipc = {}", stats.ipc());
+    }
+
+    #[test]
+    fn loads_hitting_l1_are_faster_than_dram_misses() {
+        let hot: Vec<DynInst> = (0..2000u64)
+            .map(|i| {
+                DynInstBuilder::new(i, 0x40_0000 + (i % 8) * 4, OpClass::Load)
+                    .dest(ArchReg::int((i % 8) as u8))
+                    .result(i)
+                    .mem(0x1000_0000 + (i % 8) * 8, 8)
+                    .build()
+            })
+            .collect();
+        let cold: Vec<DynInst> = (0..2000u64)
+            .map(|i| {
+                DynInstBuilder::new(i, 0x40_0000 + (i % 8) * 4, OpClass::Load)
+                    .dest(ArchReg::int((i % 8) as u8))
+                    .result(i)
+                    // Pseudo-randomly scattered addresses over 64 MB defeat
+                    // the caches and the stride prefetcher.
+                    .mem(0x1000_0000 + (i.wrapping_mul(2_654_435_761) % (1 << 26)) / 8 * 8, 8)
+                    .build()
+            })
+            .collect();
+        let hot_stats = run_trace(hot);
+        let cold_stats = run_trace(cold);
+        assert!(
+            hot_stats.ipc() > cold_stats.ipc() * 1.5,
+            "hot {} vs cold {}",
+            hot_stats.ipc(),
+            cold_stats.ipc()
+        );
+    }
+
+    #[test]
+    fn store_to_load_forwarding_keeps_dependent_pairs_fast() {
+        // store to A; load from A; repeat with different A each iteration.
+        let mut insts = Vec::new();
+        let mut seq = 0u64;
+        for i in 0..1000u64 {
+            let addr = 0x2000_0000 + i * 64;
+            insts.push(
+                DynInstBuilder::new(seq, 0x40_0000, OpClass::Store)
+                    .src(ArchReg::int(1))
+                    .result(i)
+                    .mem(addr, 8)
+                    .build(),
+            );
+            seq += 1;
+            insts.push(
+                DynInstBuilder::new(seq, 0x40_0004, OpClass::Load)
+                    .dest(ArchReg::int(2))
+                    .result(i)
+                    .mem(addr, 8)
+                    .build(),
+            );
+            seq += 1;
+        }
+        let stats = run_trace(insts);
+        assert_eq!(stats.committed, 2000);
+        // Forwarded loads avoid the memory hierarchy entirely; even with
+        // cold misses this stays reasonably fast.
+        assert!(stats.ipc() > 0.5, "ipc = {}", stats.ipc());
+    }
+
+    #[test]
+    fn predictable_branches_do_not_stall_fetch() {
+        let mut insts = Vec::new();
+        for i in 0..3000u64 {
+            if i % 4 == 3 {
+                insts.push(
+                    DynInstBuilder::new(i, 0x40_0000 + (i % 4) * 4, OpClass::Branch)
+                        .branch(BranchKind::Conditional, false, 0x40_0000)
+                        .build(),
+                );
+            } else {
+                insts.push(alu(i, 0x40_0000 + (i % 4) * 4, (i % 8) as u8, None, i));
+            }
+        }
+        let stats = run_trace(insts);
+        assert!(stats.branch_mpki() < 5.0, "mpki = {}", stats.branch_mpki());
+        assert!(stats.ipc() > 1.5, "ipc = {}", stats.ipc());
+    }
+
+    #[test]
+    fn random_branches_cost_performance() {
+        let mut easy = Vec::new();
+        let mut hard = Vec::new();
+        let mut flip = 0x12345u64;
+        for i in 0..4000u64 {
+            let pc = 0x40_0000 + (i % 8) * 4;
+            if i % 4 == 3 {
+                easy.push(
+                    DynInstBuilder::new(i, pc, OpClass::Branch)
+                        .branch(BranchKind::Conditional, true, pc + 4)
+                        .build(),
+                );
+                flip = flip.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let taken = (flip >> 33) & 1 == 1;
+                hard.push(
+                    DynInstBuilder::new(i, pc, OpClass::Branch)
+                        .branch(BranchKind::Conditional, taken, pc + 4)
+                        .build(),
+                );
+            } else {
+                easy.push(alu(i, pc, (i % 8) as u8, None, i));
+                hard.push(alu(i, pc, (i % 8) as u8, None, i));
+            }
+        }
+        let easy_stats = run_trace(easy);
+        let hard_stats = run_trace(hard);
+        assert!(
+            easy_stats.ipc() > hard_stats.ipc() * 1.2,
+            "easy {} vs hard {}",
+            easy_stats.ipc(),
+            hard_stats.ipc()
+        );
+        assert!(hard_stats.branch_mispredictions > 100);
+    }
+
+    #[test]
+    fn commits_match_trace_length_exactly() {
+        let insts: Vec<DynInst> = (0..777u64).map(|i| alu(i, 0x40_0000, 1, None, i)).collect();
+        let stats = run_trace(insts);
+        assert_eq!(stats.committed, 777);
+    }
+
+    #[test]
+    fn reset_stats_separates_warmup_from_measurement() {
+        let mut core = Core::baseline(CoreConfig::small_test());
+        let mut trace = (0..2000u64).map(|i| alu(i, 0x40_0000 + (i % 8) * 4, (i % 8) as u8, None, i));
+        core.run(&mut trace.by_ref().take(1000).collect::<Vec<_>>().into_iter(), 1000);
+        assert_eq!(core.stats().committed, 1000);
+        core.reset_stats();
+        assert_eq!(core.stats().committed, 0);
+        core.run(&mut trace, 1000);
+        assert_eq!(core.stats().committed, 1000);
+        assert!(core.stats().cycles < core.clock());
+    }
+
+    #[test]
+    fn prf_pressure_is_observable() {
+        // More in-flight producers than physical registers: rename must
+        // stall on the free list at least occasionally.
+        let mut config = CoreConfig::small_test();
+        config.int_prf_size = 40; // 32 architectural + 8 headroom
+        config.rob_size = 64;
+        let mut core = Core::baseline(config);
+        let insts: Vec<DynInst> = (0..4000u64)
+            .map(|i| {
+                DynInstBuilder::new(i, 0x40_0000 + (i % 16) * 4, OpClass::Load)
+                    .dest(ArchReg::int((i % 8) as u8))
+                    .result(i)
+                    .mem(0x3000_0000 + (i % 512) * 8192, 8)
+                    .build()
+            })
+            .collect();
+        let mut trace = insts.into_iter();
+        core.run(&mut trace, 4000);
+        let stats = core.take_stats();
+        assert!(stats.prf_stall_cycles > 0, "expected register-pressure stalls");
+    }
+}

@@ -1,0 +1,268 @@
+//! Physical register file, free lists and readiness tracking.
+//!
+//! The timing model does not need register *values* (results travel with
+//! the trace); it needs to know, for every physical register, the cycle at
+//! which its value becomes available to consumers, and which registers are
+//! free. Register index 0 of the integer file is reserved as the hardwired
+//! zero register: always ready, never allocated, never freed (Section III).
+
+use rsep_isa::{PhysReg, RegClass};
+
+/// Cycle value meaning "not ready yet".
+pub const NOT_READY: u64 = u64::MAX;
+
+/// Physical register file for one register class.
+#[derive(Debug)]
+pub struct PhysRegFile {
+    class: RegClass,
+    ready_at: Vec<u64>,
+    free_list: Vec<u16>,
+    allocated: Vec<bool>,
+    /// High-water mark statistics.
+    min_free: usize,
+}
+
+impl PhysRegFile {
+    /// Creates a register file of `size` physical registers for `class`.
+    ///
+    /// For the integer class, register 0 is reserved as the hardwired zero
+    /// register and never enters the free list.
+    pub fn new(class: RegClass, size: usize) -> PhysRegFile {
+        assert!(size >= 2, "physical register file too small");
+        let reserved = if class == RegClass::Int { 1 } else { 0 };
+        let mut free_list: Vec<u16> = (reserved as u16..size as u16).rev().collect();
+        let mut allocated = vec![false; size];
+        if reserved == 1 {
+            allocated[0] = true;
+        }
+        free_list.shrink_to_fit();
+        let min_free = free_list.len();
+        PhysRegFile { class, ready_at: vec![0; size], free_list, allocated, min_free }
+    }
+
+    /// The hardwired zero register of the integer file.
+    pub fn zero_reg() -> PhysReg {
+        PhysReg::new(RegClass::Int, 0)
+    }
+
+    /// Register class handled by this file.
+    pub fn class(&self) -> RegClass {
+        self.class
+    }
+
+    /// Number of currently free registers.
+    pub fn free_count(&self) -> usize {
+        self.free_list.len()
+    }
+
+    /// Lowest number of free registers observed since creation.
+    pub fn min_free_observed(&self) -> usize {
+        self.min_free
+    }
+
+    /// Total number of physical registers.
+    pub fn size(&self) -> usize {
+        self.ready_at.len()
+    }
+
+    /// Removes a specific register from the free list and marks it
+    /// allocated (used to pin the physical registers backing the initial
+    /// architectural state). Has no effect if the register is already
+    /// allocated.
+    pub fn reserve(&mut self, reg: PhysReg) {
+        assert_eq!(reg.class(), self.class, "register class mismatch");
+        let idx = reg.index() as usize;
+        if self.allocated[idx] {
+            return;
+        }
+        self.allocated[idx] = true;
+        self.free_list.retain(|&r| r != reg.index());
+        self.ready_at[idx] = 0;
+        self.min_free = self.min_free.min(self.free_list.len());
+    }
+
+    /// Allocates a register, returning `None` when the free list is empty.
+    /// Newly allocated registers are not ready.
+    pub fn allocate(&mut self) -> Option<PhysReg> {
+        let idx = self.free_list.pop()?;
+        self.allocated[idx as usize] = true;
+        self.ready_at[idx as usize] = NOT_READY;
+        self.min_free = self.min_free.min(self.free_list.len());
+        Some(PhysReg::new(self.class, idx))
+    }
+
+    /// Returns a register to the free list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the register is not currently allocated, is the zero
+    /// register, or belongs to another class (double frees are bugs in the
+    /// renaming logic and must not be silent).
+    pub fn free(&mut self, reg: PhysReg) {
+        assert_eq!(reg.class(), self.class, "register class mismatch");
+        assert!(
+            !(self.class == RegClass::Int && reg.index() == 0),
+            "the hardwired zero register must never be freed"
+        );
+        let idx = reg.index() as usize;
+        assert!(self.allocated[idx], "double free of {reg}");
+        self.allocated[idx] = false;
+        self.free_list.push(reg.index());
+    }
+
+    /// Marks a register's value as available from `cycle` on.
+    pub fn set_ready_at(&mut self, reg: PhysReg, cycle: u64) {
+        debug_assert_eq!(reg.class(), self.class);
+        self.ready_at[reg.index() as usize] = cycle;
+    }
+
+    /// Cycle at which the register's value is available ([`NOT_READY`] if
+    /// unknown).
+    pub fn ready_at(&self, reg: PhysReg) -> u64 {
+        debug_assert_eq!(reg.class(), self.class);
+        self.ready_at[reg.index() as usize]
+    }
+
+    /// Returns `true` if the register's value is available at `cycle`.
+    pub fn is_ready(&self, reg: PhysReg, cycle: u64) -> bool {
+        self.ready_at(reg) <= cycle
+    }
+
+    /// Returns `true` if the register is currently allocated.
+    pub fn is_allocated(&self, reg: PhysReg) -> bool {
+        self.allocated[reg.index() as usize]
+    }
+}
+
+/// Pair of per-class physical register files.
+#[derive(Debug)]
+pub struct RegisterFiles {
+    int: PhysRegFile,
+    fp: PhysRegFile,
+}
+
+impl RegisterFiles {
+    /// Creates the files with the given sizes.
+    pub fn new(int_size: usize, fp_size: usize) -> RegisterFiles {
+        RegisterFiles {
+            int: PhysRegFile::new(RegClass::Int, int_size),
+            fp: PhysRegFile::new(RegClass::Fp, fp_size),
+        }
+    }
+
+    /// The file for a class.
+    pub fn file(&self, class: RegClass) -> &PhysRegFile {
+        match class {
+            RegClass::Int => &self.int,
+            RegClass::Fp => &self.fp,
+        }
+    }
+
+    /// The file for a class, mutably.
+    pub fn file_mut(&mut self, class: RegClass) -> &mut PhysRegFile {
+        match class {
+            RegClass::Int => &mut self.int,
+            RegClass::Fp => &mut self.fp,
+        }
+    }
+
+    /// Allocates a register of the given class.
+    pub fn allocate(&mut self, class: RegClass) -> Option<PhysReg> {
+        self.file_mut(class).allocate()
+    }
+
+    /// Frees a register.
+    pub fn free(&mut self, reg: PhysReg) {
+        self.file_mut(reg.class()).free(reg);
+    }
+
+    /// Marks a register ready at `cycle`.
+    pub fn set_ready_at(&mut self, reg: PhysReg, cycle: u64) {
+        self.file_mut(reg.class()).set_ready_at(reg, cycle);
+    }
+
+    /// Cycle at which `reg` becomes available.
+    pub fn ready_at(&self, reg: PhysReg) -> u64 {
+        self.file(reg.class()).ready_at(reg)
+    }
+
+    /// Returns `true` if `reg` is available at `cycle`.
+    pub fn is_ready(&self, reg: PhysReg, cycle: u64) -> bool {
+        self.file(reg.class()).is_ready(reg, cycle)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_register_is_reserved_and_always_ready() {
+        let prf = PhysRegFile::new(RegClass::Int, 8);
+        assert_eq!(prf.free_count(), 7);
+        assert!(prf.is_allocated(PhysRegFile::zero_reg()));
+        assert!(prf.is_ready(PhysRegFile::zero_reg(), 0));
+    }
+
+    #[test]
+    fn fp_file_has_no_reserved_register() {
+        let prf = PhysRegFile::new(RegClass::Fp, 8);
+        assert_eq!(prf.free_count(), 8);
+    }
+
+    #[test]
+    fn allocate_until_exhaustion_then_free() {
+        let mut prf = PhysRegFile::new(RegClass::Fp, 4);
+        let regs: Vec<_> = (0..4).map(|_| prf.allocate().unwrap()).collect();
+        assert!(prf.allocate().is_none());
+        assert_eq!(prf.free_count(), 0);
+        assert_eq!(prf.min_free_observed(), 0);
+        for r in regs {
+            prf.free(r);
+        }
+        assert_eq!(prf.free_count(), 4);
+    }
+
+    #[test]
+    fn readiness_tracking() {
+        let mut prf = PhysRegFile::new(RegClass::Int, 8);
+        let r = prf.allocate().unwrap();
+        assert!(!prf.is_ready(r, 100));
+        prf.set_ready_at(r, 50);
+        assert!(!prf.is_ready(r, 49));
+        assert!(prf.is_ready(r, 50));
+        assert_eq!(prf.ready_at(r), 50);
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn double_free_panics() {
+        let mut prf = PhysRegFile::new(RegClass::Int, 8);
+        let r = prf.allocate().unwrap();
+        prf.free(r);
+        prf.free(r);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero register")]
+    fn freeing_the_zero_register_panics() {
+        let mut prf = PhysRegFile::new(RegClass::Int, 8);
+        prf.free(PhysRegFile::zero_reg());
+    }
+
+    #[test]
+    fn register_files_dispatch_by_class() {
+        let mut rf = RegisterFiles::new(40, 40);
+        let i = rf.allocate(RegClass::Int).unwrap();
+        let f = rf.allocate(RegClass::Fp).unwrap();
+        assert_eq!(i.class(), RegClass::Int);
+        assert_eq!(f.class(), RegClass::Fp);
+        rf.set_ready_at(i, 3);
+        assert!(rf.is_ready(i, 3));
+        assert!(!rf.is_ready(f, 1000));
+        rf.free(i);
+        rf.free(f);
+        assert_eq!(rf.file(RegClass::Int).free_count(), 39);
+        assert_eq!(rf.file(RegClass::Fp).free_count(), 40);
+    }
+}

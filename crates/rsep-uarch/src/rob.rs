@@ -1,0 +1,265 @@
+//! Reorder buffer and in-flight instruction records.
+//!
+//! The ROB tracks every renamed, not-yet-committed instruction in program
+//! order. RSEP indexes the ROB with the predicted instruction distance to
+//! retrieve the physical register of the provider instruction
+//! (Section IV-E1), which is why the [`Rob`] exposes sequence-number lookup.
+
+use crate::engine::{Disposition, ValidationKind};
+use rsep_isa::{DynInst, PhysReg};
+use std::collections::VecDeque;
+
+/// One renamed, in-flight instruction.
+#[derive(Debug, Clone)]
+pub struct InflightInst {
+    /// The dynamic instruction.
+    pub inst: DynInst,
+    /// Physical register holding (or designated to hold) the result.
+    pub dest_preg: Option<PhysReg>,
+    /// Previous mapping of the destination architectural register, to be
+    /// released at commit.
+    pub prev_preg: Option<PhysReg>,
+    /// Whether `dest_preg` was freshly allocated for this instruction (as
+    /// opposed to shared, hardwired zero, or a move-eliminated source).
+    pub allocated_new_preg: bool,
+    /// Renamed source registers (plus the provider register for shared
+    /// instructions, which adds a dependency per Section IV-F1).
+    pub src_pregs: Vec<PhysReg>,
+    /// Mechanism handling this instruction.
+    pub disposition: Disposition,
+    /// True for instructions that never execute (move elimination,
+    /// zero-idiom elimination, nops).
+    pub eliminated: bool,
+    /// Whether the instruction currently occupies a scheduler entry.
+    pub in_iq: bool,
+    /// Whether it has been issued.
+    pub issued: bool,
+    /// Whether execution has finished (valid once `issued`).
+    pub complete_at: u64,
+    /// Cycle at which it was renamed/dispatched.
+    pub renamed_at: u64,
+    /// True if this is a branch the front end mispredicted.
+    pub branch_mispredicted: bool,
+    /// Pending second (validation) issue for RSEP, if any.
+    pub needs_validation_issue: Option<ValidationKind>,
+    /// Whether the instruction occupies a load-queue entry.
+    pub uses_lq: bool,
+    /// Whether the instruction occupies a store-queue entry.
+    pub uses_sq: bool,
+}
+
+impl InflightInst {
+    /// Returns `true` once the instruction has produced its result (or
+    /// needs no execution) by `clock`.
+    pub fn is_completed(&self, clock: u64) -> bool {
+        if self.eliminated {
+            return true;
+        }
+        self.issued && self.complete_at <= clock
+    }
+
+    /// Sequence number of the instruction.
+    pub fn seq(&self) -> u64 {
+        self.inst.seq
+    }
+}
+
+/// The reorder buffer.
+#[derive(Debug)]
+pub struct Rob {
+    entries: VecDeque<InflightInst>,
+    capacity: usize,
+}
+
+impl Rob {
+    /// Creates a ROB with the given capacity.
+    pub fn new(capacity: usize) -> Rob {
+        assert!(capacity > 0);
+        Rob { entries: VecDeque::with_capacity(capacity), capacity }
+    }
+
+    /// Capacity in entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current occupancy.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` when no instruction is in flight.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Returns `true` when no further instruction can be dispatched.
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= self.capacity
+    }
+
+    /// Appends a newly renamed instruction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ROB is full or sequence numbers go backwards
+    /// (dispatch must be in program order).
+    pub fn push(&mut self, entry: InflightInst) {
+        assert!(!self.is_full(), "ROB overflow");
+        if let Some(last) = self.entries.back() {
+            assert!(entry.seq() > last.seq(), "out-of-order dispatch into the ROB");
+        }
+        self.entries.push_back(entry);
+    }
+
+    /// The oldest in-flight instruction.
+    pub fn head(&self) -> Option<&InflightInst> {
+        self.entries.front()
+    }
+
+    /// Removes and returns the oldest instruction (it has committed).
+    pub fn pop_head(&mut self) -> Option<InflightInst> {
+        self.entries.pop_front()
+    }
+
+    /// Looks up an in-flight instruction by sequence number.
+    pub fn find_by_seq(&self, seq: u64) -> Option<&InflightInst> {
+        let head_seq = self.entries.front()?.seq();
+        if seq < head_seq {
+            return None;
+        }
+        let offset = (seq - head_seq) as usize;
+        // Sequence numbers are dense in the ROB only if every dynamic
+        // instruction is dispatched; they are, so direct indexing is valid,
+        // but fall back to a search in case of gaps (e.g. after replays).
+        match self.entries.get(offset) {
+            Some(e) if e.seq() == seq => Some(e),
+            _ => self.entries.iter().find(|e| e.seq() == seq),
+        }
+    }
+
+    /// Mutable lookup by sequence number.
+    pub fn find_by_seq_mut(&mut self, seq: u64) -> Option<&mut InflightInst> {
+        let head_seq = self.entries.front()?.seq();
+        if seq < head_seq {
+            return None;
+        }
+        let offset = (seq - head_seq) as usize;
+        let direct_hit = matches!(self.entries.get(offset), Some(e) if e.seq() == seq);
+        if direct_hit {
+            return self.entries.get_mut(offset);
+        }
+        self.entries.iter_mut().find(|e| e.seq() == seq)
+    }
+
+    /// Iterates over in-flight instructions from oldest to youngest.
+    pub fn iter(&self) -> impl Iterator<Item = &InflightInst> {
+        self.entries.iter()
+    }
+
+    /// Iterates mutably from oldest to youngest.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut InflightInst> {
+        self.entries.iter_mut()
+    }
+
+    /// Removes every instruction with `seq >= from_seq` (a squash) and
+    /// returns them from oldest to youngest.
+    pub fn squash_from(&mut self, from_seq: u64) -> Vec<InflightInst> {
+        let keep = self.entries.iter().take_while(|e| e.seq() < from_seq).count();
+        self.entries.split_off(keep).into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsep_isa::{ArchReg, OpClass};
+
+    fn entry(seq: u64) -> InflightInst {
+        InflightInst {
+            inst: DynInst::simple(seq, 0x400000 + seq * 4, OpClass::IntAlu, ArchReg::int(1), seq),
+            dest_preg: None,
+            prev_preg: None,
+            allocated_new_preg: false,
+            src_pregs: Vec::new(),
+            disposition: Disposition::None,
+            eliminated: false,
+            in_iq: true,
+            issued: false,
+            complete_at: 0,
+            renamed_at: 0,
+            branch_mispredicted: false,
+            needs_validation_issue: None,
+            uses_lq: false,
+            uses_sq: false,
+        }
+    }
+
+    #[test]
+    fn push_pop_in_order() {
+        let mut rob = Rob::new(4);
+        assert!(rob.is_empty());
+        rob.push(entry(0));
+        rob.push(entry(1));
+        assert_eq!(rob.len(), 2);
+        assert_eq!(rob.head().unwrap().seq(), 0);
+        assert_eq!(rob.pop_head().unwrap().seq(), 0);
+        assert_eq!(rob.pop_head().unwrap().seq(), 1);
+        assert!(rob.pop_head().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "ROB overflow")]
+    fn overflow_panics() {
+        let mut rob = Rob::new(1);
+        rob.push(entry(0));
+        rob.push(entry(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "out-of-order dispatch")]
+    fn out_of_order_dispatch_panics() {
+        let mut rob = Rob::new(4);
+        rob.push(entry(5));
+        rob.push(entry(3));
+    }
+
+    #[test]
+    fn find_by_seq_with_dense_numbers() {
+        let mut rob = Rob::new(8);
+        for s in 10..16 {
+            rob.push(entry(s));
+        }
+        assert_eq!(rob.find_by_seq(12).unwrap().seq(), 12);
+        assert!(rob.find_by_seq(9).is_none());
+        assert!(rob.find_by_seq(16).is_none());
+        rob.find_by_seq_mut(13).unwrap().issued = true;
+        assert!(rob.find_by_seq(13).unwrap().issued);
+    }
+
+    #[test]
+    fn squash_removes_younger_entries() {
+        let mut rob = Rob::new(8);
+        for s in 0..6 {
+            rob.push(entry(s));
+        }
+        let squashed = rob.squash_from(3);
+        assert_eq!(squashed.len(), 3);
+        assert_eq!(squashed[0].seq(), 3);
+        assert_eq!(rob.len(), 3);
+        assert_eq!(rob.iter().last().unwrap().seq(), 2);
+    }
+
+    #[test]
+    fn completion_rules() {
+        let mut e = entry(0);
+        assert!(!e.is_completed(100));
+        e.issued = true;
+        e.complete_at = 50;
+        assert!(!e.is_completed(49));
+        assert!(e.is_completed(50));
+        let mut elim = entry(1);
+        elim.eliminated = true;
+        assert!(elim.is_completed(0));
+    }
+}

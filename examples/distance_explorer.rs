@@ -1,0 +1,56 @@
+//! Explore how the distance predictor and the commit-time pairing
+//! structures (FIFO history vs DDT, Figure 2) see a value stream: feed a
+//! synthetic trace and print what each structure would learn.
+//!
+//! Run with: `cargo run --release --example distance_explorer [benchmark]`
+
+use rsep::core::{Ddt, DdtConfig, FifoHistory, FifoHistoryConfig};
+use rsep::isa::FoldHash;
+use rsep::predictors::{DistancePredictor, GlobalHistory};
+use rsep::trace::{BenchmarkProfile, TraceGenerator};
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "hmmer".to_string());
+    let profile = BenchmarkProfile::by_name(&name).expect("unknown benchmark");
+    let trace: Vec<_> = TraceGenerator::new(&profile, 1).take(200_000).collect();
+
+    let mut fifo = FifoHistory::new(FifoHistoryConfig::realistic());
+    let mut ddt = Ddt::new(DdtConfig::paper_16kb());
+    let mut predictor = DistancePredictor::realistic();
+    let hist = GlobalHistory::new();
+    let hash = FoldHash::paper_default();
+    let (mut usable, mut usable_correct) = (0u64, 0u64);
+
+    for inst in trace.iter().filter(|i| i.eligible_for_prediction()) {
+        // What would the predictor say before this commit?
+        if let Some(p) = predictor.predict(inst.pc, &hist) {
+            if p.usable() {
+                usable += 1;
+                // Check the prediction against the FIFO history's view.
+                if let Some(m) = fifo.find_pair(inst.seq, inst.result, Some(p.distance)) {
+                    if m.matched_prediction {
+                        usable_correct += 1;
+                    }
+                }
+            }
+        }
+        // Train from the commit-time structures.
+        if let Some(m) = fifo.find_pair(inst.seq, inst.result, None) {
+            predictor.train(inst.pc, m.distance, &hist);
+        }
+        let _ = ddt.observe(inst.seq, inst.result);
+        fifo.push(inst.seq, inst.result);
+        let _ = hash.hash(inst.result);
+    }
+
+    let fifo_stats = fifo.stats();
+    println!("benchmark                  : {name}");
+    println!("eligible producers observed: {}", fifo_stats.pushes);
+    println!("history matches            : {} ({:.1}% of searches)", fifo_stats.matches,
+             fifo_stats.matches as f64 / fifo_stats.searches.max(1) as f64 * 100.0);
+    println!("usable distance predictions: {usable}");
+    println!("  of which matched the history at the predicted distance: {usable_correct}");
+    println!("distance predictor storage : {:.1} KB", predictor.config().storage_kb());
+    println!("FIFO history storage       : {} B", FifoHistoryConfig::realistic().storage_bits() / 8);
+    println!("DDT storage (comparison)   : {:.1} KB", DdtConfig::paper_16kb().storage_bits() as f64 / 8.0 / 1024.0);
+}
