@@ -6,6 +6,13 @@
 //! `benches/` exercise the same code paths at a reduced scale so `cargo
 //! bench` both times the simulator and re-derives the headline shapes.
 //!
+//! Since PR 1 the figures are thin wrappers over the **`rsep-campaign`
+//! engine**: each experiment grid is expanded into independent
+//! `(profile, mechanism, checkpoint)` cells and fanned across worker
+//! threads, so a full campaign uses every core while producing bit-identical
+//! results at any thread count. The `rsep` CLI (in `rsep-campaign`) is the
+//! preferred entry point; these binaries remain for per-figure use.
+//!
 //! Scale is controlled with environment variables so the full campaign can
 //! be made as small (CI smoke run) or large (overnight) as desired:
 //!
@@ -16,6 +23,7 @@
 //! | `RSEP_MEASURE` | 60000 | measured instructions per checkpoint |
 //! | `RSEP_BENCHMARKS` | all | comma-separated benchmark subset |
 //! | `RSEP_SEED` | 42 | trace generation seed |
+//! | `RSEP_JOBS` | all cores | campaign worker threads |
 //!
 //! The paper's own scale (10 × (50M + 100M) instructions per benchmark) is
 //! available through [`paper_scale`] but is far too slow for routine use.
@@ -23,13 +31,11 @@
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
 
-use rsep_core::{
-    run_benchmark, BenchmarkResult, FifoHistoryConfig, IsrbConfig, MechanismConfig, RedundancyAnalyzer,
-    RedundancyConfig, RsepConfig, SamplingConfig,
-};
-use rsep_stats::{speedup_percent, Experiment};
-use rsep_trace::{BenchmarkProfile, CheckpointSpec, TraceGenerator};
-use rsep_uarch::{CoreConfig, ValidationKind};
+use rsep_campaign::{presets, Campaign, CampaignSpec};
+use rsep_core::{BenchmarkResult, MechanismConfig};
+use rsep_stats::Experiment;
+use rsep_trace::{BenchmarkProfile, CheckpointSpec};
+use rsep_uarch::CoreConfig;
 
 /// Experiment scale (checkpoints, warm-up, measurement, seed, benchmarks).
 #[derive(Debug, Clone)]
@@ -85,6 +91,17 @@ pub fn core_config() -> CoreConfig {
     CoreConfig::table1()
 }
 
+/// Imposes a [`Scale`] on a preset campaign spec, keeping its mechanism
+/// grid.
+fn at_scale(spec: CampaignSpec, scale: &Scale) -> CampaignSpec {
+    spec.with_profiles(scale.benchmarks.clone()).with_checkpoints(scale.spec).with_seed(scale.seed)
+}
+
+/// The campaign engine every figure runs on (`RSEP_JOBS` workers).
+fn engine() -> Campaign {
+    Campaign::from_env()
+}
+
 // --------------------------------------------------------------- Table I
 
 /// Renders Table I (the simulated configuration).
@@ -100,51 +117,37 @@ pub fn table1() -> String {
 // --------------------------------------------------------------- Figure 1
 
 /// Figure 1: ratio of committed instructions whose result is zero or
-/// already in the PRF, split by loads vs other producers.
+/// already in the PRF, split by loads vs other producers. One redundancy
+/// cell per `(profile, checkpoint)`, merged per profile.
 pub fn figure1(scale: &Scale) -> Experiment {
-    let mut exp = Experiment::new("figure1", "% of committed instructions");
-    let insts = scale.spec.count as u64 * (scale.spec.warmup + scale.spec.measure);
-    for profile in &scale.benchmarks {
-        let trace = TraceGenerator::new(profile, scale.seed).take(insts as usize);
-        let report = RedundancyAnalyzer::analyze(RedundancyConfig::default(), trace);
-        exp.push(profile.name, "zero (load)", report.zero_load_fraction() * 100.0);
-        exp.push(profile.name, "zero (other)", report.zero_other_fraction() * 100.0);
-        exp.push(profile.name, "in PRF (load)", report.prf_load_fraction() * 100.0);
-        exp.push(profile.name, "in PRF (other)", report.prf_other_fraction() * 100.0);
-    }
+    let (exp, _) = engine().run_redundancy(&at_scale(presets::fig1(), scale));
     exp
 }
 
 // --------------------------------------------------------------- Figure 4
 
 /// Runs one benchmark under a list of mechanisms plus the baseline, and
-/// returns `(baseline, results)`.
+/// returns `(baseline, results)` — through the campaign engine, so the
+/// mechanism × checkpoint cells run in parallel.
 pub fn run_mechanisms(
     profile: &BenchmarkProfile,
     mechanisms: &[MechanismConfig],
     scale: &Scale,
 ) -> (BenchmarkResult, Vec<BenchmarkResult>) {
-    let config = core_config();
-    let baseline = run_benchmark(profile, &MechanismConfig::baseline(), &config, scale.spec, scale.seed);
-    let results = mechanisms
-        .iter()
-        .map(|m| run_benchmark(profile, m, &config, scale.spec, scale.seed))
-        .collect();
-    (baseline, results)
+    let spec = CampaignSpec::new("mechanisms")
+        .with_profiles(vec![profile.clone()])
+        .with_checkpoints(scale.spec)
+        .with_seed(scale.seed)
+        .with_mechanisms(mechanisms.to_vec());
+    let mut result = engine().run(&spec);
+    let row = result.rows.remove(0);
+    (row.baseline.expect("baseline requested"), row.results)
 }
 
 /// Figure 4: speedup over baseline of zero prediction, move elimination,
 /// RSEP (ideal), value prediction and RSEP + VP.
 pub fn figure4(scale: &Scale) -> Experiment {
-    let mut exp = Experiment::new("figure4", "speedup % over baseline");
-    let mechanisms = MechanismConfig::figure4_suite();
-    for profile in &scale.benchmarks {
-        let (baseline, results) = run_mechanisms(profile, &mechanisms, scale);
-        for result in &results {
-            exp.push(profile.name, result.mechanism.clone(), speedup_percent(result.ipc, baseline.ipc));
-        }
-    }
-    exp
+    engine().run(&at_scale(presets::fig4(), scale)).speedups()
 }
 
 // --------------------------------------------------------------- Figure 5
@@ -152,66 +155,19 @@ pub fn figure4(scale: &Scale) -> Experiment {
 /// Figure 5: percentage of committed instructions covered by each
 /// mechanism, for RSEP alone and for VP on top of RSEP.
 pub fn figure5(scale: &Scale) -> Experiment {
-    let mut exp = Experiment::new("figure5", "% of committed instructions");
-    let config = core_config();
-    for profile in &scale.benchmarks {
-        for mechanism in [MechanismConfig::rsep_ideal(), MechanismConfig::rsep_plus_vp()] {
-            let result = run_benchmark(profile, &mechanism, &config, scale.spec, scale.seed);
-            let committed = result.stats.committed.max(1) as f64;
-            let c = &result.stats.coverage;
-            let prefix = if mechanism.vp.is_some() { "rsep+vp" } else { "rsep" };
-            let pairs = [
-                ("zero-idiom-elim", c.zero_idiom_elim),
-                ("move-elim", c.move_elim),
-                ("zero-pred", c.zero_pred),
-                ("load-zero-pred", c.load_zero_pred),
-                ("dist-pred", c.dist_pred),
-                ("load-dist-pred", c.load_dist_pred),
-                ("value-pred", c.value_pred),
-                ("load-value-pred", c.load_value_pred),
-            ];
-            for (name, count) in pairs {
-                exp.push(profile.name, format!("{prefix}:{name}"), count as f64 / committed * 100.0);
-            }
-        }
-    }
-    exp
+    presets::figure5_experiment(&engine().run(&at_scale(presets::fig5(), scale)))
 }
 
 // --------------------------------------------------------------- Figure 6
 
 /// The validation/sampling variants of Figure 6.
 pub fn figure6_variants() -> Vec<(String, MechanismConfig)> {
-    let base = RsepConfig::ideal();
-    let mk = |label: &str, validation: ValidationKind, sampling: Option<SamplingConfig>| {
-        let mut cfg = base.clone();
-        cfg.validation = validation;
-        cfg.sampling = sampling;
-        let mut mechanism = MechanismConfig::rsep(cfg);
-        mechanism.label = label.to_string();
-        (label.to_string(), mechanism)
-    };
-    vec![
-        mk("ideal-validation", ValidationKind::Free, None),
-        mk("issue2x-lock-fu", ValidationKind::SameFu, None),
-        mk("issue2x", ValidationKind::AnyFu, None),
-        mk("issue2x-sample-t15", ValidationKind::AnyFu, Some(SamplingConfig::threshold_15())),
-        mk("issue2x-sample-t63", ValidationKind::AnyFu, Some(SamplingConfig::threshold_63())),
-    ]
+    presets::fig6_variants()
 }
 
 /// Figure 6: impact of the validation mechanism and commit sampling.
 pub fn figure6(scale: &Scale) -> Experiment {
-    let mut exp = Experiment::new("figure6", "speedup % over baseline");
-    let variants = figure6_variants();
-    let mechanisms: Vec<MechanismConfig> = variants.iter().map(|(_, m)| m.clone()).collect();
-    for profile in &scale.benchmarks {
-        let (baseline, results) = run_mechanisms(profile, &mechanisms, scale);
-        for ((label, _), result) in variants.iter().zip(&results) {
-            exp.push(profile.name, label.clone(), speedup_percent(result.ipc, baseline.ipc));
-        }
-    }
-    exp
+    engine().run(&at_scale(presets::fig6(), scale)).speedups()
 }
 
 // --------------------------------------------------------------- Figure 7
@@ -219,27 +175,8 @@ pub fn figure6(scale: &Scale) -> Experiment {
 /// Figure 7: ideal RSEP vs the realistic 10.1 KB configuration, plus the
 /// Section VI-B summary metrics (accuracy, coverage, storage).
 pub fn figure7(scale: &Scale) -> (Experiment, Experiment) {
-    let mut speedups = Experiment::new("figure7", "speedup % over baseline");
-    let mut summary = Experiment::new("figure7-summary", "value");
-    let mechanisms = vec![MechanismConfig::rsep_ideal(), MechanismConfig::rsep_realistic()];
-    for profile in &scale.benchmarks {
-        let (baseline, results) = run_mechanisms(profile, &mechanisms, scale);
-        for result in &results {
-            speedups.push(profile.name, result.mechanism.clone(), speedup_percent(result.ipc, baseline.ipc));
-            if result.mechanism == "rsep-realistic" {
-                summary.push(profile.name, "accuracy %", result.stats.prediction_accuracy() * 100.0);
-                summary.push(
-                    profile.name,
-                    "coverage % of eligible",
-                    result.stats.eligible_coverage_fraction() * 100.0,
-                );
-            }
-        }
-    }
-    summary.push("storage", "rsep-realistic KB", RsepConfig::realistic().storage_kb());
-    summary.push("storage", "rsep-ideal KB", RsepConfig::ideal().storage_kb());
-    summary.push("storage", "d-vtage KB", rsep_core::VpConfig::paper().storage_kb());
-    (speedups, summary)
+    let result = engine().run(&at_scale(presets::fig7(), scale));
+    (result.speedups(), presets::figure7_summary(&result))
 }
 
 // --------------------------------------------------------------- Ablations
@@ -247,75 +184,18 @@ pub fn figure7(scale: &Scale) -> (Experiment, Experiment) {
 /// Section VI-A2: FIFO history depth sensitivity (and the DDT comparison
 /// point).
 pub fn ablation_history(scale: &Scale) -> Experiment {
-    let mut exp = Experiment::new("ablation-history", "speedup % over baseline");
-    let depths = [32usize, 128, 256, 2048];
-    let mechanisms: Vec<MechanismConfig> = depths
-        .iter()
-        .map(|&capacity| {
-            let mut cfg = RsepConfig::ideal();
-            cfg.history = FifoHistoryConfig { capacity, ..FifoHistoryConfig::ideal() };
-            let mut m = MechanismConfig::rsep(cfg);
-            m.label = format!("history-{capacity}");
-            m
-        })
-        .collect();
-    for profile in &scale.benchmarks {
-        let (baseline, results) = run_mechanisms(profile, &mechanisms, scale);
-        for result in &results {
-            exp.push(profile.name, result.mechanism.clone(), speedup_percent(result.ipc, baseline.ipc));
-        }
-    }
-    exp
+    engine().run(&at_scale(presets::sweep_history(), scale)).speedups()
 }
 
 /// Section VI-A3: ISRB size sensitivity.
 pub fn ablation_isrb(scale: &Scale) -> Experiment {
-    let mut exp = Experiment::new("ablation-isrb", "speedup % over baseline");
-    let sizes = [4usize, 8, 16, 24, 48];
-    let mut mechanisms: Vec<MechanismConfig> = sizes
-        .iter()
-        .map(|&entries| {
-            let mut cfg = RsepConfig::ideal();
-            cfg.isrb = IsrbConfig { entries, counter_bits: 6 };
-            let mut m = MechanismConfig::rsep(cfg);
-            m.label = format!("isrb-{entries}");
-            m
-        })
-        .collect();
-    let mut unlimited = MechanismConfig::rsep_ideal();
-    unlimited.label = "isrb-unlimited".into();
-    mechanisms.push(unlimited);
-    for profile in &scale.benchmarks {
-        let (baseline, results) = run_mechanisms(profile, &mechanisms, scale);
-        for result in &results {
-            exp.push(profile.name, result.mechanism.clone(), speedup_percent(result.ipc, baseline.ipc));
-        }
-    }
-    exp
+    engine().run(&at_scale(presets::sweep_isrb(), scale)).speedups()
 }
 
 /// Section IV-A: hash width sensitivity (false-match rate of the pairing
 /// hash vs storage).
 pub fn ablation_hash(scale: &Scale) -> Experiment {
-    let mut exp = Experiment::new("ablation-hash", "speedup % over baseline");
-    let widths = [8u8, 10, 14, 16];
-    let mechanisms: Vec<MechanismConfig> = widths
-        .iter()
-        .map(|&hash_bits| {
-            let mut cfg = RsepConfig::ideal();
-            cfg.history = FifoHistoryConfig { hash_bits, ..FifoHistoryConfig::ideal() };
-            let mut m = MechanismConfig::rsep(cfg);
-            m.label = format!("hash-{hash_bits}b");
-            m
-        })
-        .collect();
-    for profile in &scale.benchmarks {
-        let (baseline, results) = run_mechanisms(profile, &mechanisms, scale);
-        for result in &results {
-            exp.push(profile.name, result.mechanism.clone(), speedup_percent(result.ipc, baseline.ipc));
-        }
-    }
-    exp
+    engine().run(&at_scale(presets::sweep_hash(), scale)).speedups()
 }
 
 /// Prints an experiment to stdout and optionally writes JSON next to the
@@ -384,6 +264,23 @@ mod tests {
         assert_eq!(exp.series().len(), 5);
         for p in &exp.points {
             assert!(p.value > -50.0 && p.value < 100.0, "{}: {}", p.series, p.value);
+        }
+    }
+
+    #[test]
+    fn run_mechanisms_returns_baseline_and_per_mechanism_results() {
+        let profile = BenchmarkProfile::by_name("hmmer").unwrap();
+        let scale = tiny_scale(&["hmmer"]);
+        let (baseline, results) = run_mechanisms(
+            &profile,
+            &[MechanismConfig::move_elim(), MechanismConfig::value_pred()],
+            &scale,
+        );
+        assert_eq!(baseline.mechanism, "baseline");
+        assert_eq!(results.len(), 2);
+        for r in &results {
+            let speedup = r.speedup_over(&baseline);
+            assert!(speedup > 0.5 && speedup < 2.0, "{}: speedup {speedup}", r.mechanism);
         }
     }
 }

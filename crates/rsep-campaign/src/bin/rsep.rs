@@ -1,0 +1,263 @@
+//! `rsep` — the experiment-campaign CLI of the RSEP reproduction.
+//!
+//! ```text
+//! rsep <command> [flags]
+//!
+//! commands:
+//!   run     full evaluation: table1 + fig1 + fig4 + fig6 + fig7
+//!   fig1    committed-value redundancy (Figure 1)
+//!   fig4    mechanism speedups over baseline (Figure 4)
+//!   fig5    per-mechanism coverage (Figure 5)
+//!   fig6    validation / sampling variants (Figure 6)
+//!   fig7    ideal vs realistic RSEP (Figure 7)
+//!   table1  simulated core configuration (Table I)
+//!   sweep   sensitivity sweeps (history depth, ISRB size, hash width)
+//!
+//! flags:
+//!   --jobs N         worker threads (default: RSEP_JOBS or all cores)
+//!   --smoke          CI-smoke scale: 6 profiles, 1 × (2K + 8K) instructions
+//!   --json | --csv | --md   report format (default: fixed-width table)
+//!   --benchmarks L   comma-separated profile subset
+//!   --seed N         campaign seed        (default: RSEP_SEED or 42)
+//!   --checkpoints N  checkpoints/profile  (default: RSEP_CHECKPOINTS or 1)
+//!   --warmup N       warm-up instructions (default: RSEP_WARMUP or 100000)
+//!   --measure N      measured instructions (default: RSEP_MEASURE or 60000)
+//!   --quiet          suppress progress and timing on stderr
+//! ```
+//!
+//! Reports go to stdout; progress and timing go to stderr, so piping stdout
+//! yields byte-identical output at any `--jobs` value.
+
+use rsep_campaign::{presets, Campaign, CampaignSpec, Executor, ReportFormat};
+use rsep_stats::Experiment;
+use rsep_trace::CheckpointSpec;
+use rsep_uarch::CoreConfig;
+use std::process::ExitCode;
+
+#[derive(Debug)]
+struct Cli {
+    command: String,
+    jobs: Option<usize>,
+    smoke: bool,
+    format: ReportFormat,
+    quiet: bool,
+    benchmarks: Option<String>,
+    seed: Option<u64>,
+    checkpoints: Option<usize>,
+    warmup: Option<u64>,
+    measure: Option<u64>,
+}
+
+fn usage() -> &'static str {
+    "usage: rsep <run|fig1|fig4|fig5|fig6|fig7|table1|sweep> \
+     [--jobs N] [--smoke] [--json|--csv|--md] [--benchmarks list] \
+     [--seed N] [--checkpoints N] [--warmup N] [--measure N] [--quiet]"
+}
+
+fn parse_args(args: &[String]) -> Result<Cli, String> {
+    let mut cli = Cli {
+        command: String::new(),
+        jobs: None,
+        smoke: false,
+        format: ReportFormat::Table,
+        quiet: false,
+        benchmarks: None,
+        seed: None,
+        checkpoints: None,
+        warmup: None,
+        measure: None,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value_of =
+            |flag: &str| it.next().map(|v| v.to_string()).ok_or(format!("{flag} needs a value"));
+        match arg.as_str() {
+            "--jobs" => {
+                cli.jobs = Some(
+                    value_of("--jobs")?.parse().map_err(|_| "--jobs: not a number".to_string())?,
+                )
+            }
+            "--smoke" => cli.smoke = true,
+            "--json" => cli.format = ReportFormat::Json,
+            "--csv" => cli.format = ReportFormat::Csv,
+            "--md" | "--markdown" => cli.format = ReportFormat::Markdown,
+            "--quiet" | "-q" => cli.quiet = true,
+            "--benchmarks" => cli.benchmarks = Some(value_of("--benchmarks")?),
+            "--seed" => {
+                cli.seed = Some(
+                    value_of("--seed")?.parse().map_err(|_| "--seed: not a number".to_string())?,
+                )
+            }
+            "--checkpoints" => {
+                cli.checkpoints = Some(
+                    value_of("--checkpoints")?
+                        .parse()
+                        .map_err(|_| "--checkpoints: not a number".to_string())?,
+                )
+            }
+            "--warmup" => {
+                cli.warmup = Some(
+                    value_of("--warmup")?
+                        .parse()
+                        .map_err(|_| "--warmup: not a number".to_string())?,
+                )
+            }
+            "--measure" => {
+                cli.measure = Some(
+                    value_of("--measure")?
+                        .parse()
+                        .map_err(|_| "--measure: not a number".to_string())?,
+                )
+            }
+            "--help" | "-h" => return Err(usage().to_string()),
+            flag if flag.starts_with('-') => return Err(format!("unknown flag '{flag}'")),
+            command if cli.command.is_empty() => cli.command = command.to_string(),
+            extra => return Err(format!("unexpected argument '{extra}'")),
+        }
+    }
+    if cli.command.is_empty() {
+        return Err(usage().to_string());
+    }
+    Ok(cli)
+}
+
+impl Cli {
+    /// Applies scale/subset flags on top of a preset spec.
+    fn configure(&self, mut spec: CampaignSpec) -> Result<CampaignSpec, String> {
+        if self.smoke {
+            spec = spec.smoke();
+        }
+        if let Some(list) = &self.benchmarks {
+            // An explicit selection picks from the whole suite, not from
+            // whatever subset the env filter or --smoke left behind.
+            spec = spec
+                .with_profiles(rsep_trace::BenchmarkProfile::spec2006())
+                .with_benchmark_filter(list);
+            if spec.profiles.is_empty() {
+                return Err(format!("--benchmarks '{list}' matches no benchmark profile"));
+            }
+        }
+        if let Some(seed) = self.seed {
+            spec = spec.with_seed(seed);
+        }
+        if self.checkpoints.is_some() || self.warmup.is_some() || self.measure.is_some() {
+            let current = spec.checkpoints;
+            spec = spec.with_checkpoints(CheckpointSpec::scaled(
+                self.checkpoints.unwrap_or(current.count),
+                self.warmup.unwrap_or(current.warmup),
+                self.measure.unwrap_or(current.measure),
+            ));
+        }
+        Ok(spec)
+    }
+
+    fn campaign(&self) -> Campaign {
+        let jobs = self.jobs.unwrap_or_else(rsep_campaign::jobs_from_env);
+        Campaign::new(Executor::new(jobs).with_progress(!self.quiet))
+    }
+
+    fn emit(&self, exp: &Experiment) {
+        emit_text(&self.format.render(exp));
+        if self.format == ReportFormat::Json {
+            // Reports are documents; terminate them.
+            emit_text("\n");
+        }
+    }
+}
+
+/// Writes report text to stdout, exiting quietly when the reader closed the
+/// pipe (`rsep ... | head` must not panic).
+fn emit_text(text: &str) {
+    use std::io::Write;
+    if std::io::stdout().write_all(text.as_bytes()).is_err() {
+        std::process::exit(0);
+    }
+}
+
+fn table1_text() -> String {
+    let config = CoreConfig::table1();
+    let mut out = String::from("TABLE I: Simulator configuration overview\n");
+    for (section, value) in config.table1_rows() {
+        out.push_str(&format!("{section:<18}{value}\n"));
+    }
+    out
+}
+
+fn run_command(cli: &Cli) -> Result<(), String> {
+    let campaign = cli.campaign();
+    let timing = |label: &str, summary: String| {
+        if !cli.quiet {
+            eprintln!("{label}{summary}");
+        }
+    };
+    match cli.command.as_str() {
+        "table1" => emit_text(&table1_text()),
+        "fig1" => {
+            let spec = cli.configure(presets::fig1())?;
+            let (exp, exec) = campaign.run_redundancy(&spec);
+            cli.emit(&exp);
+            timing(
+                "",
+                format!(
+                    "figure1: {} cells on {} workers in {:.2?}",
+                    exec.cells, exec.jobs, exec.wall
+                ),
+            );
+        }
+        "fig4" | "fig6" | "fig7" | "sweep" | "fig5" | "run" => {
+            let specs: Vec<CampaignSpec> = match cli.command.as_str() {
+                "fig4" => vec![presets::fig4()],
+                "fig5" => vec![presets::fig5()],
+                "fig6" => vec![presets::fig6()],
+                "fig7" => vec![presets::fig7()],
+                "sweep" => presets::sweeps(),
+                "run" => vec![presets::fig4(), presets::fig6(), presets::fig7()],
+                _ => unreachable!(),
+            };
+            if cli.command == "run" {
+                emit_text(&table1_text());
+                emit_text("\n");
+                let spec = cli.configure(presets::fig1())?;
+                let (exp, _) = campaign.run_redundancy(&spec);
+                cli.emit(&exp);
+            }
+            for spec in specs {
+                let spec = cli.configure(spec)?;
+                let result = campaign.run(&spec);
+                match spec.id.as_str() {
+                    "figure5" => cli.emit(&presets::figure5_experiment(&result)),
+                    "figure7" => {
+                        cli.emit(&result.speedups());
+                        cli.emit(&presets::figure7_summary(&result));
+                    }
+                    _ => cli.emit(&result.speedups()),
+                }
+                timing("", result.timing_summary());
+            }
+        }
+        other => return Err(format!("unknown command '{other}'\n{}", usage())),
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{}", usage());
+        return ExitCode::SUCCESS;
+    }
+    let cli = match parse_args(&args) {
+        Ok(cli) => cli,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::from(2);
+        }
+    };
+    match run_command(&cli) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("{message}");
+            ExitCode::from(2)
+        }
+    }
+}

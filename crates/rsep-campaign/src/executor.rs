@@ -1,0 +1,197 @@
+//! Deterministic parallel cell executor.
+//!
+//! The campaign engine reduces an experiment grid to a list of independent
+//! *cells* (pure functions of their index). [`Executor::run`] fans those
+//! cells out across `std::thread` workers over channels and collects the
+//! outputs **by cell index**, so the returned vector — and everything
+//! derived from it — is identical at any thread count. Work distribution is
+//! dynamic (workers pull the next index from a shared queue as they finish),
+//! which load-balances the grid even when cells have very different costs
+//! (e.g. `perlbench` checkpoints simulate slower than `libquantum` ones).
+
+use std::sync::mpsc;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Instrumentation collected by one [`Executor::run`] call.
+#[derive(Debug, Clone)]
+pub struct ExecStats {
+    /// Number of cells executed.
+    pub cells: usize,
+    /// Worker threads used.
+    pub jobs: usize,
+    /// Wall-clock time of the whole run.
+    pub wall: Duration,
+    /// Sum of per-cell execution times (the serial-equivalent cost).
+    pub busy: Duration,
+}
+
+impl ExecStats {
+    /// Parallel efficiency: serial-equivalent time over wall time.
+    /// ~`jobs` when the grid scales perfectly, ~1.0 when serial.
+    pub fn speedup(&self) -> f64 {
+        if self.wall.is_zero() {
+            1.0
+        } else {
+            self.busy.as_secs_f64() / self.wall.as_secs_f64()
+        }
+    }
+}
+
+/// Fans independent cells across worker threads.
+#[derive(Debug, Clone)]
+pub struct Executor {
+    jobs: usize,
+    progress: bool,
+}
+
+impl Executor {
+    /// Creates an executor with an explicit worker count (clamped to ≥ 1).
+    pub fn new(jobs: usize) -> Executor {
+        Executor { jobs: jobs.max(1), progress: false }
+    }
+
+    /// Uses the machine's available parallelism.
+    pub fn auto() -> Executor {
+        Executor::new(std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
+    }
+
+    /// Enables `[done/total]` progress lines on stderr.
+    pub fn with_progress(mut self, progress: bool) -> Executor {
+        self.progress = progress;
+        self
+    }
+
+    /// Worker threads this executor uses.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Executes `cell(0..cells)` and returns the outputs indexed by cell,
+    /// plus timing instrumentation. `cell` must be a pure function of its
+    /// index for the determinism guarantee to hold.
+    pub fn run<T, F>(&self, cells: usize, cell: F) -> (Vec<T>, ExecStats)
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        let start = Instant::now();
+        let jobs = self.jobs.min(cells.max(1));
+        if jobs <= 1 {
+            let mut busy = Duration::ZERO;
+            let mut out = Vec::with_capacity(cells);
+            for index in 0..cells {
+                let cell_start = Instant::now();
+                out.push(cell(index));
+                busy += cell_start.elapsed();
+                self.report_progress(index + 1, cells);
+            }
+            let stats = ExecStats { cells, jobs: 1, wall: start.elapsed(), busy };
+            return (out, stats);
+        }
+
+        // Task queue: every index pre-loaded, workers pull until drained.
+        let (task_tx, task_rx) = mpsc::channel::<usize>();
+        for index in 0..cells {
+            task_tx.send(index).expect("queue accepts all cells");
+        }
+        drop(task_tx);
+        let task_rx = Mutex::new(task_rx);
+
+        let (result_tx, result_rx) = mpsc::channel::<(usize, Duration, T)>();
+        let mut slots: Vec<Option<T>> = Vec::with_capacity(cells);
+        slots.resize_with(cells, || None);
+        let mut busy = Duration::ZERO;
+
+        std::thread::scope(|scope| {
+            for _ in 0..jobs {
+                let result_tx = result_tx.clone();
+                let task_rx = &task_rx;
+                let cell = &cell;
+                scope.spawn(move || loop {
+                    // Hold the lock only for the pull, not the work.
+                    let index = match task_rx.lock().expect("queue lock").try_recv() {
+                        Ok(index) => index,
+                        Err(_) => break,
+                    };
+                    let cell_start = Instant::now();
+                    let value = cell(index);
+                    if result_tx.send((index, cell_start.elapsed(), value)).is_err() {
+                        break;
+                    }
+                });
+            }
+            drop(result_tx);
+            let mut done = 0usize;
+            for (index, took, value) in result_rx {
+                slots[index] = Some(value);
+                busy += took;
+                done += 1;
+                self.report_progress(done, cells);
+            }
+        });
+
+        let out: Vec<T> =
+            slots.into_iter().map(|slot| slot.expect("every cell completed")).collect();
+        let stats = ExecStats { cells, jobs, wall: start.elapsed(), busy };
+        (out, stats)
+    }
+
+    fn report_progress(&self, done: usize, total: usize) {
+        // Throttle to ~20 updates per campaign so huge grids stay readable.
+        let step = (total / 20).max(1);
+        if self.progress && (done.is_multiple_of(step) || done == total) {
+            eprintln!("[{done}/{total}] cells complete");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn outputs_are_indexed_regardless_of_jobs() {
+        let f = |i: usize| i * i;
+        for jobs in [1, 2, 4, 8, 32] {
+            let (out, stats) = Executor::new(jobs).run(100, f);
+            assert_eq!(out, (0..100).map(f).collect::<Vec<_>>(), "jobs = {jobs}");
+            assert_eq!(stats.cells, 100);
+        }
+    }
+
+    #[test]
+    fn every_cell_runs_exactly_once() {
+        let counter = AtomicUsize::new(0);
+        let (out, _) = Executor::new(4).run(57, |i| {
+            counter.fetch_add(1, Ordering::SeqCst);
+            i
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 57);
+        assert_eq!(out.len(), 57);
+    }
+
+    #[test]
+    fn zero_cells_is_fine() {
+        let (out, stats) = Executor::new(8).run(0, |i| i);
+        assert!(out.is_empty());
+        assert_eq!(stats.cells, 0);
+    }
+
+    #[test]
+    fn uneven_cell_costs_still_collect_in_order() {
+        let (out, _) = Executor::new(4).run(16, |i| {
+            // Earlier indices sleep longer, so later cells finish first.
+            std::thread::sleep(Duration::from_millis((16 - i) as u64));
+            i * 10
+        });
+        assert_eq!(out, (0..16).map(|i| i * 10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn jobs_is_clamped() {
+        assert_eq!(Executor::new(0).jobs(), 1);
+        assert!(Executor::auto().jobs() >= 1);
+    }
+}

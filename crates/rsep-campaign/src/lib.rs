@@ -1,0 +1,303 @@
+//! # rsep-campaign
+//!
+//! Parallel experiment-campaign engine for the RSEP reproduction.
+//!
+//! The paper's evaluation (Section V/VI) is a grid: ~19 SPEC-like profiles
+//! × 7 mechanism configurations × N checkpoints. This crate turns that grid
+//! into a first-class subsystem:
+//!
+//! * [`CampaignSpec`] — a declarative description of one campaign
+//!   (profiles × mechanisms × core config × checkpoint scale × seed),
+//!   honouring the same `RSEP_*` environment variables as the `rsep-bench`
+//!   binaries;
+//! * [`Executor`] — a channel-fed thread pool that fans the independent
+//!   `(profile, mechanism, checkpoint)` cells across workers and collects
+//!   outputs by cell index, so results are **bit-identical at any thread
+//!   count**;
+//! * [`Campaign`] — expands a spec into cells, runs them, and reassembles
+//!   the per-benchmark results into a [`CampaignResult`] grid;
+//! * [`report`] — JSON / CSV / markdown / fixed-width table emitters built
+//!   on `rsep-stats`;
+//! * [`presets`] — the paper's figure campaigns (Figures 1, 4, 6, 7 and
+//!   the sensitivity sweeps), shared by the `rsep` CLI and `rsep-bench`.
+//!
+//! # Quick start
+//!
+//! ```
+//! use rsep_campaign::{presets, Campaign};
+//!
+//! let spec = presets::fig4().smoke();
+//! let result = Campaign::with_jobs(2).run(&spec);
+//! let speedups = result.speedups();
+//! assert_eq!(speedups.benchmarks().len(), 6);
+//! println!("{}", speedups.to_table());
+//! ```
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+pub mod executor;
+pub mod presets;
+pub mod report;
+pub mod spec;
+
+pub use executor::{ExecStats, Executor};
+pub use report::ReportFormat;
+pub use spec::{jobs_from_env, CampaignSpec};
+
+use rsep_core::{
+    checkpoint_seed, run_checkpoint, BenchmarkResult, CheckpointResult, MechanismConfig,
+    RedundancyAnalyzer, RedundancyConfig, RedundancyReport,
+};
+use rsep_stats::{speedup_percent, Experiment};
+use rsep_trace::TraceGenerator;
+
+/// One benchmark row of a campaign: the baseline (when run) and one result
+/// per mechanism, in spec order.
+#[derive(Debug, Clone)]
+pub struct ProfileResults {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Baseline result, when the spec asked for one.
+    pub baseline: Option<BenchmarkResult>,
+    /// One result per mechanism, in `spec.mechanisms` order.
+    pub results: Vec<BenchmarkResult>,
+}
+
+/// The merged output of one campaign run.
+#[derive(Debug, Clone)]
+pub struct CampaignResult {
+    /// Campaign identifier (from the spec).
+    pub id: String,
+    /// One row per profile, in spec order.
+    pub rows: Vec<ProfileResults>,
+    /// Executor instrumentation (wall time, busy time, jobs).
+    pub exec: ExecStats,
+}
+
+impl CampaignResult {
+    /// Speedup-over-baseline experiment (`speedup %` per benchmark ×
+    /// mechanism). Rows without a baseline are skipped.
+    pub fn speedups(&self) -> Experiment {
+        let mut exp = Experiment::new(self.id.clone(), "speedup % over baseline");
+        for row in &self.rows {
+            let Some(baseline) = &row.baseline else { continue };
+            for result in &row.results {
+                exp.push(
+                    row.benchmark.clone(),
+                    result.mechanism.clone(),
+                    speedup_percent(result.ipc, baseline.ipc),
+                );
+            }
+        }
+        exp
+    }
+
+    /// Raw IPC experiment (baseline included as its own series).
+    pub fn ipcs(&self) -> Experiment {
+        let mut exp = Experiment::new(format!("{}-ipc", self.id), "IPC");
+        for row in &self.rows {
+            if let Some(baseline) = &row.baseline {
+                exp.push(row.benchmark.clone(), baseline.mechanism.clone(), baseline.ipc);
+            }
+            for result in &row.results {
+                exp.push(row.benchmark.clone(), result.mechanism.clone(), result.ipc);
+            }
+        }
+        exp
+    }
+
+    /// One-line timing summary for progress output.
+    pub fn timing_summary(&self) -> String {
+        format!(
+            "{}: {} cells on {} workers in {:.2?} (busy {:.2?}, parallel speedup {:.2}x)",
+            self.id,
+            self.exec.cells,
+            self.exec.jobs,
+            self.exec.wall,
+            self.exec.busy,
+            self.exec.speedup()
+        )
+    }
+}
+
+/// The campaign engine: expands a [`CampaignSpec`] into cells and runs them
+/// on an [`Executor`].
+#[derive(Debug, Clone)]
+pub struct Campaign {
+    executor: Executor,
+}
+
+impl Campaign {
+    /// Engine over an explicit executor.
+    pub fn new(executor: Executor) -> Campaign {
+        Campaign { executor }
+    }
+
+    /// Engine with `jobs` worker threads.
+    pub fn with_jobs(jobs: usize) -> Campaign {
+        Campaign::new(Executor::new(jobs))
+    }
+
+    /// Engine honouring `RSEP_JOBS` (default: machine parallelism).
+    pub fn from_env() -> Campaign {
+        Campaign::with_jobs(jobs_from_env())
+    }
+
+    /// Runs a simulation campaign: every `(profile, mechanism, checkpoint)`
+    /// cell of the spec, reassembled into per-benchmark results.
+    ///
+    /// Deterministic: for a given spec, the returned grid is bit-identical
+    /// at any worker count (cells are pure and reassembly is
+    /// index-ordered).
+    pub fn run(&self, spec: &CampaignSpec) -> CampaignResult {
+        // Mechanism axis: baseline first (when requested), then the spec's
+        // mechanisms in order.
+        let mut mechanisms: Vec<MechanismConfig> = Vec::new();
+        if spec.baseline {
+            mechanisms.push(MechanismConfig::baseline());
+        }
+        mechanisms.extend(spec.mechanisms.iter().cloned());
+
+        let n_profiles = spec.profiles.len();
+        let n_mechanisms = mechanisms.len();
+        let n_checkpoints = spec.checkpoints.count;
+        let cells = n_profiles * n_mechanisms * n_checkpoints;
+
+        let (outputs, exec) = self.executor.run(cells, |index| {
+            let checkpoint = index % n_checkpoints;
+            let mechanism = (index / n_checkpoints) % n_mechanisms;
+            let profile = index / (n_checkpoints * n_mechanisms);
+            run_checkpoint(
+                &spec.profiles[profile],
+                &mechanisms[mechanism],
+                &spec.core_config,
+                spec.checkpoints,
+                spec.seed,
+                checkpoint,
+            )
+        });
+
+        // Reassemble: outputs arrive indexed, so grouping is a simple
+        // chunked walk in (profile, mechanism) order.
+        let mut outputs = outputs.into_iter();
+        let mut rows = Vec::with_capacity(n_profiles);
+        for profile in &spec.profiles {
+            let mut baseline = None;
+            let mut results = Vec::with_capacity(spec.mechanisms.len());
+            for mechanism in &mechanisms {
+                let checkpoints: Vec<CheckpointResult> =
+                    outputs.by_ref().take(n_checkpoints).collect();
+                let result = BenchmarkResult::from_checkpoints(
+                    profile.name,
+                    mechanism.label.clone(),
+                    checkpoints,
+                );
+                if spec.baseline && baseline.is_none() && mechanism.label == "baseline" {
+                    baseline = Some(result);
+                } else {
+                    results.push(result);
+                }
+            }
+            rows.push(ProfileResults { benchmark: profile.name.to_string(), baseline, results });
+        }
+        CampaignResult { id: spec.id.clone(), rows, exec }
+    }
+
+    /// Runs the Figure 1 redundancy campaign: per `(profile, checkpoint)`
+    /// cell, analyse the committed-value redundancy of the sub-seeded trace
+    /// and merge the counts per profile. Mechanisms in the spec are
+    /// ignored; only the trace matters.
+    pub fn run_redundancy(&self, spec: &CampaignSpec) -> (Experiment, ExecStats) {
+        let n_checkpoints = spec.checkpoints.count;
+        let insts = (spec.checkpoints.warmup + spec.checkpoints.measure) as usize;
+        let cells = spec.profiles.len() * n_checkpoints;
+        let (reports, exec) = self.executor.run(cells, |index| {
+            let checkpoint = index % n_checkpoints;
+            let profile = index / n_checkpoints;
+            let trace = TraceGenerator::new(
+                &spec.profiles[profile],
+                checkpoint_seed(spec.seed, checkpoint),
+            )
+            .take(insts);
+            RedundancyAnalyzer::analyze(RedundancyConfig::default(), trace)
+        });
+
+        let mut exp = Experiment::new(spec.id.clone(), "% of committed instructions");
+        for (p, profile) in spec.profiles.iter().enumerate() {
+            let mut merged = RedundancyReport::default();
+            for report in &reports[p * n_checkpoints..(p + 1) * n_checkpoints] {
+                merged.merge(report);
+            }
+            exp.push(profile.name, "zero (load)", merged.zero_load_fraction() * 100.0);
+            exp.push(profile.name, "zero (other)", merged.zero_other_fraction() * 100.0);
+            exp.push(profile.name, "in PRF (load)", merged.prf_load_fraction() * 100.0);
+            exp.push(profile.name, "in PRF (other)", merged.prf_other_fraction() * 100.0);
+        }
+        (exp, exec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsep_trace::CheckpointSpec;
+
+    fn tiny_spec() -> CampaignSpec {
+        CampaignSpec::new("test-campaign")
+            .with_benchmark_filter("mcf,libquantum")
+            .with_checkpoints(CheckpointSpec::scaled(2, 500, 2_000))
+            .with_seed(7)
+            .with_mechanisms(vec![MechanismConfig::rsep_ideal(), MechanismConfig::value_pred()])
+    }
+
+    #[test]
+    fn grid_has_one_row_per_profile_and_result_per_mechanism() {
+        let result = Campaign::with_jobs(2).run(&tiny_spec());
+        assert_eq!(result.rows.len(), 2);
+        for row in &result.rows {
+            assert!(row.baseline.is_some());
+            assert_eq!(row.results.len(), 2);
+            assert_eq!(row.results[0].mechanism, "rsep-ideal");
+            assert_eq!(row.results[0].checkpoint_ipcs.len(), 2);
+        }
+        assert_eq!(result.exec.cells, 2 * 3 * 2);
+    }
+
+    #[test]
+    fn speedups_experiment_covers_the_grid() {
+        let result = Campaign::with_jobs(2).run(&tiny_spec());
+        let exp = result.speedups();
+        assert_eq!(exp.benchmarks().len(), 2);
+        assert_eq!(exp.series().len(), 2);
+        for p in &exp.points {
+            assert!(p.value > -50.0 && p.value < 100.0, "{}: {}", p.series, p.value);
+        }
+    }
+
+    #[test]
+    fn baseline_can_be_skipped() {
+        let spec = tiny_spec().with_baseline(false);
+        let result = Campaign::with_jobs(2).run(&spec);
+        for row in &result.rows {
+            assert!(row.baseline.is_none());
+            assert_eq!(row.results.len(), 2);
+        }
+        assert!(result.speedups().points.is_empty());
+        assert_eq!(result.ipcs().points.len(), 4);
+    }
+
+    #[test]
+    fn redundancy_campaign_produces_four_series() {
+        let spec = CampaignSpec::new("fig1-test")
+            .with_benchmark_filter("zeusmp,gcc")
+            .with_checkpoints(CheckpointSpec::scaled(2, 500, 2_000))
+            .with_baseline(false);
+        let (exp, exec) = Campaign::with_jobs(2).run_redundancy(&spec);
+        assert_eq!(exec.cells, 4);
+        assert_eq!(exp.series().len(), 4);
+        for p in &exp.points {
+            assert!((0.0..=100.0).contains(&p.value));
+        }
+    }
+}

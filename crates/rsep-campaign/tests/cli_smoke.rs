@@ -1,0 +1,103 @@
+//! Every `rsep` CLI subcommand exits 0 under `--smoke`, and usage errors
+//! exit non-zero.
+
+use std::process::Command;
+
+fn rsep(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_rsep"))
+        .args(args)
+        .env_remove("RSEP_CHECKPOINTS")
+        .env_remove("RSEP_WARMUP")
+        .env_remove("RSEP_MEASURE")
+        .env_remove("RSEP_BENCHMARKS")
+        .env_remove("RSEP_SEED")
+        .env_remove("RSEP_JOBS")
+        .output()
+        .expect("rsep binary runs")
+}
+
+#[test]
+fn every_subcommand_smokes_green() {
+    for command in ["run", "fig1", "fig4", "fig5", "fig6", "fig7", "table1", "sweep"] {
+        let output = rsep(&[command, "--smoke", "--quiet", "--jobs", "4"]);
+        assert!(
+            output.status.success(),
+            "rsep {command} --smoke exited {:?}: {}",
+            output.status.code(),
+            String::from_utf8_lossy(&output.stderr)
+        );
+        assert!(!output.stdout.is_empty(), "rsep {command} produced no output");
+    }
+}
+
+#[test]
+fn formats_render_for_fig7() {
+    for format in ["--json", "--csv", "--md"] {
+        let output = rsep(&["fig7", "--smoke", "--quiet", format, "--benchmarks", "mcf"]);
+        assert!(output.status.success(), "{format} failed");
+        let text = String::from_utf8(output.stdout).unwrap();
+        // CSV carries no experiment id, so anchor on a series name instead.
+        assert!(text.contains("rsep-realistic"), "{format}: {text}");
+    }
+}
+
+#[test]
+fn scale_flags_shrink_the_run() {
+    let output = rsep(&[
+        "fig4",
+        "--quiet",
+        "--benchmarks",
+        "mcf",
+        "--checkpoints",
+        "1",
+        "--warmup",
+        "200",
+        "--measure",
+        "500",
+        "--seed",
+        "5",
+        "--csv",
+    ]);
+    assert!(output.status.success());
+    let text = String::from_utf8(output.stdout).unwrap();
+    // Header + 5 mechanisms for the one benchmark.
+    assert_eq!(text.lines().count(), 6, "{text}");
+}
+
+#[test]
+fn bad_usage_exits_2() {
+    assert_eq!(rsep(&[]).status.code(), Some(2));
+    assert_eq!(rsep(&["nosuchfig"]).status.code(), Some(2));
+    assert_eq!(rsep(&["fig4", "--jobs"]).status.code(), Some(2));
+    assert_eq!(rsep(&["fig4", "--jobs", "abc"]).status.code(), Some(2));
+    // A selection matching nothing is an error, not an empty report.
+    assert_eq!(rsep(&["fig4", "--smoke", "--benchmarks", "nosuchbench"]).status.code(), Some(2));
+}
+
+#[test]
+fn smoke_respects_a_benchmark_outside_the_smoke_six() {
+    // hmmer is not in the smoke subset; --benchmarks must still select it.
+    let output = rsep(&["fig4", "--smoke", "--quiet", "--benchmarks", "hmmer", "--csv"]);
+    assert!(output.status.success());
+    let text = String::from_utf8(output.stdout).unwrap();
+    assert!(text.contains("hmmer,"), "{text}");
+    // Header + 5 mechanism rows, nothing else ran.
+    assert_eq!(text.lines().count(), 6, "{text}");
+}
+
+#[test]
+fn fig5_reports_both_mechanism_prefixes() {
+    let output = rsep(&["fig5", "--smoke", "--quiet", "--benchmarks", "mcf", "--csv"]);
+    assert!(output.status.success());
+    let text = String::from_utf8(output.stdout).unwrap();
+    // 8 coverage categories × 2 mechanisms, distinctly prefixed.
+    assert_eq!(text.matches("mcf,rsep:").count(), 8, "{text}");
+    assert_eq!(text.matches("mcf,rsep+vp:").count(), 8, "{text}");
+}
+
+#[test]
+fn help_exits_0() {
+    let output = rsep(&["--help"]);
+    assert!(output.status.success());
+    assert!(String::from_utf8_lossy(&output.stdout).contains("usage: rsep"));
+}

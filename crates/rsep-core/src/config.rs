@@ -168,7 +168,11 @@ impl MechanismConfig {
 
     /// Move elimination only (second bar of Figure 4).
     pub fn move_elim() -> MechanismConfig {
-        MechanismConfig { label: "move-elim".into(), move_elim: true, ..MechanismConfig::baseline() }
+        MechanismConfig {
+            label: "move-elim".into(),
+            move_elim: true,
+            ..MechanismConfig::baseline()
+        }
     }
 
     /// RSEP with the given configuration (move elimination included, as in
@@ -252,7 +256,10 @@ mod tests {
     fn sampling_thresholds() {
         assert_eq!(SamplingConfig::threshold_63().start_train_effective, 63);
         assert_eq!(SamplingConfig::threshold_15().start_train_effective, 15);
-        assert!(SamplingConfig::threshold_63().start_train_raw > SamplingConfig::threshold_15().start_train_raw);
+        assert!(
+            SamplingConfig::threshold_63().start_train_raw
+                > SamplingConfig::threshold_15().start_train_raw
+        );
     }
 
     #[test]

@@ -343,14 +343,18 @@ mod tests {
         let mut wrong = inst;
         wrong.seq = 30_001;
         wrong.result = 7;
-        assert_eq!(engine.at_rename(&wrong, &ctx(&rob)), RenameAction::PredictZero { correct: false });
+        assert_eq!(
+            engine.at_rename(&wrong, &ctx(&rob)),
+            RenameAction::PredictZero { correct: false }
+        );
     }
 
     #[test]
     fn value_prediction_engages_for_constant_streams() {
         let mut engine = RsepEngine::new(MechanismConfig::value_pred());
         let rob = Rob::new(8);
-        let make = |seq: u64| DynInst::simple(seq, 0x400200, OpClass::IntAlu, ArchReg::int(1), 0x42);
+        let make =
+            |seq: u64| DynInst::simple(seq, 0x400200, OpClass::IntAlu, ArchReg::int(1), 0x42);
         for s in 0..20_000u64 {
             engine.at_commit(&make(s), Disposition::None, s);
         }

@@ -163,7 +163,12 @@ impl FifoHistory {
     /// Searches the history for an older producer with the same result
     /// hash. `predicted_distance`, when provided, is preferred over the
     /// most recent match.
-    pub fn find_pair(&mut self, csn: u64, result: u64, predicted_distance: Option<u32>) -> Option<PairMatch> {
+    pub fn find_pair(
+        &mut self,
+        csn: u64,
+        result: u64,
+        predicted_distance: Option<u32>,
+    ) -> Option<PairMatch> {
         self.stats.searches += 1;
         let h = self.hash.hash(result);
         let mut best: Option<PairMatch> = None;

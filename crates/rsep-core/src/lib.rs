@@ -56,4 +56,7 @@ pub use fifo_history::{FifoHistory, FifoHistoryConfig, FifoHistoryStats, PairMat
 pub use hrf::HashRegFile;
 pub use isrb::{Isrb, IsrbConfig, IsrbStats};
 pub use redundancy::{RedundancyAnalyzer, RedundancyConfig, RedundancyReport};
-pub use runner::{run_benchmark, run_comparison, BenchmarkResult};
+pub use runner::{
+    checkpoint_seed, run_benchmark, run_checkpoint, run_comparison, BenchmarkResult,
+    CheckpointResult,
+};

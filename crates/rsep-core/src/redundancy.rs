@@ -56,6 +56,17 @@ impl RedundancyReport {
         self.ratio(self.zero_loads + self.zero_others + self.prf_loads + self.prf_others)
     }
 
+    /// Accumulates another checkpoint's counts into this one (used by the
+    /// campaign engine to merge per-checkpoint redundancy cells; the merged
+    /// fractions are then instruction-weighted averages).
+    pub fn merge(&mut self, other: &RedundancyReport) {
+        self.committed += other.committed;
+        self.zero_loads += other.zero_loads;
+        self.zero_others += other.zero_others;
+        self.prf_loads += other.prf_loads;
+        self.prf_others += other.prf_others;
+    }
+
     fn ratio(&self, n: u64) -> f64 {
         if self.committed == 0 {
             0.0
@@ -126,7 +137,10 @@ impl RedundancyAnalyzer {
     }
 
     /// Convenience: analyses a whole trace.
-    pub fn analyze<I: IntoIterator<Item = DynInst>>(config: RedundancyConfig, trace: I) -> RedundancyReport {
+    pub fn analyze<I: IntoIterator<Item = DynInst>>(
+        config: RedundancyConfig,
+        trace: I,
+    ) -> RedundancyReport {
         let mut analyzer = RedundancyAnalyzer::new(config);
         for inst in trace {
             analyzer.observe(&inst);
@@ -149,11 +163,11 @@ mod tests {
     fn zero_and_redundant_results_are_classified() {
         let trace = vec![
             alu(0, 5),
-            alu(1, 0),    // zero other
-            alu(2, 5),    // redundant other
+            alu(1, 0),                                                       // zero other
+            alu(2, 5),                                                       // redundant other
             DynInst::simple(3, 0x40000c, OpClass::Load, ArchReg::int(2), 0), // zero load
             DynInst::simple(4, 0x400010, OpClass::Load, ArchReg::int(2), 5), // redundant load
-            alu(5, 99),   // neither
+            alu(5, 99),                                                      // neither
         ];
         let report = RedundancyAnalyzer::analyze(RedundancyConfig::default(), trace);
         assert_eq!(report.committed, 6);
@@ -181,7 +195,10 @@ mod tests {
     fn zero_idioms_and_non_producers_are_excluded() {
         let trace = vec![
             DynInst::simple(0, 0x400000, OpClass::ZeroIdiom, ArchReg::int(1), 0),
-            rsep_isa::DynInstBuilder::new(1, 0x400004, OpClass::Store).mem(0x1000, 8).result(0).build(),
+            rsep_isa::DynInstBuilder::new(1, 0x400004, OpClass::Store)
+                .mem(0x1000, 8)
+                .result(0)
+                .build(),
         ];
         let report = RedundancyAnalyzer::analyze(RedundancyConfig::default(), trace);
         assert_eq!(report.committed, 2);

@@ -1,11 +1,20 @@
 //! Benchmark runner: profiles × mechanism configurations × checkpoints.
 //!
-//! This is the experiment methodology of Section V packaged as a function:
+//! This is the experiment methodology of Section V packaged as functions:
 //! for one benchmark profile and one mechanism configuration, simulate the
 //! requested checkpoints (warm-up then measurement), and report the
 //! harmonic-mean IPC together with the merged coverage and accuracy
 //! statistics. Speedups (Figures 4, 6, 7) are then ratios of these IPCs
 //! against the baseline configuration.
+//!
+//! Checkpoints are **independent**: checkpoint `i` simulates a fresh trace
+//! seeded with [`checkpoint_seed`]`(seed, i)`, modelling the paper's
+//! uniformly spaced checkpoints as distinct program regions. This is what
+//! lets the `rsep-campaign` engine schedule individual
+//! `(profile, mechanism, checkpoint)` cells across worker threads —
+//! [`run_checkpoint`] — and then reassemble bit-identical
+//! [`BenchmarkResult`]s at any thread count via
+//! [`BenchmarkResult::from_checkpoints`].
 
 use crate::config::MechanismConfig;
 use crate::engine::RsepEngine;
@@ -37,6 +46,77 @@ impl BenchmarkResult {
             self.ipc / baseline.ipc
         }
     }
+
+    /// Assembles a benchmark result from independently executed checkpoint
+    /// cells. Checkpoints are sorted by index first, so the result is
+    /// identical no matter in which order (or on which thread) the cells
+    /// were executed.
+    pub fn from_checkpoints(
+        benchmark: impl Into<String>,
+        mechanism: impl Into<String>,
+        mut checkpoints: Vec<CheckpointResult>,
+    ) -> BenchmarkResult {
+        checkpoints.sort_by_key(|c| c.index);
+        let mut merged = SimStats::default();
+        let mut ipcs = Vec::with_capacity(checkpoints.len());
+        for c in &checkpoints {
+            ipcs.push(c.ipc);
+            merged.merge(&c.stats);
+        }
+        BenchmarkResult {
+            benchmark: benchmark.into(),
+            mechanism: mechanism.into(),
+            ipc: harmonic_mean(&ipcs),
+            checkpoint_ipcs: ipcs,
+            stats: merged,
+        }
+    }
+}
+
+/// Result of simulating a single checkpoint cell.
+#[derive(Debug, Clone)]
+pub struct CheckpointResult {
+    /// Checkpoint index within its benchmark run (0-based).
+    pub index: usize,
+    /// IPC over the measured window.
+    pub ipc: f64,
+    /// Statistics of the measured window.
+    pub stats: SimStats,
+}
+
+/// Derives the trace seed of checkpoint `index` from the campaign seed.
+///
+/// The golden-ratio multiply decorrelates neighbouring campaign seeds before
+/// the checkpoint offset is added, so checkpoint `i` of seed `s` never
+/// collides with checkpoint `i + 1` of seed `s` or checkpoint `i` of
+/// `s + 1` in practice.
+pub fn checkpoint_seed(seed: u64, index: usize) -> u64 {
+    seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(index as u64)
+}
+
+/// Simulates one `(profile, mechanism, checkpoint)` cell: a fresh core
+/// (cold structures) over a fresh sub-seeded trace, warmed for
+/// `spec.warmup` instructions before `spec.measure` instructions are
+/// measured.
+///
+/// The cell is a pure function of its arguments, which is what makes
+/// campaign execution embarrassingly parallel.
+pub fn run_checkpoint(
+    profile: &BenchmarkProfile,
+    mechanism: &MechanismConfig,
+    core_config: &CoreConfig,
+    spec: CheckpointSpec,
+    seed: u64,
+    index: usize,
+) -> CheckpointResult {
+    let mut trace = TraceGenerator::new(profile, checkpoint_seed(seed, index));
+    let engine = RsepEngine::new(mechanism.clone());
+    let mut core = Core::new(core_config.clone(), Box::new(engine));
+    core.run(&mut trace, spec.warmup);
+    core.reset_stats();
+    core.run(&mut trace, spec.measure);
+    let stats = core.take_stats();
+    CheckpointResult { index, ipc: stats.ipc(), stats }
 }
 
 /// Harmonic mean of a slice of positive numbers.
@@ -52,37 +132,13 @@ fn harmonic_mean(values: &[f64]) -> f64 {
     }
 }
 
-fn merge_stats(total: &mut SimStats, part: &SimStats) {
-    total.cycles += part.cycles;
-    total.committed += part.committed;
-    total.committed_loads += part.committed_loads;
-    total.committed_stores += part.committed_stores;
-    total.committed_branches += part.committed_branches;
-    total.branch_mispredictions += part.branch_mispredictions;
-    total.prediction_squashes += part.prediction_squashes;
-    total.correct_predictions += part.correct_predictions;
-    total.incorrect_predictions += part.incorrect_predictions;
-    total.eligible_instructions += part.eligible_instructions;
-    total.prf_stall_cycles += part.prf_stall_cycles;
-    total.queue_stall_cycles += part.queue_stall_cycles;
-    total.validation_issues += part.validation_issues;
-    total.validation_port_conflicts += part.validation_port_conflicts;
-    total.rob_occupancy_sum += part.rob_occupancy_sum;
-    total.coverage.zero_idiom_elim += part.coverage.zero_idiom_elim;
-    total.coverage.move_elim += part.coverage.move_elim;
-    total.coverage.zero_pred += part.coverage.zero_pred;
-    total.coverage.load_zero_pred += part.coverage.load_zero_pred;
-    total.coverage.dist_pred += part.coverage.dist_pred;
-    total.coverage.load_dist_pred += part.coverage.load_dist_pred;
-    total.coverage.value_pred += part.coverage.value_pred;
-    total.coverage.load_value_pred += part.coverage.load_value_pred;
-}
-
 /// Runs one benchmark profile under one mechanism configuration.
 ///
-/// Each checkpoint uses a fresh core (cold structures) warmed over
-/// `spec.warmup` instructions before `spec.measure` instructions are
-/// measured, mirroring the paper's methodology at a configurable scale.
+/// Each checkpoint is an independent [`run_checkpoint`] cell (fresh core,
+/// fresh sub-seeded trace), mirroring the paper's methodology at a
+/// configurable scale; results are identical to executing the same cells in
+/// parallel and reassembling them with
+/// [`BenchmarkResult::from_checkpoints`].
 pub fn run_benchmark(
     profile: &BenchmarkProfile,
     mechanism: &MechanismConfig,
@@ -90,27 +146,10 @@ pub fn run_benchmark(
     spec: CheckpointSpec,
     seed: u64,
 ) -> BenchmarkResult {
-    let mut ipcs = Vec::with_capacity(spec.count);
-    let mut merged = SimStats::default();
-    let mut trace = TraceGenerator::new(profile, seed);
-    for checkpoint in 0..spec.count {
-        let engine = RsepEngine::new(mechanism.clone());
-        let mut core = Core::new(core_config.clone(), Box::new(engine));
-        core.run(&mut trace, spec.warmup);
-        core.reset_stats();
-        core.run(&mut trace, spec.measure);
-        let stats = core.take_stats();
-        ipcs.push(stats.ipc());
-        merge_stats(&mut merged, &stats);
-        let _ = checkpoint;
-    }
-    BenchmarkResult {
-        benchmark: profile.name.to_string(),
-        mechanism: mechanism.label.clone(),
-        ipc: harmonic_mean(&ipcs),
-        checkpoint_ipcs: ipcs,
-        stats: merged,
-    }
+    let checkpoints = (0..spec.count)
+        .map(|index| run_checkpoint(profile, mechanism, core_config, spec, seed, index))
+        .collect();
+    BenchmarkResult::from_checkpoints(profile.name, mechanism.label.clone(), checkpoints)
 }
 
 /// Runs a benchmark under the baseline and one or more mechanism
@@ -123,10 +162,8 @@ pub fn run_comparison(
     seed: u64,
 ) -> (BenchmarkResult, Vec<BenchmarkResult>) {
     let baseline = run_benchmark(profile, &MechanismConfig::baseline(), core_config, spec, seed);
-    let results = mechanisms
-        .iter()
-        .map(|m| run_benchmark(profile, m, core_config, spec, seed))
-        .collect();
+    let results =
+        mechanisms.iter().map(|m| run_benchmark(profile, m, core_config, spec, seed)).collect();
     (baseline, results)
 }
 
@@ -136,6 +173,37 @@ mod tests {
 
     fn quick_spec() -> CheckpointSpec {
         CheckpointSpec::scaled(2, 1_000, 4_000)
+    }
+
+    #[test]
+    fn checkpoint_seeds_are_distinct_and_deterministic() {
+        assert_eq!(checkpoint_seed(42, 3), checkpoint_seed(42, 3));
+        let seeds: Vec<u64> = (0..16).map(|i| checkpoint_seed(42, i)).collect();
+        for (i, a) in seeds.iter().enumerate() {
+            for b in &seeds[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+        assert_ne!(checkpoint_seed(1, 0), checkpoint_seed(2, 0));
+    }
+
+    #[test]
+    fn cellwise_assembly_matches_the_serial_run() {
+        let profile = BenchmarkProfile::by_name("mcf").unwrap();
+        let mechanism = MechanismConfig::rsep_ideal();
+        let config = CoreConfig::small_test();
+        let spec = quick_spec();
+        let serial = run_benchmark(&profile, &mechanism, &config, spec, 11);
+        // Execute the same cells out of order and reassemble.
+        let cells: Vec<CheckpointResult> = (0..spec.count)
+            .rev()
+            .map(|i| run_checkpoint(&profile, &mechanism, &config, spec, 11, i))
+            .collect();
+        let assembled =
+            BenchmarkResult::from_checkpoints(profile.name, mechanism.label.clone(), cells);
+        assert_eq!(serial.checkpoint_ipcs, assembled.checkpoint_ipcs);
+        assert_eq!(serial.ipc.to_bits(), assembled.ipc.to_bits());
+        assert_eq!(serial.stats, assembled.stats);
     }
 
     #[test]

@@ -48,10 +48,7 @@ impl FoldHash {
     ///
     /// Panics unless `1 <= width <= 64`.
     pub fn new(width: u8) -> FoldHash {
-        assert!(
-            (1..=64).contains(&width),
-            "hash width must be between 1 and 64 bits, got {width}"
-        );
+        assert!((1..=64).contains(&width), "hash width must be between 1 and 64 bits, got {width}");
         FoldHash { width }
     }
 
@@ -142,14 +139,7 @@ mod tests {
     #[test]
     fn matches_paper_formula_for_14_bits() {
         let h = FoldHash::new(14);
-        for &val in &[
-            0u64,
-            1,
-            0xdead_beef_cafe_f00d,
-            u64::MAX,
-            0x0123_4567_89ab_cdef,
-            1 << 63,
-        ] {
+        for &val in &[0u64, 1, 0xdead_beef_cafe_f00d, u64::MAX, 0x0123_4567_89ab_cdef, 1 << 63] {
             let expected = (val & 0x3fff)
                 ^ ((val >> 14) & 0x3fff)
                 ^ ((val >> 28) & 0x3fff)

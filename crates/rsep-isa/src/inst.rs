@@ -182,12 +182,8 @@ impl DynInstBuilder {
     ///
     /// Panics if all source slots are already used.
     pub fn src(mut self, src: ArchReg) -> Self {
-        let slot = self
-            .inst
-            .srcs
-            .iter_mut()
-            .find(|s| s.is_none())
-            .expect("too many source registers");
+        let slot =
+            self.inst.srcs.iter_mut().find(|s| s.is_none()).expect("too many source registers");
         *slot = Some(src);
         self
     }

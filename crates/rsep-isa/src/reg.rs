@@ -60,10 +60,7 @@ pub struct ArchReg {
 
 impl ArchReg {
     /// The hardwired integer zero register.
-    pub const ZERO: ArchReg = ArchReg {
-        class: RegClass::Int,
-        index: ZERO_REG_INDEX,
-    };
+    pub const ZERO: ArchReg = ArchReg { class: RegClass::Int, index: ZERO_REG_INDEX };
 
     /// Creates an integer architectural register.
     ///
@@ -76,10 +73,7 @@ impl ArchReg {
             index < NUM_INT_ARCH_REGS,
             "integer architectural register index {index} out of range"
         );
-        ArchReg {
-            class: RegClass::Int,
-            index,
-        }
+        ArchReg { class: RegClass::Int, index }
     }
 
     /// Creates a floating-point architectural register.
@@ -93,10 +87,7 @@ impl ArchReg {
             index < NUM_FP_ARCH_REGS,
             "floating-point architectural register index {index} out of range"
         );
-        ArchReg {
-            class: RegClass::Fp,
-            index,
-        }
+        ArchReg { class: RegClass::Fp, index }
     }
 
     /// Register class of this register.

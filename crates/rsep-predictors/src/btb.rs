@@ -28,7 +28,10 @@ impl Btb {
     ///
     /// Panics if `entries` is not a power of two or is smaller than 2.
     pub fn new(entries: usize) -> Btb {
-        assert!(entries >= 2 && entries.is_power_of_two(), "BTB entries must be a power of two >= 2");
+        assert!(
+            entries >= 2 && entries.is_power_of_two(),
+            "BTB entries must be a power of two >= 2"
+        );
         let sets = entries / 2;
         Btb {
             sets: vec![[BtbEntry::default(); 2]; sets],
@@ -135,17 +138,15 @@ mod tests {
     #[test]
     fn btb_two_way_associativity_avoids_immediate_eviction() {
         let mut btb = Btb::new(8); // 4 sets, 2 ways.
-        // Two PCs mapping to the same set (stride = 4 sets * 4 bytes).
+                                   // Two PCs mapping to the same set (stride = 4 sets * 4 bytes).
         btb.update(0x1000, 0xa);
         btb.update(0x1000 + 16, 0xb);
         assert_eq!(btb.lookup(0x1000), Some(0xa));
         assert_eq!(btb.lookup(0x1000 + 16), Some(0xb));
         // A third conflicting PC evicts one of them but not both.
         btb.update(0x1000 + 32, 0xc);
-        let survivors = [0x1000u64, 0x1000 + 16]
-            .iter()
-            .filter(|&&pc| btb.lookup(pc).is_some())
-            .count();
+        let survivors =
+            [0x1000u64, 0x1000 + 16].iter().filter(|&&pc| btb.lookup(pc).is_some()).count();
         assert_eq!(survivors, 1);
         assert_eq!(btb.lookup(0x1000 + 32), Some(0xc));
     }

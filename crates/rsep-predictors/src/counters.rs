@@ -96,7 +96,7 @@ impl Lfsr {
     #[inline]
     pub fn one_in(&mut self, denominator: u32) -> bool {
         debug_assert!(denominator > 0);
-        self.next_u64() % u64::from(denominator) == 0
+        self.next_u64().is_multiple_of(u64::from(denominator))
     }
 }
 
@@ -123,7 +123,7 @@ impl ProbabilisticCounter {
     /// Creates a probabilistic counter with the given width and increment
     /// probability denominator.
     pub fn new(bits: u8, inc_denominator: u32) -> ProbabilisticCounter {
-        assert!(bits >= 1 && bits <= 7, "counter width must be 1..=7 bits");
+        assert!((1..=7).contains(&bits), "counter width must be 1..=7 bits");
         assert!(inc_denominator >= 1);
         ProbabilisticCounter { value: 0, max: (1 << bits) - 1, inc_denominator }
     }
@@ -185,7 +185,7 @@ impl ProbabilisticCounter {
 
     /// Storage cost of this counter in bits.
     pub fn storage_bits(&self) -> u32 {
-        (8 - self.max.leading_zeros()) as u32
+        8 - self.max.leading_zeros()
     }
 }
 

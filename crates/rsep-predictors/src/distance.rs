@@ -194,15 +194,18 @@ impl DistancePredictor {
     /// Creates a predictor with the given configuration.
     pub fn new(config: DistancePredictorConfig) -> DistancePredictor {
         assert_eq!(config.tag_bits.len(), config.num_tagged, "one tag width per component");
-        let proto = ProbabilisticCounter::new(config.confidence_bits, config.confidence_denominator);
-        let base = vec![
-            BaseEntry { distance: u16::MAX, confidence: proto };
-            1 << config.base_log2
-        ];
+        let proto =
+            ProbabilisticCounter::new(config.confidence_bits, config.confidence_denominator);
+        let base = vec![BaseEntry { distance: u16::MAX, confidence: proto }; 1 << config.base_log2];
         let tagged = (0..config.num_tagged)
             .map(|_| {
                 vec![
-                    TaggedEntry { tag: u32::MAX, distance: u16::MAX, confidence: proto, useful: false };
+                    TaggedEntry {
+                        tag: u32::MAX,
+                        distance: u16::MAX,
+                        confidence: proto,
+                        useful: false
+                    };
                     1 << config.tagged_log2
                 ]
             })
@@ -253,7 +256,9 @@ impl DistancePredictor {
         let pc = pc >> 2;
         let h = self.index_fold[comp].value();
         let path = history.path(6);
-        ((pc ^ (pc >> self.config.tagged_log2 as u64) ^ h ^ (path << 2) ^ (comp as u64) << 1) as usize) & mask
+        ((pc ^ (pc >> self.config.tagged_log2 as u64) ^ h ^ (path << 2) ^ (comp as u64) << 1)
+            as usize)
+            & mask
     }
 
     fn tag(&self, pc: u64, comp: usize) -> u32 {

@@ -157,14 +157,21 @@ impl Dvtage {
             BaseEntry { valid: false, last_value: 0, stride: 0, confidence: conf };
             1 << config.base_log2
         ];
-        let tagged = (0..config.num_tagged)
-            .map(|_| {
-                vec![
-                    TaggedEntry { tag: 0, valid: false, stride: 0, confidence: conf, useful: false };
-                    1 << config.tagged_log2
-                ]
-            })
-            .collect();
+        let tagged =
+            (0..config.num_tagged)
+                .map(|_| {
+                    vec![
+                        TaggedEntry {
+                            tag: 0,
+                            valid: false,
+                            stride: 0,
+                            confidence: conf,
+                            useful: false
+                        };
+                        1 << config.tagged_log2
+                    ]
+                })
+                .collect();
         let index_fold = (0..config.num_tagged)
             .map(|i| FoldedHistory::new(config.history_length(i), config.tagged_log2 as usize))
             .collect();
@@ -177,7 +184,7 @@ impl Dvtage {
             tagged,
             index_fold,
             tag_fold,
-            lfsr: Lfsr::new(0xc0ffee_15_600d),
+            lfsr: Lfsr::new(0xc0ff_ee15_600d),
             stats: DvtageStats::default(),
         }
     }
@@ -205,7 +212,8 @@ impl Dvtage {
         let mask = (1usize << self.config.tagged_log2) - 1;
         let pc = pc >> 2;
         let h = self.index_fold[comp].value();
-        ((pc ^ (pc >> self.config.tagged_log2 as u64) ^ h ^ history.path(4) ^ (comp as u64) << 3) as usize)
+        ((pc ^ (pc >> self.config.tagged_log2 as u64) ^ h ^ history.path(4) ^ (comp as u64) << 3)
+            as usize)
             & mask
     }
 

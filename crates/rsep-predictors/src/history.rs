@@ -100,11 +100,8 @@ impl FoldedHistory {
     pub fn update(&mut self, history: &GlobalHistory) {
         let inserted = history.bit(0) as u64;
         // The bit that just left the window of `orig_len` most recent bits.
-        let evicted = if self.orig_len < MAX_HISTORY_BITS {
-            history.bit(self.orig_len) as u64
-        } else {
-            0
-        };
+        let evicted =
+            if self.orig_len < MAX_HISTORY_BITS { history.bit(self.orig_len) as u64 } else { 0 };
         self.comp = (self.comp << 1) | inserted;
         self.comp ^= evicted << self.outpoint;
         self.comp ^= self.comp >> self.comp_len;

@@ -30,7 +30,9 @@ pub mod zero;
 
 pub use btb::{Btb, ReturnAddressStack};
 pub use counters::{Lfsr, ProbabilisticCounter, SaturatingCounter};
-pub use distance::{DistancePrediction, DistancePredictor, DistancePredictorConfig, DistancePredictorStats};
+pub use distance::{
+    DistancePrediction, DistancePredictor, DistancePredictorConfig, DistancePredictorStats,
+};
 pub use dvtage::{Dvtage, DvtageConfig, DvtageStats, ValuePrediction};
 pub use history::{FoldedHistory, GlobalHistory};
 pub use tage::{Tage, TageConfig, TagePrediction, TageStats};

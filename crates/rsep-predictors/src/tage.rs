@@ -131,7 +131,10 @@ impl Tage {
             .collect();
         let tag_fold1 = (0..config.num_tagged)
             .map(|i| {
-                FoldedHistory::new(config.history_length(i), (config.tag_bits[i] as usize).saturating_sub(1).max(1))
+                FoldedHistory::new(
+                    config.history_length(i),
+                    (config.tag_bits[i] as usize).saturating_sub(1).max(1),
+                )
             })
             .collect();
         Tage {
@@ -165,7 +168,8 @@ impl Tage {
         let pc = pc >> 2;
         let h = self.index_fold[comp].value();
         let path = history.path(8);
-        ((pc ^ (pc >> self.config.tagged_log2 as u64) ^ h ^ (path << 1) ^ comp as u64) as usize) & mask
+        ((pc ^ (pc >> self.config.tagged_log2 as u64) ^ h ^ (path << 1) ^ comp as u64) as usize)
+            & mask
     }
 
     fn tag(&self, pc: u64, comp: usize) -> u16 {
@@ -193,11 +197,7 @@ impl Tage {
                 }
             }
         }
-        TagePrediction {
-            taken: provider_taken,
-            provider,
-            alt_taken: alt.unwrap_or(base_taken),
-        }
+        TagePrediction { taken: provider_taken, provider, alt_taken: alt.unwrap_or(base_taken) }
     }
 
     /// Updates the predictor with the actual outcome of the branch at `pc`.
@@ -205,7 +205,13 @@ impl Tage {
     /// `prediction` must be the value returned by [`Tage::predict`] for this
     /// dynamic branch, and `history` the global history *at prediction
     /// time* (i.e. before pushing this branch's outcome).
-    pub fn update(&mut self, pc: u64, taken: bool, prediction: TagePrediction, history: &GlobalHistory) {
+    pub fn update(
+        &mut self,
+        pc: u64,
+        taken: bool,
+        prediction: TagePrediction,
+        history: &GlobalHistory,
+    ) {
         self.stats.predictions += 1;
         let mispredicted = prediction.taken != taken;
         if mispredicted {
@@ -307,7 +313,8 @@ mod tests {
     #[test]
     fn config_matches_table1_size() {
         let cfg = TageConfig::table1();
-        let total_entries = (1u64 << cfg.base_log2) + cfg.num_tagged as u64 * (1 << cfg.tagged_log2);
+        let total_entries =
+            (1u64 << cfg.base_log2) + cfg.num_tagged as u64 * (1 << cfg.tagged_log2);
         assert_eq!(total_entries, 4096 + 12 * 1024); // ~16K entries ("15K entry total")
         assert!(cfg.storage_bits() > 0);
     }
@@ -344,7 +351,7 @@ mod tests {
     #[test]
     fn random_branches_are_not_predictable() {
         let mut lfsr = Lfsr::new(99);
-        let acc = accuracy(|_| lfsr.next_u64() % 2 == 0, 20_000);
+        let acc = accuracy(|_| lfsr.next_u64().is_multiple_of(2), 20_000);
         assert!(acc < 0.65, "accuracy {acc} suspiciously high for random outcomes");
     }
 

@@ -62,7 +62,8 @@ pub struct ZeroPredictorStats {
 impl ZeroPredictor {
     /// Creates a predictor with the given configuration.
     pub fn new(config: ZeroPredictorConfig) -> ZeroPredictor {
-        let counter = ProbabilisticCounter::new(config.confidence_bits, config.confidence_denominator);
+        let counter =
+            ProbabilisticCounter::new(config.confidence_bits, config.confidence_denominator);
         ZeroPredictor {
             config,
             table: vec![counter; 1 << config.entries_log2],
@@ -151,10 +152,7 @@ mod tests {
             // before it can express high confidence for long.
             p.train(pc, i % 16 != 0);
         }
-        assert!(
-            predicted < 2_000,
-            "unstable zero behaviour predicted too often ({predicted})"
-        );
+        assert!(predicted < 2_000, "unstable zero behaviour predicted too often ({predicted})");
     }
 
     #[test]

@@ -2,13 +2,21 @@
 //!
 //! Statistics and report formatting for the RSEP reproduction: the
 //! harmonic-mean IPC aggregation of Section V, speedup computation, and
-//! simple fixed-width table / JSON rendering used by every experiment
-//! binary in `rsep-bench`.
+//! fixed-width table / JSON / CSV / markdown rendering used by every
+//! experiment binary in `rsep-bench` and by the `rsep-campaign` report
+//! emitters.
+//!
+//! JSON support is provided by the built-in [`json`] module (the container
+//! cannot fetch `serde`; see `vendor/README.md`). All emitters are
+//! deterministic: object keys and rows keep insertion order, so a campaign
+//! produces byte-identical reports at any thread count.
 
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
 
-use serde::{Deserialize, Serialize};
+pub mod json;
+
+use json::Json;
 
 /// Harmonic mean of a slice (0.0 for an empty slice). Non-positive entries
 /// are ignored, matching how IPC means are computed.
@@ -49,7 +57,7 @@ pub fn speedup_percent(value: f64, baseline: f64) -> f64 {
 }
 
 /// One data point of an experiment: a benchmark × series value.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DataPoint {
     /// Benchmark name.
     pub benchmark: String,
@@ -61,7 +69,7 @@ pub struct DataPoint {
 
 /// A full experiment result: an id (e.g. "figure4"), a unit label, and the
 /// data points.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Experiment {
     /// Experiment identifier (e.g. `figure4`).
     pub id: String,
@@ -106,18 +114,12 @@ impl Experiment {
 
     /// Value for a benchmark × series pair.
     pub fn value(&self, benchmark: &str, series: &str) -> Option<f64> {
-        self.points
-            .iter()
-            .find(|p| p.benchmark == benchmark && p.series == series)
-            .map(|p| p.value)
+        self.points.iter().find(|p| p.benchmark == benchmark && p.series == series).map(|p| p.value)
     }
 
     /// All values of one series, in benchmark order.
     pub fn series_values(&self, series: &str) -> Vec<f64> {
-        self.benchmarks()
-            .iter()
-            .filter_map(|b| self.value(b, series))
-            .collect()
+        self.benchmarks().iter().filter_map(|b| self.value(b, series)).collect()
     }
 
     /// Renders the experiment as a fixed-width text table: one row per
@@ -150,9 +152,119 @@ impl Experiment {
         out
     }
 
+    /// The experiment as a [`Json`] value (`{id, unit, points: [...]}`),
+    /// keys and points in insertion order.
+    pub fn to_json_value(&self) -> Json {
+        Json::Object(vec![
+            ("id".into(), Json::Str(self.id.clone())),
+            ("unit".into(), Json::Str(self.unit.clone())),
+            (
+                "points".into(),
+                Json::Array(
+                    self.points
+                        .iter()
+                        .map(|p| {
+                            Json::Object(vec![
+                                ("benchmark".into(), Json::Str(p.benchmark.clone())),
+                                ("series".into(), Json::Str(p.series.clone())),
+                                ("value".into(), Json::Num(p.value)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
     /// Serialises the experiment as pretty-printed JSON.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("experiments always serialise")
+        self.to_json_value().to_string_pretty()
+    }
+
+    /// Parses an experiment back from [`Experiment::to_json`] output.
+    pub fn from_json(text: &str) -> Result<Experiment, json::ParseError> {
+        let v = Json::parse(text)?;
+        let field = |key: &str| {
+            v.get(key).and_then(Json::as_str).map(str::to_string).ok_or(json::ParseError {
+                offset: 0,
+                message: format!("missing string field '{key}'"),
+            })
+        };
+        let mut exp = Experiment::new(field("id")?, field("unit")?);
+        let points = v
+            .get("points")
+            .and_then(Json::as_array)
+            .ok_or(json::ParseError { offset: 0, message: "missing 'points' array".into() })?;
+        for p in points {
+            let text_of = |key: &str| p.get(key).and_then(Json::as_str).map(str::to_string);
+            match (text_of("benchmark"), text_of("series"), p.get("value").and_then(Json::as_f64)) {
+                (Some(benchmark), Some(series), Some(value)) => exp.push(benchmark, series, value),
+                _ => {
+                    return Err(json::ParseError {
+                        offset: 0,
+                        message: "malformed data point".into(),
+                    })
+                }
+            }
+        }
+        Ok(exp)
+    }
+
+    /// Renders the experiment as CSV: `benchmark,series,value` rows with a
+    /// header, values printed with full round-trip precision.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("benchmark,series,value\n");
+        for p in &self.points {
+            out.push_str(&format!(
+                "{},{},{}\n",
+                csv_field(&p.benchmark),
+                csv_field(&p.series),
+                p.value
+            ));
+        }
+        out
+    }
+
+    /// Renders the experiment as a GitHub-flavoured markdown table (one row
+    /// per benchmark, one column per series, plus a mean row).
+    pub fn to_markdown(&self) -> String {
+        let series = self.series();
+        let benchmarks = self.benchmarks();
+        let mut out = format!("### {} ({})\n\n", self.id, self.unit);
+        out.push_str("| benchmark |");
+        for s in &series {
+            out.push_str(&format!(" {s} |"));
+        }
+        out.push_str("\n|---|");
+        for _ in &series {
+            out.push_str("---|");
+        }
+        out.push('\n');
+        for b in &benchmarks {
+            out.push_str(&format!("| {b} |"));
+            for s in &series {
+                match self.value(b, s) {
+                    Some(v) => out.push_str(&format!(" {v:.3} |")),
+                    None => out.push_str(" - |"),
+                }
+            }
+            out.push('\n');
+        }
+        out.push_str("| **mean** |");
+        for s in &series {
+            out.push_str(&format!(" {:.3} |", mean(&self.series_values(s))));
+        }
+        out.push('\n');
+        out
+    }
+}
+
+/// Quotes a CSV field if it contains a delimiter, quote or newline.
+fn csv_field(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
     }
 }
 
@@ -214,8 +326,33 @@ mod tests {
     fn json_round_trip() {
         let mut exp = Experiment::new("figure1", "% committed");
         exp.push("zeusmp", "zero-other", 20.0);
+        exp.push("zeusmp", "zero (load)", 1.625);
         let json = exp.to_json();
-        let back: Experiment = serde_json::from_str(&json).unwrap();
+        let back = Experiment::from_json(&json).unwrap();
         assert_eq!(back, exp);
+    }
+
+    #[test]
+    fn csv_has_header_and_one_row_per_point() {
+        let mut exp = Experiment::new("figure4", "speedup %");
+        exp.push("mcf", "rsep", 8.5);
+        exp.push("gcc", "a,b", 1.0);
+        let csv = exp.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "benchmark,series,value");
+        assert_eq!(lines[1], "mcf,rsep,8.5");
+        assert_eq!(lines[2], "gcc,\"a,b\",1");
+        assert_eq!(lines.len(), 3);
+    }
+
+    #[test]
+    fn markdown_renders_all_cells() {
+        let mut exp = Experiment::new("figure7", "speedup %");
+        exp.push("mcf", "ideal", 9.5);
+        exp.push("mcf", "realistic", 7.5);
+        let md = exp.to_markdown();
+        assert!(md.contains("### figure7"));
+        assert!(md.contains("| mcf | 9.500 | 7.500 |"));
+        assert!(md.contains("| **mean** |"));
     }
 }

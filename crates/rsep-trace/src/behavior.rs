@@ -341,9 +341,7 @@ mod tests {
         let b = ValueBehavior::Zero { p_zero: 0.5 };
         let mut st = ValueState::default();
         let mut r = rng();
-        let zeros = (0..10_000)
-            .filter(|_| b.next_value(&mut st, None, &mut r) == 0)
-            .count();
+        let zeros = (0..10_000).filter(|_| b.next_value(&mut st, None, &mut r) == 0).count();
         assert!((4_000..6_000).contains(&zeros), "zeros = {zeros}");
     }
 
@@ -437,7 +435,7 @@ mod tests {
         let mut r = rng();
         for _ in 0..1000 {
             let a = b.next_addr(&mut st, 0x10_0000, 0, &mut r);
-            assert!(a >= 0x10_0000 && a < 0x10_0000 + (1 << 20));
+            assert!((0x10_0000..0x10_0000 + (1 << 20)).contains(&a));
         }
     }
 

@@ -102,8 +102,10 @@ impl Iterator for CheckpointedTrace {
         if self.spec.spacing > 0 {
             self.generator.skip_instructions(self.spec.spacing);
         }
-        let warmup: Vec<DynInst> = self.generator.by_ref().take(self.spec.warmup as usize).collect();
-        let measured: Vec<DynInst> = self.generator.by_ref().take(self.spec.measure as usize).collect();
+        let warmup: Vec<DynInst> =
+            self.generator.by_ref().take(self.spec.warmup as usize).collect();
+        let measured: Vec<DynInst> =
+            self.generator.by_ref().take(self.spec.measure as usize).collect();
         Some(Checkpoint { index, warmup, measured })
     }
 }

@@ -110,8 +110,9 @@ impl TraceGenerator {
                 .first()
                 .map(|&s| self.last_results[s])
                 .unwrap_or(self.last_results[index]);
-            let addr = mem.next_addr(&mut self.mem_states[index], inst.mem_base, dep_value, &mut self.rng);
-            let size = if inst.op == OpClass::Load || inst.op == OpClass::Store { 8 } else { 8 };
+            let addr =
+                mem.next_addr(&mut self.mem_states[index], inst.mem_base, dep_value, &mut self.rng);
+            let size = 8;
             b = b.mem(addr, size);
             if inst.op == OpClass::Store {
                 // The stored value is the most recent value of the first
@@ -204,11 +205,15 @@ mod tests {
         let p = BenchmarkProfile::by_name("gcc").unwrap();
         let trace = take("gcc", 100_000);
         let loads = trace.iter().filter(|i| i.op.is_load()).count() as f64 / trace.len() as f64;
-        let branches = trace.iter().filter(|i| i.op.is_branch()).count() as f64 / trace.len() as f64;
+        let branches =
+            trace.iter().filter(|i| i.op.is_branch()).count() as f64 / trace.len() as f64;
         let expected_load = p.mix.load / p.mix.total();
         let expected_branch = p.mix.branch / p.mix.total() + 1.0 / p.loop_body_size as f64;
         assert!((loads - expected_load).abs() < 0.08, "loads {loads} vs {expected_load}");
-        assert!((branches - expected_branch).abs() < 0.08, "branches {branches} vs {expected_branch}");
+        assert!(
+            (branches - expected_branch).abs() < 0.08,
+            "branches {branches} vs {expected_branch}"
+        );
     }
 
     #[test]
@@ -297,17 +302,14 @@ mod tests {
             .filter(|i| i.branch.unwrap().target < i.pc)
             .count();
         assert!(taken_backedges > 0);
-        assert_eq!(p.loop_trip >= 2, true);
+        assert!(p.loop_trip >= 2);
     }
 
     #[test]
     fn pointer_chase_loads_have_varying_addresses() {
         let trace = take("mcf", 30_000);
-        let mut load_addrs: Vec<u64> = trace
-            .iter()
-            .filter(|i| i.op.is_load())
-            .filter_map(|i| i.mem.map(|m| m.addr))
-            .collect();
+        let mut load_addrs: Vec<u64> =
+            trace.iter().filter(|i| i.op.is_load()).filter_map(|i| i.mem.map(|m| m.addr)).collect();
         let total = load_addrs.len();
         load_addrs.sort_unstable();
         load_addrs.dedup();

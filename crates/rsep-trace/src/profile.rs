@@ -509,7 +509,11 @@ impl BenchmarkProfile {
             // lbm: streaming kernel that frequently retires 8 producers per
             // cycle (Section IV-D2).
             BenchmarkProfile {
-                mix: InstructionMix { branch: 0.02, load: 0.30, ..InstructionMix::floating_point() },
+                mix: InstructionMix {
+                    branch: 0.02,
+                    load: 0.30,
+                    ..InstructionMix::floating_point()
+                },
                 redundant_frac_load: 0.06,
                 redundant_frac_other: 0.08,
                 distance_stability: 0.5,
@@ -574,10 +578,7 @@ impl BenchmarkProfile {
     /// `hard_branch_frac`.
     pub fn branch_behaviors(&self) -> Vec<(BranchBehavior, f64)> {
         vec![
-            (
-                BranchBehavior::LoopBack { trip: self.loop_trip, jitter: 0 },
-                0.5,
-            ),
+            (BranchBehavior::LoopBack { trip: self.loop_trip, jitter: 0 }, 0.5),
             (BranchBehavior::Pattern { period: 7 }, (1.0 - self.hard_branch_frac) - 0.5),
             (BranchBehavior::Biased { p_taken: 0.55 }, self.hard_branch_frac),
         ]
@@ -588,7 +589,10 @@ impl BenchmarkProfile {
         let random_frac = (1.0 - self.streaming_frac - self.pointer_chase_frac).max(0.0);
         vec![
             (
-                MemBehavior::Streaming { stride: 64, region_bytes: self.working_set_bytes.max(4096) },
+                MemBehavior::Streaming {
+                    stride: 64,
+                    region_bytes: self.working_set_bytes.max(4096),
+                },
                 self.streaming_frac,
             ),
             (

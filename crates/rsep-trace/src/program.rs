@@ -312,10 +312,7 @@ impl<'a> Synthesizer<'a> {
                 }
             }
             let back = my_index.saturating_sub(sources[0]);
-            return (
-                ValueBehavior::CopyStatic { back, p_match: 0.999 },
-                sources,
-            );
+            return (ValueBehavior::CopyStatic { back, p_match: 0.999 }, sources);
         }
         if x < zero_static_frac + redundant_frac + p.vp_frac {
             // Conventionally value-predictable producer (constant or
@@ -360,11 +357,7 @@ impl<'a> Synthesizer<'a> {
                             CODE_BASE + start as u64 * INST_BYTES,
                         )
                     } else {
-                        (
-                            self.draw_branch_behavior(),
-                            BranchKind::Conditional,
-                            pc + INST_BYTES,
-                        )
+                        (self.draw_branch_behavior(), BranchKind::Conditional, pc + INST_BYTES)
                     };
                     StaticInst {
                         pc,
@@ -523,12 +516,7 @@ mod tests {
         let p = BenchmarkProfile::by_name("gcc").unwrap();
         let a = StaticProgram::synthesize(&p, 1);
         let b = StaticProgram::synthesize(&p, 2);
-        let same = a
-            .insts
-            .iter()
-            .zip(&b.insts)
-            .filter(|(x, y)| x.op == y.op)
-            .count();
+        let same = a.insts.iter().zip(&b.insts).filter(|(x, y)| x.op == y.op).count();
         assert!(same < a.len(), "seeds produced identical programs");
     }
 

@@ -48,12 +48,25 @@ impl CacheStats {
             self.misses as f64 / self.accesses as f64
         }
     }
+
+    /// Accumulates another run's counters into this one.
+    pub fn merge(&mut self, other: &CacheStats) {
+        self.accesses += other.accesses;
+        self.misses += other.misses;
+        self.prefetch_fills += other.prefetch_fills;
+    }
 }
 
 impl Cache {
     /// Creates a cache of `bytes` capacity, `assoc` ways and `line_bytes`
     /// lines, with the given hit latency.
-    pub fn new(name: &'static str, bytes: usize, assoc: usize, line_bytes: usize, latency: u64) -> Cache {
+    pub fn new(
+        name: &'static str,
+        bytes: usize,
+        assoc: usize,
+        line_bytes: usize,
+        latency: u64,
+    ) -> Cache {
         assert!(line_bytes.is_power_of_two());
         let num_lines = bytes / line_bytes;
         let num_sets = (num_lines / assoc).max(1);
@@ -157,7 +170,13 @@ impl StridePrefetcher {
         let idx = ((pc >> 2) as usize) % self.entries.len();
         let e = &mut self.entries[idx];
         if !e.valid || e.pc_tag != pc {
-            *e = StrideEntry { pc_tag: pc, last_addr: addr, stride: 0, confident: false, valid: true };
+            *e = StrideEntry {
+                pc_tag: pc,
+                last_addr: addr,
+                stride: 0,
+                confident: false,
+                valid: true,
+            };
             return None;
         }
         let stride = addr as i64 - e.last_addr as i64;
@@ -202,13 +221,41 @@ impl CacheHierarchy {
     /// Builds the hierarchy from a core configuration.
     pub fn new(config: &CoreConfig) -> CacheHierarchy {
         CacheHierarchy {
-            l1i: Cache::new("L1I", config.l1i_bytes, config.l1i_assoc, config.line_bytes, config.l1i_latency),
-            l1d: Cache::new("L1D", config.l1d_bytes, config.l1d_assoc, config.line_bytes, config.l1d_latency),
-            l2: Cache::new("L2", config.l2_bytes, config.l2_assoc, config.line_bytes, config.l2_latency),
-            l3: Cache::new("L3", config.l3_bytes, config.l3_assoc, config.line_bytes, config.l3_latency),
+            l1i: Cache::new(
+                "L1I",
+                config.l1i_bytes,
+                config.l1i_assoc,
+                config.line_bytes,
+                config.l1i_latency,
+            ),
+            l1d: Cache::new(
+                "L1D",
+                config.l1d_bytes,
+                config.l1d_assoc,
+                config.line_bytes,
+                config.l1d_latency,
+            ),
+            l2: Cache::new(
+                "L2",
+                config.l2_bytes,
+                config.l2_assoc,
+                config.line_bytes,
+                config.l2_latency,
+            ),
+            l3: Cache::new(
+                "L3",
+                config.l3_bytes,
+                config.l3_assoc,
+                config.line_bytes,
+                config.l3_latency,
+            ),
             dram_latency: config.dram_latency,
             line_bytes: config.line_bytes as u64,
-            l1d_prefetcher: if config.l1d_prefetch { Some(StridePrefetcher::new(256)) } else { None },
+            l1d_prefetcher: if config.l1d_prefetch {
+                Some(StridePrefetcher::new(256))
+            } else {
+                None
+            },
             l2_stream_prefetch: config.l2_prefetch,
         }
     }

@@ -92,7 +92,11 @@ impl PortBudget {
             return false;
         }
         let ok = match op {
-            OpClass::IntAlu | OpClass::Move | OpClass::ZeroIdiom | OpClass::Branch | OpClass::Nop => {
+            OpClass::IntAlu
+            | OpClass::Move
+            | OpClass::ZeroIdiom
+            | OpClass::Branch
+            | OpClass::Nop => {
                 if self.alu > 0 {
                     self.alu -= 1;
                     true
@@ -426,9 +430,8 @@ impl Core {
             // A mispredicted branch may commit in the same cycle it
             // resolves; make sure the front end is released.
             if self.pending_redirect == Some(entry.seq()) {
-                self.fetch_resume_at = self
-                    .fetch_resume_at
-                    .max(entry.complete_at + self.config.redirect_penalty);
+                self.fetch_resume_at =
+                    self.fetch_resume_at.max(entry.complete_at + self.config.redirect_penalty);
                 self.pending_redirect = None;
             }
             self.retire_resources(&entry);
@@ -520,7 +523,8 @@ impl Core {
 
     fn flush_younger(&mut self, from_seq: u64) {
         let squashed = self.rob.squash_from(from_seq);
-        let mut to_replay: Vec<DynInst> = Vec::with_capacity(squashed.len() + self.fetch_queue.len());
+        let mut to_replay: Vec<DynInst> =
+            Vec::with_capacity(squashed.len() + self.fetch_queue.len());
         for entry in squashed {
             if entry.in_iq {
                 self.iq_count -= 1;
@@ -559,10 +563,8 @@ impl Core {
             // them, e.g. the provider itself was squashed, a mapping still
             // points at them, or a surviving in-flight instruction owns
             // them).
-            let owned_in_flight = self
-                .rob
-                .iter()
-                .any(|e| e.allocated_new_preg && e.dest_preg == Some(preg));
+            let owned_in_flight =
+                self.rob.iter().any(|e| e.allocated_new_preg && e.dest_preg == Some(preg));
             if preg != PhysRegFile::zero_reg()
                 && !owned_in_flight
                 && !self.arch_map.maps_to(preg)
@@ -572,9 +574,7 @@ impl Core {
                 self.regs.free(preg);
             }
         }
-        self.fetch_resume_at = self
-            .fetch_resume_at
-            .max(self.clock + self.config.redirect_penalty);
+        self.fetch_resume_at = self.fetch_resume_at.max(self.clock + self.config.redirect_penalty);
         self.last_fetch_block = u64::MAX;
     }
 
@@ -586,9 +586,8 @@ impl Core {
         };
         if let Some(entry) = self.rob.find_by_seq(seq) {
             if entry.is_completed(self.clock) {
-                self.fetch_resume_at = self
-                    .fetch_resume_at
-                    .max(entry.complete_at + self.config.redirect_penalty);
+                self.fetch_resume_at =
+                    self.fetch_resume_at.max(entry.complete_at + self.config.redirect_penalty);
                 self.pending_redirect = None;
             }
         }
@@ -687,9 +686,7 @@ impl Core {
                     .map(|s| s.complete_at)
                     .max();
                 match forwarding {
-                    Some(store_ready) => {
-                        store_ready.max(clock) + self.config.stlf_latency
-                    }
+                    Some(store_ready) => store_ready.max(clock) + self.config.stlf_latency,
                     None => {
                         let latency = self.hierarchy.access_data(
                             self.rob.find_by_seq(seq).unwrap().inst.pc,
@@ -727,7 +724,8 @@ impl Core {
         let needs_validation;
         let dest_to_mark;
         {
-            let entry = self.rob.find_by_seq_mut(seq).expect("issued instruction must be in the ROB");
+            let entry =
+                self.rob.find_by_seq_mut(seq).expect("issued instruction must be in the ROB");
             entry.issued = true;
             entry.complete_at = complete_at;
             entry.in_iq = false;
@@ -814,11 +812,8 @@ impl Core {
     fn dispatch_one(&mut self, inst: DynInst, action: RenameAction, mispredicted: bool) {
         let clock = self.clock;
         // Renamed sources (the hardwired zero register is always ready).
-        let mut src_pregs: Vec<PhysReg> = inst
-            .sources()
-            .filter(|s| !s.is_zero_reg())
-            .map(|s| self.spec_map.lookup(s))
-            .collect();
+        let mut src_pregs: Vec<PhysReg> =
+            inst.sources().filter(|s| !s.is_zero_reg()).map(|s| self.spec_map.lookup(s)).collect();
 
         let mut dest_preg = None;
         let mut prev_preg = None;
@@ -963,7 +958,9 @@ impl Core {
         }
         let mut fetched = 0;
         let mut taken_branches = 0;
-        while fetched < self.config.fetch_width && self.fetch_queue.len() < self.config.fetch_queue_size {
+        while fetched < self.config.fetch_width
+            && self.fetch_queue.len() < self.config.fetch_queue_size
+        {
             let inst = match self.replay.pop_front() {
                 Some(inst) => inst,
                 None => match trace.next() {
@@ -1049,9 +1046,8 @@ mod tests {
     use rsep_isa::{ArchReg, DynInstBuilder};
 
     fn alu(seq: u64, pc: u64, dest: u8, src: Option<u8>, result: u64) -> DynInst {
-        let mut b = DynInstBuilder::new(seq, pc, OpClass::IntAlu)
-            .dest(ArchReg::int(dest))
-            .result(result);
+        let mut b =
+            DynInstBuilder::new(seq, pc, OpClass::IntAlu).dest(ArchReg::int(dest)).result(result);
         if let Some(s) = src {
             b = b.src(ArchReg::int(s));
         }
@@ -1081,9 +1077,8 @@ mod tests {
     #[test]
     fn serial_dependency_chain_limits_ipc_to_one() {
         // Every instruction depends on the previous one: IPC cannot exceed 1.
-        let insts: Vec<DynInst> = (0..2000u64)
-            .map(|i| alu(i, 0x40_0000 + (i % 16) * 4, 1, Some(1), i))
-            .collect();
+        let insts: Vec<DynInst> =
+            (0..2000u64).map(|i| alu(i, 0x40_0000 + (i % 16) * 4, 1, Some(1), i)).collect();
         let stats = run_trace(insts);
         assert_eq!(stats.committed, 2000);
         assert!(stats.ipc() <= 1.05, "ipc = {}", stats.ipc());
@@ -1233,7 +1228,8 @@ mod tests {
     #[test]
     fn reset_stats_separates_warmup_from_measurement() {
         let mut core = Core::baseline(CoreConfig::small_test());
-        let mut trace = (0..2000u64).map(|i| alu(i, 0x40_0000 + (i % 8) * 4, (i % 8) as u8, None, i));
+        let mut trace =
+            (0..2000u64).map(|i| alu(i, 0x40_0000 + (i % 8) * 4, (i % 8) as u8, None, i));
         core.run(&mut trace.by_ref().take(1000).collect::<Vec<_>>().into_iter(), 1000);
         assert_eq!(core.stats().committed, 1000);
         core.reset_stats();

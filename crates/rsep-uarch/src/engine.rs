@@ -199,10 +199,7 @@ mod tests {
     #[test]
     fn disposition_from_action() {
         assert_eq!(Disposition::from(RenameAction::Normal), Disposition::None);
-        assert_eq!(
-            Disposition::from(RenameAction::EliminateZeroIdiom),
-            Disposition::ZeroIdiomElim
-        );
+        assert_eq!(Disposition::from(RenameAction::EliminateZeroIdiom), Disposition::ZeroIdiomElim);
         assert_eq!(Disposition::from(RenameAction::EliminateMove), Disposition::MoveElim);
         assert_eq!(
             Disposition::from(RenameAction::PredictZero { correct: true }),

@@ -52,7 +52,9 @@ pub mod stats;
 pub use cache::{AccessKind, Cache, CacheHierarchy, CacheStats, StridePrefetcher};
 pub use config::CoreConfig;
 pub use core::Core;
-pub use engine::{Disposition, NullEngine, RenameAction, RenameContext, SpecEngine, ValidationKind};
+pub use engine::{
+    Disposition, NullEngine, RenameAction, RenameContext, SpecEngine, ValidationKind,
+};
 pub use regfile::{PhysRegFile, RegisterFiles, NOT_READY};
 pub use rename::RenameMap;
 pub use rob::{InflightInst, Rob};

@@ -76,6 +76,18 @@ impl CoverageCounts {
     pub fn total_value_pred(&self) -> u64 {
         self.value_pred + self.load_value_pred
     }
+
+    /// Accumulates another checkpoint's coverage counts into this one.
+    pub fn merge(&mut self, other: &CoverageCounts) {
+        self.zero_idiom_elim += other.zero_idiom_elim;
+        self.move_elim += other.move_elim;
+        self.zero_pred += other.zero_pred;
+        self.load_zero_pred += other.load_zero_pred;
+        self.dist_pred += other.dist_pred;
+        self.load_dist_pred += other.load_dist_pred;
+        self.value_pred += other.value_pred;
+        self.load_value_pred += other.load_value_pred;
+    }
 }
 
 /// End-to-end statistics of one simulation.
@@ -188,6 +200,35 @@ impl SimStats {
             self.rob_occupancy_sum as f64 / self.cycles as f64
         }
     }
+
+    /// Accumulates another run's statistics into this one (used to merge
+    /// per-checkpoint results; the merge is order-independent, which the
+    /// campaign engine relies on for thread-count-invariant results).
+    pub fn merge(&mut self, other: &SimStats) {
+        self.cycles += other.cycles;
+        self.committed += other.committed;
+        self.committed_loads += other.committed_loads;
+        self.committed_stores += other.committed_stores;
+        self.committed_branches += other.committed_branches;
+        self.branch_mispredictions += other.branch_mispredictions;
+        self.prediction_squashes += other.prediction_squashes;
+        self.correct_predictions += other.correct_predictions;
+        self.incorrect_predictions += other.incorrect_predictions;
+        self.eligible_instructions += other.eligible_instructions;
+        self.prf_stall_cycles += other.prf_stall_cycles;
+        self.queue_stall_cycles += other.queue_stall_cycles;
+        self.watchdog_flushes += other.watchdog_flushes;
+        self.validation_issues += other.validation_issues;
+        self.validation_port_conflicts += other.validation_port_conflicts;
+        self.coverage.merge(&other.coverage);
+        self.rob_occupancy_sum += other.rob_occupancy_sum;
+        for (level, cache) in &other.cache {
+            match self.cache.iter_mut().find(|(name, _)| name == level) {
+                Some((_, mine)) => mine.merge(cache),
+                None => self.cache.push((level, *cache)),
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -240,11 +281,8 @@ mod tests {
 
     #[test]
     fn accuracy_computation() {
-        let stats = SimStats {
-            correct_predictions: 995,
-            incorrect_predictions: 5,
-            ..SimStats::default()
-        };
+        let stats =
+            SimStats { correct_predictions: 995, incorrect_predictions: 5, ..SimStats::default() };
         assert!((stats.prediction_accuracy() - 0.995).abs() < 1e-12);
     }
 }

@@ -46,11 +46,20 @@ fn main() {
     let fifo_stats = fifo.stats();
     println!("benchmark                  : {name}");
     println!("eligible producers observed: {}", fifo_stats.pushes);
-    println!("history matches            : {} ({:.1}% of searches)", fifo_stats.matches,
-             fifo_stats.matches as f64 / fifo_stats.searches.max(1) as f64 * 100.0);
+    println!(
+        "history matches            : {} ({:.1}% of searches)",
+        fifo_stats.matches,
+        fifo_stats.matches as f64 / fifo_stats.searches.max(1) as f64 * 100.0
+    );
     println!("usable distance predictions: {usable}");
     println!("  of which matched the history at the predicted distance: {usable_correct}");
     println!("distance predictor storage : {:.1} KB", predictor.config().storage_kb());
-    println!("FIFO history storage       : {} B", FifoHistoryConfig::realistic().storage_bits() / 8);
-    println!("DDT storage (comparison)   : {:.1} KB", DdtConfig::paper_16kb().storage_bits() as f64 / 8.0 / 1024.0);
+    println!(
+        "FIFO history storage       : {} B",
+        FifoHistoryConfig::realistic().storage_bits() / 8
+    );
+    println!(
+        "DDT storage (comparison)   : {:.1} KB",
+        DdtConfig::paper_16kb().storage_bits() as f64 / 8.0 / 1024.0
+    );
 }

@@ -12,7 +12,10 @@ fn main() {
     let spec = CheckpointSpec::scaled(1, 80_000, 40_000);
     let config = CoreConfig::table1();
     let baseline = run_benchmark(&profile, &MechanismConfig::baseline(), &config, spec, 7);
-    println!("{:<16}{:>8}{:>12}{:>12}{:>12}{:>10}", "mechanism", "IPC", "speedup%", "covered%", "squashes", "mpki");
+    println!(
+        "{:<16}{:>8}{:>12}{:>12}{:>12}{:>10}",
+        "mechanism", "IPC", "speedup%", "covered%", "squashes", "mpki"
+    );
     println!(
         "{:<16}{:>8.3}{:>12.2}{:>12.2}{:>12}{:>10.2}",
         "baseline",

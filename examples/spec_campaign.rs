@@ -1,24 +1,20 @@
 //! Run the full SPEC CPU2006-like suite under the baseline, RSEP and value
-//! prediction, and print a speedup table (a small-scale Figure 4).
+//! prediction through the parallel campaign engine, and print a speedup
+//! table (a small-scale Figure 4).
 //!
 //! Run with: `cargo run --release --example spec_campaign`
+//! Worker count comes from `RSEP_JOBS` (default: all cores).
 
-use rsep::core::{run_benchmark, MechanismConfig};
-use rsep::stats::{speedup_percent, Experiment};
-use rsep::trace::{BenchmarkProfile, CheckpointSpec};
-use rsep::uarch::CoreConfig;
+use rsep::campaign::{Campaign, CampaignSpec};
+use rsep::core::MechanismConfig;
+use rsep::trace::CheckpointSpec;
 
 fn main() {
-    let spec = CheckpointSpec::scaled(1, 60_000, 30_000);
-    let config = CoreConfig::table1();
-    let mut exp = Experiment::new("spec-campaign", "speedup % over baseline");
-    for profile in BenchmarkProfile::spec2006() {
-        let baseline = run_benchmark(&profile, &MechanismConfig::baseline(), &config, spec, 42);
-        for mechanism in [MechanismConfig::rsep_realistic(), MechanismConfig::value_pred()] {
-            let result = run_benchmark(&profile, &mechanism, &config, spec, 42);
-            exp.push(profile.name, mechanism.label.clone(), speedup_percent(result.ipc, baseline.ipc));
-        }
-        eprintln!("finished {}", profile.name);
-    }
-    println!("{}", exp.to_table());
+    let spec = CampaignSpec::new("spec-campaign")
+        .with_checkpoints(CheckpointSpec::scaled(1, 60_000, 30_000))
+        .with_mechanisms(vec![MechanismConfig::rsep_realistic(), MechanismConfig::value_pred()])
+        .apply_env();
+    let result = Campaign::from_env().run(&spec);
+    println!("{}", result.speedups().to_table());
+    eprintln!("{}", result.timing_summary());
 }

@@ -14,12 +14,16 @@
 //!   register sharing, validation, mechanism composition, experiment
 //!   runner.
 //! * [`stats`] — means, speedups and report formatting.
+//! * [`campaign`] — the parallel experiment-campaign engine behind the
+//!   `rsep` CLI: declarative specs, a deterministic thread-pool executor,
+//!   result store and JSON/CSV/markdown report emitters.
 //!
 //! See `README.md` for a quick start and `DESIGN.md` / `EXPERIMENTS.md` for
 //! the reproduction methodology.
 
 #![deny(missing_docs)]
 
+pub use rsep_campaign as campaign;
 pub use rsep_core as core;
 pub use rsep_isa as isa;
 pub use rsep_predictors as predictors;

@@ -1,7 +1,9 @@
 //! End-to-end integration tests across the workspace crates: trace
 //! generation -> cycle-level simulation -> RSEP/VP mechanisms -> statistics.
 
-use rsep::core::{run_benchmark, MechanismConfig, RedundancyAnalyzer, RedundancyConfig, RsepConfig};
+use rsep::core::{
+    run_benchmark, MechanismConfig, RedundancyAnalyzer, RedundancyConfig, RsepConfig,
+};
 use rsep::stats::harmonic_mean;
 use rsep::trace::{BenchmarkProfile, CheckpointSpec, TraceGenerator};
 use rsep::uarch::{Core, CoreConfig};
@@ -13,7 +15,13 @@ fn quick_spec() -> CheckpointSpec {
 #[test]
 fn baseline_simulation_commits_the_requested_instructions() {
     let profile = BenchmarkProfile::by_name("gcc").unwrap();
-    let result = run_benchmark(&profile, &MechanismConfig::baseline(), &CoreConfig::small_test(), quick_spec(), 1);
+    let result = run_benchmark(
+        &profile,
+        &MechanismConfig::baseline(),
+        &CoreConfig::small_test(),
+        quick_spec(),
+        1,
+    );
     assert!(result.stats.committed >= 6_000);
     assert!(result.ipc > 0.2 && result.ipc < 8.0, "ipc = {}", result.ipc);
 }
@@ -25,8 +33,14 @@ fn all_mechanisms_run_on_every_profile_class() {
     for name in ["sjeng", "lbm", "omnetpp"] {
         let profile = BenchmarkProfile::by_name(name).unwrap();
         for mechanism in MechanismConfig::figure4_suite() {
-            let result = run_benchmark(&profile, &mechanism, &CoreConfig::small_test(), quick_spec(), 3);
-            assert!(result.ipc > 0.05 && result.ipc < 8.0, "{name}/{}: ipc {}", result.mechanism, result.ipc);
+            let result =
+                run_benchmark(&profile, &mechanism, &CoreConfig::small_test(), quick_spec(), 3);
+            assert!(
+                result.ipc > 0.05 && result.ipc < 8.0,
+                "{name}/{}: ipc {}",
+                result.mechanism,
+                result.ipc
+            );
         }
     }
 }
@@ -35,7 +49,8 @@ fn all_mechanisms_run_on_every_profile_class() {
 fn rsep_covers_instructions_on_redundant_profiles() {
     let profile = BenchmarkProfile::by_name("libquantum").unwrap();
     let spec = CheckpointSpec::scaled(1, 30_000, 20_000);
-    let result = run_benchmark(&profile, &MechanismConfig::rsep_ideal(), &CoreConfig::small_test(), spec, 5);
+    let result =
+        run_benchmark(&profile, &MechanismConfig::rsep_ideal(), &CoreConfig::small_test(), spec, 5);
     assert!(
         result.stats.coverage.total_dist_pred() > 100,
         "expected distance-predicted instructions, got {}",
@@ -50,7 +65,8 @@ fn value_prediction_covers_instructions_on_predictable_profiles() {
     // within a short run.
     let profile = BenchmarkProfile::by_name("libquantum").unwrap();
     let spec = CheckpointSpec::scaled(1, 30_000, 20_000);
-    let result = run_benchmark(&profile, &MechanismConfig::value_pred(), &CoreConfig::small_test(), spec, 5);
+    let result =
+        run_benchmark(&profile, &MechanismConfig::value_pred(), &CoreConfig::small_test(), spec, 5);
     assert!(
         result.stats.coverage.total_value_pred() > 50,
         "expected value-predicted instructions, got {}",
@@ -61,7 +77,13 @@ fn value_prediction_covers_instructions_on_predictable_profiles() {
 #[test]
 fn move_elimination_covers_moves_without_squashes() {
     let profile = BenchmarkProfile::by_name("xalancbmk").unwrap();
-    let result = run_benchmark(&profile, &MechanismConfig::move_elim(), &CoreConfig::small_test(), quick_spec(), 5);
+    let result = run_benchmark(
+        &profile,
+        &MechanismConfig::move_elim(),
+        &CoreConfig::small_test(),
+        quick_spec(),
+        5,
+    );
     assert!(result.stats.coverage.move_elim > 0);
     assert_eq!(result.stats.prediction_squashes, 0, "move elimination is non-speculative");
 }
@@ -86,7 +108,8 @@ fn storage_budget_matches_the_paper() {
 fn harmonic_mean_is_used_for_checkpoint_aggregation() {
     let profile = BenchmarkProfile::by_name("namd").unwrap();
     let spec = CheckpointSpec::scaled(3, 1_000, 3_000);
-    let result = run_benchmark(&profile, &MechanismConfig::baseline(), &CoreConfig::small_test(), spec, 9);
+    let result =
+        run_benchmark(&profile, &MechanismConfig::baseline(), &CoreConfig::small_test(), spec, 9);
     assert_eq!(result.checkpoint_ipcs.len(), 3);
     let expected = harmonic_mean(&result.checkpoint_ipcs);
     assert!((result.ipc - expected).abs() < 1e-9);

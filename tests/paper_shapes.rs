@@ -2,7 +2,9 @@
 //! These assert directional relationships (who has more redundancy, which
 //! structures cost more storage), not absolute numbers.
 
-use rsep::core::{IsrbConfig, MechanismConfig, RedundancyAnalyzer, RedundancyConfig, RsepConfig, VpConfig};
+use rsep::core::{
+    IsrbConfig, MechanismConfig, RedundancyAnalyzer, RedundancyConfig, RsepConfig, VpConfig,
+};
 use rsep::predictors::DistancePredictorConfig;
 use rsep::trace::{BenchmarkProfile, TraceGenerator};
 
@@ -30,14 +32,19 @@ fn figure1_zero_heavy_benchmarks() {
 fn figure1_redundancy_is_widespread() {
     // "In most cases, the ratio is around or greater than 5%."
     let mut above_5_percent = 0;
-    let names = ["mcf", "hmmer", "libquantum", "omnetpp", "xalancbmk", "dealII", "perlbench", "gcc"];
+    let names =
+        ["mcf", "hmmer", "libquantum", "omnetpp", "xalancbmk", "dealII", "perlbench", "gcc"];
     for name in names {
         let r = redundancy(name);
         if r.prf_load_fraction() + r.prf_other_fraction() > 0.05 {
             above_5_percent += 1;
         }
     }
-    assert!(above_5_percent >= 6, "only {above_5_percent} of {} RSEP-relevant profiles show >5% redundancy", names.len());
+    assert!(
+        above_5_percent >= 6,
+        "only {above_5_percent} of {} RSEP-relevant profiles show >5% redundancy",
+        names.len()
+    );
 }
 
 #[test]

@@ -1,0 +1,197 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build container has no access to crates.io, so this workspace vendors
+//! the API subset its `benches/` targets use (see `vendor/README.md`):
+//! [`Criterion::bench_function`], [`Bencher::iter`], [`black_box`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Statistics are intentionally simple: each benchmark is warmed up briefly,
+//! then timed over enough iterations to fill a short measurement window, and
+//! the mean, minimum and maximum per-iteration times are printed. There are
+//! no HTML reports and no statistical regression analysis — just honest
+//! wall-clock numbers that make `cargo bench` work offline.
+//!
+//! Set `CRITERION_MEASURE_MS` / `CRITERION_WARMUP_MS` to change the window
+//! sizes (e.g. in CI smoke runs).
+
+#![deny(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimiser from deleting a benchmark
+/// body (same contract as `criterion::black_box`).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Per-benchmark timing driver handed to the closure of
+/// [`Criterion::bench_function`].
+#[derive(Debug)]
+pub struct Bencher {
+    warmup: Duration,
+    measure: Duration,
+    /// Filled in by [`Bencher::iter`].
+    result: Option<Measurement>,
+}
+
+/// One benchmark's collected timings.
+#[derive(Debug, Clone, Copy)]
+pub struct Measurement {
+    /// Total iterations measured.
+    pub iterations: u64,
+    /// Mean time per iteration.
+    pub mean: Duration,
+    /// Fastest observed batch, per iteration.
+    pub min: Duration,
+    /// Slowest observed batch, per iteration.
+    pub max: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, first warming up, then measuring batches until the
+    /// measurement window is filled.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: run until the warm-up window elapses, counting
+        // iterations to size the measurement batches.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warmup {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        // Aim for ~20 batches across the measurement window.
+        let elapsed = warm_start.elapsed().max(Duration::from_micros(1));
+        let per_iter = elapsed / warm_iters.max(1) as u32;
+        let batch = ((self.measure.as_nanos() / 20).max(1) / per_iter.as_nanos().max(1))
+            .clamp(1, u128::from(u32::MAX)) as u64;
+
+        let mut total = Duration::ZERO;
+        let mut iterations = 0u64;
+        let mut min = Duration::MAX;
+        let mut max = Duration::ZERO;
+        while total < self.measure {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let t = start.elapsed();
+            let per = t / batch as u32;
+            min = min.min(per);
+            max = max.max(per);
+            total += t;
+            iterations += batch;
+        }
+        self.result =
+            Some(Measurement { iterations, mean: total / iterations.max(1) as u32, min, max });
+    }
+}
+
+/// Benchmark registry / runner (stand-in for `criterion::Criterion`).
+#[derive(Debug)]
+pub struct Criterion {
+    warmup: Duration,
+    measure: Duration,
+}
+
+fn env_ms(name: &str, default_ms: u64) -> Duration {
+    let ms = std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default_ms);
+    Duration::from_millis(ms)
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            warmup: env_ms("CRITERION_WARMUP_MS", 300),
+            measure: env_ms("CRITERION_MEASURE_MS", 1_000),
+        }
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+impl Criterion {
+    /// Runs one named benchmark and prints its timing summary.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        // `cargo bench -- <filter>` support: skip non-matching ids.
+        let filter: Vec<String> =
+            std::env::args().skip(1).filter(|a| !a.starts_with("--")).collect();
+        if !filter.is_empty() && !filter.iter().any(|needle| id.contains(needle.as_str())) {
+            return self;
+        }
+        let mut bencher = Bencher { warmup: self.warmup, measure: self.measure, result: None };
+        f(&mut bencher);
+        match bencher.result {
+            Some(m) => println!(
+                "{id:<50} time: [{} {} {}]  ({} iters)",
+                format_duration(m.min),
+                format_duration(m.mean),
+                format_duration(m.max),
+                m.iterations
+            ),
+            None => println!("{id:<50} (no measurement: Bencher::iter never called)"),
+        }
+        self
+    }
+}
+
+/// Declares a benchmark group function, like `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench `main`, like `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_a_trivial_routine() {
+        let mut b = Bencher {
+            warmup: Duration::from_millis(5),
+            measure: Duration::from_millis(10),
+            result: None,
+        };
+        let mut x = 0u64;
+        b.iter(|| {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            x
+        });
+        let m = b.result.expect("measurement recorded");
+        assert!(m.iterations > 0);
+        assert!(m.min <= m.mean && m.mean <= m.max);
+    }
+
+    #[test]
+    fn duration_formatting_picks_sensible_units() {
+        assert_eq!(format_duration(Duration::from_nanos(5)), "5 ns");
+        assert_eq!(format_duration(Duration::from_micros(2)), "2.000 µs");
+        assert_eq!(format_duration(Duration::from_millis(3)), "3.000 ms");
+        assert_eq!(format_duration(Duration::from_secs(1)), "1.000 s");
+    }
+}
