@@ -31,6 +31,7 @@
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
 
+use rsep_campaign::env::env_u64;
 use rsep_campaign::{presets, Campaign, CampaignSpec};
 use rsep_core::{BenchmarkResult, MechanismConfig};
 use rsep_stats::Experiment;
@@ -46,10 +47,6 @@ pub struct Scale {
     pub seed: u64,
     /// Benchmarks to run.
     pub benchmarks: Vec<BenchmarkProfile>,
-}
-
-fn env_u64(name: &str, default: u64) -> u64 {
-    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
 }
 
 /// Reads the experiment scale from the environment (see crate docs).

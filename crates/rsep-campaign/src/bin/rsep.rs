@@ -12,6 +12,7 @@
 //!   fig7    ideal vs realistic RSEP (Figure 7)
 //!   table1  simulated core configuration (Table I)
 //!   sweep   sensitivity sweeps (history depth, ISRB size, hash width)
+//!   merge   join shard .jsonl files into one report
 //!
 //! flags:
 //!   --jobs N         worker threads (default: RSEP_JOBS or all cores)
@@ -22,21 +23,60 @@
 //!   --checkpoints N  checkpoints/profile  (default: RSEP_CHECKPOINTS or 1)
 //!   --warmup N       warm-up instructions (default: RSEP_WARMUP or 100000)
 //!   --measure N      measured instructions (default: RSEP_MEASURE or 60000)
+//!   --store jsonl:P  stream cells to an append-only JSONL file; re-running
+//!                    with an existing file resumes, simulating only
+//!                    missing cells (fig4/fig5/fig6/fig7)
+//!   --shard I/N      run only cells I mod N of the grid (requires --store;
+//!                    join the shard files with `rsep merge`)
+//!   --cache-dir D    memoise cells on disk keyed by their content hash
+//!   --cache          same, in the conventional target/rsep-cache directory
 //!   --quiet          suppress progress and timing on stderr
+//!   --version        print the version and exit
 //! ```
 //!
 //! Reports go to stdout; progress and timing go to stderr, so piping stdout
-//! yields byte-identical output at any `--jobs` value.
+//! yields byte-identical output at any `--jobs` value — and a sharded run
+//! merged with `rsep merge` is byte-identical to an unsharded run.
+//!
+//! Exit codes: 0 success, 1 runtime failure (store I/O, corrupt or
+//! mismatched files), 2 usage error.
 
-use rsep_campaign::{presets, Campaign, CampaignSpec, Executor, ReportFormat};
+use rsep_campaign::{
+    merge_stored, presets, CachedStore, Campaign, CampaignResult, CampaignSpec, Executor,
+    JsonlStore, ReportFormat, Shard,
+};
 use rsep_stats::Experiment;
 use rsep_trace::CheckpointSpec;
 use rsep_uarch::CoreConfig;
 use std::process::ExitCode;
 
+/// A CLI failure: what to print and which exit code to use (2 for usage
+/// errors, 1 for runtime failures).
+struct Failure {
+    message: String,
+    code: u8,
+}
+
+fn usage_error(message: impl Into<String>) -> Failure {
+    Failure { message: message.into(), code: 2 }
+}
+
+fn runtime_error(message: impl Into<String>) -> Failure {
+    Failure { message: message.into(), code: 1 }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum StoreChoice {
+    Memory,
+    Jsonl(String),
+    Cached(String),
+}
+
 #[derive(Debug)]
 struct Cli {
     command: String,
+    /// Positional arguments after the command (shard files for `merge`).
+    files: Vec<String>,
     jobs: Option<usize>,
     smoke: bool,
     format: ReportFormat,
@@ -46,17 +86,22 @@ struct Cli {
     checkpoints: Option<usize>,
     warmup: Option<u64>,
     measure: Option<u64>,
+    store: StoreChoice,
+    shard: Option<Shard>,
 }
 
 fn usage() -> &'static str {
-    "usage: rsep <run|fig1|fig4|fig5|fig6|fig7|table1|sweep> \
+    "usage: rsep <run|fig1|fig4|fig5|fig6|fig7|table1|sweep|merge> \
      [--jobs N] [--smoke] [--json|--csv|--md] [--benchmarks list] \
-     [--seed N] [--checkpoints N] [--warmup N] [--measure N] [--quiet]"
+     [--seed N] [--checkpoints N] [--warmup N] [--measure N] \
+     [--store jsonl:path] [--shard i/n] [--cache-dir dir | --cache] [--quiet] \
+     [--version]"
 }
 
 fn parse_args(args: &[String]) -> Result<Cli, String> {
     let mut cli = Cli {
         command: String::new(),
+        files: Vec::new(),
         jobs: None,
         smoke: false,
         format: ReportFormat::Table,
@@ -66,6 +111,8 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         checkpoints: None,
         warmup: None,
         measure: None,
+        store: StoreChoice::Memory,
+        shard: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -109,9 +156,39 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
                         .map_err(|_| "--measure: not a number".to_string())?,
                 )
             }
+            "--store" => {
+                let value = value_of("--store")?;
+                let path = value
+                    .strip_prefix("jsonl:")
+                    .ok_or(format!("--store '{value}' is not supported (expected jsonl:<path>)"))?;
+                if path.is_empty() {
+                    return Err("--store jsonl: needs a file path".into());
+                }
+                if !matches!(cli.store, StoreChoice::Memory) {
+                    return Err(
+                        "only one store may be selected (--store, --cache-dir or --cache)".into()
+                    );
+                }
+                cli.store = StoreChoice::Jsonl(path.to_string());
+            }
+            "--cache-dir" | "--cache" => {
+                let dir = if arg == "--cache-dir" {
+                    value_of("--cache-dir")?
+                } else {
+                    CachedStore::default_dir().display().to_string()
+                };
+                if !matches!(cli.store, StoreChoice::Memory) {
+                    return Err(
+                        "only one store may be selected (--store, --cache-dir or --cache)".into()
+                    );
+                }
+                cli.store = StoreChoice::Cached(dir);
+            }
+            "--shard" => cli.shard = Some(Shard::parse(&value_of("--shard")?)?),
             "--help" | "-h" => return Err(usage().to_string()),
             flag if flag.starts_with('-') => return Err(format!("unknown flag '{flag}'")),
             command if cli.command.is_empty() => cli.command = command.to_string(),
+            file if cli.command == "merge" => cli.files.push(file.to_string()),
             extra => return Err(format!("unexpected argument '{extra}'")),
         }
     }
@@ -123,7 +200,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
 
 impl Cli {
     /// Applies scale/subset flags on top of a preset spec.
-    fn configure(&self, mut spec: CampaignSpec) -> Result<CampaignSpec, String> {
+    fn configure(&self, mut spec: CampaignSpec) -> Result<CampaignSpec, Failure> {
         if self.smoke {
             spec = spec.smoke();
         }
@@ -134,7 +211,9 @@ impl Cli {
                 .with_profiles(rsep_trace::BenchmarkProfile::spec2006())
                 .with_benchmark_filter(list);
             if spec.profiles.is_empty() {
-                return Err(format!("--benchmarks '{list}' matches no benchmark profile"));
+                return Err(usage_error(format!(
+                    "--benchmarks '{list}' matches no benchmark profile"
+                )));
             }
         }
         if let Some(seed) = self.seed {
@@ -163,6 +242,79 @@ impl Cli {
             emit_text("\n");
         }
     }
+
+    /// Emits a grid campaign's report(s), dispatching on the campaign id
+    /// (shared by live runs and `merge`, so both render identically).
+    fn emit_grid(&self, result: &CampaignResult) {
+        match result.id.as_str() {
+            "figure5" => self.emit(&presets::figure5_experiment(result)),
+            "figure7" => {
+                self.emit(&result.speedups());
+                self.emit(&presets::figure7_summary(result));
+            }
+            _ => self.emit(&result.speedups()),
+        }
+    }
+
+    fn note(&self, message: String) {
+        if !self.quiet {
+            eprintln!("{message}");
+        }
+    }
+
+    /// Runs one grid campaign through the selected store and emits its
+    /// report (unless the run is a partial shard, whose report comes later
+    /// from `rsep merge`).
+    fn run_grid(&self, spec: CampaignSpec) -> Result<(), Failure> {
+        let campaign = self.campaign();
+        match &self.store {
+            StoreChoice::Memory => {
+                let result = campaign.run(&spec);
+                self.emit_grid(&result);
+                self.note(result.timing_summary());
+            }
+            StoreChoice::Jsonl(path) => {
+                let mut store = JsonlStore::open(path).map_err(|e| runtime_error(e.to_string()))?;
+                let resumed = store.resumed_cells();
+                let run = campaign
+                    .run_stored(&spec, &mut store, self.shard)
+                    .map_err(|e| runtime_error(e.to_string()))?;
+                if resumed > 0 {
+                    self.note(format!(
+                        "{}: resumed {path}: {} cells already stored",
+                        spec.id, run.hits
+                    ));
+                }
+                match (&run.result, self.shard) {
+                    (Some(result), _) => {
+                        self.emit_grid(result);
+                        self.note(result.timing_summary());
+                    }
+                    (None, Some(shard)) => self.note(format!(
+                        "{}: shard {}/{} complete: {} cells in {path}; \
+                         run the other shards, then `rsep merge`",
+                        spec.id,
+                        shard.index,
+                        shard.count,
+                        run.hits + run.executed
+                    )),
+                    (None, None) => unreachable!("unsharded runs resolve every cell"),
+                }
+                self.note(run.store_summary(&spec.id));
+            }
+            StoreChoice::Cached(dir) => {
+                let mut store = CachedStore::open(dir).map_err(|e| runtime_error(e.to_string()))?;
+                let run = campaign
+                    .run_stored(&spec, &mut store, self.shard)
+                    .map_err(|e| runtime_error(e.to_string()))?;
+                let result = run.result.as_ref().expect("cached runs resolve every cell");
+                self.emit_grid(result);
+                self.note(result.timing_summary());
+                self.note(run.store_summary(&spec.id));
+            }
+        }
+        Ok(())
+    }
 }
 
 /// Writes report text to stdout, exiting quietly when the reader closed the
@@ -183,26 +335,58 @@ fn table1_text() -> String {
     out
 }
 
-fn run_command(cli: &Cli) -> Result<(), String> {
-    let campaign = cli.campaign();
-    let timing = |label: &str, summary: String| {
-        if !cli.quiet {
-            eprintln!("{label}{summary}");
-        }
-    };
+/// Rejects flag combinations that would silently do the wrong thing.
+fn validate(cli: &Cli) -> Result<(), Failure> {
+    let grid_command = matches!(cli.command.as_str(), "fig4" | "fig5" | "fig6" | "fig7");
+    if matches!(cli.store, StoreChoice::Jsonl(_)) && !grid_command {
+        return Err(usage_error(format!(
+            "--store is only supported for single-grid commands (fig4/fig5/fig6/fig7), \
+             not '{}'",
+            cli.command
+        )));
+    }
+    if cli.shard.is_some() && !matches!(cli.store, StoreChoice::Jsonl(_)) {
+        return Err(usage_error(
+            "--shard requires --store jsonl:<path> (each shard writes its own file)",
+        ));
+    }
+    if matches!(cli.store, StoreChoice::Cached(_))
+        && !grid_command
+        && !matches!(cli.command.as_str(), "run" | "sweep")
+    {
+        return Err(usage_error(format!(
+            "--cache-dir is not supported for '{}' (nothing to memoise)",
+            cli.command
+        )));
+    }
+    if cli.command == "merge" && cli.files.is_empty() {
+        return Err(usage_error("merge needs at least one shard .jsonl file"));
+    }
+    Ok(())
+}
+
+fn run_command(cli: &Cli) -> Result<(), Failure> {
+    validate(cli)?;
     match cli.command.as_str() {
         "table1" => emit_text(&table1_text()),
+        "merge" => {
+            let result = merge_stored(&cli.files).map_err(|e| runtime_error(e.to_string()))?;
+            cli.emit_grid(&result);
+            cli.note(format!(
+                "{}: merged {} cells from {} shard file(s)",
+                result.id,
+                result.exec.cells,
+                cli.files.len()
+            ));
+        }
         "fig1" => {
             let spec = cli.configure(presets::fig1())?;
-            let (exp, exec) = campaign.run_redundancy(&spec);
+            let (exp, exec) = cli.campaign().run_redundancy(&spec);
             cli.emit(&exp);
-            timing(
-                "",
-                format!(
-                    "figure1: {} cells on {} workers in {:.2?}",
-                    exec.cells, exec.jobs, exec.wall
-                ),
-            );
+            cli.note(format!(
+                "figure1: {} cells on {} workers in {:.2?}",
+                exec.cells, exec.jobs, exec.wall
+            ));
         }
         "fig4" | "fig6" | "fig7" | "sweep" | "fig5" | "run" => {
             let specs: Vec<CampaignSpec> = match cli.command.as_str() {
@@ -218,24 +402,14 @@ fn run_command(cli: &Cli) -> Result<(), String> {
                 emit_text(&table1_text());
                 emit_text("\n");
                 let spec = cli.configure(presets::fig1())?;
-                let (exp, _) = campaign.run_redundancy(&spec);
+                let (exp, _) = cli.campaign().run_redundancy(&spec);
                 cli.emit(&exp);
             }
             for spec in specs {
-                let spec = cli.configure(spec)?;
-                let result = campaign.run(&spec);
-                match spec.id.as_str() {
-                    "figure5" => cli.emit(&presets::figure5_experiment(&result)),
-                    "figure7" => {
-                        cli.emit(&result.speedups());
-                        cli.emit(&presets::figure7_summary(&result));
-                    }
-                    _ => cli.emit(&result.speedups()),
-                }
-                timing("", result.timing_summary());
+                cli.run_grid(cli.configure(spec)?)?;
             }
         }
-        other => return Err(format!("unknown command '{other}'\n{}", usage())),
+        other => return Err(usage_error(format!("unknown command '{other}'\n{}", usage()))),
     }
     Ok(())
 }
@@ -244,6 +418,10 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--help" || a == "-h") {
         println!("{}", usage());
+        return ExitCode::SUCCESS;
+    }
+    if args.iter().any(|a| a == "--version" || a == "-V") {
+        println!("rsep {}", env!("CARGO_PKG_VERSION"));
         return ExitCode::SUCCESS;
     }
     let cli = match parse_args(&args) {
@@ -255,9 +433,9 @@ fn main() -> ExitCode {
     };
     match run_command(&cli) {
         Ok(()) => ExitCode::SUCCESS,
-        Err(message) => {
-            eprintln!("{message}");
-            ExitCode::from(2)
+        Err(failure) => {
+            eprintln!("{}", failure.message);
+            ExitCode::from(failure.code)
         }
     }
 }

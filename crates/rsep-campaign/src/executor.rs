@@ -75,32 +75,68 @@ impl Executor {
         T: Send,
         F: Fn(usize) -> T + Sync,
     {
+        let indices: Vec<usize> = (0..cells).collect();
+        let (slots, stats) = self.run_streamed(cells, &indices, cell, &mut |_, _| true);
+        let out: Vec<T> =
+            slots.into_iter().map(|slot| slot.expect("every cell completed")).collect();
+        (out, stats)
+    }
+
+    /// Executes only `indices` (a subset of the `0..total` grid) and places
+    /// the outputs into an index-aligned slot vector; the other slots stay
+    /// `None`. This is how a resumed or sharded campaign skips cells a
+    /// [`ResultStore`](crate::store::ResultStore) already holds.
+    ///
+    /// `sink` observes every completed cell **in completion order**, on the
+    /// collecting thread, while workers keep running — the streaming hook a
+    /// store uses to persist cells as they finish, so a crash loses at most
+    /// the in-flight cells. Returning `false` from the sink cancels the
+    /// run: no further cells are scheduled (in-flight cells finish but are
+    /// not delivered), so a failing store does not burn hours simulating
+    /// results it can no longer persist. `ExecStats::cells` counts executed
+    /// cells only.
+    pub fn run_streamed<T, F>(
+        &self,
+        total: usize,
+        indices: &[usize],
+        cell: F,
+        sink: &mut dyn FnMut(usize, &T) -> bool,
+    ) -> (Vec<Option<T>>, ExecStats)
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
         let start = Instant::now();
+        let cells = indices.len();
+        let mut slots: Vec<Option<T>> = Vec::with_capacity(total);
+        slots.resize_with(total, || None);
         let jobs = self.jobs.min(cells.max(1));
         if jobs <= 1 {
             let mut busy = Duration::ZERO;
-            let mut out = Vec::with_capacity(cells);
-            for index in 0..cells {
+            for (done, &index) in indices.iter().enumerate() {
                 let cell_start = Instant::now();
-                out.push(cell(index));
+                let value = cell(index);
                 busy += cell_start.elapsed();
-                self.report_progress(index + 1, cells);
+                let keep_going = sink(index, &value);
+                slots[index] = Some(value);
+                self.report_progress(done + 1, cells);
+                if !keep_going {
+                    break;
+                }
             }
             let stats = ExecStats { cells, jobs: 1, wall: start.elapsed(), busy };
-            return (out, stats);
+            return (slots, stats);
         }
 
         // Task queue: every index pre-loaded, workers pull until drained.
         let (task_tx, task_rx) = mpsc::channel::<usize>();
-        for index in 0..cells {
+        for &index in indices {
             task_tx.send(index).expect("queue accepts all cells");
         }
         drop(task_tx);
         let task_rx = Mutex::new(task_rx);
 
         let (result_tx, result_rx) = mpsc::channel::<(usize, Duration, T)>();
-        let mut slots: Vec<Option<T>> = Vec::with_capacity(cells);
-        slots.resize_with(cells, || None);
         let mut busy = Duration::ZERO;
 
         std::thread::scope(|scope| {
@@ -124,17 +160,23 @@ impl Executor {
             drop(result_tx);
             let mut done = 0usize;
             for (index, took, value) in result_rx {
+                let keep_going = sink(index, &value);
                 slots[index] = Some(value);
                 busy += took;
                 done += 1;
                 self.report_progress(done, cells);
+                if !keep_going {
+                    // Cancel: drain the task queue so workers stop after
+                    // their current cell, then stop collecting (workers
+                    // exit when their result send fails).
+                    while task_rx.lock().expect("queue lock").try_recv().is_ok() {}
+                    break;
+                }
             }
         });
 
-        let out: Vec<T> =
-            slots.into_iter().map(|slot| slot.expect("every cell completed")).collect();
         let stats = ExecStats { cells, jobs, wall: start.elapsed(), busy };
-        (out, stats)
+        (slots, stats)
     }
 
     fn report_progress(&self, done: usize, total: usize) {
@@ -193,5 +235,67 @@ mod tests {
     fn jobs_is_clamped() {
         assert_eq!(Executor::new(0).jobs(), 1);
         assert!(Executor::auto().jobs() >= 1);
+    }
+
+    #[test]
+    fn streamed_run_executes_only_the_requested_indices() {
+        for jobs in [1, 4] {
+            let mut seen = Vec::new();
+            let indices = [1usize, 3, 5];
+            let (slots, stats) =
+                Executor::new(jobs).run_streamed(6, &indices, |i| i * 10, &mut |index, value| {
+                    seen.push((index, *value));
+                    true
+                });
+            assert_eq!(stats.cells, 3, "jobs = {jobs}");
+            assert_eq!(slots, vec![None, Some(10), None, Some(30), None, Some(50)]);
+            seen.sort_unstable();
+            assert_eq!(seen, vec![(1, 10), (3, 30), (5, 50)]);
+        }
+    }
+
+    #[test]
+    fn sink_sees_every_cell_exactly_once() {
+        let indices: Vec<usize> = (0..40).collect();
+        let mut count = 0usize;
+        let (_, stats) = Executor::new(8).run_streamed(40, &indices, |i| i, &mut |_, _| {
+            count += 1;
+            true
+        });
+        assert_eq!(count, 40);
+        assert_eq!(stats.cells, 40);
+    }
+
+    #[test]
+    fn a_cancelling_sink_stops_scheduling_new_cells() {
+        // A failing store must not let a large grid burn CPU for results
+        // that can no longer be persisted. Cells sleep to model real
+        // simulation cost — instant cells would drain the queue before the
+        // collector gets a chance to cancel.
+        let executed = AtomicUsize::new(0);
+        for jobs in [1usize, 4] {
+            executed.store(0, Ordering::SeqCst);
+            let total = 64usize;
+            let indices: Vec<usize> = (0..total).collect();
+            let mut delivered = 0usize;
+            Executor::new(jobs).run_streamed(
+                total,
+                &indices,
+                |i| {
+                    executed.fetch_add(1, Ordering::SeqCst);
+                    std::thread::sleep(Duration::from_millis(20));
+                    i
+                },
+                &mut |_, _| {
+                    delivered += 1;
+                    false // cancel after the first delivered cell
+                },
+            );
+            assert_eq!(delivered, 1, "jobs = {jobs}");
+            // Only cells pulled before the cancel drained the queue ran — a
+            // handful of in-flight cells, not the remaining grid.
+            let ran = executed.load(Ordering::SeqCst);
+            assert!(ran < total / 2, "jobs = {jobs}: {ran} of {total} cells ran after cancel");
+        }
     }
 }

@@ -16,6 +16,11 @@
 //!   count**;
 //! * [`Campaign`] — expands a spec into cells, runs them, and reassembles
 //!   the per-benchmark results into a [`CampaignResult`] grid;
+//! * [`store`] — the pluggable results layer: every cell has a
+//!   content-addressed [`CellKey`], and a [`ResultStore`] receives cells as
+//!   they complete ([`MemoryStore`] for today's in-memory behaviour,
+//!   [`JsonlStore`] for crash-resumable streaming runs and cross-machine
+//!   sharding, [`CachedStore`] for disk memoisation across campaigns);
 //! * [`report`] — JSON / CSV / markdown / fixed-width table emitters built
 //!   on `rsep-stats`;
 //! * [`presets`] — the paper's figure campaigns (Figures 1, 4, 6, 7 and
@@ -32,18 +37,40 @@
 //! assert_eq!(speedups.benchmarks().len(), 6);
 //! println!("{}", speedups.to_table());
 //! ```
+//!
+//! # Resumable / sharded runs
+//!
+//! ```no_run
+//! use rsep_campaign::{presets, Campaign, JsonlStore, Shard};
+//!
+//! let spec = presets::fig4().smoke();
+//! // Machine 0 of 2 runs half the cells, streaming them to a shard file;
+//! // `rsep merge` (or `merge_stored`) joins the shards afterwards.
+//! let mut store = JsonlStore::open("fig4-shard0.jsonl").unwrap();
+//! let run = Campaign::with_jobs(2)
+//!     .run_stored(&spec, &mut store, Some(Shard { index: 0, count: 2 }))
+//!     .unwrap();
+//! assert!(run.result.is_none()); // partial grid: report comes from merge
+//! ```
 
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
 
+pub mod env;
 pub mod executor;
 pub mod presets;
 pub mod report;
 pub mod spec;
+pub mod store;
 
+pub use env::jobs_from_env;
 pub use executor::{ExecStats, Executor};
 pub use report::ReportFormat;
-pub use spec::{jobs_from_env, CampaignSpec};
+pub use spec::CampaignSpec;
+pub use store::{
+    read_jsonl, CachedStore, CampaignHeader, CellKey, JsonlStore, MemoryStore, ResultStore,
+    StoreError,
+};
 
 use rsep_core::{
     checkpoint_seed, run_checkpoint, BenchmarkResult, CheckpointResult, MechanismConfig,
@@ -51,6 +78,8 @@ use rsep_core::{
 };
 use rsep_stats::{speedup_percent, Experiment};
 use rsep_trace::TraceGenerator;
+use std::path::Path;
+use std::time::Duration;
 
 /// One benchmark row of a campaign: the baseline (when run) and one result
 /// per mechanism, in spec order.
@@ -121,6 +150,217 @@ impl CampaignResult {
     }
 }
 
+/// A deterministic slice of a campaign grid for cross-machine runs:
+/// shard `index` of `count` owns every cell whose grid index is congruent
+/// to `index` modulo `count` (round-robin, so every shard gets a balanced
+/// mix of profiles and mechanisms).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Shard {
+    /// This shard's position, `0 <= index < count`.
+    pub index: usize,
+    /// Total number of shards.
+    pub count: usize,
+}
+
+impl Shard {
+    /// Parses the CLI form `i/n` (e.g. `0/4`).
+    pub fn parse(text: &str) -> Result<Shard, String> {
+        let err = || format!("bad shard '{text}': expected i/n with 0 <= i < n, e.g. 0/4");
+        let (index, count) = text.split_once('/').ok_or_else(err)?;
+        let shard = Shard {
+            index: index.trim().parse().map_err(|_| err())?,
+            count: count.trim().parse().map_err(|_| err())?,
+        };
+        if shard.count == 0 || shard.index >= shard.count {
+            return Err(err());
+        }
+        Ok(shard)
+    }
+
+    /// Whether this shard owns the given cell index.
+    pub fn owns(&self, cell: usize) -> bool {
+        cell % self.count == self.index
+    }
+}
+
+/// Outcome of a store-backed campaign run ([`Campaign::run_stored`]).
+#[derive(Debug, Clone)]
+pub struct StoredRun {
+    /// The reassembled grid — `Some` exactly when every cell of the grid
+    /// was resolved (no shard restriction, or a single-shard run). Sharded
+    /// runs return `None`; the report comes from [`merge_stored`].
+    pub result: Option<CampaignResult>,
+    /// Executor instrumentation over the cells actually simulated.
+    pub exec: ExecStats,
+    /// Cells served by the store without simulating.
+    pub hits: usize,
+    /// Cells simulated (store misses within this run's shard).
+    pub executed: usize,
+    /// Total cells of the full campaign grid.
+    pub total: usize,
+}
+
+impl StoredRun {
+    /// One-line store summary for progress output, e.g.
+    /// `figure4: store served 18/18 cells, simulated 0 (100.0% cached)`.
+    pub fn store_summary(&self, id: &str) -> String {
+        let asked = self.hits + self.executed;
+        let pct = if asked == 0 { 100.0 } else { self.hits as f64 / asked as f64 * 100.0 };
+        format!(
+            "{id}: store served {}/{asked} cells, simulated {} ({pct:.1}% cached)",
+            self.hits, self.executed
+        )
+    }
+}
+
+/// Expands the mechanism axis of a spec: baseline first (when requested),
+/// then the spec's mechanisms in order. The single source of truth for the
+/// grid's mechanism order — cell indexing, header labels and reassembly all
+/// derive from it.
+pub(crate) fn expand_mechanisms(spec: &CampaignSpec) -> Vec<MechanismConfig> {
+    let mut mechanisms: Vec<MechanismConfig> = Vec::new();
+    if spec.baseline {
+        mechanisms.push(MechanismConfig::baseline());
+    }
+    mechanisms.extend(spec.mechanisms.iter().cloned());
+    mechanisms
+}
+
+/// Reassembles per-benchmark results from index-ordered checkpoint cells.
+///
+/// `labels` is the expanded mechanism axis (baseline first when `baseline`
+/// is set); `outputs` must hold `benchmarks × labels × n_checkpoints` cells
+/// in grid-index order. Shared by the live run path and by
+/// [`CampaignResult::from_stored`], so a merged shard report is assembled by
+/// exactly the code that assembles a live run.
+fn assemble_rows(
+    benchmarks: &[String],
+    labels: &[String],
+    baseline: bool,
+    n_checkpoints: usize,
+    outputs: Vec<CheckpointResult>,
+) -> Vec<ProfileResults> {
+    let mut outputs = outputs.into_iter();
+    let mut rows = Vec::with_capacity(benchmarks.len());
+    for benchmark in benchmarks {
+        let mut base = None;
+        let mut results = Vec::new();
+        for (m, label) in labels.iter().enumerate() {
+            let checkpoints: Vec<CheckpointResult> = outputs.by_ref().take(n_checkpoints).collect();
+            let result =
+                BenchmarkResult::from_checkpoints(benchmark.clone(), label.clone(), checkpoints);
+            if baseline && m == 0 {
+                base = Some(result);
+            } else {
+                results.push(result);
+            }
+        }
+        rows.push(ProfileResults { benchmark: benchmark.clone(), baseline: base, results });
+    }
+    rows
+}
+
+impl CampaignResult {
+    /// Rebuilds a full campaign result from stored cells (resume / merge).
+    ///
+    /// Every cell of the header's grid must be present exactly once-or-more
+    /// (duplicates across shard files are fine — cells are pure, so copies
+    /// are identical); missing cells are an error naming how many are
+    /// absent.
+    pub fn from_stored(
+        header: &CampaignHeader,
+        cells: Vec<(usize, CheckpointResult)>,
+    ) -> Result<CampaignResult, StoreError> {
+        let grid = header.profiles.len() * header.mechanisms.len() * header.checkpoints;
+        if grid != header.cells {
+            return Err(StoreError {
+                path: None,
+                message: format!(
+                    "corrupt header for campaign '{}': {} profiles x {} mechanisms x {} \
+                     checkpoints is {grid} cells, but the header claims {}",
+                    header.id,
+                    header.profiles.len(),
+                    header.mechanisms.len(),
+                    header.checkpoints,
+                    header.cells
+                ),
+            });
+        }
+        let mut slots: Vec<Option<CheckpointResult>> = vec![None; header.cells];
+        for (index, result) in cells {
+            if index >= header.cells {
+                return Err(StoreError {
+                    path: None,
+                    message: format!(
+                        "cell index {index} is outside the {}-cell grid of campaign '{}'",
+                        header.cells, header.id
+                    ),
+                });
+            }
+            slots[index] = Some(result);
+        }
+        let missing = slots.iter().filter(|s| s.is_none()).count();
+        if missing > 0 {
+            return Err(StoreError {
+                path: None,
+                message: format!(
+                    "campaign '{}' is incomplete: {missing} of {} cells missing \
+                     (are all shard files listed?)",
+                    header.id, header.cells
+                ),
+            });
+        }
+        let outputs: Vec<CheckpointResult> = slots.into_iter().flatten().collect();
+        let rows = assemble_rows(
+            &header.profiles,
+            &header.mechanisms,
+            header.baseline,
+            header.checkpoints,
+            outputs,
+        );
+        let exec =
+            ExecStats { cells: header.cells, jobs: 0, wall: Duration::ZERO, busy: Duration::ZERO };
+        Ok(CampaignResult { id: header.id.clone(), rows, exec })
+    }
+}
+
+/// Joins shard store files into one complete campaign result.
+///
+/// All files must carry the same campaign header (same spec fingerprint);
+/// the merged grid is assembled index-ordered, so the resulting reports are
+/// byte-identical to an unsharded run of the same spec.
+pub fn merge_stored(paths: &[impl AsRef<Path>]) -> Result<CampaignResult, StoreError> {
+    if paths.is_empty() {
+        return Err(StoreError { path: None, message: "no shard files to merge".into() });
+    }
+    let mut merged_header: Option<CampaignHeader> = None;
+    let mut cells: Vec<(usize, CheckpointResult)> = Vec::new();
+    for path in paths {
+        let path = path.as_ref();
+        let (header, shard_cells) = read_jsonl(path)?;
+        match &merged_header {
+            None => merged_header = Some(header),
+            Some(existing) => {
+                if *existing != header {
+                    return Err(StoreError::new(
+                        path,
+                        format!(
+                            "shard belongs to campaign '{}' (spec {:016x}), but earlier shards \
+                             are from '{}' (spec {:016x})",
+                            header.id,
+                            header.spec_fingerprint,
+                            existing.id,
+                            existing.spec_fingerprint
+                        ),
+                    ));
+                }
+            }
+        }
+        cells.extend(shard_cells.into_iter().map(|(index, _key, result)| (index, result)));
+    }
+    CampaignResult::from_stored(&merged_header.expect("at least one shard"), cells)
+}
+
 /// The campaign engine: expands a [`CampaignSpec`] into cells and runs them
 /// on an [`Executor`].
 #[derive(Debug, Clone)]
@@ -149,59 +389,123 @@ impl Campaign {
     ///
     /// Deterministic: for a given spec, the returned grid is bit-identical
     /// at any worker count (cells are pure and reassembly is
-    /// index-ordered).
+    /// index-ordered). This is [`Campaign::run_stored`] over a
+    /// [`MemoryStore`]: nothing persists, everything simulates.
     pub fn run(&self, spec: &CampaignSpec) -> CampaignResult {
-        // Mechanism axis: baseline first (when requested), then the spec's
-        // mechanisms in order.
-        let mut mechanisms: Vec<MechanismConfig> = Vec::new();
-        if spec.baseline {
-            mechanisms.push(MechanismConfig::baseline());
-        }
-        mechanisms.extend(spec.mechanisms.iter().cloned());
+        self.run_stored(spec, &mut MemoryStore, None)
+            .expect("an in-memory campaign cannot fail")
+            .result
+            .expect("an unsharded campaign resolves every cell")
+    }
 
-        let n_profiles = spec.profiles.len();
+    /// Runs a campaign through a [`ResultStore`]: cells the store already
+    /// holds (earlier partial run, memoisation cache) are served without
+    /// simulating, the rest are simulated and **streamed into the store as
+    /// they complete** — so a killed run loses at most its in-flight cells
+    /// and is resumed by re-running the same command.
+    ///
+    /// With a [`Shard`], only the cells that shard owns are considered; the
+    /// returned [`StoredRun::result`] is then `None` and the full report is
+    /// produced later by [`merge_stored`] over all shard files.
+    pub fn run_stored(
+        &self,
+        spec: &CampaignSpec,
+        store: &mut dyn ResultStore,
+        shard: Option<Shard>,
+    ) -> Result<StoredRun, StoreError> {
+        let mechanisms = expand_mechanisms(spec);
         let n_mechanisms = mechanisms.len();
         let n_checkpoints = spec.checkpoints.count;
-        let cells = n_profiles * n_mechanisms * n_checkpoints;
+        let cells = spec.profiles.len() * n_mechanisms * n_checkpoints;
 
-        let (outputs, exec) = self.executor.run(cells, |index| {
-            let checkpoint = index % n_checkpoints;
-            let mechanism = (index / n_checkpoints) % n_mechanisms;
-            let profile = index / (n_checkpoints * n_mechanisms);
-            run_checkpoint(
-                &spec.profiles[profile],
-                &mechanisms[mechanism],
-                &spec.core_config,
-                spec.checkpoints,
-                spec.seed,
-                checkpoint,
-            )
-        });
+        // Content-addressed identity of every cell of the grid.
+        let keys: Vec<CellKey> = (0..cells)
+            .map(|index| {
+                let checkpoint = index % n_checkpoints;
+                let mechanism = (index / n_checkpoints) % n_mechanisms;
+                let profile = index / (n_checkpoints * n_mechanisms);
+                CellKey::for_cell(
+                    &spec.profiles[profile],
+                    &mechanisms[mechanism],
+                    &spec.core_config,
+                    spec.checkpoints,
+                    checkpoint_seed(spec.seed, checkpoint),
+                )
+            })
+            .collect();
 
-        // Reassemble: outputs arrive indexed, so grouping is a simple
-        // chunked walk in (profile, mechanism) order.
-        let mut outputs = outputs.into_iter();
-        let mut rows = Vec::with_capacity(n_profiles);
-        for profile in &spec.profiles {
-            let mut baseline = None;
-            let mut results = Vec::with_capacity(spec.mechanisms.len());
-            for mechanism in &mechanisms {
-                let checkpoints: Vec<CheckpointResult> =
-                    outputs.by_ref().take(n_checkpoints).collect();
-                let result = BenchmarkResult::from_checkpoints(
-                    profile.name,
-                    mechanism.label.clone(),
-                    checkpoints,
-                );
-                if spec.baseline && baseline.is_none() && mechanism.label == "baseline" {
-                    baseline = Some(result);
-                } else {
-                    results.push(result);
-                }
+        store.begin(&CampaignHeader::for_spec(spec))?;
+
+        // Resolve what the store already has; simulate only the rest.
+        let mut slots: Vec<Option<CheckpointResult>> = vec![None; cells];
+        let mut hits = 0usize;
+        let mut todo: Vec<usize> = Vec::new();
+        for index in 0..cells {
+            if shard.is_some_and(|s| !s.owns(index)) {
+                continue;
             }
-            rows.push(ProfileResults { benchmark: profile.name.to_string(), baseline, results });
+            match store.lookup(keys[index]) {
+                Some(result) => {
+                    slots[index] = Some(result);
+                    hits += 1;
+                }
+                None => todo.push(index),
+            }
         }
-        CampaignResult { id: spec.id.clone(), rows, exec }
+
+        let executed = todo.len();
+        let mut record_error: Option<StoreError> = None;
+        let (run_slots, exec) = self.executor.run_streamed(
+            cells,
+            &todo,
+            |index| {
+                let checkpoint = index % n_checkpoints;
+                let mechanism = (index / n_checkpoints) % n_mechanisms;
+                let profile = index / (n_checkpoints * n_mechanisms);
+                run_checkpoint(
+                    &spec.profiles[profile],
+                    &mechanisms[mechanism],
+                    &spec.core_config,
+                    spec.checkpoints,
+                    spec.seed,
+                    checkpoint,
+                )
+            },
+            &mut |index, result: &CheckpointResult| {
+                // Stream each completed cell to the store. A failing store
+                // cancels the run (returning false stops scheduling): hours
+                // of simulation must not be spent on results that can no
+                // longer be persisted.
+                match store.record(index, keys[index], result) {
+                    Ok(()) => true,
+                    Err(e) => {
+                        record_error = Some(e);
+                        false
+                    }
+                }
+            },
+        );
+        if let Some(error) = record_error {
+            return Err(error);
+        }
+        store.finish()?;
+
+        for (slot, run) in slots.iter_mut().zip(run_slots) {
+            if run.is_some() {
+                *slot = run;
+            }
+        }
+        let result = if slots.iter().all(Option::is_some) {
+            let outputs: Vec<CheckpointResult> = slots.into_iter().flatten().collect();
+            let benchmarks: Vec<String> =
+                spec.profiles.iter().map(|p| p.name.to_string()).collect();
+            let labels: Vec<String> = mechanisms.iter().map(|m| m.label.clone()).collect();
+            let rows = assemble_rows(&benchmarks, &labels, spec.baseline, n_checkpoints, outputs);
+            Some(CampaignResult { id: spec.id.clone(), rows, exec: exec.clone() })
+        } else {
+            None
+        };
+        Ok(StoredRun { result, exec, hits, executed, total: cells })
     }
 
     /// Runs the Figure 1 redundancy campaign: per `(profile, checkpoint)`

@@ -17,7 +17,9 @@
 //! | `RSEP_SEED` | trace generation seed |
 //! | `RSEP_JOBS` | worker threads (0 = machine parallelism) |
 
+use crate::env::env_u64;
 use rsep_core::MechanismConfig;
+use rsep_isa::Fingerprint;
 use rsep_trace::{BenchmarkProfile, CheckpointSpec};
 use rsep_uarch::CoreConfig;
 
@@ -42,15 +44,22 @@ pub struct CampaignSpec {
     pub seed: u64,
 }
 
-fn env_u64(name: &str, default: u64) -> u64 {
-    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
-}
-
-/// Worker-thread count from `RSEP_JOBS` (0 or unset = machine parallelism).
-pub fn jobs_from_env() -> usize {
-    match env_u64("RSEP_JOBS", 0) as usize {
-        0 => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
-        n => n,
+impl Fingerprint for CampaignSpec {
+    fn fingerprint(&self, h: &mut rsep_isa::Fnv) {
+        h.write_str("CampaignSpec");
+        self.id.fingerprint(h);
+        self.profiles.fingerprint(h);
+        self.mechanisms.fingerprint(h);
+        // Labels are excluded from MechanismConfig fingerprints (cells do
+        // not depend on them) but *are* part of a campaign's identity: two
+        // campaigns whose reports label series differently are different.
+        for m in &self.mechanisms {
+            m.label.fingerprint(h);
+        }
+        self.baseline.fingerprint(h);
+        self.core_config.fingerprint(h);
+        self.checkpoints.fingerprint(h);
+        self.seed.fingerprint(h);
     }
 }
 

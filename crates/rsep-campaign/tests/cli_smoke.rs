@@ -72,6 +72,42 @@ fn bad_usage_exits_2() {
     assert_eq!(rsep(&["fig4", "--jobs", "abc"]).status.code(), Some(2));
     // A selection matching nothing is an error, not an empty report.
     assert_eq!(rsep(&["fig4", "--smoke", "--benchmarks", "nosuchbench"]).status.code(), Some(2));
+    // Store/shard misuse is caught before any simulation runs.
+    assert_eq!(rsep(&["fig4", "--store", "sqlite:x"]).status.code(), Some(2));
+    assert_eq!(rsep(&["fig4", "--store", "jsonl:"]).status.code(), Some(2));
+    assert_eq!(rsep(&["fig4", "--shard", "2/2"]).status.code(), Some(2));
+    assert_eq!(rsep(&["fig4", "--shard", "0/0"]).status.code(), Some(2));
+    assert_eq!(rsep(&["fig4", "--smoke", "--shard", "0/2"]).status.code(), Some(2));
+    assert_eq!(rsep(&["run", "--smoke", "--store", "jsonl:x.jsonl"]).status.code(), Some(2));
+    assert_eq!(rsep(&["table1", "--cache-dir", "x"]).status.code(), Some(2));
+    assert_eq!(rsep(&["merge"]).status.code(), Some(2));
+    // The store choices are mutually exclusive, in either order.
+    assert_eq!(
+        rsep(&["fig4", "--store", "jsonl:x.jsonl", "--cache-dir", "y"]).status.code(),
+        Some(2)
+    );
+    assert_eq!(
+        rsep(&["fig4", "--cache-dir", "y", "--store", "jsonl:x.jsonl"]).status.code(),
+        Some(2)
+    );
+    assert_eq!(rsep(&["fig4", "--cache", "--store", "jsonl:x.jsonl"]).status.code(), Some(2));
+}
+
+#[test]
+fn runtime_failures_exit_1() {
+    // Merging a file that does not exist is a runtime failure, not usage.
+    let output = rsep(&["merge", "/nonexistent/rsep-shard.jsonl"]);
+    assert_eq!(output.status.code(), Some(1));
+    assert!(!String::from_utf8_lossy(&output.stderr).is_empty());
+}
+
+#[test]
+fn version_exits_0_and_prints_the_version() {
+    let output = rsep(&["--version"]);
+    assert!(output.status.success());
+    let text = String::from_utf8(output.stdout).unwrap();
+    assert!(text.starts_with("rsep "), "{text}");
+    assert!(text.contains(env!("CARGO_PKG_VERSION")), "{text}");
 }
 
 #[test]

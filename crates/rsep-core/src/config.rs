@@ -232,6 +232,47 @@ impl MechanismConfig {
     }
 }
 
+impl rsep_isa::Fingerprint for SamplingConfig {
+    fn fingerprint(&self, h: &mut rsep_isa::Fnv) {
+        h.write_str("SamplingConfig");
+        self.start_train_raw.fingerprint(h);
+        self.start_train_effective.fingerprint(h);
+    }
+}
+
+impl rsep_isa::Fingerprint for RsepConfig {
+    fn fingerprint(&self, h: &mut rsep_isa::Fnv) {
+        h.write_str("RsepConfig");
+        self.predictor.fingerprint(h);
+        self.history.fingerprint(h);
+        self.isrb.fingerprint(h);
+        self.validation.fingerprint(h);
+        self.sampling.fingerprint(h);
+        self.distance_propagation_bytes.fingerprint(h);
+    }
+}
+
+impl rsep_isa::Fingerprint for VpConfig {
+    fn fingerprint(&self, h: &mut rsep_isa::Fnv) {
+        h.write_str("VpConfig");
+        self.predictor.fingerprint(h);
+    }
+}
+
+impl rsep_isa::Fingerprint for MechanismConfig {
+    fn fingerprint(&self, h: &mut rsep_isa::Fnv) {
+        h.write_str("MechanismConfig");
+        // The label is deliberately excluded: a cell's simulated output does
+        // not depend on it (labels are re-attached from the spec at
+        // reassembly), so relabelled-but-identical mechanisms share cells.
+        self.zero_idiom_elim.fingerprint(h);
+        self.move_elim.fingerprint(h);
+        self.zero_pred.fingerprint(h);
+        self.rsep.fingerprint(h);
+        self.vp.fingerprint(h);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -61,6 +61,15 @@ impl FifoHistoryConfig {
     }
 }
 
+impl rsep_isa::Fingerprint for FifoHistoryConfig {
+    fn fingerprint(&self, h: &mut rsep_isa::Fnv) {
+        h.write_str("FifoHistoryConfig");
+        self.capacity.fingerprint(h);
+        self.hash_bits.fingerprint(h);
+        self.csn_bits.fingerprint(h);
+    }
+}
+
 /// One record of the history.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct HistoryEntry {

@@ -69,6 +69,14 @@ impl IsrbConfig {
     }
 }
 
+impl rsep_isa::Fingerprint for IsrbConfig {
+    fn fingerprint(&self, h: &mut rsep_isa::Fnv) {
+        h.write_str("IsrbConfig");
+        self.entries.fingerprint(h);
+        self.counter_bits.fingerprint(h);
+    }
+}
+
 /// Statistics of the ISRB.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct IsrbStats {

@@ -18,15 +18,20 @@
 //!   branch outcome for branches.
 //! * [`FoldHash`] — the n-bit folding hash of Section IV-A used to compare
 //!   results cheaply in the Hash Register File and the commit FIFO history.
+//! * [`Fingerprint`] / [`Fnv`] — stable structural hashing of configuration
+//!   types, used by `rsep-campaign` to derive content-addressed cell keys
+//!   for result memoisation and resumable campaign stores.
 
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
 
+pub mod fingerprint;
 pub mod hash;
 pub mod inst;
 pub mod op;
 pub mod reg;
 
+pub use fingerprint::{Fingerprint, Fnv};
 pub use hash::FoldHash;
 pub use inst::{BranchInfo, BranchKind, DynInst, DynInstBuilder, MemInfo};
 pub use op::OpClass;

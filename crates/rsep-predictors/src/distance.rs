@@ -115,6 +115,21 @@ impl DistancePredictorConfig {
     }
 }
 
+impl rsep_isa::Fingerprint for DistancePredictorConfig {
+    fn fingerprint(&self, h: &mut rsep_isa::Fnv) {
+        h.write_str("DistancePredictorConfig");
+        self.base_log2.fingerprint(h);
+        self.tagged_log2.fingerprint(h);
+        self.num_tagged.fingerprint(h);
+        self.tag_bits.fingerprint(h);
+        self.min_history.fingerprint(h);
+        self.max_history.fingerprint(h);
+        self.distance_bits.fingerprint(h);
+        self.confidence_bits.fingerprint(h);
+        self.confidence_denominator.fingerprint(h);
+    }
+}
+
 #[derive(Debug, Clone)]
 struct BaseEntry {
     distance: u16,

@@ -88,6 +88,21 @@ impl DvtageConfig {
     }
 }
 
+impl rsep_isa::Fingerprint for DvtageConfig {
+    fn fingerprint(&self, h: &mut rsep_isa::Fnv) {
+        h.write_str("DvtageConfig");
+        self.base_log2.fingerprint(h);
+        self.tagged_log2.fingerprint(h);
+        self.num_tagged.fingerprint(h);
+        self.tag_bits.fingerprint(h);
+        self.min_history.fingerprint(h);
+        self.max_history.fingerprint(h);
+        self.stride_bits.fingerprint(h);
+        self.confidence_bits.fingerprint(h);
+        self.confidence_denominator.fingerprint(h);
+    }
+}
+
 #[derive(Debug, Clone)]
 struct BaseEntry {
     valid: bool,

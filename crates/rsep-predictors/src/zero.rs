@@ -39,6 +39,15 @@ impl Default for ZeroPredictorConfig {
     }
 }
 
+impl rsep_isa::Fingerprint for ZeroPredictorConfig {
+    fn fingerprint(&self, h: &mut rsep_isa::Fnv) {
+        h.write_str("ZeroPredictorConfig");
+        self.entries_log2.fingerprint(h);
+        self.confidence_bits.fingerprint(h);
+        self.confidence_denominator.fingerprint(h);
+    }
+}
+
 /// PC-indexed zero predictor.
 #[derive(Debug)]
 pub struct ZeroPredictor {

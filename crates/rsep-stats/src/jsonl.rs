@@ -1,0 +1,84 @@
+//! JSON Lines (JSONL) helpers for streaming result stores.
+//!
+//! A JSONL document is one compact JSON value per `\n`-terminated line —
+//! the natural on-disk shape for an *append-only* result stream: each
+//! completed simulation cell becomes one line, written and flushed as it
+//! finishes, so a crashed campaign leaves a prefix of valid lines behind.
+//!
+//! [`decode_lines`] is therefore deliberately tolerant at the tail: a final
+//! line without a terminating newline (a record that was mid-write when the
+//! process died) is ignored rather than treated as corruption, which is
+//! what makes reopening a partial file safe. Corruption anywhere *else* is
+//! still an error — silent data loss in the middle of a store would be far
+//! worse than a failed resume.
+
+use crate::json::{Json, ParseError};
+
+/// Encodes one value as a JSONL line (compact JSON + `\n`).
+pub fn encode_line(value: &Json) -> String {
+    let mut line = value.to_string_compact();
+    line.push('\n');
+    line
+}
+
+/// Decodes a JSONL document into its values.
+///
+/// Every `\n`-terminated line must parse; a trailing unterminated line is
+/// skipped (it is the half-written record of an interrupted producer).
+/// Empty lines are ignored.
+pub fn decode_lines(text: &str) -> Result<Vec<Json>, ParseError> {
+    let mut out = Vec::new();
+    let mut rest = text;
+    while let Some(newline) = rest.find('\n') {
+        let line = &rest[..newline];
+        rest = &rest[newline + 1..];
+        if !line.trim().is_empty() {
+            out.push(Json::parse(line.trim())?);
+        }
+    }
+    // `rest` now holds any unterminated tail; drop it by design.
+    Ok(out)
+}
+
+/// Number of bytes of `text` covered by complete (`\n`-terminated) lines —
+/// the safe truncation point when compacting a partially written file.
+pub fn complete_prefix_len(text: &str) -> usize {
+    text.rfind('\n').map(|i| i + 1).unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn num(n: f64) -> Json {
+        Json::Num(n)
+    }
+
+    #[test]
+    fn round_trips_lines() {
+        let values = vec![num(1.0), Json::Str("two".into()), Json::Array(vec![num(3.0)])];
+        let text: String = values.iter().map(encode_line).collect();
+        assert_eq!(decode_lines(&text).unwrap(), values);
+    }
+
+    #[test]
+    fn unterminated_tail_is_ignored() {
+        let text = "{\"a\":1.0}\n{\"b\":2.0}\n{\"c\":3";
+        let values = decode_lines(text).unwrap();
+        assert_eq!(values.len(), 2);
+        assert_eq!(complete_prefix_len(text), "{\"a\":1.0}\n{\"b\":2.0}\n".len());
+    }
+
+    #[test]
+    fn corruption_in_a_complete_line_is_an_error() {
+        assert!(decode_lines("{\"a\":1}\nnot json\n").is_err());
+    }
+
+    #[test]
+    fn empty_input_and_blank_lines() {
+        assert!(decode_lines("").unwrap().is_empty());
+        assert!(decode_lines("\n\n").unwrap().is_empty());
+        assert_eq!(complete_prefix_len(""), 0);
+        assert_eq!(complete_prefix_len("abc"), 0);
+    }
+}

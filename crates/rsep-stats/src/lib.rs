@@ -7,14 +7,17 @@
 //! emitters.
 //!
 //! JSON support is provided by the built-in [`json`] module (the container
-//! cannot fetch `serde`; see `vendor/README.md`). All emitters are
-//! deterministic: object keys and rows keep insertion order, so a campaign
-//! produces byte-identical reports at any thread count.
+//! cannot fetch `serde`; see `vendor/README.md`), with [`jsonl`] adding the
+//! append-only JSON-Lines helpers the campaign result stores stream cells
+//! through. All emitters are deterministic: object keys and rows keep
+//! insertion order, so a campaign produces byte-identical reports at any
+//! thread count.
 
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
 
 pub mod json;
+pub mod jsonl;
 
 use json::Json;
 

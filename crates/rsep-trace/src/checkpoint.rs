@@ -59,6 +59,16 @@ impl Default for CheckpointSpec {
     }
 }
 
+impl rsep_isa::Fingerprint for CheckpointSpec {
+    fn fingerprint(&self, h: &mut rsep_isa::Fnv) {
+        h.write_str("CheckpointSpec");
+        self.count.fingerprint(h);
+        self.warmup.fingerprint(h);
+        self.measure.fingerprint(h);
+        self.spacing.fingerprint(h);
+    }
+}
+
 /// One measured checkpoint: the warm-up stream and the measured stream.
 #[derive(Debug)]
 pub struct Checkpoint {

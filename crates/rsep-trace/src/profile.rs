@@ -608,6 +608,47 @@ impl BenchmarkProfile {
     }
 }
 
+impl rsep_isa::Fingerprint for InstructionMix {
+    fn fingerprint(&self, h: &mut rsep_isa::Fnv) {
+        h.write_str("InstructionMix");
+        self.load.fingerprint(h);
+        self.store.fingerprint(h);
+        self.branch.fingerprint(h);
+        self.int_alu.fingerprint(h);
+        self.int_mul.fingerprint(h);
+        self.int_div.fingerprint(h);
+        self.fp_alu.fingerprint(h);
+        self.fp_mul.fingerprint(h);
+        self.fp_div.fingerprint(h);
+        self.mov.fingerprint(h);
+        self.zero_idiom.fingerprint(h);
+    }
+}
+
+impl rsep_isa::Fingerprint for BenchmarkProfile {
+    fn fingerprint(&self, h: &mut rsep_isa::Fnv) {
+        h.write_str("BenchmarkProfile");
+        self.name.fingerprint(h);
+        self.mix.fingerprint(h);
+        self.hard_branch_frac.fingerprint(h);
+        self.working_set_bytes.fingerprint(h);
+        self.streaming_frac.fingerprint(h);
+        self.pointer_chase_frac.fingerprint(h);
+        self.zero_frac_load.fingerprint(h);
+        self.zero_frac_other.fingerprint(h);
+        self.redundant_frac_load.fingerprint(h);
+        self.redundant_frac_other.fingerprint(h);
+        self.distance_stability.fingerprint(h);
+        self.short_distance_frac.fingerprint(h);
+        self.vp_frac.fingerprint(h);
+        self.vp_overlap_frac.fingerprint(h);
+        self.dep_chain_frac.fingerprint(h);
+        self.loop_body_size.fingerprint(h);
+        self.num_loops.fingerprint(h);
+        self.loop_trip.fingerprint(h);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

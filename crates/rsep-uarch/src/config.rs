@@ -257,6 +257,51 @@ impl Default for CoreConfig {
     }
 }
 
+impl rsep_isa::Fingerprint for CoreConfig {
+    fn fingerprint(&self, h: &mut rsep_isa::Fnv) {
+        h.write_str("CoreConfig");
+        self.fetch_width.fingerprint(h);
+        self.fetch_taken_branches.fingerprint(h);
+        self.rename_width.fingerprint(h);
+        self.frontend_depth.fingerprint(h);
+        self.redirect_penalty.fingerprint(h);
+        self.fetch_queue_size.fingerprint(h);
+        self.rob_size.fingerprint(h);
+        self.iq_size.fingerprint(h);
+        self.lq_size.fingerprint(h);
+        self.sq_size.fingerprint(h);
+        self.int_prf_size.fingerprint(h);
+        self.fp_prf_size.fingerprint(h);
+        self.issue_width.fingerprint(h);
+        self.commit_width.fingerprint(h);
+        self.int_alu_ports.fingerprint(h);
+        self.int_mul_units.fingerprint(h);
+        self.int_div_units.fingerprint(h);
+        self.fp_ports.fingerprint(h);
+        self.fp_mul_units.fingerprint(h);
+        self.fp_div_units.fingerprint(h);
+        self.load_ports.fingerprint(h);
+        self.store_ports.fingerprint(h);
+        self.stlf_latency.fingerprint(h);
+        self.l1i_bytes.fingerprint(h);
+        self.l1i_assoc.fingerprint(h);
+        self.l1i_latency.fingerprint(h);
+        self.l1d_bytes.fingerprint(h);
+        self.l1d_assoc.fingerprint(h);
+        self.l1d_latency.fingerprint(h);
+        self.l2_bytes.fingerprint(h);
+        self.l2_assoc.fingerprint(h);
+        self.l2_latency.fingerprint(h);
+        self.l3_bytes.fingerprint(h);
+        self.l3_assoc.fingerprint(h);
+        self.l3_latency.fingerprint(h);
+        self.line_bytes.fingerprint(h);
+        self.dram_latency.fingerprint(h);
+        self.l1d_prefetch.fingerprint(h);
+        self.l2_prefetch.fingerprint(h);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

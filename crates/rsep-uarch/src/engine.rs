@@ -40,6 +40,17 @@ pub enum ValidationKind {
     AnyFu,
 }
 
+impl rsep_isa::Fingerprint for ValidationKind {
+    fn fingerprint(&self, h: &mut rsep_isa::Fnv) {
+        h.write_str("ValidationKind");
+        h.write_u64(match self {
+            ValidationKind::Free => 0,
+            ValidationKind::SameFu => 1,
+            ValidationKind::AnyFu => 2,
+        });
+    }
+}
+
 /// Decision taken by the speculation engine for one instruction at Rename.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RenameAction {
