@@ -1,0 +1,71 @@
+//! Criterion bench: the core's cycle loop under both scheduler
+//! implementations.
+//!
+//! `cycle_loop/event_driven` vs `cycle_loop/polling` is the headline
+//! comparison for the event-driven wakeup/select rewrite: same simulated
+//! behaviour (enforced by the golden-stats and property tests), different
+//! simulator throughput. The final `throughput` entries print simulated
+//! cycles and instructions per wall-clock second, which the CI quick-bench
+//! job surfaces so perf regressions are visible in PR logs.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rsep_trace::{BenchmarkProfile, TraceGenerator};
+use rsep_uarch::{Core, CoreConfig, SchedulerKind};
+use std::time::Instant;
+
+const COMMITS: u64 = 30_000;
+
+fn trace_insts() -> Vec<rsep_isa::DynInst> {
+    let profile = BenchmarkProfile::by_name("gcc").unwrap();
+    TraceGenerator::new(&profile, 42).take(COMMITS as usize + 4_000).collect()
+}
+
+fn run_once(insts: &[rsep_isa::DynInst], scheduler: SchedulerKind) -> (u64, u64) {
+    let mut config = CoreConfig::table1();
+    config.scheduler = scheduler;
+    let mut core = Core::baseline(config);
+    let mut trace = insts.iter().cloned();
+    let committed = core.run(&mut trace, COMMITS).expect("bench trace cannot wedge");
+    (core.stats().cycles, committed)
+}
+
+fn bench(c: &mut Criterion) {
+    let insts = trace_insts();
+    for (id, scheduler) in [
+        ("cycle_loop/event_driven", SchedulerKind::EventDriven),
+        ("cycle_loop/polling", SchedulerKind::Polling),
+    ] {
+        c.bench_function(id, |b| b.iter(|| black_box(run_once(&insts, scheduler))));
+    }
+}
+
+/// Prints absolute throughput (simulated cycles & instructions per second)
+/// for each scheduler — the number the ROADMAP bench trajectory tracks.
+fn throughput(_c: &mut Criterion) {
+    let insts = trace_insts();
+    for (label, scheduler) in
+        [("event_driven", SchedulerKind::EventDriven), ("polling", SchedulerKind::Polling)]
+    {
+        // One untimed warm-up, then a few timed runs; report the best.
+        run_once(&insts, scheduler);
+        let mut best = f64::MAX;
+        let mut cycles = 0;
+        for _ in 0..3 {
+            let start = Instant::now();
+            let (c, committed) = run_once(&insts, scheduler);
+            let secs = start.elapsed().as_secs_f64();
+            // The final commit group may overshoot the target slightly.
+            assert!(committed >= COMMITS);
+            cycles = c;
+            best = best.min(secs);
+        }
+        println!(
+            "cycle_loop/throughput/{label:<14} {:>8.2} Mcycles/s  {:>7.2} Minsts/s",
+            cycles as f64 / best / 1e6,
+            COMMITS as f64 / best / 1e6,
+        );
+    }
+}
+
+criterion_group!(benches, bench, throughput);
+criterion_main!(benches);

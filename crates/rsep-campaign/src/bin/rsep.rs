@@ -246,6 +246,11 @@ impl Cli {
     /// Emits a grid campaign's report(s), dispatching on the campaign id
     /// (shared by live runs and `merge`, so both render identically).
     fn emit_grid(&self, result: &CampaignResult) {
+        // Failed (wedged) cells are part of the record — surface them even
+        // with --quiet; their IPC contribution is zero.
+        for (benchmark, mechanism, error) in result.failures() {
+            eprintln!("warning: {}/{benchmark}/{mechanism}: {error}", result.id);
+        }
         match result.id.as_str() {
             "figure5" => self.emit(&presets::figure5_experiment(result)),
             "figure7" => {

@@ -136,6 +136,22 @@ impl CampaignResult {
         exp
     }
 
+    /// Failed cells across the grid: `(benchmark, mechanism, error)` for
+    /// every checkpoint whose simulation failed (wedged pipeline). Failed
+    /// cells contribute zero IPC; reports remain well-formed, but callers
+    /// should surface these to the user.
+    pub fn failures(&self) -> Vec<(String, String, String)> {
+        let mut out = Vec::new();
+        for row in &self.rows {
+            for result in row.baseline.iter().chain(&row.results) {
+                for failure in &result.failures {
+                    out.push((row.benchmark.clone(), result.mechanism.clone(), failure.clone()));
+                }
+            }
+        }
+        out
+    }
+
     /// One-line timing summary for progress output.
     pub fn timing_summary(&self) -> String {
         format!(

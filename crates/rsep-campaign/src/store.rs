@@ -277,6 +277,7 @@ fn stats_to_json(s: &SimStats) -> Json {
     u64_field(&mut pairs, "watchdog_flushes", s.watchdog_flushes);
     u64_field(&mut pairs, "validation_issues", s.validation_issues);
     u64_field(&mut pairs, "validation_port_conflicts", s.validation_port_conflicts);
+    u64_field(&mut pairs, "stlf_forwards", s.stlf_forwards);
     u64_field(&mut pairs, "rob_occupancy_sum", s.rob_occupancy_sum);
     pairs.push(("coverage".into(), coverage_to_json(&s.coverage)));
     let cache = s
@@ -299,6 +300,12 @@ fn get_u64(v: &Json, key: &str) -> Result<u64, String> {
         .and_then(Json::as_f64)
         .map(|n| n as u64)
         .ok_or_else(|| format!("missing numeric field '{key}'"))
+}
+
+/// Like [`get_u64`] but tolerating an absent field (counters added after
+/// store files were written read back as zero).
+fn get_u64_or(v: &Json, key: &str, default: u64) -> u64 {
+    v.get(key).and_then(Json::as_f64).map(|n| n as u64).unwrap_or(default)
 }
 
 fn coverage_from_json(v: &Json) -> Result<CoverageCounts, String> {
@@ -366,22 +373,29 @@ fn stats_from_json(v: &Json) -> Result<SimStats, String> {
         watchdog_flushes: get_u64(v, "watchdog_flushes")?,
         validation_issues: get_u64(v, "validation_issues")?,
         validation_port_conflicts: get_u64(v, "validation_port_conflicts")?,
+        stlf_forwards: get_u64_or(v, "stlf_forwards", 0),
         rob_occupancy_sum: get_u64(v, "rob_occupancy_sum")?,
         coverage,
         cache,
     })
 }
 
-/// Encodes one completed cell as a JSONL record.
+/// Encodes one completed cell as a JSONL record. Failed cells (wedged
+/// simulations) carry an `error` field so the failure itself is persisted
+/// and a resumed campaign does not silently re-run it as a hole.
 fn cell_to_json(index: usize, key: CellKey, result: &CheckpointResult) -> Json {
-    Json::Object(vec![
+    let mut pairs = vec![
         ("kind".into(), Json::Str("cell".into())),
         ("index".into(), Json::Num(index as f64)),
         ("key".into(), Json::Str(key.to_string())),
         ("checkpoint".into(), Json::Num(result.index as f64)),
         ("ipc".into(), Json::Num(result.ipc)),
         ("stats".into(), stats_to_json(&result.stats)),
-    ])
+    ];
+    if let Some(error) = &result.error {
+        pairs.push(("error".into(), Json::Str(error.clone())));
+    }
+    Json::Object(pairs)
 }
 
 fn cell_from_json(v: &Json) -> Result<(usize, CellKey, CheckpointResult), String> {
@@ -394,6 +408,7 @@ fn cell_from_json(v: &Json) -> Result<(usize, CellKey, CheckpointResult), String
         index: get_u64(v, "checkpoint")? as usize,
         ipc,
         stats: stats_from_json(v.get("stats").ok_or_else(|| "cell without 'stats'".to_string())?)?,
+        error: v.get("error").and_then(Json::as_str).map(str::to_string),
     };
     Ok((get_u64(v, "index")? as usize, key, result))
 }
@@ -730,7 +745,7 @@ mod tests {
             cache: vec![("L1D", CacheStats { accesses: 10, misses: 2, prefetch_fills: 1 })],
             ..SimStats::default()
         };
-        (key, CheckpointResult { index: 0, ipc: 456.0 / 123.0, stats })
+        (key, CheckpointResult { index: 0, ipc: 456.0 / 123.0, stats, error: None })
     }
 
     #[test]
@@ -799,6 +814,39 @@ mod tests {
         assert_eq!(parsed.index, result.index);
         assert_eq!(parsed.ipc.to_bits(), result.ipc.to_bits());
         assert_eq!(parsed.stats, result.stats);
+        assert_eq!(parsed.error, None);
+    }
+
+    #[test]
+    fn failed_cell_round_trips_with_its_error() {
+        // A wedged cell is recorded as a failure — with the rendered
+        // SimError — instead of aborting the campaign; resuming the store
+        // must not treat it as a missing hole.
+        let (key, mut result) = sample_cell();
+        result.ipc = 0.0;
+        result.stats = SimStats::default();
+        result.error = Some("pipeline deadlock: no commit since cycle 42".into());
+        let encoded = cell_to_json(5, key, &result);
+        let (index, parsed_key, parsed) = cell_from_json(&encoded).unwrap();
+        assert_eq!(index, 5);
+        assert_eq!(parsed_key, key);
+        assert_eq!(parsed.error.as_deref(), Some("pipeline deadlock: no commit since cycle 42"));
+        assert!(!parsed.is_ok());
+        assert_eq!(parsed.ipc, 0.0);
+    }
+
+    #[test]
+    fn stats_written_before_new_counters_read_back_as_zero() {
+        // Forward compatibility of old store files: drop the
+        // `stlf_forwards` field from an encoded record and re-parse.
+        let (key, result) = sample_cell();
+        let encoded = cell_to_json(0, key, &result).to_string_compact();
+        let stripped = encoded.replace("\"stlf_forwards\":0.0,", "");
+        assert_ne!(encoded, stripped, "field must have been present");
+        let parsed = Json::parse(&stripped).unwrap();
+        let (_, _, cell) = cell_from_json(&parsed).unwrap();
+        assert_eq!(cell.stats.stlf_forwards, 0);
+        assert_eq!(cell.stats, result.stats);
     }
 
     #[test]

@@ -1,0 +1,77 @@
+//! Golden-stats guard for the scheduler rewrite: every figure campaign of
+//! the paper, at smoke scale, must produce **bit-identical** results under
+//! the event-driven scheduler and the retained polling oracle.
+//!
+//! This is the end-to-end complement to the unit- and property-level
+//! equivalence tests: it drives the real campaign engine over the real
+//! figure presets (Figures 4, 5, 6, 7 — every mechanism grid of the
+//! evaluation) and compares the merged per-benchmark `SimStats`,
+//! per-checkpoint IPC bit patterns and derived speedup experiments.
+//! Figure 1 is trace-level redundancy analysis (no core), so its guard is
+//! determinism of the analysis itself.
+
+use rsep_campaign::{presets, Campaign, CampaignSpec};
+use rsep_uarch::SchedulerKind;
+
+fn with_scheduler(mut spec: CampaignSpec, scheduler: SchedulerKind) -> CampaignSpec {
+    spec.core_config.scheduler = scheduler;
+    spec
+}
+
+fn assert_campaign_identical(name: &str, spec: CampaignSpec) {
+    let engine = Campaign::with_jobs(4);
+    let event = engine.run(&with_scheduler(spec.clone(), SchedulerKind::EventDriven));
+    let polling = engine.run(&with_scheduler(spec, SchedulerKind::Polling));
+    assert_eq!(event.rows.len(), polling.rows.len());
+    for (e_row, p_row) in event.rows.iter().zip(&polling.rows) {
+        assert_eq!(e_row.benchmark, p_row.benchmark);
+        let pairs = e_row
+            .baseline
+            .iter()
+            .zip(&p_row.baseline)
+            .chain(e_row.results.iter().zip(&p_row.results));
+        for (e, p) in pairs {
+            assert_eq!(
+                e.stats, p.stats,
+                "{name}/{}/{}: SimStats diverge between scheduler modes",
+                e_row.benchmark, e.mechanism
+            );
+            let e_bits: Vec<u64> = e.checkpoint_ipcs.iter().map(|v| v.to_bits()).collect();
+            let p_bits: Vec<u64> = p.checkpoint_ipcs.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(e_bits, p_bits, "{name}/{}/{}: IPCs diverge", e_row.benchmark, e.mechanism);
+            assert!(e.failures.is_empty(), "{name}: unexpected failed cells: {:?}", e.failures);
+        }
+    }
+    // The derived reports (what the figures actually plot) agree too.
+    let event_json = event.speedups().to_json();
+    let polling_json = polling.speedups().to_json();
+    assert_eq!(event_json, polling_json, "{name}: speedup reports diverge");
+}
+
+#[test]
+fn figure4_smoke_is_bit_identical_across_schedulers() {
+    assert_campaign_identical("fig4", presets::fig4().smoke());
+}
+
+#[test]
+fn figure5_smoke_is_bit_identical_across_schedulers() {
+    assert_campaign_identical("fig5", presets::fig5().smoke());
+}
+
+#[test]
+fn figure6_smoke_is_bit_identical_across_schedulers() {
+    assert_campaign_identical("fig6", presets::fig6().smoke());
+}
+
+#[test]
+fn figure7_smoke_is_bit_identical_across_schedulers() {
+    assert_campaign_identical("fig7", presets::fig7().smoke());
+}
+
+#[test]
+fn figure1_smoke_redundancy_analysis_is_deterministic() {
+    let spec = presets::fig1().smoke();
+    let (a, _) = Campaign::with_jobs(1).run_redundancy(&spec);
+    let (b, _) = Campaign::with_jobs(4).run_redundancy(&spec);
+    assert_eq!(a.to_json(), b.to_json());
+}

@@ -19,7 +19,7 @@
 use crate::config::MechanismConfig;
 use crate::engine::RsepEngine;
 use rsep_trace::{BenchmarkProfile, CheckpointSpec, TraceGenerator};
-use rsep_uarch::{Core, CoreConfig, SimStats};
+use rsep_uarch::{Core, CoreConfig, SimError, SimStats};
 
 /// Result of running one benchmark under one mechanism configuration.
 #[derive(Debug, Clone)]
@@ -34,6 +34,9 @@ pub struct BenchmarkResult {
     pub checkpoint_ipcs: Vec<f64>,
     /// Statistics merged over all checkpoints.
     pub stats: SimStats,
+    /// Rendered errors of checkpoints whose simulation failed (wedged
+    /// cells), in checkpoint order. Their IPC contributions are zero.
+    pub failures: Vec<String>,
 }
 
 impl BenchmarkResult {
@@ -59,16 +62,27 @@ impl BenchmarkResult {
         checkpoints.sort_by_key(|c| c.index);
         let mut merged = SimStats::default();
         let mut ipcs = Vec::with_capacity(checkpoints.len());
+        let mut ok_ipcs = Vec::with_capacity(checkpoints.len());
+        let mut failures = Vec::new();
         for c in &checkpoints {
             ipcs.push(c.ipc);
             merged.merge(&c.stats);
+            match &c.error {
+                Some(error) => failures.push(format!("checkpoint {}: {error}", c.index)),
+                None => ok_ipcs.push(c.ipc),
+            }
         }
         BenchmarkResult {
             benchmark: benchmark.into(),
             mechanism: mechanism.into(),
-            ipc: harmonic_mean(&ipcs),
+            // Failed checkpoints are excluded from the mean entirely: a
+            // 0.0 entry would otherwise *raise* the harmonic mean (its
+            // reciprocal is skipped but it still counts in the divisor),
+            // overstating exactly the configurations that wedge.
+            ipc: harmonic_mean(&ok_ipcs),
             checkpoint_ipcs: ipcs,
             stats: merged,
+            failures,
         }
     }
 }
@@ -82,6 +96,33 @@ pub struct CheckpointResult {
     pub ipc: f64,
     /// Statistics of the measured window.
     pub stats: SimStats,
+    /// Set when the cell's simulation failed (e.g. a wedged pipeline): the
+    /// rendered [`SimError`]. A failed cell carries empty statistics and
+    /// zero IPC; campaign runners record it in the result store and keep
+    /// going instead of aborting the whole process.
+    pub error: Option<String>,
+}
+
+impl CheckpointResult {
+    /// A successfully simulated cell.
+    pub fn ok(index: usize, stats: SimStats) -> CheckpointResult {
+        CheckpointResult { index, ipc: stats.ipc(), stats, error: None }
+    }
+
+    /// A cell whose simulation failed.
+    pub fn failed(index: usize, error: &SimError) -> CheckpointResult {
+        CheckpointResult {
+            index,
+            ipc: 0.0,
+            stats: SimStats::default(),
+            error: Some(error.to_string()),
+        }
+    }
+
+    /// Returns `true` when the cell simulated successfully.
+    pub fn is_ok(&self) -> bool {
+        self.error.is_none()
+    }
 }
 
 /// Derives the trace seed of checkpoint `index` from the campaign seed.
@@ -112,11 +153,15 @@ pub fn run_checkpoint(
     let mut trace = TraceGenerator::new(profile, checkpoint_seed(seed, index));
     let engine = RsepEngine::new(mechanism.clone());
     let mut core = Core::new(core_config.clone(), Box::new(engine));
-    core.run(&mut trace, spec.warmup);
+    if let Err(e) = core.run(&mut trace, spec.warmup) {
+        return CheckpointResult::failed(index, &e);
+    }
     core.reset_stats();
-    core.run(&mut trace, spec.measure);
+    if let Err(e) = core.run(&mut trace, spec.measure) {
+        return CheckpointResult::failed(index, &e);
+    }
     let stats = core.take_stats();
-    CheckpointResult { index, ipc: stats.ipc(), stats }
+    CheckpointResult::ok(index, stats)
 }
 
 /// Harmonic mean of a slice of positive numbers.
@@ -204,6 +249,31 @@ mod tests {
         assert_eq!(serial.checkpoint_ipcs, assembled.checkpoint_ipcs);
         assert_eq!(serial.ipc.to_bits(), assembled.ipc.to_bits());
         assert_eq!(serial.stats, assembled.stats);
+    }
+
+    #[test]
+    fn failed_checkpoints_do_not_inflate_the_harmonic_mean() {
+        let ok = CheckpointResult::ok(
+            0,
+            SimStats { cycles: 1_000, committed: 2_000, ..SimStats::default() },
+        );
+        let failed = CheckpointResult::failed(
+            1,
+            &SimError::Deadlock {
+                cycle: 100_000,
+                last_commit_cycle: 0,
+                rob_len: 0,
+                iq_len: 0,
+                engine: "test".into(),
+            },
+        );
+        let result = BenchmarkResult::from_checkpoints("b", "m", vec![ok, failed]);
+        // The surviving checkpoint's IPC, not 2× it (a 0.0 entry counted in
+        // the divisor would report 2 / 0.5 = 4.0).
+        assert!((result.ipc - 2.0).abs() < 1e-12, "ipc = {}", result.ipc);
+        assert_eq!(result.checkpoint_ipcs, vec![2.0, 0.0]);
+        assert_eq!(result.failures.len(), 1);
+        assert!(result.failures[0].contains("pipeline deadlock"));
     }
 
     #[test]

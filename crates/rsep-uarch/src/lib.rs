@@ -31,7 +31,7 @@
 //! let profile = BenchmarkProfile::by_name("gcc").unwrap();
 //! let mut trace = TraceGenerator::new(&profile, 1);
 //! let mut core = Core::baseline(CoreConfig::small_test());
-//! core.run(&mut trace, 5_000);
+//! core.run(&mut trace, 5_000).expect("simulation deadlocked");
 //! let stats = core.take_stats();
 //! assert!(stats.committed >= 5_000);
 //! assert!(stats.ipc() > 0.1);
@@ -47,15 +47,17 @@ pub mod engine;
 pub mod regfile;
 pub mod rename;
 pub mod rob;
+pub mod sched;
 pub mod stats;
 
 pub use cache::{AccessKind, Cache, CacheHierarchy, CacheStats, StridePrefetcher};
-pub use config::CoreConfig;
-pub use core::Core;
+pub use config::{CoreConfig, SchedulerKind};
+pub use core::{Core, SimError};
 pub use engine::{
     Disposition, NullEngine, RenameAction, RenameContext, SpecEngine, ValidationKind,
 };
-pub use regfile::{PhysRegFile, RegisterFiles, NOT_READY};
+pub use regfile::{PhysRegFile, RegisterFiles, Waiter, NOT_READY};
 pub use rename::RenameMap;
 pub use rob::{InflightInst, Rob};
+pub use sched::{StoreQueue, WakeupQueue};
 pub use stats::{CoverageCounts, SimStats};

@@ -11,6 +11,22 @@ use rsep_isa::{PhysReg, RegClass};
 /// Cycle value meaning "not ready yet".
 pub const NOT_READY: u64 = u64::MAX;
 
+/// A scheduler entry waiting for a physical register to become ready.
+///
+/// `seq` names the in-flight instruction; `gen` is the dispatch generation
+/// the instruction was renamed under. Squash + replay re-dispatches the
+/// same sequence number with a fresh generation, so a waiter whose
+/// generation no longer matches the ROB entry is stale and must be ignored
+/// by the wakeup logic (this is what makes squash O(squashed entries):
+/// stale waiters are dropped lazily instead of being scrubbed eagerly).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Waiter {
+    /// Sequence number of the waiting instruction.
+    pub seq: u64,
+    /// Dispatch generation the waiter was registered under.
+    pub gen: u64,
+}
+
 /// Physical register file for one register class.
 #[derive(Debug)]
 pub struct PhysRegFile {
@@ -18,6 +34,15 @@ pub struct PhysRegFile {
     ready_at: Vec<u64>,
     free_list: Vec<u16>,
     allocated: Vec<bool>,
+    /// Per-register wakeup lists: instructions whose last outstanding
+    /// source is this register are woken when it is marked ready, instead
+    /// of polling readiness every cycle (event-driven select).
+    waiters: Vec<Vec<Waiter>>,
+    /// Per-register count of in-flight ROB entries that freshly allocated
+    /// this register (`allocated_new_preg`). Lets squash recovery answer
+    /// "does a surviving instruction own this register?" in O(1) instead of
+    /// scanning the ROB.
+    inflight_owners: Vec<u32>,
     /// High-water mark statistics.
     min_free: usize,
 }
@@ -37,7 +62,15 @@ impl PhysRegFile {
         }
         free_list.shrink_to_fit();
         let min_free = free_list.len();
-        PhysRegFile { class, ready_at: vec![0; size], free_list, allocated, min_free }
+        PhysRegFile {
+            class,
+            ready_at: vec![0; size],
+            free_list,
+            allocated,
+            waiters: vec![Vec::new(); size],
+            inflight_owners: vec![0; size],
+            min_free,
+        }
     }
 
     /// The hardwired zero register of the integer file.
@@ -87,6 +120,10 @@ impl PhysRegFile {
         let idx = self.free_list.pop()?;
         self.allocated[idx as usize] = true;
         self.ready_at[idx as usize] = NOT_READY;
+        // Any waiters left over from a previous allocation of this register
+        // belong to squashed instructions; drop them so they cannot leak
+        // into the new producer's wakeup list.
+        self.waiters[idx as usize].clear();
         self.min_free = self.min_free.min(self.free_list.len());
         Some(PhysReg::new(self.class, idx))
     }
@@ -131,6 +168,73 @@ impl PhysRegFile {
     /// Returns `true` if the register is currently allocated.
     pub fn is_allocated(&self, reg: PhysReg) -> bool {
         self.allocated[reg.index() as usize]
+    }
+
+    /// Registers a scheduler waiter to be woken when `reg` is marked ready.
+    pub fn add_waiter(&mut self, reg: PhysReg, waiter: Waiter) {
+        debug_assert_eq!(reg.class(), self.class);
+        self.waiters[reg.index() as usize].push(waiter);
+    }
+
+    /// Drains and returns the waiters registered on `reg` (wakeup on
+    /// writeback).
+    pub fn take_waiters(&mut self, reg: PhysReg) -> Vec<Waiter> {
+        debug_assert_eq!(reg.class(), self.class);
+        std::mem::take(&mut self.waiters[reg.index() as usize])
+    }
+
+    /// Notes that an in-flight ROB entry freshly allocated `reg`.
+    pub fn add_inflight_owner(&mut self, reg: PhysReg) {
+        debug_assert_eq!(reg.class(), self.class);
+        self.inflight_owners[reg.index() as usize] += 1;
+    }
+
+    /// Notes that an in-flight owner of `reg` left the ROB (commit or
+    /// squash).
+    pub fn remove_inflight_owner(&mut self, reg: PhysReg) {
+        debug_assert_eq!(reg.class(), self.class);
+        let count = &mut self.inflight_owners[reg.index() as usize];
+        debug_assert!(*count > 0, "in-flight owner underflow for {reg}");
+        *count = count.saturating_sub(1);
+    }
+
+    /// Returns `true` while an in-flight ROB entry that freshly allocated
+    /// `reg` is still in the window.
+    pub fn has_inflight_owner(&self, reg: PhysReg) -> bool {
+        self.inflight_owners[reg.index() as usize] > 0
+    }
+
+    /// Validates free-list consistency: no duplicate entries, no allocated
+    /// register on the free list, and the free count agreeing with the
+    /// allocation bitmap. Used by squash-path regression tests and by debug
+    /// assertions after every pipeline flush; a violation means a physical
+    /// register was double-freed (or leaked) by the renaming logic.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a description of the first inconsistency found.
+    pub fn validate_free_list(&self) {
+        let mut seen = vec![false; self.ready_at.len()];
+        for &idx in &self.free_list {
+            assert!(
+                !seen[idx as usize],
+                "{:?} free list contains p{idx} twice (double free)",
+                self.class
+            );
+            seen[idx as usize] = true;
+            assert!(
+                !self.allocated[idx as usize],
+                "{:?} free list contains allocated register p{idx}",
+                self.class
+            );
+        }
+        let unallocated = self.allocated.iter().filter(|a| !**a).count();
+        assert_eq!(
+            unallocated,
+            self.free_list.len(),
+            "{:?} free list disagrees with the allocation bitmap (leak)",
+            self.class
+        );
     }
 }
 
@@ -190,6 +294,38 @@ impl RegisterFiles {
     pub fn is_ready(&self, reg: PhysReg, cycle: u64) -> bool {
         self.file(reg.class()).is_ready(reg, cycle)
     }
+
+    /// Registers a wakeup waiter on `reg`.
+    pub fn add_waiter(&mut self, reg: PhysReg, waiter: Waiter) {
+        self.file_mut(reg.class()).add_waiter(reg, waiter);
+    }
+
+    /// Drains the wakeup waiters of `reg`.
+    pub fn take_waiters(&mut self, reg: PhysReg) -> Vec<Waiter> {
+        self.file_mut(reg.class()).take_waiters(reg)
+    }
+
+    /// Notes an in-flight owner of `reg`.
+    pub fn add_inflight_owner(&mut self, reg: PhysReg) {
+        self.file_mut(reg.class()).add_inflight_owner(reg);
+    }
+
+    /// Removes an in-flight owner of `reg`.
+    pub fn remove_inflight_owner(&mut self, reg: PhysReg) {
+        self.file_mut(reg.class()).remove_inflight_owner(reg);
+    }
+
+    /// Returns `true` while an in-flight entry owns `reg`.
+    pub fn has_inflight_owner(&self, reg: PhysReg) -> bool {
+        self.file(reg.class()).has_inflight_owner(reg)
+    }
+
+    /// Validates both files' free lists (see
+    /// [`PhysRegFile::validate_free_list`]).
+    pub fn validate_free_lists(&self) {
+        self.int.validate_free_list();
+        self.fp.validate_free_list();
+    }
 }
 
 #[cfg(test)]
@@ -248,6 +384,49 @@ mod tests {
     fn freeing_the_zero_register_panics() {
         let mut prf = PhysRegFile::new(RegClass::Int, 8);
         prf.free(PhysRegFile::zero_reg());
+    }
+
+    #[test]
+    fn waiters_are_drained_once_and_cleared_on_reallocation() {
+        let mut prf = PhysRegFile::new(RegClass::Int, 8);
+        let r = prf.allocate().unwrap();
+        prf.add_waiter(r, Waiter { seq: 10, gen: 1 });
+        prf.add_waiter(r, Waiter { seq: 11, gen: 1 });
+        let woken = prf.take_waiters(r);
+        assert_eq!(woken.len(), 2);
+        assert!(prf.take_waiters(r).is_empty(), "waiters drain exactly once");
+        // Stale waiters left over at free time vanish on reallocation.
+        prf.add_waiter(r, Waiter { seq: 12, gen: 2 });
+        prf.free(r);
+        let r2 = prf.allocate().unwrap();
+        assert_eq!(r2, r, "free list is LIFO in this test");
+        assert!(prf.take_waiters(r2).is_empty(), "stale waiters must not leak");
+    }
+
+    #[test]
+    fn inflight_owner_refcount_tracks_adds_and_removes() {
+        let mut prf = PhysRegFile::new(RegClass::Int, 8);
+        let r = prf.allocate().unwrap();
+        assert!(!prf.has_inflight_owner(r));
+        prf.add_inflight_owner(r);
+        assert!(prf.has_inflight_owner(r));
+        prf.add_inflight_owner(r);
+        prf.remove_inflight_owner(r);
+        assert!(prf.has_inflight_owner(r));
+        prf.remove_inflight_owner(r);
+        assert!(!prf.has_inflight_owner(r));
+    }
+
+    #[test]
+    fn free_list_validation_passes_on_consistent_state() {
+        let mut prf = PhysRegFile::new(RegClass::Int, 8);
+        prf.validate_free_list();
+        let a = prf.allocate().unwrap();
+        let b = prf.allocate().unwrap();
+        prf.validate_free_list();
+        prf.free(a);
+        prf.free(b);
+        prf.validate_free_list();
     }
 
     #[test]

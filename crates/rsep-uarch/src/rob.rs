@@ -46,6 +46,17 @@ pub struct InflightInst {
     pub uses_lq: bool,
     /// Whether the instruction occupies a store-queue entry.
     pub uses_sq: bool,
+    /// Dispatch generation: distinguishes this dispatch of the sequence
+    /// number from earlier, squashed dispatches of the same instruction, so
+    /// stale scheduler entries can be detected and dropped lazily.
+    pub sched_gen: u64,
+    /// Source registers whose availability cycle is not yet known; the
+    /// instruction is inserted into the ready set when this reaches zero
+    /// (event-driven wakeup).
+    pub pending_srcs: u32,
+    /// Earliest cycle the instruction can issue: the maximum of the known
+    /// source-availability cycles and the cycle after dispatch.
+    pub wake_at: u64,
 }
 
 impl InflightInst {
@@ -192,6 +203,9 @@ mod tests {
             needs_validation_issue: None,
             uses_lq: false,
             uses_sq: false,
+            sched_gen: 0,
+            pending_srcs: 0,
+            wake_at: 0,
         }
     }
 

@@ -1,0 +1,288 @@
+//! Event-driven wakeup/select structures.
+//!
+//! The original core re-derived readiness from scratch every cycle by
+//! walking the entire ROB and re-checking every source register, plus a
+//! linear scan of the in-flight store list for memory disambiguation —
+//! O(ROB × sources + stores) work per cycle. This module provides the two
+//! structures that turn that into event-driven scheduling:
+//!
+//! * [`WakeupQueue`] — a calendar of future wakeups plus an age-ordered
+//!   ready set. An instruction is inserted exactly once, when its last
+//!   outstanding source register is assigned a completion cycle (wakeup on
+//!   writeback); the per-cycle select then iterates only the ready set.
+//! * [`StoreQueue`] — the in-flight stores, age-ordered and indexed by
+//!   double-word address, so load disambiguation and store-to-load
+//!   forwarding resolve the *youngest older* same-address store in
+//!   O(log n) instead of scanning every in-flight store.
+//!
+//! Entries are tagged with the dispatch generation of the instruction they
+//! refer to (see [`Waiter`](crate::regfile::Waiter)): squash removes ROB
+//! entries but leaves scheduler entries behind, and replayed instructions
+//! re-dispatch under the *same* sequence number with a new generation, so
+//! every consumer validates `(seq, gen)` against the live ROB entry and
+//! drops stale entries lazily. This keeps squash cost proportional to the
+//! number of squashed instructions.
+
+use crate::regfile::Waiter;
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap, HashMap};
+
+/// Calendar + ready set for event-driven select.
+#[derive(Debug, Default)]
+pub struct WakeupQueue {
+    /// Future wakeups: `(wake_at, seq, gen)`, earliest first.
+    calendar: BinaryHeap<Reverse<(u64, u64, u64)>>,
+    /// Instructions ready to issue now, iterated oldest first. Entries are
+    /// `(seq, gen)`; staleness is resolved against the ROB by the caller.
+    ready: BTreeSet<(u64, u64)>,
+}
+
+impl WakeupQueue {
+    /// Creates an empty queue.
+    pub fn new() -> WakeupQueue {
+        WakeupQueue::default()
+    }
+
+    /// Schedules instruction `(seq, gen)` to enter the ready set at cycle
+    /// `wake_at` (the cycle its last source becomes readable).
+    pub fn schedule(&mut self, wake_at: u64, seq: u64, gen: u64) {
+        self.calendar.push(Reverse((wake_at, seq, gen)));
+    }
+
+    /// Inserts an instruction into the ready set immediately (e.g. a load
+    /// re-woken by the store it was waiting on).
+    pub fn insert_ready(&mut self, seq: u64, gen: u64) {
+        self.ready.insert((seq, gen));
+    }
+
+    /// Moves every calendar entry due at `clock` into the ready set.
+    pub fn advance(&mut self, clock: u64) {
+        while let Some(&Reverse((wake_at, seq, gen))) = self.calendar.peek() {
+            if wake_at > clock {
+                break;
+            }
+            self.calendar.pop();
+            self.ready.insert((seq, gen));
+        }
+    }
+
+    /// Snapshot of the ready set in age order, for the select loop.
+    pub fn ready_snapshot(&self) -> Vec<(u64, u64)> {
+        self.ready.iter().copied().collect()
+    }
+
+    /// Copies the ready set in age order into `buf` (cleared first). The
+    /// allocation-free variant of [`WakeupQueue::ready_snapshot`] for the
+    /// per-cycle select loop.
+    pub fn ready_into(&self, buf: &mut Vec<(u64, u64)>) {
+        buf.clear();
+        buf.extend(self.ready.iter().copied());
+    }
+
+    /// Removes an entry from the ready set (it issued, parked on a store,
+    /// or turned out stale).
+    pub fn remove_ready(&mut self, seq: u64, gen: u64) {
+        self.ready.remove(&(seq, gen));
+    }
+
+    /// Number of pending entries (calendar + ready), for tests.
+    pub fn len(&self) -> usize {
+        self.calendar.len() + self.ready.len()
+    }
+
+    /// Returns `true` when nothing is scheduled or ready.
+    pub fn is_empty(&self) -> bool {
+        self.calendar.is_empty() && self.ready.is_empty()
+    }
+}
+
+/// One in-flight store, tracked for disambiguation and forwarding.
+#[derive(Debug, Clone, Copy)]
+pub struct StoreRecord {
+    /// Sequence number of the store.
+    pub seq: u64,
+    /// Address divided by 8 (double-word granularity, as in the trace
+    /// generator).
+    pub dword: u64,
+    /// Whether the store has issued (its data is en route).
+    pub issued: bool,
+    /// Cycle its data is available for forwarding (valid once issued).
+    pub complete_at: u64,
+}
+
+/// Age-ordered in-flight store queue indexed by double-word address.
+#[derive(Debug, Default)]
+pub struct StoreQueue {
+    /// All in-flight stores, keyed (and therefore ordered) by sequence
+    /// number.
+    by_seq: BTreeMap<u64, StoreRecord>,
+    /// Per-dword index: sequence numbers of in-flight stores to that
+    /// double-word, in ascending (age) order.
+    by_dword: HashMap<u64, Vec<u64>>,
+    /// Loads parked until a specific store issues, keyed by the store's
+    /// sequence number.
+    waiters: HashMap<u64, Vec<Waiter>>,
+}
+
+impl StoreQueue {
+    /// Creates an empty store queue.
+    pub fn new() -> StoreQueue {
+        StoreQueue::default()
+    }
+
+    /// Number of in-flight stores.
+    pub fn len(&self) -> usize {
+        self.by_seq.len()
+    }
+
+    /// Returns `true` when no store is in flight.
+    pub fn is_empty(&self) -> bool {
+        self.by_seq.is_empty()
+    }
+
+    /// Admits a newly dispatched store. Dispatch is in program order, so
+    /// `seq` is strictly larger than every live entry.
+    pub fn push(&mut self, seq: u64, dword: u64) {
+        let bucket = self.by_dword.entry(dword).or_default();
+        debug_assert!(bucket.last().is_none_or(|&s| s < seq), "stores dispatch in age order");
+        bucket.push(seq);
+        self.by_seq.insert(seq, StoreRecord { seq, dword, issued: false, complete_at: u64::MAX });
+    }
+
+    /// The youngest in-flight store to `dword` that is older than
+    /// `before_seq` — the store a load at `before_seq` would read from.
+    /// Binary search over the per-dword index: O(log stores-to-dword).
+    pub fn youngest_older(&self, dword: u64, before_seq: u64) -> Option<StoreRecord> {
+        let bucket = self.by_dword.get(&dword)?;
+        let n_older = bucket.partition_point(|&s| s < before_seq);
+        let seq = *bucket.get(n_older.checked_sub(1)?)?;
+        self.by_seq.get(&seq).copied()
+    }
+
+    /// Parks a load until the store `store_seq` issues.
+    pub fn add_waiter(&mut self, store_seq: u64, waiter: Waiter) {
+        self.waiters.entry(store_seq).or_default().push(waiter);
+    }
+
+    /// Marks a store issued with data available at `complete_at`, and
+    /// returns the loads parked on it (to be re-inserted into the ready
+    /// set).
+    pub fn mark_issued(&mut self, seq: u64, complete_at: u64) -> Vec<Waiter> {
+        if let Some(record) = self.by_seq.get_mut(&seq) {
+            record.issued = true;
+            record.complete_at = complete_at;
+        }
+        self.waiters.remove(&seq).unwrap_or_default()
+    }
+
+    /// Removes a committed store. A store commits only after issuing, so
+    /// its waiter list has already been drained.
+    pub fn remove(&mut self, seq: u64) {
+        let Some(record) = self.by_seq.remove(&seq) else {
+            return;
+        };
+        if let Some(bucket) = self.by_dword.get_mut(&record.dword) {
+            if let Ok(pos) = bucket.binary_search(&seq) {
+                bucket.remove(pos);
+            }
+            if bucket.is_empty() {
+                self.by_dword.remove(&record.dword);
+            }
+        }
+        self.waiters.remove(&seq);
+    }
+
+    /// Removes every store with `seq >= from_seq` (squash). Cost is
+    /// proportional to the number of squashed stores, not the queue size.
+    pub fn squash_from(&mut self, from_seq: u64) {
+        let squashed = self.by_seq.split_off(&from_seq);
+        for (seq, record) in squashed {
+            if let Some(bucket) = self.by_dword.get_mut(&record.dword) {
+                bucket.truncate(bucket.partition_point(|&s| s < from_seq));
+                if bucket.is_empty() {
+                    self.by_dword.remove(&record.dword);
+                }
+            }
+            self.waiters.remove(&seq);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calendar_releases_entries_at_their_wake_cycle() {
+        let mut q = WakeupQueue::new();
+        q.schedule(5, 1, 0);
+        q.schedule(3, 2, 0);
+        q.schedule(7, 3, 0);
+        q.advance(4);
+        assert_eq!(q.ready_snapshot(), vec![(2, 0)]);
+        q.advance(6);
+        assert_eq!(q.ready_snapshot(), vec![(1, 0), (2, 0)]);
+        q.remove_ready(2, 0);
+        q.advance(7);
+        assert_eq!(q.ready_snapshot(), vec![(1, 0), (3, 0)]);
+    }
+
+    #[test]
+    fn ready_set_iterates_in_age_order() {
+        let mut q = WakeupQueue::new();
+        q.insert_ready(9, 1);
+        q.insert_ready(2, 0);
+        q.insert_ready(5, 2);
+        assert_eq!(q.ready_snapshot(), vec![(2, 0), (5, 2), (9, 1)]);
+        assert_eq!(q.len(), 3);
+    }
+
+    #[test]
+    fn youngest_older_picks_the_last_matching_store_before_the_load() {
+        let mut sq = StoreQueue::new();
+        sq.push(10, 0x100);
+        sq.push(20, 0x200);
+        sq.push(30, 0x100);
+        sq.push(40, 0x100);
+        // A load at seq 35 reads dword 0x100: the youngest older store is
+        // seq 30 — not the first match (10) and not the younger 40.
+        assert_eq!(sq.youngest_older(0x100, 35).unwrap().seq, 30);
+        assert_eq!(sq.youngest_older(0x100, 11).unwrap().seq, 10);
+        assert!(sq.youngest_older(0x100, 10).is_none());
+        assert!(sq.youngest_older(0x300, 100).is_none());
+        assert_eq!(sq.youngest_older(0x200, 99).unwrap().seq, 20);
+    }
+
+    #[test]
+    fn mark_issued_returns_parked_waiters() {
+        let mut sq = StoreQueue::new();
+        sq.push(10, 0x100);
+        sq.add_waiter(10, Waiter { seq: 15, gen: 3 });
+        sq.add_waiter(10, Waiter { seq: 16, gen: 3 });
+        let woken = sq.mark_issued(10, 42);
+        assert_eq!(woken.len(), 2);
+        let record = sq.youngest_older(0x100, 99).unwrap();
+        assert!(record.issued);
+        assert_eq!(record.complete_at, 42);
+        assert!(sq.mark_issued(10, 42).is_empty(), "waiters drain once");
+    }
+
+    #[test]
+    fn remove_and_squash_keep_the_dword_index_consistent() {
+        let mut sq = StoreQueue::new();
+        sq.push(1, 0xA);
+        sq.push(2, 0xA);
+        sq.push(3, 0xB);
+        sq.push(4, 0xA);
+        sq.remove(1);
+        assert_eq!(sq.youngest_older(0xA, 100).unwrap().seq, 4);
+        sq.squash_from(3);
+        assert_eq!(sq.len(), 1);
+        assert_eq!(sq.youngest_older(0xA, 100).unwrap().seq, 2);
+        assert!(sq.youngest_older(0xB, 100).is_none());
+        // Replay re-dispatches the squashed stores in order.
+        sq.push(3, 0xB);
+        sq.push(4, 0xA);
+        assert_eq!(sq.youngest_older(0xA, 100).unwrap().seq, 4);
+    }
+}

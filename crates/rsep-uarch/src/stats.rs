@@ -131,6 +131,9 @@ pub struct SimStats {
     pub validation_issues: u64,
     /// Extra cycles validation µ-ops waited for an issue port.
     pub validation_port_conflicts: u64,
+    /// Loads served by store-to-load forwarding from the youngest older
+    /// same-address in-flight store.
+    pub stlf_forwards: u64,
     /// Per-mechanism coverage (Figure 5).
     pub coverage: CoverageCounts,
     /// Cache statistics at the end of the run, per level.
@@ -220,6 +223,7 @@ impl SimStats {
         self.watchdog_flushes += other.watchdog_flushes;
         self.validation_issues += other.validation_issues;
         self.validation_port_conflicts += other.validation_port_conflicts;
+        self.stlf_forwards += other.stlf_forwards;
         self.coverage.merge(&other.coverage);
         self.rob_occupancy_sum += other.rob_occupancy_sum;
         for (level, cache) in &other.cache {

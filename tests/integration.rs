@@ -122,7 +122,7 @@ fn core_can_be_driven_directly_with_a_custom_engine() {
     let mut trace = TraceGenerator::new(&profile, 11);
     let engine = RsepEngine::new(MechanismConfig::rsep_realistic());
     let mut core = Core::new(CoreConfig::small_test(), Box::new(engine));
-    core.run(&mut trace, 10_000);
+    core.run(&mut trace, 10_000).expect("simulation must not wedge");
     let stats = core.take_stats();
     assert!(stats.committed >= 10_000);
     assert!(stats.cycles > 0);

@@ -99,19 +99,24 @@ macro_rules! impl_range_strategy {
 
 impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 
-impl<A: Strategy, B: Strategy> Strategy for (A, B) {
-    type Value = (A::Value, B::Value);
-    fn sample(&self, rng: &mut TestRng) -> Self::Value {
-        (self.0.sample(rng), self.1.sample(rng))
-    }
+macro_rules! impl_tuple_strategy {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    };
 }
 
-impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
-    type Value = (A::Value, B::Value, C::Value);
-    fn sample(&self, rng: &mut TestRng) -> Self::Value {
-        (self.0.sample(rng), self.1.sample(rng), self.2.sample(rng))
-    }
-}
+impl_tuple_strategy!(A: 0, B: 1);
+impl_tuple_strategy!(A: 0, B: 1, C: 2);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7);
 
 /// Collection strategies, mirroring `proptest::collection`.
 pub mod collection {
