@@ -1,0 +1,112 @@
+//! Criterion bench: the cache hierarchy under both storage layouts and
+//! both entry points.
+//!
+//! `cache_hierarchy/{layout}/{path}` compares the struct-of-arrays arrays
+//! against the legacy nested `Vec<Vec<Line>>` (identical simulated
+//! behaviour, different simulator throughput), and the batched
+//! `access_batch` entry point against one `access_data`/`access_inst` call
+//! per request — the measurement behind the cache half of the flat
+//! in-flight core refactor, so its win is measured rather than asserted.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rsep_uarch::{AccessKind, CacheHierarchy, CacheLayout, CoreConfig, MemRequest};
+
+/// Cycles of a synthetic workload: a handful of loads/stores/ifetches per
+/// cycle mixing stride streams (prefetcher-friendly), hot lines (L1 hits)
+/// and scattered misses (full L2/L3/DRAM walks with fills). Large enough
+/// that the access stream, not hierarchy construction (which each timed
+/// run includes, as every campaign cell does), dominates the measurement.
+const CYCLES: usize = 20_000;
+
+/// The request stream, flattened: `requests[ranges[cycle]]` are cycle
+/// `cycle`'s accesses. `access_batch` only writes the `latency` output
+/// field, so the same buffer can be resolved in place run after run —
+/// both entry points then do identical work except for call granularity.
+struct Schedule {
+    requests: Vec<MemRequest>,
+    ranges: Vec<std::ops::Range<usize>>,
+}
+
+fn request_schedule() -> Schedule {
+    let mut state = 0x1234_5678_9abc_def0u64;
+    let mut step = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state
+    };
+    let mut requests = Vec::new();
+    let mut ranges = Vec::with_capacity(CYCLES);
+    for cycle in 0..CYCLES as u64 {
+        let start = requests.len();
+        for unit in 0..(1 + step() % 4) {
+            let pc = 0x40_0000 + (step() % 64) * 4;
+            requests.push(match step() % 8 {
+                // Stride stream: trains the L1D prefetcher.
+                0 | 1 => MemRequest::load(0x41_0000, 0x1000_0000 + cycle * 64 + unit * 8),
+                // Hot working set: L1 hits.
+                2 | 3 => MemRequest::load(pc, 0x2000_0000 + (step() % 64) * 64),
+                // Scattered misses: full walks + fills.
+                4 => MemRequest::load(pc, 0x3000_0000 + (step() % (1 << 22)) / 8 * 8),
+                5 => MemRequest::store(pc, 0x3000_0000 + (step() % (1 << 22)) / 8 * 8),
+                _ => MemRequest::fetch(0x40_0000 + (step() % 512) * 64),
+            });
+        }
+        ranges.push(start..requests.len());
+    }
+    Schedule { requests, ranges }
+}
+
+fn config_with(layout: CacheLayout) -> CoreConfig {
+    let mut config = CoreConfig::table1();
+    config.cache_layout = layout;
+    config
+}
+
+/// Drives the whole schedule through `access_batch` (one call per cycle).
+fn run_batched(schedule: &mut Schedule, layout: CacheLayout) -> u64 {
+    let mut hierarchy = CacheHierarchy::new(&config_with(layout));
+    let mut total = 0u64;
+    for (cycle, range) in schedule.ranges.iter().enumerate() {
+        let batch = &mut schedule.requests[range.clone()];
+        hierarchy.access_batch(batch, cycle as u64);
+        total += batch.iter().map(|r| r.latency).sum::<u64>();
+    }
+    total
+}
+
+/// Drives the same schedule with one hierarchy call per request (the
+/// pre-refactor core's access pattern).
+fn run_per_access(schedule: &Schedule, layout: CacheLayout) -> u64 {
+    let mut hierarchy = CacheHierarchy::new(&config_with(layout));
+    let mut total = 0u64;
+    for (cycle, range) in schedule.ranges.iter().enumerate() {
+        for request in &schedule.requests[range.clone()] {
+            total += match request.kind {
+                AccessKind::Fetch => hierarchy.access_inst(request.addr, cycle as u64),
+                kind => hierarchy.access_data(request.pc, request.addr, kind, cycle as u64),
+            };
+        }
+    }
+    total
+}
+
+fn bench(c: &mut Criterion) {
+    let mut schedule = request_schedule();
+    // Both layouts and both entry points must agree on total latency —
+    // the bench doubles as a coarse equivalence check.
+    let reference = run_batched(&mut schedule, CacheLayout::Soa);
+    assert_eq!(reference, run_batched(&mut schedule, CacheLayout::Nested));
+    for layout in [CacheLayout::Soa, CacheLayout::Nested] {
+        assert_eq!(reference, run_per_access(&schedule, layout));
+    }
+    for (label, layout) in [("soa", CacheLayout::Soa), ("nested", CacheLayout::Nested)] {
+        c.bench_function(&format!("cache_hierarchy/{label}/batched"), |b| {
+            b.iter(|| black_box(run_batched(&mut schedule, layout)))
+        });
+        c.bench_function(&format!("cache_hierarchy/{label}/per_access"), |b| {
+            b.iter(|| black_box(run_per_access(&schedule, layout)))
+        });
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

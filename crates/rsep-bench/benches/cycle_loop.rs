@@ -6,7 +6,10 @@
 //! behaviour (enforced by the golden-stats and property tests), different
 //! simulator throughput. The final `throughput` entries print simulated
 //! cycles and instructions per wall-clock second, which the CI quick-bench
-//! job surfaces so perf regressions are visible in PR logs.
+//! job surfaces so perf regressions are visible in PR logs — and write the
+//! same numbers as machine-readable JSON to `BENCH_cycle_loop.json` at the
+//! workspace root (override the path with `RSEP_BENCH_JSON`), so the bench
+//! trajectory can be tracked across PRs instead of living only in logs.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use rsep_trace::{BenchmarkProfile, TraceGenerator};
@@ -39,10 +42,19 @@ fn bench(c: &mut Criterion) {
     }
 }
 
+/// Default output path of the machine-readable throughput record: the
+/// workspace root, next to `ROADMAP.md` (the bench runs with the package
+/// directory as its working directory, so a relative path would land in
+/// `crates/rsep-bench`).
+const BENCH_JSON_DEFAULT: &str =
+    concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_cycle_loop.json");
+
 /// Prints absolute throughput (simulated cycles & instructions per second)
-/// for each scheduler — the number the ROADMAP bench trajectory tracks.
+/// for each scheduler — the number the ROADMAP bench trajectory tracks —
+/// and records it as JSON (`BENCH_cycle_loop.json`).
 fn throughput(_c: &mut Criterion) {
     let insts = trace_insts();
+    let mut records = Vec::new();
     for (label, scheduler) in
         [("event_driven", SchedulerKind::EventDriven), ("polling", SchedulerKind::Polling)]
     {
@@ -59,11 +71,26 @@ fn throughput(_c: &mut Criterion) {
             cycles = c;
             best = best.min(secs);
         }
+        let mcycles = cycles as f64 / best / 1e6;
+        let minsts = COMMITS as f64 / best / 1e6;
         println!(
-            "cycle_loop/throughput/{label:<14} {:>8.2} Mcycles/s  {:>7.2} Minsts/s",
-            cycles as f64 / best / 1e6,
-            COMMITS as f64 / best / 1e6,
+            "cycle_loop/throughput/{label:<14} {mcycles:>8.2} Mcycles/s  {minsts:>7.2} Minsts/s"
         );
+        records.push(format!(
+            "    {{\"scheduler\": \"{label}\", \"ms_per_run\": {:.3}, \
+             \"mcycles_per_sec\": {mcycles:.2}, \"minsts_per_sec\": {minsts:.2}}}",
+            best * 1e3,
+        ));
+    }
+    let path = std::env::var("RSEP_BENCH_JSON").unwrap_or_else(|_| BENCH_JSON_DEFAULT.to_string());
+    let json = format!(
+        "{{\n  \"bench\": \"cycle_loop\",\n  \"profile\": \"gcc\",\n  \
+         \"config\": \"table1\",\n  \"commits\": {COMMITS},\n  \"results\": [\n{}\n  ]\n}}\n",
+        records.join(",\n"),
+    );
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("cycle_loop/throughput written to {path}"),
+        Err(error) => eprintln!("cycle_loop/throughput: cannot write {path}: {error}"),
     }
 }
 

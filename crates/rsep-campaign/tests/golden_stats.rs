@@ -1,6 +1,12 @@
-//! Golden-stats guard for the scheduler rewrite: every figure campaign of
-//! the paper, at smoke scale, must produce **bit-identical** results under
-//! the event-driven scheduler and the retained polling oracle.
+//! Golden-stats guard for the simulator-internals rewrites: every figure
+//! campaign of the paper, at smoke scale, must produce **bit-identical**
+//! results under
+//!
+//! * the event-driven scheduler and the retained polling oracle
+//!   ([`SchedulerKind`], PR 3), and
+//! * the flat in-flight core (slot-arena ROB + SoA caches with batched
+//!   lookups) and the retained legacy backends
+//!   ([`RobKind`]/[`CacheLayout`], this PR).
 //!
 //! This is the end-to-end complement to the unit- and property-level
 //! equivalence tests: it drives the real campaign engine over the real
@@ -11,41 +17,67 @@
 //! determinism of the analysis itself.
 
 use rsep_campaign::{presets, Campaign, CampaignSpec};
-use rsep_uarch::SchedulerKind;
+use rsep_uarch::{CacheLayout, RobKind, SchedulerKind};
 
 fn with_scheduler(mut spec: CampaignSpec, scheduler: SchedulerKind) -> CampaignSpec {
     spec.core_config.scheduler = scheduler;
     spec
 }
 
-fn assert_campaign_identical(name: &str, spec: CampaignSpec) {
+fn with_backends(mut spec: CampaignSpec, rob: RobKind, cache_layout: CacheLayout) -> CampaignSpec {
+    spec.core_config.rob = rob;
+    spec.core_config.cache_layout = cache_layout;
+    spec
+}
+
+fn assert_campaigns_identical(name: &str, what: &str, a: CampaignSpec, b: CampaignSpec) {
     let engine = Campaign::with_jobs(4);
-    let event = engine.run(&with_scheduler(spec.clone(), SchedulerKind::EventDriven));
-    let polling = engine.run(&with_scheduler(spec, SchedulerKind::Polling));
-    assert_eq!(event.rows.len(), polling.rows.len());
-    for (e_row, p_row) in event.rows.iter().zip(&polling.rows) {
-        assert_eq!(e_row.benchmark, p_row.benchmark);
-        let pairs = e_row
+    let left = engine.run(&a);
+    let right = engine.run(&b);
+    assert_eq!(left.rows.len(), right.rows.len());
+    for (l_row, r_row) in left.rows.iter().zip(&right.rows) {
+        assert_eq!(l_row.benchmark, r_row.benchmark);
+        let pairs = l_row
             .baseline
             .iter()
-            .zip(&p_row.baseline)
-            .chain(e_row.results.iter().zip(&p_row.results));
-        for (e, p) in pairs {
+            .zip(&r_row.baseline)
+            .chain(l_row.results.iter().zip(&r_row.results));
+        for (l, r) in pairs {
             assert_eq!(
-                e.stats, p.stats,
-                "{name}/{}/{}: SimStats diverge between scheduler modes",
-                e_row.benchmark, e.mechanism
+                l.stats, r.stats,
+                "{name}/{}/{}: SimStats diverge between {what}",
+                l_row.benchmark, l.mechanism
             );
-            let e_bits: Vec<u64> = e.checkpoint_ipcs.iter().map(|v| v.to_bits()).collect();
-            let p_bits: Vec<u64> = p.checkpoint_ipcs.iter().map(|v| v.to_bits()).collect();
-            assert_eq!(e_bits, p_bits, "{name}/{}/{}: IPCs diverge", e_row.benchmark, e.mechanism);
-            assert!(e.failures.is_empty(), "{name}: unexpected failed cells: {:?}", e.failures);
+            let l_bits: Vec<u64> = l.checkpoint_ipcs.iter().map(|v| v.to_bits()).collect();
+            let r_bits: Vec<u64> = r.checkpoint_ipcs.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(l_bits, r_bits, "{name}/{}/{}: IPCs diverge", l_row.benchmark, l.mechanism);
+            assert!(l.failures.is_empty(), "{name}: unexpected failed cells: {:?}", l.failures);
         }
     }
     // The derived reports (what the figures actually plot) agree too.
-    let event_json = event.speedups().to_json();
-    let polling_json = polling.speedups().to_json();
-    assert_eq!(event_json, polling_json, "{name}: speedup reports diverge");
+    let left_json = left.speedups().to_json();
+    let right_json = right.speedups().to_json();
+    assert_eq!(left_json, right_json, "{name}: speedup reports diverge between {what}");
+}
+
+fn assert_campaign_identical(name: &str, spec: CampaignSpec) {
+    assert_campaigns_identical(
+        name,
+        "scheduler modes",
+        with_scheduler(spec.clone(), SchedulerKind::EventDriven),
+        with_scheduler(spec, SchedulerKind::Polling),
+    );
+}
+
+/// The flat path (slot-arena ROB + SoA/batched caches, the defaults)
+/// against the retained legacy backends (deque ROB + nested cache arrays).
+fn assert_flat_matches_legacy(name: &str, spec: CampaignSpec) {
+    assert_campaigns_identical(
+        name,
+        "flat and legacy in-flight backends",
+        with_backends(spec.clone(), RobKind::Arena, CacheLayout::Soa),
+        with_backends(spec, RobKind::Deque, CacheLayout::Nested),
+    );
 }
 
 #[test]
@@ -66,6 +98,26 @@ fn figure6_smoke_is_bit_identical_across_schedulers() {
 #[test]
 fn figure7_smoke_is_bit_identical_across_schedulers() {
     assert_campaign_identical("fig7", presets::fig7().smoke());
+}
+
+#[test]
+fn figure4_smoke_is_bit_identical_across_rob_and_cache_backends() {
+    assert_flat_matches_legacy("fig4", presets::fig4().smoke());
+}
+
+#[test]
+fn figure5_smoke_is_bit_identical_across_rob_and_cache_backends() {
+    assert_flat_matches_legacy("fig5", presets::fig5().smoke());
+}
+
+#[test]
+fn figure6_smoke_is_bit_identical_across_rob_and_cache_backends() {
+    assert_flat_matches_legacy("fig6", presets::fig6().smoke());
+}
+
+#[test]
+fn figure7_smoke_is_bit_identical_across_rob_and_cache_backends() {
+    assert_flat_matches_legacy("fig7", presets::fig7().smoke());
 }
 
 #[test]

@@ -14,11 +14,22 @@ use proptest::prelude::*;
 use rsep_core::{run_checkpoint, MechanismConfig, RsepEngine};
 use rsep_isa::{ArchReg, BranchKind, DynInst, DynInstBuilder, OpClass};
 use rsep_trace::{BenchmarkProfile, CheckpointSpec};
-use rsep_uarch::{Core, CoreConfig, SchedulerKind, SimStats};
+use rsep_uarch::{CacheLayout, Core, CoreConfig, RobKind, SchedulerKind, SimStats};
 
 fn config_with(scheduler: SchedulerKind) -> CoreConfig {
     let mut config = CoreConfig::small_test();
     config.scheduler = scheduler;
+    config
+}
+
+/// The event-driven scheduler on the retained legacy storage backends
+/// (deque ROB, nested cache arrays) — compared against the default flat
+/// path to prove the in-flight-core refactor bit-identical under full
+/// speculation.
+fn legacy_backends_config() -> CoreConfig {
+    let mut config = CoreConfig::small_test();
+    config.rob = RobKind::Deque;
+    config.cache_layout = CacheLayout::Nested;
     config
 }
 
@@ -101,17 +112,23 @@ fn decode(seq: u64, raw: RawInst) -> DynInst {
     }
 }
 
-fn simulate_with_engine(insts: &[DynInst], scheduler: SchedulerKind) -> SimStats {
+fn simulate_with_config(insts: &[DynInst], config: CoreConfig) -> SimStats {
     let engine = RsepEngine::new(MechanismConfig::rsep_plus_vp());
-    let mut core = Core::new(config_with(scheduler), Box::new(engine));
+    let mut core = Core::new(config, Box::new(engine));
     let mut trace = insts.iter().cloned();
     core.run(&mut trace, insts.len() as u64).expect("random traces must not wedge");
     core.take_stats()
 }
 
+fn simulate_with_engine(insts: &[DynInst], scheduler: SchedulerKind) -> SimStats {
+    simulate_with_config(insts, config_with(scheduler))
+}
+
 proptest! {
     /// Random redundant DAGs under RSEP + VP: identical retirement (full
-    /// commit) and bit-identical statistics in both scheduler modes.
+    /// commit) and bit-identical statistics in both scheduler modes and on
+    /// both in-flight storage backends (slot arena vs. deque ROB, SoA vs.
+    /// nested cache arrays).
     #[test]
     fn schedulers_agree_under_speculative_squashes(
         raws in collection::vec(
@@ -125,6 +142,8 @@ proptest! {
         let polling = simulate_with_engine(&insts, SchedulerKind::Polling);
         prop_assert_eq!(event.committed, insts.len() as u64);
         prop_assert_eq!(&event, &polling);
+        let legacy = simulate_with_config(&insts, legacy_backends_config());
+        prop_assert_eq!(&event, &legacy);
     }
 }
 

@@ -33,6 +33,6 @@ pub mod reg;
 
 pub use fingerprint::{Fingerprint, Fnv};
 pub use hash::FoldHash;
-pub use inst::{BranchInfo, BranchKind, DynInst, DynInstBuilder, MemInfo};
+pub use inst::{BranchInfo, BranchKind, DynInst, DynInstBuilder, MemInfo, MAX_SOURCES};
 pub use op::OpClass;
 pub use reg::{ArchReg, PhysReg, RegClass};

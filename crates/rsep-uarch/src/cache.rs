@@ -5,19 +5,71 @@
 //! L1D and simple next-line stream prefetchers at L2/L3, all of degree 1 as
 //! in Table I. Port and MSHR contention are not modelled (documented
 //! simplification in `DESIGN.md`); latency and hit/miss behaviour are.
+//!
+//! # Storage layout and batching
+//!
+//! Cache arrays come in two interchangeable layouts (selected by
+//! [`CacheLayout`], default [`CacheLayout::Soa`]):
+//!
+//! * **Struct-of-arrays** — one flat tag array and one packed
+//!   `valid|LRU` word array per level, indexed `set * assoc + way`. The
+//!   way-scan of the hot L1 lookup walks two contiguous cache lines of
+//!   simulator memory instead of chasing `Vec<Vec<Line>>` indirections.
+//! * **Nested** — the original `Vec<Vec<Line>>`, kept for one PR as the
+//!   reference implementation and proven bit-identical by the golden-stats
+//!   campaigns.
+//!
+//! The hierarchy also exposes a batched entry point,
+//! [`CacheHierarchy::access_batch`], which the core calls once per cycle
+//! per stage with every load/store/ifetch of that cycle instead of making
+//! one `access_data`/`access_inst` call per instruction. Requests resolve
+//! strictly in the order given: LRU updates, fills, evictions and
+//! prefetches are all state-dependent, so in-order resolution is exactly
+//! what makes the batched path bit-identical to the per-access one (see
+//! `DESIGN.md`).
 
 use crate::config::CoreConfig;
+
+/// Which storage layout backs the cache arrays.
+///
+/// Both layouts produce bit-identical simulated behaviour (same hit/miss
+/// decisions, same LRU victims — golden-stats tests enforce it); only
+/// simulator throughput differs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CacheLayout {
+    /// Struct-of-arrays: flat tag array + packed valid/LRU word array per
+    /// level. The default.
+    #[default]
+    Soa,
+    /// The original nested `Vec<Vec<Line>>`, kept as the reference
+    /// implementation.
+    Nested,
+}
+
+/// Valid bit of a packed SoA metadata word; the low 63 bits hold the LRU
+/// timestamp. Simulated cycle counts stay far below 2^63.
+const VALID: u64 = 1 << 63;
 
 /// A set-associative cache with LRU replacement.
 #[derive(Debug)]
 pub struct Cache {
     name: &'static str,
-    sets: Vec<Vec<Line>>,
+    ways: Ways,
     assoc: usize,
     line_shift: u32,
     set_mask: u64,
+    tag_shift: u32,
     latency: u64,
     stats: CacheStats,
+}
+
+#[derive(Debug)]
+enum Ways {
+    /// `tags[set * assoc + way]` and `meta[set * assoc + way]`, where
+    /// `meta` packs the valid bit and the LRU timestamp into one word.
+    Soa { tags: Box<[u64]>, meta: Box<[u64]> },
+    /// The legacy nested representation.
+    Nested(Vec<Vec<Line>>),
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -59,7 +111,7 @@ impl CacheStats {
 
 impl Cache {
     /// Creates a cache of `bytes` capacity, `assoc` ways and `line_bytes`
-    /// lines, with the given hit latency.
+    /// lines, with the given hit latency, in the default (SoA) layout.
     pub fn new(
         name: &'static str,
         bytes: usize,
@@ -67,16 +119,39 @@ impl Cache {
         line_bytes: usize,
         latency: u64,
     ) -> Cache {
+        Cache::with_layout(name, bytes, assoc, line_bytes, latency, CacheLayout::Soa)
+    }
+
+    /// Creates a cache in the given storage layout.
+    pub fn with_layout(
+        name: &'static str,
+        bytes: usize,
+        assoc: usize,
+        line_bytes: usize,
+        latency: u64,
+        layout: CacheLayout,
+    ) -> Cache {
         assert!(line_bytes.is_power_of_two());
         let num_lines = bytes / line_bytes;
         let num_sets = (num_lines / assoc).max(1);
         assert!(num_sets.is_power_of_two(), "{name}: number of sets must be a power of two");
+        let ways = match layout {
+            CacheLayout::Soa => Ways::Soa {
+                tags: vec![0; num_sets * assoc].into_boxed_slice(),
+                meta: vec![0; num_sets * assoc].into_boxed_slice(),
+            },
+            CacheLayout::Nested => {
+                Ways::Nested(vec![vec![Line { tag: 0, valid: false, lru: 0 }; assoc]; num_sets])
+            }
+        };
+        let set_mask = num_sets as u64 - 1;
         Cache {
             name,
-            sets: vec![vec![Line { tag: 0, valid: false, lru: 0 }; assoc]; num_sets],
+            ways,
             assoc,
             line_shift: line_bytes.trailing_zeros(),
-            set_mask: num_sets as u64 - 1,
+            set_mask,
+            tag_shift: set_mask.count_ones(),
             latency,
             stats: CacheStats::default(),
         }
@@ -92,6 +167,14 @@ impl Cache {
         self.name
     }
 
+    /// Storage layout in use.
+    pub fn layout(&self) -> CacheLayout {
+        match self.ways {
+            Ways::Soa { .. } => CacheLayout::Soa,
+            Ways::Nested(_) => CacheLayout::Nested,
+        }
+    }
+
     /// Statistics collected so far.
     pub fn stats(&self) -> CacheStats {
         self.stats
@@ -99,46 +182,134 @@ impl Cache {
 
     fn set_and_tag(&self, addr: u64) -> (usize, u64) {
         let line = addr >> self.line_shift;
-        ((line & self.set_mask) as usize, line >> self.set_mask.count_ones())
+        ((line & self.set_mask) as usize, line >> self.tag_shift)
     }
 
     /// Looks up `addr`; returns `true` on hit and updates LRU. `now` is the
     /// current cycle, used as the LRU timestamp.
     pub fn access(&mut self, addr: u64, now: u64) -> bool {
+        debug_assert!(now < VALID, "cycle count overflows the packed LRU word");
         self.stats.accesses += 1;
         let (set_idx, tag) = self.set_and_tag(addr);
-        let set = &mut self.sets[set_idx];
-        if let Some(line) = set.iter_mut().find(|l| l.valid && l.tag == tag) {
-            line.lru = now;
-            return true;
+        let hit = match &mut self.ways {
+            Ways::Soa { tags, meta } => {
+                let base = set_idx * self.assoc;
+                let tags = &tags[base..base + self.assoc];
+                let meta = &mut meta[base..base + self.assoc];
+                match (0..tags.len()).find(|&w| meta[w] >= VALID && tags[w] == tag) {
+                    Some(w) => {
+                        meta[w] = VALID | now;
+                        true
+                    }
+                    None => false,
+                }
+            }
+            Ways::Nested(sets) => {
+                match sets[set_idx].iter_mut().find(|l| l.valid && l.tag == tag) {
+                    Some(line) => {
+                        line.lru = now;
+                        true
+                    }
+                    None => false,
+                }
+            }
+        };
+        if !hit {
+            self.stats.misses += 1;
         }
-        self.stats.misses += 1;
-        false
+        hit
     }
 
     /// Checks for a hit without updating statistics or LRU state.
     pub fn probe(&self, addr: u64) -> bool {
         let (set_idx, tag) = self.set_and_tag(addr);
-        self.sets[set_idx].iter().any(|l| l.valid && l.tag == tag)
+        match &self.ways {
+            Ways::Soa { tags, meta } => {
+                let base = set_idx * self.assoc;
+                (base..base + self.assoc).any(|i| meta[i] >= VALID && tags[i] == tag)
+            }
+            Ways::Nested(sets) => sets[set_idx].iter().any(|l| l.valid && l.tag == tag),
+        }
     }
 
     /// Fills the line containing `addr`, evicting the LRU way.
     pub fn fill(&mut self, addr: u64, now: u64, is_prefetch: bool) {
+        let (set_idx, tag) = self.set_and_tag(addr);
+        // A fill of a line that is already present only refreshes its LRU
+        // stamp.
+        let present = match &mut self.ways {
+            Ways::Soa { tags, meta } => {
+                let base = set_idx * self.assoc;
+                let tags = &tags[base..base + self.assoc];
+                let meta = &mut meta[base..base + self.assoc];
+                match (0..tags.len()).find(|&w| meta[w] >= VALID && tags[w] == tag) {
+                    Some(w) => {
+                        meta[w] = VALID | now;
+                        true
+                    }
+                    None => false,
+                }
+            }
+            Ways::Nested(sets) => {
+                match sets[set_idx].iter_mut().find(|l| l.valid && l.tag == tag) {
+                    Some(line) => {
+                        line.lru = now;
+                        true
+                    }
+                    None => false,
+                }
+            }
+        };
+        if present {
+            if is_prefetch {
+                self.stats.prefetch_fills += 1;
+            }
+            return;
+        }
+        self.fill_absent(addr, now, is_prefetch);
+    }
+
+    /// Fills the line containing `addr`, which the caller has just proven
+    /// absent (a miss or failed probe with no intervening fill to this
+    /// cache). Skips the present-line rescan that [`Cache::fill`] performs
+    /// — on the miss path of the hierarchy walk every fill follows such a
+    /// proof, and the rescan would double the way-scan work per miss.
+    fn fill_absent(&mut self, addr: u64, now: u64, is_prefetch: bool) {
+        debug_assert!(now < VALID, "cycle count overflows the packed LRU word");
+        debug_assert!(!self.probe(addr), "fill_absent caller must have proven a miss");
         if is_prefetch {
             self.stats.prefetch_fills += 1;
         }
         let (set_idx, tag) = self.set_and_tag(addr);
-        let set = &mut self.sets[set_idx];
-        if let Some(line) = set.iter_mut().find(|l| l.valid && l.tag == tag) {
-            line.lru = now;
-            return;
+        match &mut self.ways {
+            Ways::Soa { tags, meta } => {
+                let base = set_idx * self.assoc;
+                let tags = &mut tags[base..base + self.assoc];
+                let meta = &mut meta[base..base + self.assoc];
+                // Victim: the way with the smallest packed word — every
+                // invalid way (no VALID bit) sorts below every valid one,
+                // and among valid ways the smallest LRU wins; ties keep the
+                // first way, exactly as the nested reference does.
+                let mut victim = 0;
+                for w in 1..meta.len() {
+                    if meta[w] < meta[victim] {
+                        victim = w;
+                    }
+                }
+                tags[victim] = tag;
+                meta[victim] = VALID | now;
+            }
+            Ways::Nested(sets) => {
+                let set = &mut sets[set_idx];
+                let victim = match set.iter_mut().position(|l| !l.valid) {
+                    Some(idx) => &mut set[idx],
+                    None => {
+                        set.iter_mut().min_by_key(|l| l.lru).expect("cache set cannot be empty")
+                    }
+                };
+                *victim = Line { tag, valid: true, lru: now };
+            }
         }
-        let victim = match set.iter_mut().position(|l| !l.valid) {
-            Some(idx) => &mut set[idx],
-            None => set.iter_mut().min_by_key(|l| l.lru).expect("cache set cannot be empty"),
-        };
-        *victim = Line { tag, valid: true, lru: now };
-        debug_assert!(self.assoc == set.len());
     }
 }
 
@@ -204,6 +375,39 @@ pub enum AccessKind {
     Fetch,
 }
 
+/// One memory access of the current cycle, resolved by
+/// [`CacheHierarchy::access_batch`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemRequest {
+    /// PC of the accessing instruction (drives the stride prefetcher; for
+    /// fetches this is also the accessed address).
+    pub pc: u64,
+    /// Accessed byte address.
+    pub addr: u64,
+    /// Demand access type.
+    pub kind: AccessKind,
+    /// Resolved latency in cycles — an output, written by
+    /// [`CacheHierarchy::access_batch`].
+    pub latency: u64,
+}
+
+impl MemRequest {
+    /// A demand load by the instruction at `pc`.
+    pub fn load(pc: u64, addr: u64) -> MemRequest {
+        MemRequest { pc, addr, kind: AccessKind::Load, latency: 0 }
+    }
+
+    /// A demand store (write allocate) by the instruction at `pc`.
+    pub fn store(pc: u64, addr: u64) -> MemRequest {
+        MemRequest { pc, addr, kind: AccessKind::Store, latency: 0 }
+    }
+
+    /// An instruction fetch of the block containing `pc`.
+    pub fn fetch(pc: u64) -> MemRequest {
+        MemRequest { pc, addr: pc, kind: AccessKind::Fetch, latency: 0 }
+    }
+}
+
 /// The full cache hierarchy of Table I.
 #[derive(Debug)]
 pub struct CacheHierarchy {
@@ -220,34 +424,39 @@ pub struct CacheHierarchy {
 impl CacheHierarchy {
     /// Builds the hierarchy from a core configuration.
     pub fn new(config: &CoreConfig) -> CacheHierarchy {
+        let layout = config.cache_layout;
         CacheHierarchy {
-            l1i: Cache::new(
+            l1i: Cache::with_layout(
                 "L1I",
                 config.l1i_bytes,
                 config.l1i_assoc,
                 config.line_bytes,
                 config.l1i_latency,
+                layout,
             ),
-            l1d: Cache::new(
+            l1d: Cache::with_layout(
                 "L1D",
                 config.l1d_bytes,
                 config.l1d_assoc,
                 config.line_bytes,
                 config.l1d_latency,
+                layout,
             ),
-            l2: Cache::new(
+            l2: Cache::with_layout(
                 "L2",
                 config.l2_bytes,
                 config.l2_assoc,
                 config.line_bytes,
                 config.l2_latency,
+                layout,
             ),
-            l3: Cache::new(
+            l3: Cache::with_layout(
                 "L3",
                 config.l3_bytes,
                 config.l3_assoc,
                 config.line_bytes,
                 config.l3_latency,
+                layout,
             ),
             dram_latency: config.dram_latency,
             line_bytes: config.line_bytes as u64,
@@ -257,6 +466,27 @@ impl CacheHierarchy {
                 None
             },
             l2_stream_prefetch: config.l2_prefetch,
+        }
+    }
+
+    /// Resolves one cycle's memory accesses, writing each request's
+    /// `latency`. This is the entry point the core's execute and fetch
+    /// stages use: one call per stage per cycle, instead of one
+    /// [`CacheHierarchy::access_data`]/[`CacheHierarchy::access_inst`] call
+    /// per instruction.
+    ///
+    /// Requests are resolved strictly in slice order. Order is observable —
+    /// an earlier fill can evict (or install) the line a later request
+    /// touches, LRU victims depend on every preceding update, and the
+    /// stride prefetcher trains on loads as they pass — so in-order
+    /// resolution is precisely what keeps this batched path bit-identical
+    /// to issuing the same accesses one call at a time.
+    pub fn access_batch(&mut self, requests: &mut [MemRequest], now: u64) {
+        for request in requests.iter_mut() {
+            request.latency = match request.kind {
+                AccessKind::Fetch => self.access_inst(request.addr, now),
+                kind => self.access_data(request.pc, request.addr, kind, now),
+            };
         }
     }
 
@@ -292,13 +522,13 @@ impl CacheHierarchy {
             latency += self.l2.latency();
         } else if self.l3.access(addr, now) {
             latency += self.l2.latency() + self.l3.latency();
-            self.l2.fill(addr, now, false);
+            self.l2.fill_absent(addr, now, false);
         } else {
             latency += self.l2.latency() + self.l3.latency() + self.dram_latency;
-            self.l3.fill(addr, now, false);
-            self.l2.fill(addr, now, false);
+            self.l3.fill_absent(addr, now, false);
+            self.l2.fill_absent(addr, now, false);
         }
-        self.l1i.fill(addr, now, false);
+        self.l1i.fill_absent(addr, now, false);
         latency
     }
 
@@ -311,13 +541,13 @@ impl CacheHierarchy {
             latency += self.l2.latency();
         } else if self.l3.access(addr, now) {
             latency += self.l2.latency() + self.l3.latency();
-            self.l2.fill(addr, now, is_prefetch);
+            self.l2.fill_absent(addr, now, is_prefetch);
         } else {
             latency += self.l2.latency() + self.l3.latency() + self.dram_latency;
-            self.l3.fill(addr, now, is_prefetch);
-            self.l2.fill(addr, now, is_prefetch);
+            self.l3.fill_absent(addr, now, is_prefetch);
+            self.l2.fill_absent(addr, now, is_prefetch);
         }
-        self.l1d.fill(addr, now, is_prefetch);
+        self.l1d.fill_absent(addr, now, is_prefetch);
         latency
     }
 
@@ -328,12 +558,12 @@ impl CacheHierarchy {
             return;
         }
         if !self.l3.probe(addr) {
-            self.l3.fill(addr, now, true);
+            self.l3.fill_absent(addr, now, true);
         }
         if !self.l2.probe(addr) {
-            self.l2.fill(addr, now, true);
+            self.l2.fill_absent(addr, now, true);
         }
-        self.l1d.fill(addr, now, true);
+        self.l1d.fill_absent(addr, now, true);
     }
 
     /// Statistics of the four caches (L1I, L1D, L2, L3).
@@ -354,6 +584,8 @@ mod tests {
     fn hierarchy() -> CacheHierarchy {
         CacheHierarchy::new(&CoreConfig::table1())
     }
+
+    const BOTH: [CacheLayout; 2] = [CacheLayout::Soa, CacheLayout::Nested];
 
     #[test]
     fn repeated_access_hits_in_l1() {
@@ -436,18 +668,95 @@ mod tests {
 
     #[test]
     fn lru_evicts_least_recently_used() {
-        // Direct construction of a tiny cache: 2 sets, 2 ways, 64B lines.
-        let mut c = Cache::new("tiny", 256, 2, 64, 1);
-        let set0 = |i: u64| i * 128; // same set, different tags
-        assert!(!c.access(set0(0), 0));
-        c.fill(set0(0), 0, false);
-        assert!(!c.access(set0(1), 1));
-        c.fill(set0(1), 1, false);
-        // Touch line 0 so line 1 is LRU.
-        assert!(c.access(set0(0), 2));
-        c.fill(set0(2), 3, false);
-        assert!(c.probe(set0(0)), "recently used line was evicted");
-        assert!(!c.probe(set0(1)), "LRU line should have been evicted");
+        for layout in BOTH {
+            // Direct construction of a tiny cache: 2 sets, 2 ways, 64B lines.
+            let mut c = Cache::with_layout("tiny", 256, 2, 64, 1, layout);
+            assert_eq!(c.layout(), layout);
+            let set0 = |i: u64| i * 128; // same set, different tags
+            assert!(!c.access(set0(0), 0));
+            c.fill(set0(0), 0, false);
+            assert!(!c.access(set0(1), 1));
+            c.fill(set0(1), 1, false);
+            // Touch line 0 so line 1 is LRU.
+            assert!(c.access(set0(0), 2));
+            c.fill(set0(2), 3, false);
+            assert!(c.probe(set0(0)), "{layout:?}: recently used line was evicted");
+            assert!(!c.probe(set0(1)), "{layout:?}: LRU line should have been evicted");
+        }
+    }
+
+    #[test]
+    fn layouts_agree_on_a_randomised_access_mix() {
+        // Drive both layouts with an identical pseudo-random stream of
+        // accesses, fills and probes; hit/miss decisions, victims and
+        // statistics must match exactly at every step.
+        let mut soa = Cache::with_layout("soa", 4096, 4, 64, 1, CacheLayout::Soa);
+        let mut nested = Cache::with_layout("nested", 4096, 4, 64, 1, CacheLayout::Nested);
+        let mut state = 0x1234_5678_9abc_def0u64;
+        for now in 0..20_000u64 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let addr = (state >> 16) % (64 * 1024);
+            match state % 3 {
+                0 => {
+                    let (a, b) = (soa.access(addr, now), nested.access(addr, now));
+                    assert_eq!(a, b, "access diverges at cycle {now} addr {addr:#x}");
+                    if !a {
+                        soa.fill(addr, now, false);
+                        nested.fill(addr, now, false);
+                    }
+                }
+                1 => {
+                    let is_prefetch = (state >> 8) & 1 == 0;
+                    soa.fill(addr, now, is_prefetch);
+                    nested.fill(addr, now, is_prefetch);
+                }
+                _ => {
+                    assert_eq!(
+                        soa.probe(addr),
+                        nested.probe(addr),
+                        "probe diverges at cycle {now} addr {addr:#x}"
+                    );
+                }
+            }
+        }
+        assert_eq!(soa.stats(), nested.stats());
+    }
+
+    #[test]
+    fn batched_access_matches_per_access_resolution() {
+        // The same request stream, once through access_batch and once
+        // through individual calls, must produce identical latencies and
+        // identical end-state statistics.
+        let mut batched = hierarchy();
+        let mut single = hierarchy();
+        let mut state = 0xdead_beefu64;
+        for cycle in 0..2_000u64 {
+            let mut requests = Vec::new();
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            for i in 0..(state % 5) {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let pc = 0x40_0000 + (state % 64) * 4;
+                let addr = 0x1000_0000 + (state >> 12) % (256 * 1024);
+                requests.push(match state % 3 {
+                    0 => MemRequest::load(pc, addr),
+                    1 => MemRequest::store(pc, addr),
+                    _ => MemRequest::fetch(pc + i * 64),
+                });
+            }
+            let mut batch = requests.clone();
+            batched.access_batch(&mut batch, cycle);
+            for (request, resolved) in requests.iter().zip(&batch) {
+                let expected = match request.kind {
+                    AccessKind::Fetch => single.access_inst(request.addr, cycle),
+                    kind => single.access_data(request.pc, request.addr, kind, cycle),
+                };
+                assert_eq!(resolved.latency, expected, "cycle {cycle}: {request:?}");
+            }
+        }
+        for ((name_a, a), (name_b, b)) in batched.stats().iter().zip(single.stats().iter()) {
+            assert_eq!(name_a, name_b);
+            assert_eq!(a, b, "{name_a}: stats diverge between batched and per-access paths");
+        }
     }
 
     #[test]

@@ -6,6 +6,9 @@
 //! unit inventory listed in the table and a three-level cache hierarchy in
 //! front of a DDR4-like memory latency.
 
+use crate::cache::CacheLayout;
+use crate::rob::RobKind;
+
 /// Which wakeup/select implementation the core uses.
 ///
 /// Both produce bit-identical [`SimStats`](crate::SimStats) — the polling
@@ -116,6 +119,12 @@ pub struct CoreConfig {
     /// Wakeup/select implementation (identical simulated behaviour; see
     /// [`SchedulerKind`]).
     pub scheduler: SchedulerKind,
+    /// In-flight storage backing the ROB (identical simulated behaviour;
+    /// see [`RobKind`]).
+    pub rob: RobKind,
+    /// Cache array storage layout (identical simulated behaviour; see
+    /// [`CacheLayout`]).
+    pub cache_layout: CacheLayout,
 }
 
 impl CoreConfig {
@@ -162,6 +171,8 @@ impl CoreConfig {
             l1d_prefetch: true,
             l2_prefetch: true,
             scheduler: SchedulerKind::EventDriven,
+            rob: RobKind::Arena,
+            cache_layout: CacheLayout::Soa,
         }
     }
 
@@ -322,11 +333,11 @@ impl rsep_isa::Fingerprint for CoreConfig {
         self.dram_latency.fingerprint(h);
         self.l1d_prefetch.fingerprint(h);
         self.l2_prefetch.fingerprint(h);
-        // `scheduler` is deliberately NOT part of the fingerprint: both
-        // implementations are proven bit-identical (golden-stats and
-        // property tests), so cells cached under one mode stay valid for
-        // the other — and stores written before the field existed resume
-        // cleanly.
+        // `scheduler`, `rob` and `cache_layout` are deliberately NOT part
+        // of the fingerprint: each pair of implementations is proven
+        // bit-identical (golden-stats and property tests), so cells cached
+        // under one mode stay valid for the others — and stores written
+        // before the fields existed resume cleanly.
     }
 }
 
@@ -393,6 +404,25 @@ mod tests {
         // shared between them (and with stores written before the field
         // existed).
         assert_eq!(digest(SchedulerKind::EventDriven), digest(SchedulerKind::Polling));
+    }
+
+    #[test]
+    fn rob_and_cache_layout_do_not_change_the_fingerprint() {
+        use rsep_isa::Fingerprint;
+        let digest = |rob: RobKind, cache_layout: CacheLayout| {
+            let mut config = CoreConfig::table1();
+            config.rob = rob;
+            config.cache_layout = cache_layout;
+            let mut h = rsep_isa::Fnv::new();
+            config.fingerprint(&mut h);
+            h.finish()
+        };
+        // The storage backends are observationally identical, so cached
+        // cells are shared across all of them.
+        assert_eq!(
+            digest(RobKind::Arena, CacheLayout::Soa),
+            digest(RobKind::Deque, CacheLayout::Nested)
+        );
     }
 
     #[test]

@@ -14,12 +14,12 @@
 //! Mechanism-relevant behaviour (rename, sharing, validation issue slots,
 //! commit-time squash on mispredictions) is modelled in full.
 
-use crate::cache::{AccessKind, CacheHierarchy};
+use crate::cache::{CacheHierarchy, MemRequest};
 use crate::config::{CoreConfig, SchedulerKind};
 use crate::engine::{Disposition, RenameAction, RenameContext, SpecEngine, ValidationKind};
-use crate::regfile::{PhysRegFile, RegisterFiles, Waiter, NOT_READY};
+use crate::regfile::{PhysRegFile, RegisterFiles, NOT_READY};
 use crate::rename::RenameMap;
-use crate::rob::{InflightInst, Rob};
+use crate::rob::{InflightInst, InstSlot, Rob, SrcRegs};
 use crate::sched::{StoreQueue, WakeupQueue};
 use crate::stats::SimStats;
 use rsep_isa::{BranchKind, DynInst, OpClass, PhysReg};
@@ -285,9 +285,20 @@ pub struct Core {
     replay: VecDeque<DynInst>,
     store_queue: StoreQueue,
     sched: WakeupQueue,
-    /// Reused per-cycle buffer for the ready-set snapshot in
-    /// [`Core::issue_event`].
-    ready_scratch: Vec<(u64, u64)>,
+    /// Reused per-cycle buffer of the instructions selected for issue.
+    issued_scratch: Vec<InstSlot>,
+    /// Reused buffer for draining per-register waiter lists on writeback.
+    wake_scratch: Vec<InstSlot>,
+    /// The current cycle's memory accesses, handed to
+    /// [`CacheHierarchy::access_batch`] once per stage instead of one
+    /// hierarchy call per instruction.
+    mem_batch: Vec<MemRequest>,
+    /// Issued loads whose latency the batch resolves: `(slot, index into
+    /// mem_batch)`.
+    mem_loads: Vec<(InstSlot, u32)>,
+    /// Fetched instructions awaiting their i-cache latency: `(index into
+    /// fetch_queue, index into mem_batch)`.
+    fetch_pending: Vec<(usize, u32)>,
     /// Monotonic dispatch counter; tags scheduler entries so stale ones
     /// (left behind by a squash) are recognised and dropped lazily.
     dispatch_gen: u64,
@@ -300,6 +311,9 @@ pub struct Core {
     pending_redirect: Option<u64>,
     div_busy_until: u64,
     fpdiv_busy_until: u64,
+    /// `log2(line_bytes)`, cached so the per-instruction fetch-block
+    /// computation is a shift instead of a division.
+    fetch_block_shift: u32,
     last_fetch_block: u64,
     engine: Box<dyn SpecEngine>,
     stats: SimStats,
@@ -336,7 +350,7 @@ impl Core {
             regs.set_ready_at(preg, 0);
         }
         let hierarchy = CacheHierarchy::new(&config);
-        let rob = Rob::new(config.rob_size);
+        let rob = Rob::with_kind(config.rob_size, config.rob);
         Core {
             arch_map: spec_map.clone(),
             spec_map,
@@ -350,7 +364,11 @@ impl Core {
             replay: VecDeque::new(),
             store_queue: StoreQueue::new(),
             sched: WakeupQueue::new(),
-            ready_scratch: Vec::new(),
+            issued_scratch: Vec::new(),
+            wake_scratch: Vec::new(),
+            mem_batch: Vec::new(),
+            mem_loads: Vec::new(),
+            fetch_pending: Vec::new(),
             dispatch_gen: 0,
             pending_validations: Vec::new(),
             tage: Tage::table1(),
@@ -361,6 +379,7 @@ impl Core {
             pending_redirect: None,
             div_busy_until: 0,
             fpdiv_busy_until: 0,
+            fetch_block_shift: config.line_bytes.trailing_zeros(),
             last_fetch_block: u64::MAX,
             engine,
             stats: SimStats::default(),
@@ -610,28 +629,33 @@ impl Core {
     }
 
     fn flush_younger(&mut self, from_seq: u64) {
-        let squashed = self.rob.squash_from(from_seq);
         let mut to_replay: Vec<DynInst> =
-            Vec::with_capacity(squashed.len() + self.fetch_queue.len());
-        for entry in squashed {
-            if entry.in_iq {
-                self.iq_count -= 1;
-            }
-            if entry.uses_lq {
-                self.lq_count -= 1;
-            }
-            if entry.uses_sq {
-                self.sq_count -= 1;
-            }
-            if entry.allocated_new_preg {
-                if let Some(preg) = entry.dest_preg {
-                    self.regs.remove_inflight_owner(preg);
-                    if self.regs.file(preg.class()).is_allocated(preg) {
-                        self.regs.free(preg);
+            Vec::with_capacity(self.rob.len() + self.fetch_queue.len() + self.replay.len());
+        {
+            // Split borrows: the squash callback updates the queue counters
+            // and register file while the ROB drains its tail in place
+            // (no intermediate Vec of squashed entries).
+            let Core { rob, regs, iq_count, lq_count, sq_count, .. } = self;
+            rob.squash_from_each(from_seq, |entry| {
+                if entry.in_iq {
+                    *iq_count -= 1;
+                }
+                if entry.uses_lq {
+                    *lq_count -= 1;
+                }
+                if entry.uses_sq {
+                    *sq_count -= 1;
+                }
+                if entry.allocated_new_preg {
+                    if let Some(preg) = entry.dest_preg {
+                        regs.remove_inflight_owner(preg);
+                        if regs.file(preg.class()).is_allocated(preg) {
+                            regs.free(preg);
+                        }
                     }
                 }
-            }
-            to_replay.push(entry.inst);
+                to_replay.push(entry.inst);
+            });
         }
         // Scheduler entries for the squashed instructions (ready set,
         // calendar, register/store waiter lists) are invalidated lazily:
@@ -704,6 +728,9 @@ impl Core {
     /// Issues validation µ-ops first: they are prioritised so they issue
     /// back-to-back with the instruction they validate (Section IV-F1).
     fn issue_validations(&mut self, ports: &mut PortBudget) {
+        if self.pending_validations.is_empty() {
+            return;
+        }
         let clock = self.clock;
         let mut conflicts = 0u64;
         let mut issued_validations = 0u64;
@@ -734,23 +761,27 @@ impl Core {
         let fpdiv_free = self.fpdiv_busy_until <= self.clock;
         self.issue_validations(&mut ports);
 
-        // Reuse one scratch buffer for the age-ordered snapshot (this runs
-        // every cycle; no per-cycle allocation once warm). The loop mutates
-        // the ready set itself: issue and parking remove entries.
-        let mut ready = std::mem::take(&mut self.ready_scratch);
-        self.sched.ready_into(&mut ready);
-        let mut issued: Vec<u64> = Vec::new();
-        for &(seq, gen) in &ready {
+        // Walk the ready set in place, oldest first (nothing inserts into
+        // it during select — wakeups land in the calendar and store
+        // wakeups happen in apply — so index iteration sees exactly what a
+        // snapshot would, without copying the set every cycle). The issue
+        // decisions reuse a scratch buffer; no per-cycle allocation once
+        // warm.
+        let mut issued = std::mem::take(&mut self.issued_scratch);
+        debug_assert!(issued.is_empty());
+        let mut idx = 0;
+        while idx < self.sched.ready_len() {
             if ports.exhausted() {
                 break;
             }
-            let (op, mem) = match self.rob.find_by_seq(seq) {
-                Some(e) if e.sched_gen == gen && e.in_iq && !e.issued && !e.eliminated => {
-                    (e.inst.op, e.inst.mem)
-                }
-                // Left behind by a squash (or already handled); drop it.
+            let slot = self.sched.ready_get(idx);
+            // Handle resolution validates the generation tag: entries left
+            // behind by a squash (or already handled) resolve to None and
+            // are dropped here.
+            let (op, mem) = match self.rob.get(slot) {
+                Some(e) if e.in_iq && !e.issued && !e.eliminated => (e.inst.op, e.inst.mem),
                 _ => {
-                    self.sched.remove_ready(seq, gen);
+                    self.sched.remove_ready_at(idx);
                     continue;
                 }
             };
@@ -760,10 +791,10 @@ impl Core {
                     // youngest older same-double-word store; until that
                     // store has issued, park the load on it instead of
                     // re-polling every cycle.
-                    if let Some(blocker) = self.store_queue.youngest_older(m.addr >> 3, seq) {
+                    if let Some(blocker) = self.store_queue.youngest_older(m.addr >> 3, slot.seq) {
                         if !blocker.issued {
-                            self.sched.remove_ready(seq, gen);
-                            self.store_queue.add_waiter(blocker.seq, Waiter { seq, gen });
+                            self.sched.remove_ready_at(idx);
+                            self.store_queue.add_waiter(blocker.seq, slot);
                             continue;
                         }
                     }
@@ -771,16 +802,15 @@ impl Core {
             }
             if !ports.try_issue(op, div_free, fpdiv_free) {
                 // Port conflict: stays in the ready set for next cycle.
+                idx += 1;
                 continue;
             }
-            self.sched.remove_ready(seq, gen);
-            issued.push(seq);
+            self.sched.remove_ready_at(idx);
+            issued.push(slot);
         }
-        ready.clear();
-        self.ready_scratch = ready;
-        for seq in issued {
-            self.apply_issue(seq);
-        }
+        self.apply_issues(&issued);
+        issued.clear();
+        self.issued_scratch = issued;
     }
 
     /// Polling select (the original implementation, kept as the oracle for
@@ -793,7 +823,8 @@ impl Core {
         let fpdiv_free = self.fpdiv_busy_until <= self.clock;
         self.issue_validations(&mut ports);
 
-        let mut issued: Vec<u64> = Vec::new();
+        let mut issued = std::mem::take(&mut self.issued_scratch);
+        debug_assert!(issued.is_empty());
         {
             let regs = &self.regs;
             let stores = &self.store_queue;
@@ -824,24 +855,59 @@ impl Core {
                 if !ports.try_issue(entry.inst.op, div_free, fpdiv_free) {
                     continue;
                 }
-                issued.push(entry.seq());
+                issued.push(entry.slot());
             }
         }
 
         // Apply the issue decisions (needs mutable access to several parts
         // of `self`, hence the two-phase structure).
-        for seq in issued {
-            self.apply_issue(seq);
+        self.apply_issues(&issued);
+        issued.clear();
+        self.issued_scratch = issued;
+    }
+
+    /// Applies one cycle's issue decisions, batching the cycle's cache
+    /// accesses into a single [`CacheHierarchy::access_batch`] call.
+    ///
+    /// Every per-instruction effect except the d-cache walk happens in
+    /// issue (age) order in the first pass — exactly the order the former
+    /// per-instruction path produced. Loads that neither forward from a
+    /// store nor skip the cache enqueue a [`MemRequest`] instead; the batch
+    /// resolves those in the same order, and a final pass assigns the
+    /// completion cycles and performs the deferred writeback wakeups.
+    /// Nothing issued in the same cycle observes a load's completion cycle
+    /// between those passes, so the reordering is invisible — see
+    /// `DESIGN.md` for the argument.
+    fn apply_issues(&mut self, issued: &[InstSlot]) {
+        debug_assert!(self.mem_batch.is_empty() && self.mem_loads.is_empty());
+        for &slot in issued {
+            self.begin_issue(slot);
+        }
+        if !self.mem_batch.is_empty() {
+            let clock = self.clock;
+            self.hierarchy.access_batch(&mut self.mem_batch, clock);
+            let loads = std::mem::take(&mut self.mem_loads);
+            for &(slot, request_idx) in &loads {
+                let latency = self.mem_batch[request_idx as usize].latency;
+                self.finish_load_issue(slot, clock + latency);
+            }
+            self.mem_loads = loads;
+            self.mem_loads.clear();
+            self.mem_batch.clear();
         }
     }
 
-    fn apply_issue(&mut self, seq: u64) {
+    /// First-pass half of issuing one instruction (see
+    /// [`Core::apply_issues`]): everything except resolving a load's cache
+    /// latency.
+    fn begin_issue(&mut self, slot: InstSlot) {
         let clock = self.clock;
-        // Compute latency first (immutable reasoning over stores/caches).
-        let (op, mem, srcs_latency_extra) = {
-            let entry = self.rob.find_by_seq(seq).expect("issued instruction must be in the ROB");
-            (entry.inst.op, entry.inst.mem, 0u64)
-        };
+        let entry = self.rob.get(slot).expect("issued instruction must be in the ROB");
+        let op = entry.inst.op;
+        let mem = entry.inst.mem;
+        let pc = entry.inst.pc;
+        let seq = entry.seq();
+        // `None` means "a batched cache access resolves it".
         let complete_at = match op {
             OpClass::Load => {
                 let m = mem.expect("loads carry an address");
@@ -857,73 +923,75 @@ impl Core {
                 match forwarding {
                     Some(store_ready) => {
                         self.stats.stlf_forwards += 1;
-                        store_ready.max(clock) + self.config.stlf_latency
+                        Some(store_ready.max(clock) + self.config.stlf_latency)
                     }
                     None => {
-                        let latency = self.hierarchy.access_data(
-                            self.rob.find_by_seq(seq).unwrap().inst.pc,
-                            m.addr,
-                            AccessKind::Load,
-                            clock,
-                        );
-                        clock + latency
+                        self.mem_loads.push((slot, self.mem_batch.len() as u32));
+                        self.mem_batch.push(MemRequest::load(pc, m.addr));
+                        None
                     }
                 }
             }
             OpClass::Store => {
                 if let Some(m) = mem {
                     // Stores probe the cache for the write allocate but do
-                    // not delay commit on it.
-                    let _ = self.hierarchy.access_data(
-                        self.rob.find_by_seq(seq).unwrap().inst.pc,
-                        m.addr,
-                        AccessKind::Store,
-                        clock,
-                    );
+                    // not delay commit on it: the latency is discarded.
+                    self.mem_batch.push(MemRequest::store(pc, m.addr));
                 }
-                clock + 1
+                Some(clock + 1)
             }
-            _ => clock + u64::from(op.base_latency()) + srcs_latency_extra,
+            _ => Some(clock + u64::from(op.base_latency())),
         };
 
-        if op == OpClass::IntDiv {
-            self.div_busy_until = complete_at;
-        }
-        if op == OpClass::FpDiv {
-            self.fpdiv_busy_until = complete_at;
+        if let Some(complete_at) = complete_at {
+            if op == OpClass::IntDiv {
+                self.div_busy_until = complete_at;
+            }
+            if op == OpClass::FpDiv {
+                self.fpdiv_busy_until = complete_at;
+            }
         }
 
         let needs_validation;
         let dest_to_mark;
         {
-            let entry =
-                self.rob.find_by_seq_mut(seq).expect("issued instruction must be in the ROB");
+            let entry = self.rob.get_mut(slot).expect("issued instruction must be in the ROB");
             entry.issued = true;
-            entry.complete_at = complete_at;
             entry.in_iq = false;
+            if let Some(complete_at) = complete_at {
+                entry.complete_at = complete_at;
+            }
             needs_validation = entry.needs_validation_issue;
-            dest_to_mark = if entry.allocated_new_preg
-                && !matches!(entry.disposition, Disposition::ValuePred { .. })
-            {
-                entry.dest_preg
-            } else {
-                None
-            };
+            dest_to_mark = entry.wakeup_dest();
         }
         self.iq_count -= 1;
-        if let Some(preg) = dest_to_mark {
-            self.set_ready_and_wake(preg, complete_at);
-        }
-        if op == OpClass::Store && mem.is_some() {
-            // The store's data is now en route: loads parked on it resume.
-            for w in self.store_queue.mark_issued(seq, complete_at) {
-                self.sched.insert_ready(w.seq, w.gen);
+        if let Some(complete_at) = complete_at {
+            if let Some(preg) = dest_to_mark {
+                self.set_ready_and_wake(preg, complete_at);
+            }
+            if op == OpClass::Store && mem.is_some() {
+                // The store's data is now en route: loads parked on it
+                // resume.
+                for w in self.store_queue.mark_issued(seq, complete_at) {
+                    self.sched.insert_ready(w);
+                }
             }
         }
         if let Some(kind) = needs_validation {
             if kind != ValidationKind::Free {
                 self.pending_validations.push(PendingValidation { ready_at: clock + 1, kind, op });
             }
+        }
+    }
+
+    /// Second-pass half of issuing a load whose latency came from the
+    /// batched cache walk: assign the completion cycle and wake dependents.
+    fn finish_load_issue(&mut self, slot: InstSlot, complete_at: u64) {
+        let entry = self.rob.get_mut(slot).expect("batched load cannot leave the ROB mid-cycle");
+        entry.complete_at = complete_at;
+        let dest_to_mark = entry.wakeup_dest();
+        if let Some(preg) = dest_to_mark {
+            self.set_ready_and_wake(preg, complete_at);
         }
     }
 
@@ -934,20 +1002,24 @@ impl Core {
         if self.config.scheduler == SchedulerKind::Polling {
             return;
         }
-        for w in self.regs.take_waiters(preg) {
-            let Some(entry) = self.rob.find_by_seq_mut(w.seq) else {
-                continue; // squashed; stale waiter
+        let mut waiters = std::mem::take(&mut self.wake_scratch);
+        self.regs.take_waiters_into(preg, &mut waiters);
+        for &w in &waiters {
+            let Some(entry) = self.rob.get_mut(w) else {
+                continue; // squashed or re-dispatched; stale waiter
             };
-            if entry.sched_gen != w.gen || !entry.in_iq || entry.issued {
-                continue; // re-dispatched under a new generation
+            if !entry.in_iq || entry.issued {
+                continue;
             }
             debug_assert!(entry.pending_srcs > 0, "waiter with no pending sources");
             entry.pending_srcs -= 1;
             entry.wake_at = entry.wake_at.max(cycle);
             if entry.pending_srcs == 0 {
-                self.sched.schedule(entry.wake_at, w.seq, w.gen);
+                self.sched.schedule(entry.wake_at, w);
             }
         }
+        waiters.clear();
+        self.wake_scratch = waiters;
     }
 
     // ---------------------------------------------------------- rename
@@ -1009,7 +1081,7 @@ impl Core {
     fn dispatch_one(&mut self, inst: DynInst, action: RenameAction, mispredicted: bool) {
         let clock = self.clock;
         // Renamed sources (the hardwired zero register is always ready).
-        let mut src_pregs: Vec<PhysReg> =
+        let mut src_pregs: SrcRegs =
             inst.sources().filter(|s| !s.is_zero_reg()).map(|s| self.spec_map.lookup(s)).collect();
 
         let mut dest_preg = None;
@@ -1135,20 +1207,21 @@ impl Core {
         // onto the wakeup calendar.
         let gen = self.dispatch_gen;
         self.dispatch_gen += 1;
+        let slot = InstSlot { seq: inst.seq, gen };
         let mut pending_srcs = 0u32;
         let mut wake_at = clock + 1;
         if in_iq && self.config.scheduler == SchedulerKind::EventDriven {
             for &p in &src_pregs {
                 let ready = self.regs.ready_at(p);
                 if ready == NOT_READY {
-                    self.regs.add_waiter(p, Waiter { seq: inst.seq, gen });
+                    self.regs.add_waiter(p, slot);
                     pending_srcs += 1;
                 } else {
                     wake_at = wake_at.max(ready);
                 }
             }
             if pending_srcs == 0 {
-                self.sched.schedule(wake_at, inst.seq, gen);
+                self.sched.schedule(wake_at, slot);
             }
         }
 
@@ -1180,6 +1253,7 @@ impl Core {
         if self.clock < self.fetch_resume_at || self.pending_redirect.is_some() {
             return;
         }
+        debug_assert!(self.mem_batch.is_empty() && self.fetch_pending.is_empty());
         let mut fetched = 0;
         let mut taken_branches = 0;
         while fetched < self.config.fetch_width
@@ -1195,12 +1269,13 @@ impl Core {
                     }
                 },
             };
-            // Instruction cache: charge once per new cache block.
-            let block = inst.pc / self.config.line_bytes as u64;
-            let mut extra_latency = 0;
+            // Instruction cache: charge once per new cache block. The
+            // access itself joins the cycle's batch; the extra latency of a
+            // miss is patched into `ready_at` once the batch resolves.
+            let block = inst.pc >> self.fetch_block_shift;
             if block != self.last_fetch_block {
-                let latency = self.hierarchy.access_inst(inst.pc, self.clock);
-                extra_latency = latency.saturating_sub(self.config.l1i_latency);
+                self.fetch_pending.push((self.fetch_queue.len(), self.mem_batch.len() as u32));
+                self.mem_batch.push(MemRequest::fetch(inst.pc));
                 self.last_fetch_block = block;
             }
 
@@ -1209,7 +1284,7 @@ impl Core {
                 mispredicted = self.predict_branch(inst.pc, branch);
             }
 
-            let ready_at = self.clock + self.config.frontend_depth + extra_latency;
+            let ready_at = self.clock + self.config.frontend_depth;
             let is_taken = inst.branch.map(|b| b.taken).unwrap_or(false);
             let seq = inst.seq;
             self.fetch_queue.push_back(FetchedInst { inst, ready_at, mispredicted });
@@ -1225,6 +1300,18 @@ impl Core {
                     break;
                 }
             }
+        }
+        if !self.mem_batch.is_empty() {
+            self.hierarchy.access_batch(&mut self.mem_batch, self.clock);
+            let pending = std::mem::take(&mut self.fetch_pending);
+            for &(queue_idx, request_idx) in &pending {
+                let latency = self.mem_batch[request_idx as usize].latency;
+                let extra = latency.saturating_sub(self.config.l1i_latency);
+                self.fetch_queue[queue_idx].ready_at += extra;
+            }
+            self.fetch_pending = pending;
+            self.fetch_pending.clear();
+            self.mem_batch.clear();
         }
     }
 
@@ -1586,6 +1673,35 @@ mod tests {
                 let event = run(SchedulerKind::EventDriven);
                 let polling = run(SchedulerKind::Polling);
                 assert_eq!(event, polling, "{name} seed {seed}: scheduler modes diverge");
+            }
+        }
+    }
+
+    #[test]
+    fn flat_backends_match_the_legacy_backends_on_generated_traces() {
+        use crate::cache::CacheLayout;
+        use crate::rob::RobKind;
+        use rsep_trace::{BenchmarkProfile, TraceGenerator};
+        for name in ["gcc", "mcf", "libquantum"] {
+            let profile = BenchmarkProfile::by_name(name).unwrap();
+            for seed in [1u64, 7] {
+                let run = |rob: RobKind, cache_layout: CacheLayout| {
+                    let mut config = CoreConfig::small_test();
+                    config.rob = rob;
+                    config.cache_layout = cache_layout;
+                    let mut core = Core::baseline(config);
+                    let mut trace = TraceGenerator::new(&profile, seed);
+                    core.run(&mut trace, 20_000).unwrap();
+                    core.take_stats()
+                };
+                let flat = run(RobKind::Arena, CacheLayout::Soa);
+                let legacy = run(RobKind::Deque, CacheLayout::Nested);
+                assert_eq!(flat, legacy, "{name} seed {seed}: storage backends diverge");
+                // The mixed combinations agree too.
+                let mixed = run(RobKind::Arena, CacheLayout::Nested);
+                assert_eq!(flat, mixed, "{name} seed {seed}: arena+nested diverges");
+                let mixed = run(RobKind::Deque, CacheLayout::Soa);
+                assert_eq!(flat, mixed, "{name} seed {seed}: deque+soa diverges");
             }
         }
     }

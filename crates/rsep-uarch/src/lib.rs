@@ -50,14 +50,16 @@ pub mod rob;
 pub mod sched;
 pub mod stats;
 
-pub use cache::{AccessKind, Cache, CacheHierarchy, CacheStats, StridePrefetcher};
+pub use cache::{
+    AccessKind, Cache, CacheHierarchy, CacheLayout, CacheStats, MemRequest, StridePrefetcher,
+};
 pub use config::{CoreConfig, SchedulerKind};
 pub use core::{Core, SimError};
 pub use engine::{
     Disposition, NullEngine, RenameAction, RenameContext, SpecEngine, ValidationKind,
 };
-pub use regfile::{PhysRegFile, RegisterFiles, Waiter, NOT_READY};
+pub use regfile::{PhysRegFile, RegisterFiles, NOT_READY};
 pub use rename::RenameMap;
-pub use rob::{InflightInst, Rob};
+pub use rob::{InflightInst, InstSlot, Rob, RobKind, SrcRegs};
 pub use sched::{StoreQueue, WakeupQueue};
 pub use stats::{CoverageCounts, SimStats};

@@ -6,26 +6,11 @@
 //! free. Register index 0 of the integer file is reserved as the hardwired
 //! zero register: always ready, never allocated, never freed (Section III).
 
+use crate::rob::InstSlot;
 use rsep_isa::{PhysReg, RegClass};
 
 /// Cycle value meaning "not ready yet".
 pub const NOT_READY: u64 = u64::MAX;
-
-/// A scheduler entry waiting for a physical register to become ready.
-///
-/// `seq` names the in-flight instruction; `gen` is the dispatch generation
-/// the instruction was renamed under. Squash + replay re-dispatches the
-/// same sequence number with a fresh generation, so a waiter whose
-/// generation no longer matches the ROB entry is stale and must be ignored
-/// by the wakeup logic (this is what makes squash O(squashed entries):
-/// stale waiters are dropped lazily instead of being scrubbed eagerly).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct Waiter {
-    /// Sequence number of the waiting instruction.
-    pub seq: u64,
-    /// Dispatch generation the waiter was registered under.
-    pub gen: u64,
-}
 
 /// Physical register file for one register class.
 #[derive(Debug)]
@@ -36,8 +21,11 @@ pub struct PhysRegFile {
     allocated: Vec<bool>,
     /// Per-register wakeup lists: instructions whose last outstanding
     /// source is this register are woken when it is marked ready, instead
-    /// of polling readiness every cycle (event-driven select).
-    waiters: Vec<Vec<Waiter>>,
+    /// of polling readiness every cycle (event-driven select). Entries are
+    /// generation-tagged [`InstSlot`] handles — squash leaves stale handles
+    /// behind, and the wakeup logic drops them lazily when their generation
+    /// no longer matches the live ROB entry.
+    waiters: Vec<Vec<InstSlot>>,
     /// Per-register count of in-flight ROB entries that freshly allocated
     /// this register (`allocated_new_preg`). Lets squash recovery answer
     /// "does a surviving instruction own this register?" in O(1) instead of
@@ -171,16 +159,19 @@ impl PhysRegFile {
     }
 
     /// Registers a scheduler waiter to be woken when `reg` is marked ready.
-    pub fn add_waiter(&mut self, reg: PhysReg, waiter: Waiter) {
+    pub fn add_waiter(&mut self, reg: PhysReg, waiter: InstSlot) {
         debug_assert_eq!(reg.class(), self.class);
         self.waiters[reg.index() as usize].push(waiter);
     }
 
-    /// Drains and returns the waiters registered on `reg` (wakeup on
-    /// writeback).
-    pub fn take_waiters(&mut self, reg: PhysReg) -> Vec<Waiter> {
+    /// Drains the waiters registered on `reg` into `buf` (cleared first),
+    /// for the per-writeback wakeup path: the per-register list keeps its
+    /// capacity for the next producer and `buf` is a reusable scratch
+    /// buffer.
+    pub fn take_waiters_into(&mut self, reg: PhysReg, buf: &mut Vec<InstSlot>) {
         debug_assert_eq!(reg.class(), self.class);
-        std::mem::take(&mut self.waiters[reg.index() as usize])
+        buf.clear();
+        buf.append(&mut self.waiters[reg.index() as usize]);
     }
 
     /// Notes that an in-flight ROB entry freshly allocated `reg`.
@@ -296,13 +287,13 @@ impl RegisterFiles {
     }
 
     /// Registers a wakeup waiter on `reg`.
-    pub fn add_waiter(&mut self, reg: PhysReg, waiter: Waiter) {
+    pub fn add_waiter(&mut self, reg: PhysReg, waiter: InstSlot) {
         self.file_mut(reg.class()).add_waiter(reg, waiter);
     }
 
-    /// Drains the wakeup waiters of `reg`.
-    pub fn take_waiters(&mut self, reg: PhysReg) -> Vec<Waiter> {
-        self.file_mut(reg.class()).take_waiters(reg)
+    /// Drains the wakeup waiters of `reg` into a reusable buffer.
+    pub fn take_waiters_into(&mut self, reg: PhysReg, buf: &mut Vec<InstSlot>) {
+        self.file_mut(reg.class()).take_waiters_into(reg, buf);
     }
 
     /// Notes an in-flight owner of `reg`.
@@ -390,17 +381,20 @@ mod tests {
     fn waiters_are_drained_once_and_cleared_on_reallocation() {
         let mut prf = PhysRegFile::new(RegClass::Int, 8);
         let r = prf.allocate().unwrap();
-        prf.add_waiter(r, Waiter { seq: 10, gen: 1 });
-        prf.add_waiter(r, Waiter { seq: 11, gen: 1 });
-        let woken = prf.take_waiters(r);
+        prf.add_waiter(r, InstSlot { seq: 10, gen: 1 });
+        prf.add_waiter(r, InstSlot { seq: 11, gen: 1 });
+        let mut woken = Vec::new();
+        prf.take_waiters_into(r, &mut woken);
         assert_eq!(woken.len(), 2);
-        assert!(prf.take_waiters(r).is_empty(), "waiters drain exactly once");
+        prf.take_waiters_into(r, &mut woken);
+        assert!(woken.is_empty(), "waiters drain exactly once");
         // Stale waiters left over at free time vanish on reallocation.
-        prf.add_waiter(r, Waiter { seq: 12, gen: 2 });
+        prf.add_waiter(r, InstSlot { seq: 12, gen: 2 });
         prf.free(r);
         let r2 = prf.allocate().unwrap();
         assert_eq!(r2, r, "free list is LIFO in this test");
-        assert!(prf.take_waiters(r2).is_empty(), "stale waiters must not leak");
+        prf.take_waiters_into(r2, &mut woken);
+        assert!(woken.is_empty(), "stale waiters must not leak");
     }
 
     #[test]

@@ -4,10 +4,171 @@
 //! order. RSEP indexes the ROB with the predicted instruction distance to
 //! retrieve the physical register of the provider instruction
 //! (Section IV-E1), which is why the [`Rob`] exposes sequence-number lookup.
+//!
+//! # Storage backends
+//!
+//! Two interchangeable backends implement the in-flight store (selected by
+//! [`RobKind`], default [`RobKind::Arena`]):
+//!
+//! * **Slot arena** — a fixed array of `capacity.next_power_of_two()`
+//!   slots. Sequence numbers in the ROB are dense (dispatch is in program
+//!   order and replay preserves numbering — asserted on every push), so the
+//!   slot of `seq` is simply `seq & mask`: every lookup, whether by
+//!   sequence number or by [`InstSlot`] handle, is a single array index
+//!   with no search, and squashing truncates the ring in place without
+//!   allocating.
+//! * **Deque** — the original `VecDeque` ring, kept for one PR as the
+//!   reference implementation; the model-based property test and the
+//!   golden-stats campaigns prove the arena bit-identical against it.
+//!
+//! Scheduler-side structures (wakeup lists, ready set, store-queue parking
+//! — see [`crate::sched`]) no longer store bare sequence numbers: they hold
+//! copyable [`InstSlot`] handles, which [`Rob::get`]/[`Rob::get_mut`]
+//! resolve in O(1) *and* validate in the same step (a stale handle left
+//! behind by a squash fails its generation check and resolves to `None`).
 
 use crate::engine::{Disposition, ValidationKind};
-use rsep_isa::{DynInst, PhysReg};
+use rsep_isa::{DynInst, PhysReg, RegClass, MAX_SOURCES};
 use std::collections::VecDeque;
+
+/// Which storage backend holds the in-flight instructions.
+///
+/// Both backends produce bit-identical simulated behaviour — the deque is
+/// retained as the reference model for the slot arena and is exercised
+/// against it by the golden-stats campaigns and the model-based property
+/// test. Only simulator throughput differs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RobKind {
+    /// Fixed-capacity slot arena indexed by `seq & mask`: O(1) handle and
+    /// sequence-number resolution, allocation-free squash. The default.
+    #[default]
+    Arena,
+    /// The original `VecDeque` ring, kept as the reference implementation.
+    Deque,
+}
+
+/// Copyable, generation-tagged handle to an in-flight instruction.
+///
+/// `seq` is the instruction's sequence number — in-flight sequence numbers
+/// are dense, so it doubles as the arena index (`seq & mask`). `gen` is the
+/// dispatch generation the instruction was renamed under: squash + replay
+/// re-dispatches the same sequence number with a fresh generation, so a
+/// handle whose generation no longer matches the live entry is stale and
+/// resolves to `None`. This is what keeps squash O(squashed): stale handles
+/// parked in scheduler structures are dropped lazily when next touched
+/// instead of being scrubbed eagerly.
+///
+/// Ordering is by `(seq, gen)`, i.e. age order — the scheduler's ready set
+/// relies on this to select oldest-first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct InstSlot {
+    /// Sequence number of the instruction the handle refers to.
+    pub seq: u64,
+    /// Dispatch generation the handle was created under.
+    pub gen: u64,
+}
+
+/// Maximum renamed sources an in-flight instruction can carry: the ISA's
+/// source operands plus the provider register a shared (RSEP-predicted)
+/// instruction depends on (Section IV-F1).
+pub const MAX_SRC_REGS: usize = MAX_SOURCES + 1;
+
+/// Inline list of renamed source registers.
+///
+/// Every dispatched instruction used to carry its sources in a `Vec`,
+/// costing one heap allocation per dispatch on the hottest path of the
+/// simulator. The bound is small and static ([`MAX_SRC_REGS`]), so the
+/// list is stored inline in the ROB entry instead.
+#[derive(Clone, Copy)]
+pub struct SrcRegs {
+    regs: [PhysReg; MAX_SRC_REGS],
+    len: u8,
+}
+
+impl SrcRegs {
+    /// Creates an empty source list.
+    pub fn new() -> SrcRegs {
+        SrcRegs { regs: [PhysReg::new(RegClass::Int, 0); MAX_SRC_REGS], len: 0 }
+    }
+
+    /// Appends a source register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than [`MAX_SRC_REGS`] sources are pushed.
+    pub fn push(&mut self, reg: PhysReg) {
+        assert!((self.len as usize) < MAX_SRC_REGS, "too many renamed sources");
+        self.regs[self.len as usize] = reg;
+        self.len += 1;
+    }
+
+    /// The sources as a slice.
+    pub fn as_slice(&self) -> &[PhysReg] {
+        &self.regs[..self.len as usize]
+    }
+
+    /// Number of sources.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Returns `true` when the instruction has no renamed sources.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Iterates over the sources.
+    pub fn iter(&self) -> std::slice::Iter<'_, PhysReg> {
+        self.as_slice().iter()
+    }
+}
+
+impl Default for SrcRegs {
+    fn default() -> SrcRegs {
+        SrcRegs::new()
+    }
+}
+
+impl std::ops::Deref for SrcRegs {
+    type Target = [PhysReg];
+
+    fn deref(&self) -> &[PhysReg] {
+        self.as_slice()
+    }
+}
+
+impl std::fmt::Debug for SrcRegs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_list().entries(self.as_slice()).finish()
+    }
+}
+
+impl PartialEq for SrcRegs {
+    fn eq(&self, other: &SrcRegs) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for SrcRegs {}
+
+impl<'a> IntoIterator for &'a SrcRegs {
+    type Item = &'a PhysReg;
+    type IntoIter = std::slice::Iter<'a, PhysReg>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+impl FromIterator<PhysReg> for SrcRegs {
+    fn from_iter<I: IntoIterator<Item = PhysReg>>(iter: I) -> SrcRegs {
+        let mut regs = SrcRegs::new();
+        for reg in iter {
+            regs.push(reg);
+        }
+        regs
+    }
+}
 
 /// One renamed, in-flight instruction.
 #[derive(Debug, Clone)]
@@ -24,7 +185,7 @@ pub struct InflightInst {
     pub allocated_new_preg: bool,
     /// Renamed source registers (plus the provider register for shared
     /// instructions, which adds a dependency per Section IV-F1).
-    pub src_pregs: Vec<PhysReg>,
+    pub src_pregs: SrcRegs,
     /// Mechanism handling this instruction.
     pub disposition: Disposition,
     /// True for instructions that never execute (move elimination,
@@ -73,20 +234,93 @@ impl InflightInst {
     pub fn seq(&self) -> u64 {
         self.inst.seq
     }
+
+    /// The generation-tagged handle of this entry.
+    pub fn slot(&self) -> InstSlot {
+        InstSlot { seq: self.inst.seq, gen: self.sched_gen }
+    }
+
+    /// The destination register whose dependents wake when this
+    /// instruction's completion cycle becomes known: only freshly
+    /// allocated destinations qualify (shared/zero/move-eliminated
+    /// mappings have other owners), and value-predicted destinations were
+    /// already marked ready at rename so dependents could consume the
+    /// prediction immediately.
+    pub fn wakeup_dest(&self) -> Option<PhysReg> {
+        if self.allocated_new_preg && !matches!(self.disposition, Disposition::ValuePred { .. }) {
+            self.dest_preg
+        } else {
+            None
+        }
+    }
 }
 
 /// The reorder buffer.
 #[derive(Debug)]
 pub struct Rob {
-    entries: VecDeque<InflightInst>,
+    backend: Backend,
     capacity: usize,
 }
 
+#[derive(Debug)]
+enum Backend {
+    Arena(Arena),
+    Deque(VecDeque<InflightInst>),
+}
+
+/// The flat slot arena. `slots.len()` is `capacity.next_power_of_two()`, so
+/// `seq & mask` maps every live (dense) sequence number to a distinct slot.
+#[derive(Debug)]
+struct Arena {
+    slots: Box<[Option<InflightInst>]>,
+    mask: u64,
+    /// Sequence number of the oldest in-flight instruction (meaningful only
+    /// while `len > 0`).
+    head_seq: u64,
+    len: usize,
+}
+
+impl Arena {
+    fn idx(&self, seq: u64) -> usize {
+        (seq & self.mask) as usize
+    }
+
+    fn contains_seq(&self, seq: u64) -> bool {
+        self.len > 0 && seq >= self.head_seq && seq - self.head_seq < self.len as u64
+    }
+}
+
 impl Rob {
-    /// Creates a ROB with the given capacity.
+    /// Creates a ROB with the given capacity and the default (arena)
+    /// backend.
     pub fn new(capacity: usize) -> Rob {
+        Rob::with_kind(capacity, RobKind::Arena)
+    }
+
+    /// Creates a ROB with the given capacity and storage backend.
+    pub fn with_kind(capacity: usize, kind: RobKind) -> Rob {
         assert!(capacity > 0);
-        Rob { entries: VecDeque::with_capacity(capacity), capacity }
+        let backend = match kind {
+            RobKind::Arena => {
+                let slots = capacity.next_power_of_two();
+                Backend::Arena(Arena {
+                    slots: (0..slots).map(|_| None).collect(),
+                    mask: slots as u64 - 1,
+                    head_seq: 0,
+                    len: 0,
+                })
+            }
+            RobKind::Deque => Backend::Deque(VecDeque::with_capacity(capacity)),
+        };
+        Rob { backend, capacity }
+    }
+
+    /// The storage backend in use.
+    pub fn kind(&self) -> RobKind {
+        match self.backend {
+            Backend::Arena(_) => RobKind::Arena,
+            Backend::Deque(_) => RobKind::Deque,
+        }
     }
 
     /// Capacity in entries.
@@ -96,90 +330,258 @@ impl Rob {
 
     /// Current occupancy.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        match &self.backend {
+            Backend::Arena(a) => a.len,
+            Backend::Deque(d) => d.len(),
+        }
     }
 
     /// Returns `true` when no instruction is in flight.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.len() == 0
     }
 
     /// Returns `true` when no further instruction can be dispatched.
     pub fn is_full(&self) -> bool {
-        self.entries.len() >= self.capacity
+        self.len() >= self.capacity
     }
 
-    /// Appends a newly renamed instruction.
+    /// Appends a newly renamed instruction and returns its handle.
     ///
     /// # Panics
     ///
-    /// Panics if the ROB is full or sequence numbers go backwards
-    /// (dispatch must be in program order).
-    pub fn push(&mut self, entry: InflightInst) {
+    /// Panics if the ROB is full or the sequence number is not exactly one
+    /// past the youngest entry — dispatch is in program order and in-flight
+    /// sequence numbers are dense (replay preserves numbering), which is
+    /// what makes slot addressing and offset lookup exact.
+    pub fn push(&mut self, entry: InflightInst) -> InstSlot {
         assert!(!self.is_full(), "ROB overflow");
-        if let Some(last) = self.entries.back() {
-            assert!(entry.seq() > last.seq(), "out-of-order dispatch into the ROB");
+        let slot = entry.slot();
+        match &mut self.backend {
+            Backend::Arena(a) => {
+                if a.len > 0 {
+                    assert!(
+                        entry.seq() == a.head_seq + a.len as u64,
+                        "out-of-order dispatch into the ROB (in-flight sequence \
+                         numbers must be dense)"
+                    );
+                } else {
+                    a.head_seq = entry.seq();
+                }
+                let idx = a.idx(entry.seq());
+                debug_assert!(a.slots[idx].is_none(), "arena slot collision");
+                a.slots[idx] = Some(entry);
+                a.len += 1;
+            }
+            Backend::Deque(d) => {
+                if let Some(last) = d.back() {
+                    assert!(
+                        entry.seq() == last.seq() + 1,
+                        "out-of-order dispatch into the ROB (in-flight sequence \
+                         numbers must be dense)"
+                    );
+                }
+                d.push_back(entry);
+            }
         }
-        self.entries.push_back(entry);
+        slot
     }
 
     /// The oldest in-flight instruction.
     pub fn head(&self) -> Option<&InflightInst> {
-        self.entries.front()
+        match &self.backend {
+            Backend::Arena(a) => {
+                if a.len == 0 {
+                    return None;
+                }
+                a.slots[a.idx(a.head_seq)].as_ref()
+            }
+            Backend::Deque(d) => d.front(),
+        }
     }
 
     /// Removes and returns the oldest instruction (it has committed).
     pub fn pop_head(&mut self) -> Option<InflightInst> {
-        self.entries.pop_front()
+        match &mut self.backend {
+            Backend::Arena(a) => {
+                if a.len == 0 {
+                    return None;
+                }
+                let idx = a.idx(a.head_seq);
+                let entry = a.slots[idx].take();
+                debug_assert!(entry.is_some(), "dense arena head slot must be occupied");
+                a.head_seq += 1;
+                a.len -= 1;
+                entry
+            }
+            Backend::Deque(d) => d.pop_front(),
+        }
+    }
+
+    /// Resolves a generation-tagged handle: `None` if the entry left the
+    /// window (committed or squashed) or was re-dispatched under a newer
+    /// generation. O(1) in both backends.
+    pub fn get(&self, slot: InstSlot) -> Option<&InflightInst> {
+        let entry = self.find_by_seq(slot.seq)?;
+        (entry.sched_gen == slot.gen).then_some(entry)
+    }
+
+    /// Mutable handle resolution (see [`Rob::get`]).
+    pub fn get_mut(&mut self, slot: InstSlot) -> Option<&mut InflightInst> {
+        let entry = self.find_by_seq_mut(slot.seq)?;
+        (entry.sched_gen == slot.gen).then_some(entry)
     }
 
     /// Looks up an in-flight instruction by sequence number.
+    ///
+    /// In-flight sequence numbers are dense, so this is direct indexing in
+    /// both backends — the former linear-scan fallback is gone, and the
+    /// invariant it papered over is asserted at dispatch instead.
     pub fn find_by_seq(&self, seq: u64) -> Option<&InflightInst> {
-        let head_seq = self.entries.front()?.seq();
-        if seq < head_seq {
-            return None;
-        }
-        let offset = (seq - head_seq) as usize;
-        // Sequence numbers are dense in the ROB only if every dynamic
-        // instruction is dispatched; they are, so direct indexing is valid,
-        // but fall back to a search in case of gaps (e.g. after replays).
-        match self.entries.get(offset) {
-            Some(e) if e.seq() == seq => Some(e),
-            _ => self.entries.iter().find(|e| e.seq() == seq),
+        match &self.backend {
+            Backend::Arena(a) => {
+                if !a.contains_seq(seq) {
+                    return None;
+                }
+                let entry = a.slots[a.idx(seq)].as_ref();
+                debug_assert!(entry.is_some_and(|e| e.seq() == seq), "dense-seq invariant broken");
+                entry
+            }
+            Backend::Deque(d) => {
+                let head_seq = d.front()?.seq();
+                if seq < head_seq {
+                    return None;
+                }
+                let entry = d.get((seq - head_seq) as usize);
+                debug_assert!(entry.is_none_or(|e| e.seq() == seq), "dense-seq invariant broken");
+                entry
+            }
         }
     }
 
     /// Mutable lookup by sequence number.
     pub fn find_by_seq_mut(&mut self, seq: u64) -> Option<&mut InflightInst> {
-        let head_seq = self.entries.front()?.seq();
-        if seq < head_seq {
-            return None;
+        match &mut self.backend {
+            Backend::Arena(a) => {
+                if !a.contains_seq(seq) {
+                    return None;
+                }
+                let idx = a.idx(seq);
+                let entry = a.slots[idx].as_mut();
+                debug_assert!(
+                    entry.as_ref().is_some_and(|e| e.seq() == seq),
+                    "dense-seq invariant broken"
+                );
+                entry
+            }
+            Backend::Deque(d) => {
+                let head_seq = d.front()?.seq();
+                if seq < head_seq {
+                    return None;
+                }
+                let entry = d.get_mut((seq - head_seq) as usize);
+                debug_assert!(
+                    entry.as_ref().is_none_or(|e| e.seq() == seq),
+                    "dense-seq invariant broken"
+                );
+                entry
+            }
         }
-        let offset = (seq - head_seq) as usize;
-        let direct_hit = matches!(self.entries.get(offset), Some(e) if e.seq() == seq);
-        if direct_hit {
-            return self.entries.get_mut(offset);
-        }
-        self.entries.iter_mut().find(|e| e.seq() == seq)
     }
 
     /// Iterates over in-flight instructions from oldest to youngest.
-    pub fn iter(&self) -> impl Iterator<Item = &InflightInst> {
-        self.entries.iter()
+    pub fn iter(&self) -> RobIter<'_> {
+        RobIter(match &self.backend {
+            Backend::Arena(a) => IterInner::Arena { arena: a, next: a.head_seq, remaining: a.len },
+            Backend::Deque(d) => IterInner::Deque(d.iter()),
+        })
     }
 
-    /// Iterates mutably from oldest to youngest.
-    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut InflightInst> {
-        self.entries.iter_mut()
+    /// Removes every instruction with `seq >= from_seq` (a squash), handing
+    /// each to `f` from oldest to youngest. No intermediate collection is
+    /// allocated — the arena truncates its ring in place and the deque
+    /// drains its tail.
+    pub fn squash_from_each(&mut self, from_seq: u64, mut f: impl FnMut(InflightInst)) {
+        match &mut self.backend {
+            Backend::Arena(a) => {
+                if a.len == 0 {
+                    return;
+                }
+                let end = a.head_seq + a.len as u64;
+                // Clamp both ways: a `from_seq` below the head squashes the
+                // whole window, one beyond the tail is a no-op (the length
+                // update below must not run past `end` either way).
+                let start = from_seq.clamp(a.head_seq, end);
+                for seq in start..end {
+                    let idx = (seq & a.mask) as usize;
+                    let entry = a.slots[idx].take().expect("dense arena slot must be occupied");
+                    debug_assert_eq!(entry.seq(), seq, "dense-seq invariant broken");
+                    f(entry);
+                }
+                a.len = (start - a.head_seq) as usize;
+            }
+            Backend::Deque(d) => {
+                let Some(head_seq) = d.front().map(|e| e.seq()) else {
+                    return;
+                };
+                let keep = (from_seq.saturating_sub(head_seq) as usize).min(d.len());
+                for entry in d.drain(keep..) {
+                    f(entry);
+                }
+            }
+        }
     }
 
     /// Removes every instruction with `seq >= from_seq` (a squash) and
-    /// returns them from oldest to youngest.
+    /// returns them from oldest to youngest. Convenience wrapper around
+    /// [`Rob::squash_from_each`] for tests and reference code.
     pub fn squash_from(&mut self, from_seq: u64) -> Vec<InflightInst> {
-        let keep = self.entries.iter().take_while(|e| e.seq() < from_seq).count();
-        self.entries.split_off(keep).into()
+        let mut squashed = Vec::new();
+        self.squash_from_each(from_seq, |entry| squashed.push(entry));
+        squashed
     }
 }
+
+/// Oldest-to-youngest iterator over the in-flight instructions (see
+/// [`Rob::iter`]).
+#[derive(Debug)]
+pub struct RobIter<'a>(IterInner<'a>);
+
+#[derive(Debug)]
+enum IterInner<'a> {
+    Arena { arena: &'a Arena, next: u64, remaining: usize },
+    Deque(std::collections::vec_deque::Iter<'a, InflightInst>),
+}
+
+impl<'a> Iterator for RobIter<'a> {
+    type Item = &'a InflightInst;
+
+    fn next(&mut self) -> Option<&'a InflightInst> {
+        match &mut self.0 {
+            IterInner::Arena { arena, next, remaining } => {
+                if *remaining == 0 {
+                    return None;
+                }
+                let entry = arena.slots[arena.idx(*next)].as_ref();
+                debug_assert!(entry.is_some(), "dense arena slot must be occupied");
+                *next += 1;
+                *remaining -= 1;
+                entry
+            }
+            IterInner::Deque(iter) => iter.next(),
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = match &self.0 {
+            IterInner::Arena { remaining, .. } => *remaining,
+            IterInner::Deque(iter) => iter.len(),
+        };
+        (remaining, Some(remaining))
+    }
+}
+
+impl ExactSizeIterator for RobIter<'_> {}
 
 #[cfg(test)]
 mod tests {
@@ -192,7 +594,7 @@ mod tests {
             dest_preg: None,
             prev_preg: None,
             allocated_new_preg: false,
-            src_pregs: Vec::new(),
+            src_pregs: SrcRegs::new(),
             disposition: Disposition::None,
             eliminated: false,
             in_iq: true,
@@ -209,17 +611,21 @@ mod tests {
         }
     }
 
+    const BOTH: [RobKind; 2] = [RobKind::Arena, RobKind::Deque];
+
     #[test]
     fn push_pop_in_order() {
-        let mut rob = Rob::new(4);
-        assert!(rob.is_empty());
-        rob.push(entry(0));
-        rob.push(entry(1));
-        assert_eq!(rob.len(), 2);
-        assert_eq!(rob.head().unwrap().seq(), 0);
-        assert_eq!(rob.pop_head().unwrap().seq(), 0);
-        assert_eq!(rob.pop_head().unwrap().seq(), 1);
-        assert!(rob.pop_head().is_none());
+        for kind in BOTH {
+            let mut rob = Rob::with_kind(4, kind);
+            assert!(rob.is_empty());
+            rob.push(entry(0));
+            rob.push(entry(1));
+            assert_eq!(rob.len(), 2);
+            assert_eq!(rob.head().unwrap().seq(), 0);
+            assert_eq!(rob.pop_head().unwrap().seq(), 0);
+            assert_eq!(rob.pop_head().unwrap().seq(), 1);
+            assert!(rob.pop_head().is_none(), "{kind:?}");
+        }
     }
 
     #[test]
@@ -239,29 +645,155 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "sequence numbers must be dense")]
+    fn non_dense_dispatch_panics_in_the_arena() {
+        // Regression pin for the dense-seq invariant that replaced the
+        // linear-scan fallback: a gap in dispatched sequence numbers must
+        // trip the assert, not silently corrupt slot addressing.
+        let mut rob = Rob::with_kind(8, RobKind::Arena);
+        rob.push(entry(0));
+        rob.push(entry(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "sequence numbers must be dense")]
+    fn non_dense_dispatch_panics_in_the_deque() {
+        let mut rob = Rob::with_kind(8, RobKind::Deque);
+        rob.push(entry(0));
+        rob.push(entry(2));
+    }
+
+    #[test]
     fn find_by_seq_with_dense_numbers() {
-        let mut rob = Rob::new(8);
-        for s in 10..16 {
+        for kind in BOTH {
+            let mut rob = Rob::with_kind(8, kind);
+            for s in 10..16 {
+                rob.push(entry(s));
+            }
+            assert_eq!(rob.find_by_seq(12).unwrap().seq(), 12);
+            assert!(rob.find_by_seq(9).is_none());
+            assert!(rob.find_by_seq(16).is_none());
+            rob.find_by_seq_mut(13).unwrap().issued = true;
+            assert!(rob.find_by_seq(13).unwrap().issued, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn slot_handles_resolve_in_o1_and_validate_generation() {
+        for kind in BOTH {
+            let mut rob = Rob::with_kind(8, kind);
+            let mut e = entry(3);
+            e.sched_gen = 7;
+            // An arena slot survives ring wrap-around of older entries.
+            let slot = InstSlot { seq: 3, gen: 7 };
+            rob.push(entry(0));
+            rob.push(entry(1));
+            rob.push(entry(2));
+            assert_eq!(rob.push(e), slot);
+            assert_eq!(rob.get(slot).unwrap().seq(), 3);
+            // Wrong generation: the entry was re-dispatched; stale handle.
+            assert!(rob.get(InstSlot { seq: 3, gen: 6 }).is_none());
+            // Committed head: handle beyond the window resolves to None.
+            rob.pop_head();
+            assert!(rob.get(InstSlot { seq: 0, gen: 0 }).is_none());
+            rob.get_mut(slot).unwrap().issued = true;
+            assert!(rob.get(slot).unwrap().issued, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn arena_slots_wrap_around_the_ring() {
+        // Capacity 4 (mask 3): sequence numbers far beyond the capacity
+        // keep mapping onto distinct slots as the window slides.
+        let mut rob = Rob::with_kind(4, RobKind::Arena);
+        for s in 0..4 {
             rob.push(entry(s));
         }
-        assert_eq!(rob.find_by_seq(12).unwrap().seq(), 12);
-        assert!(rob.find_by_seq(9).is_none());
-        assert!(rob.find_by_seq(16).is_none());
-        rob.find_by_seq_mut(13).unwrap().issued = true;
-        assert!(rob.find_by_seq(13).unwrap().issued);
+        for s in 4..40 {
+            assert!(rob.is_full());
+            assert_eq!(rob.pop_head().unwrap().seq(), s - 4);
+            rob.push(entry(s));
+            assert_eq!(rob.find_by_seq(s).unwrap().seq(), s);
+        }
+        let seqs: Vec<u64> = rob.iter().map(|e| e.seq()).collect();
+        assert_eq!(seqs, vec![36, 37, 38, 39]);
     }
 
     #[test]
     fn squash_removes_younger_entries() {
-        let mut rob = Rob::new(8);
-        for s in 0..6 {
-            rob.push(entry(s));
+        for kind in BOTH {
+            let mut rob = Rob::with_kind(8, kind);
+            for s in 0..6 {
+                rob.push(entry(s));
+            }
+            let squashed = rob.squash_from(3);
+            assert_eq!(squashed.len(), 3);
+            assert_eq!(squashed[0].seq(), 3);
+            assert_eq!(rob.len(), 3);
+            assert_eq!(rob.iter().last().unwrap().seq(), 2, "{kind:?}");
+            // Replay refills the squashed range.
+            for s in 3..6 {
+                rob.push(entry(s));
+            }
+            assert_eq!(rob.len(), 6);
+            assert_eq!(rob.find_by_seq(5).unwrap().seq(), 5);
         }
-        let squashed = rob.squash_from(3);
-        assert_eq!(squashed.len(), 3);
-        assert_eq!(squashed[0].seq(), 3);
-        assert_eq!(rob.len(), 3);
-        assert_eq!(rob.iter().last().unwrap().seq(), 2);
+    }
+
+    #[test]
+    fn squash_from_each_visits_oldest_first_without_collecting() {
+        for kind in BOTH {
+            let mut rob = Rob::with_kind(8, kind);
+            for s in 0..6 {
+                rob.push(entry(s));
+            }
+            let mut seen = Vec::new();
+            rob.squash_from_each(2, |e| seen.push(e.seq()));
+            assert_eq!(seen, vec![2, 3, 4, 5], "{kind:?}");
+            assert_eq!(rob.len(), 2);
+            // A squash point beyond the youngest entry is a no-op and must
+            // not corrupt the occupancy (regression: the arena once set
+            // `len` from the unclamped squash point).
+            rob.squash_from_each(100, |_| panic!("nothing is younger than seq 100"));
+            assert_eq!(rob.len(), 2);
+            assert!(!rob.is_full());
+            rob.push(entry(2));
+            assert_eq!(rob.len(), 3);
+            // Squashing everything (and an empty ROB) is fine too.
+            rob.squash_from_each(0, |_| {});
+            assert!(rob.is_empty());
+            rob.squash_from_each(0, |_| panic!("empty ROB has nothing to squash"));
+        }
+    }
+
+    #[test]
+    fn src_regs_inline_list_behaves_like_a_vec() {
+        let mut srcs = SrcRegs::new();
+        assert!(srcs.is_empty());
+        let a = PhysReg::new(RegClass::Int, 5);
+        let b = PhysReg::new(RegClass::Fp, 9);
+        srcs.push(a);
+        srcs.push(b);
+        assert_eq!(srcs.len(), 2);
+        assert_eq!(srcs.as_slice(), &[a, b]);
+        assert!(srcs.iter().all(|&r| r == a || r == b));
+        let collected: SrcRegs = [a, b].into_iter().collect();
+        assert_eq!(collected, srcs);
+        // Equality ignores the unused tail of the inline array.
+        let mut other = SrcRegs::new();
+        other.push(a);
+        assert_ne!(other, srcs);
+        other.push(b);
+        assert_eq!(other, srcs);
+    }
+
+    #[test]
+    #[should_panic(expected = "too many renamed sources")]
+    fn src_regs_overflow_panics() {
+        let mut srcs = SrcRegs::new();
+        for i in 0..=MAX_SRC_REGS {
+            srcs.push(PhysReg::new(RegClass::Int, i as u16));
+        }
     }
 
     #[test]

@@ -15,26 +15,55 @@
 //!   forwarding resolve the *youngest older* same-address store in
 //!   O(log n) instead of scanning every in-flight store.
 //!
-//! Entries are tagged with the dispatch generation of the instruction they
-//! refer to (see [`Waiter`](crate::regfile::Waiter)): squash removes ROB
+//! Entries are generation-tagged [`InstSlot`] handles: squash removes ROB
 //! entries but leaves scheduler entries behind, and replayed instructions
 //! re-dispatch under the *same* sequence number with a new generation, so
-//! every consumer validates `(seq, gen)` against the live ROB entry and
-//! drops stale entries lazily. This keeps squash cost proportional to the
-//! number of squashed instructions.
+//! every consumer resolves its handle against the live ROB (an O(1) arena
+//! index — see [`crate::rob`]) and drops stale entries lazily. This keeps
+//! squash cost proportional to the number of squashed instructions.
 
-use crate::regfile::Waiter;
+use crate::rob::InstSlot;
 use std::cmp::Reverse;
-use std::collections::{BTreeMap, BTreeSet, BinaryHeap, HashMap};
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// A fast, deterministic hasher for the `u64`-keyed maps below (dword
+/// buckets and store waiter lists, hit several times per simulated load).
+/// The default SipHash is measurably slower and its DoS resistance buys
+/// nothing against simulator-internal keys. Fibonacci multiply + rotate
+/// mixes the low-entropy dword/sequence keys well enough for a `HashMap`.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SeqHasher(u64);
+
+impl Hasher for SeqHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.write_u64(u64::from(b));
+        }
+    }
+
+    fn write_u64(&mut self, value: u64) {
+        self.0 = (self.0 ^ value).wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(26);
+    }
+}
+
+type U64Map<V> = HashMap<u64, V, BuildHasherDefault<SeqHasher>>;
 
 /// Calendar + ready set for event-driven select.
 #[derive(Debug, Default)]
 pub struct WakeupQueue {
-    /// Future wakeups: `(wake_at, seq, gen)`, earliest first.
-    calendar: BinaryHeap<Reverse<(u64, u64, u64)>>,
-    /// Instructions ready to issue now, iterated oldest first. Entries are
-    /// `(seq, gen)`; staleness is resolved against the ROB by the caller.
-    ready: BTreeSet<(u64, u64)>,
+    /// Future wakeups: `(wake_at, slot)`, earliest first.
+    calendar: BinaryHeap<Reverse<(u64, InstSlot)>>,
+    /// Instructions ready to issue now, kept sorted ascending.
+    /// [`InstSlot`] orders by `(seq, gen)`, so iteration is oldest first;
+    /// staleness is resolved against the ROB by the caller. Occupancy is
+    /// bounded by the scheduler size (tens of entries), where a sorted
+    /// `Vec` beats a `BTreeSet` on every operation the select loop uses.
+    ready: Vec<InstSlot>,
 }
 
 impl WakeupQueue {
@@ -43,46 +72,59 @@ impl WakeupQueue {
         WakeupQueue::default()
     }
 
-    /// Schedules instruction `(seq, gen)` to enter the ready set at cycle
-    /// `wake_at` (the cycle its last source becomes readable).
-    pub fn schedule(&mut self, wake_at: u64, seq: u64, gen: u64) {
-        self.calendar.push(Reverse((wake_at, seq, gen)));
+    /// Schedules `slot` to enter the ready set at cycle `wake_at` (the
+    /// cycle its last source becomes readable).
+    pub fn schedule(&mut self, wake_at: u64, slot: InstSlot) {
+        self.calendar.push(Reverse((wake_at, slot)));
     }
 
     /// Inserts an instruction into the ready set immediately (e.g. a load
     /// re-woken by the store it was waiting on).
-    pub fn insert_ready(&mut self, seq: u64, gen: u64) {
-        self.ready.insert((seq, gen));
+    pub fn insert_ready(&mut self, slot: InstSlot) {
+        if let Err(pos) = self.ready.binary_search(&slot) {
+            self.ready.insert(pos, slot);
+        }
     }
 
     /// Moves every calendar entry due at `clock` into the ready set.
     pub fn advance(&mut self, clock: u64) {
-        while let Some(&Reverse((wake_at, seq, gen))) = self.calendar.peek() {
+        while let Some(&Reverse((wake_at, slot))) = self.calendar.peek() {
             if wake_at > clock {
                 break;
             }
             self.calendar.pop();
-            self.ready.insert((seq, gen));
+            self.insert_ready(slot);
         }
     }
 
-    /// Snapshot of the ready set in age order, for the select loop.
-    pub fn ready_snapshot(&self) -> Vec<(u64, u64)> {
-        self.ready.iter().copied().collect()
+    /// Snapshot of the ready set in age order, for tests and debugging —
+    /// the select loop walks the set in place via
+    /// [`WakeupQueue::ready_get`]/[`WakeupQueue::remove_ready_at`] instead
+    /// of cloning it every cycle.
+    pub fn ready_snapshot(&self) -> Vec<InstSlot> {
+        self.ready.clone()
     }
 
-    /// Copies the ready set in age order into `buf` (cleared first). The
-    /// allocation-free variant of [`WakeupQueue::ready_snapshot`] for the
-    /// per-cycle select loop.
-    pub fn ready_into(&self, buf: &mut Vec<(u64, u64)>) {
-        buf.clear();
-        buf.extend(self.ready.iter().copied());
+    /// Number of entries currently in the ready set.
+    pub fn ready_len(&self) -> usize {
+        self.ready.len()
     }
 
-    /// Removes an entry from the ready set (it issued, parked on a store,
-    /// or turned out stale).
-    pub fn remove_ready(&mut self, seq: u64, gen: u64) {
-        self.ready.remove(&(seq, gen));
+    /// The `idx`-th oldest ready entry.
+    ///
+    /// Together with [`WakeupQueue::remove_ready_at`] this lets the select
+    /// loop walk the ready set in place — nothing inserts into the set
+    /// during select (wakeups land in the calendar, store wakeups happen
+    /// after select), so index-based iteration sees exactly the entries a
+    /// snapshot would, without copying the set every cycle.
+    pub fn ready_get(&self, idx: usize) -> InstSlot {
+        self.ready[idx]
+    }
+
+    /// Removes the `idx`-th oldest ready entry (it issued, parked on a
+    /// store, or turned out stale).
+    pub fn remove_ready_at(&mut self, idx: usize) {
+        self.ready.remove(idx);
     }
 
     /// Number of pending entries (calendar + ready), for tests.
@@ -113,15 +155,16 @@ pub struct StoreRecord {
 /// Age-ordered in-flight store queue indexed by double-word address.
 #[derive(Debug, Default)]
 pub struct StoreQueue {
-    /// All in-flight stores, keyed (and therefore ordered) by sequence
-    /// number.
-    by_seq: BTreeMap<u64, StoreRecord>,
+    /// All in-flight stores in dispatch (= ascending sequence) order.
+    /// Stores enter at the tail, commit from the head and squash off the
+    /// tail, so the ring stays sorted and lookup is a binary search.
+    records: VecDeque<StoreRecord>,
     /// Per-dword index: sequence numbers of in-flight stores to that
     /// double-word, in ascending (age) order.
-    by_dword: HashMap<u64, Vec<u64>>,
+    by_dword: U64Map<Vec<u64>>,
     /// Loads parked until a specific store issues, keyed by the store's
     /// sequence number.
-    waiters: HashMap<u64, Vec<Waiter>>,
+    waiters: U64Map<Vec<InstSlot>>,
 }
 
 impl StoreQueue {
@@ -132,12 +175,17 @@ impl StoreQueue {
 
     /// Number of in-flight stores.
     pub fn len(&self) -> usize {
-        self.by_seq.len()
+        self.records.len()
     }
 
     /// Returns `true` when no store is in flight.
     pub fn is_empty(&self) -> bool {
-        self.by_seq.is_empty()
+        self.records.is_empty()
+    }
+
+    /// Index of the record for `seq`, if the store is in flight.
+    fn position(&self, seq: u64) -> Option<usize> {
+        self.records.binary_search_by_key(&seq, |r| r.seq).ok()
     }
 
     /// Admits a newly dispatched store. Dispatch is in program order, so
@@ -145,45 +193,55 @@ impl StoreQueue {
     pub fn push(&mut self, seq: u64, dword: u64) {
         let bucket = self.by_dword.entry(dword).or_default();
         debug_assert!(bucket.last().is_none_or(|&s| s < seq), "stores dispatch in age order");
+        debug_assert!(self.records.back().is_none_or(|r| r.seq < seq));
         bucket.push(seq);
-        self.by_seq.insert(seq, StoreRecord { seq, dword, issued: false, complete_at: u64::MAX });
+        self.records.push_back(StoreRecord { seq, dword, issued: false, complete_at: u64::MAX });
     }
 
     /// The youngest in-flight store to `dword` that is older than
     /// `before_seq` — the store a load at `before_seq` would read from.
     /// Binary search over the per-dword index: O(log stores-to-dword).
     pub fn youngest_older(&self, dword: u64, before_seq: u64) -> Option<StoreRecord> {
+        if self.records.is_empty() {
+            return None;
+        }
         let bucket = self.by_dword.get(&dword)?;
         let n_older = bucket.partition_point(|&s| s < before_seq);
         let seq = *bucket.get(n_older.checked_sub(1)?)?;
-        self.by_seq.get(&seq).copied()
+        self.records.get(self.position(seq)?).copied()
     }
 
     /// Parks a load until the store `store_seq` issues.
-    pub fn add_waiter(&mut self, store_seq: u64, waiter: Waiter) {
+    pub fn add_waiter(&mut self, store_seq: u64, waiter: InstSlot) {
         self.waiters.entry(store_seq).or_default().push(waiter);
     }
 
     /// Marks a store issued with data available at `complete_at`, and
     /// returns the loads parked on it (to be re-inserted into the ready
     /// set).
-    pub fn mark_issued(&mut self, seq: u64, complete_at: u64) -> Vec<Waiter> {
-        if let Some(record) = self.by_seq.get_mut(&seq) {
+    pub fn mark_issued(&mut self, seq: u64, complete_at: u64) -> Vec<InstSlot> {
+        if let Some(pos) = self.position(seq) {
+            let record = &mut self.records[pos];
             record.issued = true;
             record.complete_at = complete_at;
+        }
+        if self.waiters.is_empty() {
+            return Vec::new();
         }
         self.waiters.remove(&seq).unwrap_or_default()
     }
 
     /// Removes a committed store. A store commits only after issuing, so
-    /// its waiter list has already been drained.
+    /// its waiter list has already been drained. Commit is in program
+    /// order, so this is almost always a pop from the head of the ring.
     pub fn remove(&mut self, seq: u64) {
-        let Some(record) = self.by_seq.remove(&seq) else {
+        let Some(pos) = self.position(seq) else {
             return;
         };
+        let record = self.records.remove(pos).expect("position is in range");
         if let Some(bucket) = self.by_dword.get_mut(&record.dword) {
-            if let Ok(pos) = bucket.binary_search(&seq) {
-                bucket.remove(pos);
+            if let Ok(bucket_pos) = bucket.binary_search(&seq) {
+                bucket.remove(bucket_pos);
             }
             if bucket.is_empty() {
                 self.by_dword.remove(&record.dword);
@@ -195,15 +253,16 @@ impl StoreQueue {
     /// Removes every store with `seq >= from_seq` (squash). Cost is
     /// proportional to the number of squashed stores, not the queue size.
     pub fn squash_from(&mut self, from_seq: u64) {
-        let squashed = self.by_seq.split_off(&from_seq);
-        for (seq, record) in squashed {
-            if let Some(bucket) = self.by_dword.get_mut(&record.dword) {
+        let keep = self.records.partition_point(|r| r.seq < from_seq);
+        let StoreQueue { records, by_dword, waiters } = self;
+        for record in records.drain(keep..) {
+            if let Some(bucket) = by_dword.get_mut(&record.dword) {
                 bucket.truncate(bucket.partition_point(|&s| s < from_seq));
                 if bucket.is_empty() {
-                    self.by_dword.remove(&record.dword);
+                    by_dword.remove(&record.dword);
                 }
             }
-            self.waiters.remove(&seq);
+            waiters.remove(&record.seq);
         }
     }
 }
@@ -212,28 +271,32 @@ impl StoreQueue {
 mod tests {
     use super::*;
 
+    fn slot(seq: u64, gen: u64) -> InstSlot {
+        InstSlot { seq, gen }
+    }
+
     #[test]
     fn calendar_releases_entries_at_their_wake_cycle() {
         let mut q = WakeupQueue::new();
-        q.schedule(5, 1, 0);
-        q.schedule(3, 2, 0);
-        q.schedule(7, 3, 0);
+        q.schedule(5, slot(1, 0));
+        q.schedule(3, slot(2, 0));
+        q.schedule(7, slot(3, 0));
         q.advance(4);
-        assert_eq!(q.ready_snapshot(), vec![(2, 0)]);
+        assert_eq!(q.ready_snapshot(), vec![slot(2, 0)]);
         q.advance(6);
-        assert_eq!(q.ready_snapshot(), vec![(1, 0), (2, 0)]);
-        q.remove_ready(2, 0);
+        assert_eq!(q.ready_snapshot(), vec![slot(1, 0), slot(2, 0)]);
+        q.remove_ready_at(1); // slot(2, 0)
         q.advance(7);
-        assert_eq!(q.ready_snapshot(), vec![(1, 0), (3, 0)]);
+        assert_eq!(q.ready_snapshot(), vec![slot(1, 0), slot(3, 0)]);
     }
 
     #[test]
     fn ready_set_iterates_in_age_order() {
         let mut q = WakeupQueue::new();
-        q.insert_ready(9, 1);
-        q.insert_ready(2, 0);
-        q.insert_ready(5, 2);
-        assert_eq!(q.ready_snapshot(), vec![(2, 0), (5, 2), (9, 1)]);
+        q.insert_ready(slot(9, 1));
+        q.insert_ready(slot(2, 0));
+        q.insert_ready(slot(5, 2));
+        assert_eq!(q.ready_snapshot(), vec![slot(2, 0), slot(5, 2), slot(9, 1)]);
         assert_eq!(q.len(), 3);
     }
 
@@ -257,8 +320,8 @@ mod tests {
     fn mark_issued_returns_parked_waiters() {
         let mut sq = StoreQueue::new();
         sq.push(10, 0x100);
-        sq.add_waiter(10, Waiter { seq: 15, gen: 3 });
-        sq.add_waiter(10, Waiter { seq: 16, gen: 3 });
+        sq.add_waiter(10, slot(15, 3));
+        sq.add_waiter(10, slot(16, 3));
         let woken = sq.mark_issued(10, 42);
         assert_eq!(woken.len(), 2);
         let record = sq.youngest_older(0x100, 99).unwrap();
@@ -284,5 +347,19 @@ mod tests {
         sq.push(3, 0xB);
         sq.push(4, 0xA);
         assert_eq!(sq.youngest_older(0xA, 100).unwrap().seq, 4);
+    }
+
+    #[test]
+    fn seq_hasher_is_deterministic_and_spreads_small_keys() {
+        let hash = |v: u64| {
+            let mut h = SeqHasher::default();
+            h.write_u64(v);
+            h.finish()
+        };
+        assert_eq!(hash(42), hash(42));
+        // Consecutive dwords (the common store-address pattern) must not
+        // collapse onto each other.
+        let hashes: std::collections::BTreeSet<u64> = (0..1024).map(hash).collect();
+        assert_eq!(hashes.len(), 1024);
     }
 }

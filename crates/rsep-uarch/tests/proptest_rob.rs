@@ -1,0 +1,189 @@
+//! Model-based equivalence: the slot-arena ROB against the retained
+//! `VecDeque` reference backend.
+//!
+//! Random sequences of the operations the core actually performs —
+//! dispatch, sequence/handle lookup, completion marking, in-order commit
+//! and squash-with-replay — are applied to both [`RobKind`] backends in
+//! lockstep. After every operation the observable state (lengths, heads,
+//! per-sequence entries, handle resolution including stale-generation
+//! rejection, iteration order) must match exactly. This is the
+//! structure-level complement to the golden-stats campaigns, which prove
+//! the same equivalence end-to-end through the simulator.
+
+use proptest::collection;
+use proptest::prelude::*;
+use rsep_isa::{ArchReg, DynInst, OpClass};
+use rsep_uarch::{Disposition, InflightInst, InstSlot, Rob, RobKind, SrcRegs};
+
+const CAPACITY: usize = 12;
+
+fn entry(seq: u64, gen: u64) -> InflightInst {
+    InflightInst {
+        inst: DynInst::simple(seq, 0x40_0000 + seq * 4, OpClass::IntAlu, ArchReg::int(1), seq),
+        dest_preg: None,
+        prev_preg: None,
+        allocated_new_preg: false,
+        src_pregs: SrcRegs::new(),
+        disposition: Disposition::None,
+        eliminated: false,
+        in_iq: true,
+        issued: false,
+        complete_at: 0,
+        renamed_at: 0,
+        branch_mispredicted: false,
+        needs_validation_issue: None,
+        uses_lq: false,
+        uses_sq: false,
+        sched_gen: gen,
+        pending_srcs: 0,
+        wake_at: 0,
+    }
+}
+
+fn assert_same_entry(a: Option<&InflightInst>, b: Option<&InflightInst>, what: &str) {
+    match (a, b) {
+        (None, None) => {}
+        (Some(a), Some(b)) => {
+            assert_eq!(a.seq(), b.seq(), "{what}: seq diverges");
+            assert_eq!(a.sched_gen, b.sched_gen, "{what}: generation diverges");
+            assert_eq!(a.issued, b.issued, "{what}: issued diverges");
+            assert_eq!(a.complete_at, b.complete_at, "{what}: complete_at diverges");
+        }
+        (a, b) => {
+            panic!("{what}: presence diverges (arena={}, deque={})", a.is_some(), b.is_some())
+        }
+    }
+}
+
+fn assert_same_state(arena: &Rob, deque: &Rob) {
+    assert_eq!(arena.len(), deque.len(), "occupancy diverges");
+    assert_eq!(arena.is_empty(), deque.is_empty());
+    assert_eq!(arena.is_full(), deque.is_full());
+    assert_same_entry(arena.head(), deque.head(), "head");
+    let a_seqs: Vec<(u64, u64)> = arena.iter().map(|e| (e.seq(), e.sched_gen)).collect();
+    let d_seqs: Vec<(u64, u64)> = deque.iter().map(|e| (e.seq(), e.sched_gen)).collect();
+    assert_eq!(a_seqs, d_seqs, "iteration order diverges");
+}
+
+/// Raw operation: `(selector, payload, payload2)`.
+type RawOp = (u8, u64, u64);
+
+fn run_ops(ops: &[RawOp]) {
+    let mut arena = Rob::with_kind(CAPACITY, RobKind::Arena);
+    let mut deque = Rob::with_kind(CAPACITY, RobKind::Deque);
+    assert_eq!(arena.kind(), RobKind::Arena);
+    assert_eq!(deque.kind(), RobKind::Deque);
+    let mut next_seq = 0u64;
+    let mut next_gen = 0u64;
+    // Handles returned by push, kept (unpruned) so lookups exercise stale
+    // generations and committed/squashed sequence numbers too.
+    let mut handles: Vec<InstSlot> = Vec::new();
+
+    for &(op_sel, payload, payload2) in ops {
+        let head_seq = arena.head().map(|e| e.seq());
+        let len = arena.len() as u64;
+        match op_sel % 8 {
+            // Dispatch (weighted heaviest so the window actually fills).
+            0..=2 => {
+                if !arena.is_full() {
+                    let a = arena.push(entry(next_seq, next_gen));
+                    let d = deque.push(entry(next_seq, next_gen));
+                    assert_eq!(a, d, "push handles diverge");
+                    assert_eq!(a, InstSlot { seq: next_seq, gen: next_gen });
+                    handles.push(a);
+                    next_seq += 1;
+                    next_gen += 1;
+                }
+            }
+            // Mark a random in-flight instruction completed (what issue +
+            // writeback do).
+            3 => {
+                if let Some(head) = head_seq {
+                    let seq = head + payload % len.max(1);
+                    assert_same_entry(arena.find_by_seq(seq), deque.find_by_seq(seq), "find");
+                    if let Some(e) = arena.find_by_seq_mut(seq) {
+                        e.issued = true;
+                        e.complete_at = payload2;
+                    }
+                    if let Some(e) = deque.find_by_seq_mut(seq) {
+                        e.issued = true;
+                        e.complete_at = payload2;
+                    }
+                }
+            }
+            // Commit the head.
+            4 => {
+                let a = arena.pop_head();
+                let d = deque.pop_head();
+                assert_same_entry(a.as_ref(), d.as_ref(), "pop_head");
+            }
+            // Squash from a random point (possibly the head, possibly
+            // beyond the tail = no-op), then replay re-dispatches the same
+            // sequence numbers under fresh generations.
+            5 => {
+                if let Some(head) = head_seq {
+                    let from_seq = head + payload % (len + 3);
+                    let mut d_squashed = Vec::new();
+                    let a_squashed = arena.squash_from(from_seq);
+                    deque.squash_from_each(from_seq, |e| d_squashed.push(e));
+                    assert_eq!(a_squashed.len(), d_squashed.len(), "squash count diverges");
+                    for (a, d) in a_squashed.iter().zip(&d_squashed) {
+                        assert_same_entry(Some(a), Some(d), "squashed entry");
+                    }
+                    // Oldest-first and dense.
+                    for (i, e) in a_squashed.iter().enumerate() {
+                        assert_eq!(e.seq(), from_seq.max(head) + i as u64);
+                    }
+                    next_seq = from_seq.max(head).min(next_seq);
+                    // Replay a prefix of the squashed instructions now.
+                    let replay = payload2 % (a_squashed.len() as u64 + 1);
+                    for _ in 0..replay {
+                        let a = arena.push(entry(next_seq, next_gen));
+                        let d = deque.push(entry(next_seq, next_gen));
+                        assert_eq!(a, d);
+                        handles.push(a);
+                        next_seq += 1;
+                        next_gen += 1;
+                    }
+                }
+            }
+            // Resolve a previously returned handle: both backends must
+            // agree, and a handle whose generation is stale (the sequence
+            // number was re-dispatched) must resolve to None.
+            6 => {
+                if !handles.is_empty() {
+                    let slot = handles[(payload % handles.len() as u64) as usize];
+                    assert_same_entry(arena.get(slot), deque.get(slot), "get(slot)");
+                    if let Some(e) = arena.get(slot) {
+                        assert_eq!(e.seq(), slot.seq);
+                        assert_eq!(e.sched_gen, slot.gen);
+                    }
+                    let stale = InstSlot { seq: slot.seq, gen: slot.gen + 1_000_000 };
+                    assert!(arena.get(stale).is_none(), "stale generation must not resolve");
+                    assert!(deque.get(stale).is_none());
+                }
+            }
+            // Lookup around the window edges (committed, live, future).
+            _ => {
+                let base = head_seq.unwrap_or(next_seq);
+                let seq = (base + payload % (len + 4)).saturating_sub(2);
+                assert_same_entry(arena.find_by_seq(seq), deque.find_by_seq(seq), "edge find");
+            }
+        }
+        assert_same_state(&arena, &deque);
+    }
+}
+
+proptest! {
+    /// Random dispatch/complete/commit/squash sequences: the arena and the
+    /// deque reference stay observably identical after every operation.
+    #[test]
+    fn arena_rob_matches_the_deque_reference_model(
+        ops in collection::vec(
+            (proptest::prelude::any::<u8>(), 0u64..64, 0u64..64),
+            1..400,
+        )
+    ) {
+        run_ops(&ops);
+    }
+}
