@@ -1,15 +1,14 @@
-//! Criterion bench: the cache hierarchy under both storage layouts and
-//! both entry points.
+//! Criterion bench: the cache hierarchy under both entry points.
 //!
-//! `cache_hierarchy/{layout}/{path}` compares the struct-of-arrays arrays
-//! against the legacy nested `Vec<Vec<Line>>` (identical simulated
-//! behaviour, different simulator throughput), and the batched
-//! `access_batch` entry point against one `access_data`/`access_inst` call
-//! per request — the measurement behind the cache half of the flat
-//! in-flight core refactor, so its win is measured rather than asserted.
+//! `cache_hierarchy/{path}` compares the batched `access_batch` entry
+//! point against one `access_data`/`access_inst` call per request — the
+//! measurement behind the cache half of the flat in-flight core refactor.
+//! (The legacy nested `Vec<Vec<Line>>` layout this bench also used to
+//! measure was retired with the PR 4 equivalence proofs in; the
+//! struct-of-arrays layout is now the only one.)
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use rsep_uarch::{AccessKind, CacheHierarchy, CacheLayout, CoreConfig, MemRequest};
+use rsep_uarch::{AccessKind, CacheHierarchy, CoreConfig, MemRequest};
 
 /// Cycles of a synthetic workload: a handful of loads/stores/ifetches per
 /// cycle mixing stride streams (prefetcher-friendly), hot lines (L1 hits)
@@ -55,15 +54,9 @@ fn request_schedule() -> Schedule {
     Schedule { requests, ranges }
 }
 
-fn config_with(layout: CacheLayout) -> CoreConfig {
-    let mut config = CoreConfig::table1();
-    config.cache_layout = layout;
-    config
-}
-
 /// Drives the whole schedule through `access_batch` (one call per cycle).
-fn run_batched(schedule: &mut Schedule, layout: CacheLayout) -> u64 {
-    let mut hierarchy = CacheHierarchy::new(&config_with(layout));
+fn run_batched(schedule: &mut Schedule) -> u64 {
+    let mut hierarchy = CacheHierarchy::new(&CoreConfig::table1());
     let mut total = 0u64;
     for (cycle, range) in schedule.ranges.iter().enumerate() {
         let batch = &mut schedule.requests[range.clone()];
@@ -75,8 +68,8 @@ fn run_batched(schedule: &mut Schedule, layout: CacheLayout) -> u64 {
 
 /// Drives the same schedule with one hierarchy call per request (the
 /// pre-refactor core's access pattern).
-fn run_per_access(schedule: &Schedule, layout: CacheLayout) -> u64 {
-    let mut hierarchy = CacheHierarchy::new(&config_with(layout));
+fn run_per_access(schedule: &Schedule) -> u64 {
+    let mut hierarchy = CacheHierarchy::new(&CoreConfig::table1());
     let mut total = 0u64;
     for (cycle, range) in schedule.ranges.iter().enumerate() {
         for request in &schedule.requests[range.clone()] {
@@ -91,21 +84,16 @@ fn run_per_access(schedule: &Schedule, layout: CacheLayout) -> u64 {
 
 fn bench(c: &mut Criterion) {
     let mut schedule = request_schedule();
-    // Both layouts and both entry points must agree on total latency —
-    // the bench doubles as a coarse equivalence check.
-    let reference = run_batched(&mut schedule, CacheLayout::Soa);
-    assert_eq!(reference, run_batched(&mut schedule, CacheLayout::Nested));
-    for layout in [CacheLayout::Soa, CacheLayout::Nested] {
-        assert_eq!(reference, run_per_access(&schedule, layout));
-    }
-    for (label, layout) in [("soa", CacheLayout::Soa), ("nested", CacheLayout::Nested)] {
-        c.bench_function(&format!("cache_hierarchy/{label}/batched"), |b| {
-            b.iter(|| black_box(run_batched(&mut schedule, layout)))
-        });
-        c.bench_function(&format!("cache_hierarchy/{label}/per_access"), |b| {
-            b.iter(|| black_box(run_per_access(&schedule, layout)))
-        });
-    }
+    // Both entry points must agree on total latency — the bench doubles as
+    // a coarse equivalence check.
+    let reference = run_batched(&mut schedule);
+    assert_eq!(reference, run_per_access(&schedule));
+    c.bench_function("cache_hierarchy/batched", |b| {
+        b.iter(|| black_box(run_batched(&mut schedule)))
+    });
+    c.bench_function("cache_hierarchy/per_access", |b| {
+        b.iter(|| black_box(run_per_access(&schedule)))
+    });
 }
 
 criterion_group!(benches, bench);

@@ -3,7 +3,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use rsep_core::{FifoHistory, FifoHistoryConfig, Isrb, IsrbConfig};
 use rsep_isa::FoldHash;
-use rsep_predictors::{DistancePredictor, GlobalHistory};
+use rsep_predictors::{DistancePredictor, GlobalHistory, Predictor as _};
 
 fn bench(c: &mut Criterion) {
     c.bench_function("structures/fold_hash_14bit", |b| {

@@ -30,6 +30,9 @@
 //!                    join the shard files with `rsep merge`)
 //!   --cache-dir D    memoise cells on disk keyed by their content hash
 //!   --cache          same, in the conventional target/rsep-cache directory
+//!   --storage        with `run`: print the per-mechanism storage-budget
+//!                    report (Table II: RSEP ≈10.1 KB vs D-VTAGE ≈256 KB)
+//!                    and exit without simulating
 //!   --quiet          suppress progress and timing on stderr
 //!   --version        print the version and exit
 //! ```
@@ -45,6 +48,8 @@ use rsep_campaign::{
     merge_stored, presets, CachedStore, Campaign, CampaignResult, CampaignSpec, Executor,
     JsonlStore, ReportFormat, Shard,
 };
+use rsep_core::MechanismConfig;
+use rsep_predictors::{BtbConfig, TageConfig};
 use rsep_stats::Experiment;
 use rsep_trace::CheckpointSpec;
 use rsep_uarch::CoreConfig;
@@ -88,14 +93,15 @@ struct Cli {
     measure: Option<u64>,
     store: StoreChoice,
     shard: Option<Shard>,
+    storage: bool,
 }
 
 fn usage() -> &'static str {
     "usage: rsep <run|fig1|fig4|fig5|fig6|fig7|table1|sweep|merge> \
      [--jobs N] [--smoke] [--json|--csv|--md] [--benchmarks list] \
      [--seed N] [--checkpoints N] [--warmup N] [--measure N] \
-     [--store jsonl:path] [--shard i/n] [--cache-dir dir | --cache] [--quiet] \
-     [--version]"
+     [--store jsonl:path] [--shard i/n] [--cache-dir dir | --cache] [--storage] \
+     [--quiet] [--version]"
 }
 
 fn parse_args(args: &[String]) -> Result<Cli, String> {
@@ -113,6 +119,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         measure: None,
         store: StoreChoice::Memory,
         shard: None,
+        storage: false,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -185,6 +192,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
                 cli.store = StoreChoice::Cached(dir);
             }
             "--shard" => cli.shard = Some(Shard::parse(&value_of("--shard")?)?),
+            "--storage" => cli.storage = true,
             "--help" | "-h" => return Err(usage().to_string()),
             flag if flag.starts_with('-') => return Err(format!("unknown flag '{flag}'")),
             command if cli.command.is_empty() => cli.command = command.to_string(),
@@ -331,6 +339,45 @@ fn emit_text(text: &str) {
     }
 }
 
+/// Renders the per-mechanism storage-budget report (the paper's Table II
+/// comparison). The figures are pure functions of the configurations —
+/// exactly what each family's `Predictor::storage_bits` delegates to —
+/// so nothing allocates a table just to measure it.
+fn storage_text() -> String {
+    let kb = |bits: u64| bits as f64 / 8.0 / 1024.0;
+    let mut out = String::from(
+        "Per-mechanism storage budgets (Predictor::storage_bits)\n\n\
+         front end (all configurations)\n",
+    );
+    let tage_bits = TageConfig::table1().storage_bits();
+    let btb_bits = BtbConfig::table1().storage_bits();
+    let ras_bits = 32 * 64; // Table I: 32 entries of full return addresses
+    out.push_str(&format!("  {:<22}{:>9.1} KB\n", "tage", kb(tage_bits)));
+    out.push_str(&format!("  {:<22}{:>9.1} KB\n", "btb", kb(btb_bits)));
+    out.push_str(&format!("  {:<22}{:>9.1} KB\n", "ras", kb(ras_bits)));
+    out.push_str(&format!(
+        "  {:<22}{:>9.1} KB\n",
+        "front-end total",
+        kb(tage_bits + btb_bits + ras_bits)
+    ));
+    let mut mechanisms = MechanismConfig::figure4_suite();
+    mechanisms.push(MechanismConfig::rsep_realistic());
+    for mechanism in &mechanisms {
+        let rows = mechanism.storage_breakdown();
+        if rows.is_empty() {
+            continue;
+        }
+        out.push_str(&format!("\n{}\n", mechanism.label));
+        for (component, bits) in &rows {
+            out.push_str(&format!("  {component:<22}{:>9.1} KB\n", kb(*bits)));
+        }
+        if rows.len() > 1 {
+            out.push_str(&format!("  {:<22}{:>9.1} KB\n", "total", mechanism.storage_kb()));
+        }
+    }
+    out
+}
+
 fn table1_text() -> String {
     let config = CoreConfig::table1();
     let mut out = String::from("TABLE I: Simulator configuration overview\n");
@@ -367,11 +414,18 @@ fn validate(cli: &Cli) -> Result<(), Failure> {
     if cli.command == "merge" && cli.files.is_empty() {
         return Err(usage_error("merge needs at least one shard .jsonl file"));
     }
+    if cli.storage && cli.command != "run" {
+        return Err(usage_error("--storage is only supported with 'run'"));
+    }
     Ok(())
 }
 
 fn run_command(cli: &Cli) -> Result<(), Failure> {
     validate(cli)?;
+    if cli.storage {
+        emit_text(&storage_text());
+        return Ok(());
+    }
     match cli.command.as_str() {
         "table1" => emit_text(&table1_text()),
         "merge" => {

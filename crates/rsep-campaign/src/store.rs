@@ -26,6 +26,7 @@ use crate::spec::CampaignSpec;
 use rsep_core::{CheckpointResult, MechanismConfig};
 use rsep_isa::fingerprint::FNV_OFFSET_BASIS;
 use rsep_isa::{Fingerprint, Fnv};
+use rsep_predictors::PredictorStats;
 use rsep_stats::json::Json;
 use rsep_stats::jsonl;
 use rsep_trace::{BenchmarkProfile, CheckpointSpec};
@@ -292,6 +293,19 @@ fn stats_to_json(s: &SimStats) -> Json {
         })
         .collect();
     pairs.push(("cache".into(), Json::Array(cache)));
+    let predictors = s
+        .predictors
+        .iter()
+        .map(|(family, p)| {
+            let mut entry = vec![("family".to_string(), Json::Str((*family).into()))];
+            u64_field(&mut entry, "lookups", p.lookups);
+            u64_field(&mut entry, "used", p.used);
+            u64_field(&mut entry, "correct", p.correct);
+            u64_field(&mut entry, "incorrect", p.incorrect);
+            Json::Object(entry)
+        })
+        .collect();
+    pairs.push(("predictors".into(), Json::Array(predictors)));
     Json::Object(pairs)
 }
 
@@ -333,6 +347,19 @@ fn cache_level(name: &str) -> Result<&'static str, String> {
     }
 }
 
+/// Maps a stored predictor-family name back to the `'static` names the
+/// predictors use.
+fn predictor_family(name: &str) -> Result<&'static str, String> {
+    match name {
+        "tage" => Ok("tage"),
+        "btb" => Ok("btb"),
+        "distance" => Ok("distance"),
+        "dvtage" => Ok("dvtage"),
+        "zero" => Ok("zero"),
+        other => Err(format!("unknown predictor family '{other}'")),
+    }
+}
+
 fn stats_from_json(v: &Json) -> Result<SimStats, String> {
     let coverage = coverage_from_json(
         v.get("coverage").ok_or_else(|| "missing 'coverage' object".to_string())?,
@@ -357,6 +384,29 @@ fn stats_from_json(v: &Json) -> Result<SimStats, String> {
             ))
         })
         .collect::<Result<Vec<_>, String>>()?;
+    // Tolerate files written before the unified predictor counters existed:
+    // an absent array reads back as empty.
+    let predictors = match v.get("predictors").and_then(Json::as_array) {
+        None => Vec::new(),
+        Some(entries) => entries
+            .iter()
+            .map(|entry| {
+                let family = entry
+                    .get("family")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| "predictor entry without 'family'".to_string())?;
+                Ok((
+                    predictor_family(family)?,
+                    PredictorStats {
+                        lookups: get_u64(entry, "lookups")?,
+                        used: get_u64(entry, "used")?,
+                        correct: get_u64(entry, "correct")?,
+                        incorrect: get_u64(entry, "incorrect")?,
+                    },
+                ))
+            })
+            .collect::<Result<Vec<_>, String>>()?,
+    };
     Ok(SimStats {
         cycles: get_u64(v, "cycles")?,
         committed: get_u64(v, "committed")?,
@@ -377,6 +427,7 @@ fn stats_from_json(v: &Json) -> Result<SimStats, String> {
         rob_occupancy_sum: get_u64(v, "rob_occupancy_sum")?,
         coverage,
         cache,
+        predictors,
     })
 }
 

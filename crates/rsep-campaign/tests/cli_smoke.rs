@@ -94,6 +94,32 @@ fn bad_usage_exits_2() {
 }
 
 #[test]
+fn storage_report_reproduces_the_paper_comparison() {
+    // `rsep run --storage` prints the Table II storage-budget comparison
+    // (computed through the unified Predictor::storage_bits) and exits
+    // without simulating — so it must be fast and self-contained.
+    let output = rsep(&["run", "--storage"]);
+    assert!(output.status.success(), "{}", String::from_utf8_lossy(&output.stderr));
+    let text = String::from_utf8(output.stdout).unwrap();
+    // The headline numbers: ≈10.1 KB realistic distance predictor vs a
+    // D-VTAGE in the 256 KB class, plus every mechanism with storage.
+    assert!(text.contains("10.1 KB"), "{text}");
+    let dvtage_kb: f64 = text
+        .lines()
+        .find(|l| l.trim_start().starts_with("d-vtage"))
+        .and_then(|l| l.split_whitespace().nth(1))
+        .expect("d-vtage row present")
+        .parse()
+        .expect("d-vtage KB parses");
+    assert!((200.0..320.0).contains(&dvtage_kb), "d-vtage {dvtage_kb} KB");
+    for section in ["front end", "zero-pred", "rsep-ideal", "vpred", "rsep-realistic", "tage"] {
+        assert!(text.contains(section), "missing '{section}' in: {text}");
+    }
+    // --storage is a `run` modifier only.
+    assert_eq!(rsep(&["fig4", "--storage"]).status.code(), Some(2));
+}
+
+#[test]
 fn runtime_failures_exit_1() {
     // Merging a file that does not exist is a runtime failure, not usage.
     let output = rsep(&["merge", "/nonexistent/rsep-shard.jsonl"]);

@@ -4,9 +4,9 @@
 //!
 //! * the event-driven scheduler and the retained polling oracle
 //!   ([`SchedulerKind`], PR 3), and
-//! * the flat in-flight core (slot-arena ROB + SoA caches with batched
-//!   lookups) and the retained legacy backends
-//!   ([`RobKind`]/[`CacheLayout`], this PR).
+//! * the batched fetch-block front end (SoA predictor tables resolved
+//!   through `PredictorStack::predict_block`) and the retained per-branch
+//!   reference protocol ([`FrontendKind`], this PR).
 //!
 //! This is the end-to-end complement to the unit- and property-level
 //! equivalence tests: it drives the real campaign engine over the real
@@ -17,16 +17,15 @@
 //! determinism of the analysis itself.
 
 use rsep_campaign::{presets, Campaign, CampaignSpec};
-use rsep_uarch::{CacheLayout, RobKind, SchedulerKind};
+use rsep_uarch::{FrontendKind, SchedulerKind};
 
 fn with_scheduler(mut spec: CampaignSpec, scheduler: SchedulerKind) -> CampaignSpec {
     spec.core_config.scheduler = scheduler;
     spec
 }
 
-fn with_backends(mut spec: CampaignSpec, rob: RobKind, cache_layout: CacheLayout) -> CampaignSpec {
-    spec.core_config.rob = rob;
-    spec.core_config.cache_layout = cache_layout;
+fn with_frontend(mut spec: CampaignSpec, frontend: FrontendKind) -> CampaignSpec {
+    spec.core_config.frontend = frontend;
     spec
 }
 
@@ -69,14 +68,14 @@ fn assert_campaign_identical(name: &str, spec: CampaignSpec) {
     );
 }
 
-/// The flat path (slot-arena ROB + SoA/batched caches, the defaults)
-/// against the retained legacy backends (deque ROB + nested cache arrays).
-fn assert_flat_matches_legacy(name: &str, spec: CampaignSpec) {
+/// The batched fetch-block front end (the default) against the retained
+/// per-branch reference protocol.
+fn assert_batched_matches_per_branch(name: &str, spec: CampaignSpec) {
     assert_campaigns_identical(
         name,
-        "flat and legacy in-flight backends",
-        with_backends(spec.clone(), RobKind::Arena, CacheLayout::Soa),
-        with_backends(spec, RobKind::Deque, CacheLayout::Nested),
+        "batched and per-branch front ends",
+        with_frontend(spec.clone(), FrontendKind::BatchedBlock),
+        with_frontend(spec, FrontendKind::PerBranch),
     );
 }
 
@@ -101,23 +100,23 @@ fn figure7_smoke_is_bit_identical_across_schedulers() {
 }
 
 #[test]
-fn figure4_smoke_is_bit_identical_across_rob_and_cache_backends() {
-    assert_flat_matches_legacy("fig4", presets::fig4().smoke());
+fn figure4_smoke_is_bit_identical_across_frontends() {
+    assert_batched_matches_per_branch("fig4", presets::fig4().smoke());
 }
 
 #[test]
-fn figure5_smoke_is_bit_identical_across_rob_and_cache_backends() {
-    assert_flat_matches_legacy("fig5", presets::fig5().smoke());
+fn figure5_smoke_is_bit_identical_across_frontends() {
+    assert_batched_matches_per_branch("fig5", presets::fig5().smoke());
 }
 
 #[test]
-fn figure6_smoke_is_bit_identical_across_rob_and_cache_backends() {
-    assert_flat_matches_legacy("fig6", presets::fig6().smoke());
+fn figure6_smoke_is_bit_identical_across_frontends() {
+    assert_batched_matches_per_branch("fig6", presets::fig6().smoke());
 }
 
 #[test]
-fn figure7_smoke_is_bit_identical_across_rob_and_cache_backends() {
-    assert_flat_matches_legacy("fig7", presets::fig7().smoke());
+fn figure7_smoke_is_bit_identical_across_frontends() {
+    assert_batched_matches_per_branch("fig7", presets::fig7().smoke());
 }
 
 #[test]

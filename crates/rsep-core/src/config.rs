@@ -220,6 +220,36 @@ impl MechanismConfig {
         }
     }
 
+    /// Per-component storage budget of this mechanism's prediction
+    /// hardware, in bits — the paper's Table II comparison (10.1 KB
+    /// realistic RSEP predictor vs ≈256 KB D-VTAGE). Predictor costs come
+    /// from the per-config `storage_bits` (exactly what each family's
+    /// [`rsep_predictors::Predictor::storage_bits`] delegates to, without
+    /// allocating the tables just to measure them); the RSEP bookkeeping
+    /// structures (FIFO history, ISRB, distance-propagation FIFO) are
+    /// added from their own configs.
+    pub fn storage_breakdown(&self) -> Vec<(&'static str, u64)> {
+        let mut rows = Vec::new();
+        if let Some(rsep) = &self.rsep {
+            rows.push(("distance predictor", rsep.predictor.storage_bits()));
+            rows.push(("fifo history", rsep.history.storage_bits()));
+            rows.push(("isrb", rsep.isrb.storage_bits()));
+            rows.push(("distance propagation", rsep.distance_propagation_bytes * 8));
+        }
+        if let Some(vp) = &self.vp {
+            rows.push(("d-vtage", vp.predictor.storage_bits()));
+        }
+        if let Some(zero) = self.zero_pred {
+            rows.push(("zero predictor", zero.storage_bits()));
+        }
+        rows
+    }
+
+    /// Total of [`MechanismConfig::storage_breakdown`] in kilobytes.
+    pub fn storage_kb(&self) -> f64 {
+        self.storage_breakdown().iter().map(|(_, bits)| *bits).sum::<u64>() as f64 / 8.0 / 1024.0
+    }
+
     /// All the Figure 4 configurations, in plotting order.
     pub fn figure4_suite() -> Vec<MechanismConfig> {
         vec![

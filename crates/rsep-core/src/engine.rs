@@ -23,7 +23,10 @@ use crate::config::{MechanismConfig, RsepConfig, VpConfig};
 use crate::fifo_history::FifoHistory;
 use crate::isrb::Isrb;
 use rsep_isa::{DynInst, OpClass, PhysReg};
-use rsep_predictors::{DistancePredictor, Dvtage, GlobalHistory, ZeroPredictor};
+use rsep_predictors::{
+    DistancePredictor, Dvtage, GlobalHistory, IDistPredictor as _, Predictor, PredictorStats,
+    ZeroPredictor,
+};
 use rsep_uarch::{Disposition, RenameAction, RenameContext, SpecEngine};
 use std::collections::HashMap;
 
@@ -100,7 +103,7 @@ impl RsepEngine {
     }
 
     /// Distance-predictor statistics, when RSEP is enabled.
-    pub fn distance_stats(&self) -> Option<rsep_predictors::DistancePredictorStats> {
+    pub fn distance_stats(&self) -> Option<PredictorStats> {
         self.distance.as_ref().map(|d| d.stats())
     }
 
@@ -183,7 +186,8 @@ impl RsepEngine {
                 } else {
                     // No live pair: decay by training toward the maximal
                     // distance, which will reset confidence.
-                    predictor.train(inst.pc, predictor.config().max_distance(), &self.ghist);
+                    let max_distance = predictor.max_distance();
+                    predictor.train(inst.pc, max_distance, &self.ghist);
                 }
             } else {
                 // Non-candidates only search when they win the commit-group
@@ -243,7 +247,7 @@ impl SpecEngine for RsepEngine {
             }
         }
         if let Some(zero) = self.zero.as_mut() {
-            if zero.predict(inst.pc) {
+            if zero.predict(inst.pc, &self.ghist).is_some() {
                 self.stats.zero_predictions_used += 1;
                 return RenameAction::PredictZero { correct: inst.result == 0 };
             }
@@ -263,7 +267,7 @@ impl SpecEngine for RsepEngine {
         }
         // Commit-time training of every enabled predictor.
         if let Some(zero) = self.zero.as_mut() {
-            zero.train(inst.pc, inst.result == 0);
+            zero.train(inst.pc, inst.result == 0, &self.ghist);
         }
         if let Some(dvtage) = self.dvtage.as_mut() {
             dvtage.train(inst.pc, inst.result, &self.ghist);
@@ -284,10 +288,35 @@ impl SpecEngine for RsepEngine {
 
     fn on_squash(&mut self, from_seq: u64) -> Vec<PhysReg> {
         self.pending_distances.retain(|&seq, _| seq < from_seq);
+        // Predictors train at commit only, so their on_squash hooks are
+        // no-ops — broadcast anyway to honour the trait contract.
+        if let Some(d) = self.distance.as_mut() {
+            d.on_squash(from_seq);
+        }
+        if let Some(v) = self.dvtage.as_mut() {
+            v.on_squash(from_seq);
+        }
+        if let Some(z) = self.zero.as_mut() {
+            z.on_squash(from_seq);
+        }
         match self.isrb.as_mut() {
             Some(isrb) => isrb.on_squash(from_seq),
             None => Vec::new(),
         }
+    }
+
+    fn predictor_stats(&self) -> Vec<(&'static str, PredictorStats)> {
+        let mut stats = Vec::new();
+        if let Some(d) = self.distance.as_ref() {
+            stats.push((d.name(), d.stats()));
+        }
+        if let Some(v) = self.dvtage.as_ref() {
+            stats.push((v.name(), v.stats()));
+        }
+        if let Some(z) = self.zero.as_ref() {
+            stats.push((z.name(), z.stats()));
+        }
+        stats
     }
 }
 

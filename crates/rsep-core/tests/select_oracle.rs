@@ -14,7 +14,7 @@ use proptest::prelude::*;
 use rsep_core::{run_checkpoint, MechanismConfig, RsepEngine};
 use rsep_isa::{ArchReg, BranchKind, DynInst, DynInstBuilder, OpClass};
 use rsep_trace::{BenchmarkProfile, CheckpointSpec};
-use rsep_uarch::{CacheLayout, Core, CoreConfig, RobKind, SchedulerKind, SimStats};
+use rsep_uarch::{Core, CoreConfig, FrontendKind, SchedulerKind, SimStats};
 
 fn config_with(scheduler: SchedulerKind) -> CoreConfig {
     let mut config = CoreConfig::small_test();
@@ -22,14 +22,12 @@ fn config_with(scheduler: SchedulerKind) -> CoreConfig {
     config
 }
 
-/// The event-driven scheduler on the retained legacy storage backends
-/// (deque ROB, nested cache arrays) — compared against the default flat
-/// path to prove the in-flight-core refactor bit-identical under full
-/// speculation.
-fn legacy_backends_config() -> CoreConfig {
+/// The event-driven scheduler with the retained per-branch fetch protocol
+/// — compared against the default batched fetch-block front end to prove
+/// the predictor-stack refactor bit-identical under full speculation.
+fn per_branch_frontend_config() -> CoreConfig {
     let mut config = CoreConfig::small_test();
-    config.rob = RobKind::Deque;
-    config.cache_layout = CacheLayout::Nested;
+    config.frontend = FrontendKind::PerBranch;
     config
 }
 
@@ -126,9 +124,9 @@ fn simulate_with_engine(insts: &[DynInst], scheduler: SchedulerKind) -> SimStats
 
 proptest! {
     /// Random redundant DAGs under RSEP + VP: identical retirement (full
-    /// commit) and bit-identical statistics in both scheduler modes and on
-    /// both in-flight storage backends (slot arena vs. deque ROB, SoA vs.
-    /// nested cache arrays).
+    /// commit) and bit-identical statistics in both scheduler modes and
+    /// under both fetch protocols (batched fetch blocks vs. the per-branch
+    /// reference).
     #[test]
     fn schedulers_agree_under_speculative_squashes(
         raws in collection::vec(
@@ -142,8 +140,8 @@ proptest! {
         let polling = simulate_with_engine(&insts, SchedulerKind::Polling);
         prop_assert_eq!(event.committed, insts.len() as u64);
         prop_assert_eq!(&event, &polling);
-        let legacy = simulate_with_config(&insts, legacy_backends_config());
-        prop_assert_eq!(&event, &legacy);
+        let per_branch = simulate_with_config(&insts, per_branch_frontend_config());
+        prop_assert_eq!(&event, &per_branch);
     }
 }
 

@@ -1,4 +1,49 @@
 //! Branch target buffer and return address stack (Table I front end).
+//!
+//! The BTB is the fifth family on the unified [`Predictor`] trait: a
+//! `predict` is a target lookup, a `train` installs or updates the target
+//! of a taken branch. Storage is struct-of-arrays — flat tag and target
+//! arrays indexed `set * 2 + way` plus one packed valid/replacement byte
+//! per set — instead of the former `Vec<[Entry; 2]>` of structs.
+
+use crate::history::GlobalHistory;
+use crate::predictor::{Predictor, PredictorStats};
+
+/// Configuration of a [`Btb`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BtbConfig {
+    /// Total entries (2-way associative).
+    pub entries: usize,
+}
+
+impl BtbConfig {
+    /// The Table I configuration (2-way, 4K entries).
+    pub fn table1() -> BtbConfig {
+        BtbConfig { entries: 4096 }
+    }
+
+    /// Storage in bits. The model keys entries by full PC for exactness;
+    /// the hardware cost is estimated with the customary partial tag plus
+    /// a compressed target (tag ≈ 20 bits, target ≈ 32 bits, 1 valid bit
+    /// per entry, 1 replacement bit per set).
+    pub fn storage_bits(&self) -> u64 {
+        let per_entry = 20 /* tag */ + 32 /* target */ + 1 /* valid */;
+        self.entries as u64 * per_entry + (self.entries as u64 / 2/* replace */)
+    }
+}
+
+impl rsep_isa::Fingerprint for BtbConfig {
+    fn fingerprint(&self, h: &mut rsep_isa::Fnv) {
+        h.write_str("BtbConfig");
+        self.entries.fingerprint(h);
+    }
+}
+
+/// Per-set packed byte: way-0 and way-1 valid bits plus the round-robin
+/// replacement pointer.
+const WAY0_VALID: u8 = 1 << 0;
+const WAY1_VALID: u8 = 1 << 1;
+const REPLACE: u8 = 1 << 2;
 
 /// A set-associative branch target buffer.
 ///
@@ -8,17 +53,15 @@
 /// by the core model.
 #[derive(Debug)]
 pub struct Btb {
-    sets: Vec<[BtbEntry; 2]>,
+    config: BtbConfig,
+    /// Flat tags, `set * 2 + way`.
+    tags: Box<[u64]>,
+    /// Flat targets, same indexing.
+    targets: Box<[u64]>,
+    /// Packed valid/replacement byte per set.
+    meta: Box<[u8]>,
     set_mask: u64,
-    /// Round-robin replacement pointer per set.
-    replace: Vec<u8>,
-}
-
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-struct BtbEntry {
-    valid: bool,
-    tag: u64,
-    target: u64,
+    stats: PredictorStats,
 }
 
 impl Btb {
@@ -34,9 +77,12 @@ impl Btb {
         );
         let sets = entries / 2;
         Btb {
-            sets: vec![[BtbEntry::default(); 2]; sets],
+            config: BtbConfig { entries },
+            tags: vec![0u64; entries].into_boxed_slice(),
+            targets: vec![0u64; entries].into_boxed_slice(),
+            meta: vec![0u8; sets].into_boxed_slice(),
             set_mask: sets as u64 - 1,
-            replace: vec![0; sets],
+            stats: PredictorStats::default(),
         }
     }
 
@@ -49,34 +95,86 @@ impl Btb {
         ((pc >> 2) & self.set_mask) as usize
     }
 
-    /// Looks up the predicted target of the branch at `pc`.
-    pub fn lookup(&self, pc: u64) -> Option<u64> {
-        let set = &self.sets[self.set_index(pc)];
-        set.iter().find(|e| e.valid && e.tag == pc).map(|e| e.target)
+    /// Index of the way holding `pc` in set `set`, if present.
+    fn find_way(&self, set: usize, pc: u64) -> Option<usize> {
+        let meta = self.meta[set];
+        (0..2).find(|&way| {
+            let valid = meta & (WAY0_VALID << way) != 0;
+            valid && self.tags[set * 2 + way] == pc
+        })
+    }
+}
+
+impl Predictor for Btb {
+    type Config = BtbConfig;
+    /// The predicted target address.
+    type Prediction = u64;
+    /// The observed target of a taken branch.
+    type Outcome = u64;
+    type Stats = PredictorStats;
+
+    fn name(&self) -> &'static str {
+        "btb"
     }
 
-    /// Installs or updates the target of the branch at `pc`.
-    pub fn update(&mut self, pc: u64, target: u64) {
-        let idx = self.set_index(pc);
-        let set = &mut self.sets[idx];
-        if let Some(entry) = set.iter_mut().find(|e| e.valid && e.tag == pc) {
-            entry.target = target;
+    /// Looks up the predicted target of the branch at `pc`. The global
+    /// history is unused: the BTB is PC-indexed.
+    fn predict(&mut self, pc: u64, _history: &GlobalHistory) -> Option<u64> {
+        self.stats.lookups += 1;
+        let set = self.set_index(pc);
+        let way = self.find_way(set, pc)?;
+        self.stats.used += 1;
+        Some(self.targets[set * 2 + way])
+    }
+
+    /// Installs or updates the target of the taken branch at `pc`.
+    fn train(&mut self, pc: u64, target: u64, _history: &GlobalHistory) {
+        let set = self.set_index(pc);
+        if let Some(way) = self.find_way(set, pc) {
+            if self.targets[set * 2 + way] == target {
+                self.stats.correct += 1;
+            } else {
+                self.stats.incorrect += 1;
+            }
+            self.targets[set * 2 + way] = target;
             return;
         }
-        if let Some(entry) = set.iter_mut().find(|e| !e.valid) {
-            *entry = BtbEntry { valid: true, tag: pc, target };
-            return;
-        }
-        let way = self.replace[idx] as usize % 2;
-        set[way] = BtbEntry { valid: true, tag: pc, target };
-        self.replace[idx] = self.replace[idx].wrapping_add(1);
+        self.stats.incorrect += 1;
+        let meta = self.meta[set];
+        let way = if meta & WAY0_VALID == 0 {
+            0
+        } else if meta & WAY1_VALID == 0 {
+            1
+        } else {
+            // Round-robin replacement, advancing the pointer.
+            let victim = usize::from(meta & REPLACE != 0);
+            self.meta[set] ^= REPLACE;
+            victim
+        };
+        self.tags[set * 2 + way] = pc;
+        self.targets[set * 2 + way] = target;
+        self.meta[set] |= WAY0_VALID << way;
+    }
+
+    fn config(&self) -> &BtbConfig {
+        &self.config
+    }
+
+    fn stats(&self) -> PredictorStats {
+        self.stats
+    }
+
+    fn storage_bits(&self) -> u64 {
+        self.config.storage_bits()
     }
 }
 
 /// A return address stack.
 ///
 /// Table I specifies a 32-entry RAS. Pushes wrap around (overwriting the
-/// oldest entry) as in real hardware.
+/// oldest entry) as in real hardware. The RAS is a stack, not a trained
+/// table, so it sits beside the [`Predictor`] family inside the
+/// [`PredictorStack`](crate::PredictorStack) rather than on the trait.
 #[derive(Debug)]
 pub struct ReturnAddressStack {
     entries: Vec<u64>,
@@ -119,42 +217,78 @@ impl ReturnAddressStack {
     pub fn depth(&self) -> usize {
         self.depth
     }
+
+    /// Storage in bits (full 64-bit return addresses).
+    pub fn storage_bits(&self) -> u64 {
+        self.entries.len() as u64 * 64
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    fn hist() -> GlobalHistory {
+        GlobalHistory::new()
+    }
+
     #[test]
     fn btb_stores_and_returns_targets() {
         let mut btb = Btb::table1();
-        assert_eq!(btb.lookup(0x1000), None);
-        btb.update(0x1000, 0x2000);
-        assert_eq!(btb.lookup(0x1000), Some(0x2000));
-        btb.update(0x1000, 0x3000);
-        assert_eq!(btb.lookup(0x1000), Some(0x3000));
+        assert_eq!(btb.predict(0x1000, &hist()), None);
+        btb.train(0x1000, 0x2000, &hist());
+        assert_eq!(btb.predict(0x1000, &hist()), Some(0x2000));
+        btb.train(0x1000, 0x3000, &hist());
+        assert_eq!(btb.predict(0x1000, &hist()), Some(0x3000));
+        assert!(btb.stats().lookups >= 3);
+        assert!(btb.stats().used >= 2);
     }
 
     #[test]
     fn btb_two_way_associativity_avoids_immediate_eviction() {
         let mut btb = Btb::new(8); // 4 sets, 2 ways.
                                    // Two PCs mapping to the same set (stride = 4 sets * 4 bytes).
-        btb.update(0x1000, 0xa);
-        btb.update(0x1000 + 16, 0xb);
-        assert_eq!(btb.lookup(0x1000), Some(0xa));
-        assert_eq!(btb.lookup(0x1000 + 16), Some(0xb));
+        btb.train(0x1000, 0xa, &hist());
+        btb.train(0x1000 + 16, 0xb, &hist());
+        assert_eq!(btb.predict(0x1000, &hist()), Some(0xa));
+        assert_eq!(btb.predict(0x1000 + 16, &hist()), Some(0xb));
         // A third conflicting PC evicts one of them but not both.
-        btb.update(0x1000 + 32, 0xc);
-        let survivors =
-            [0x1000u64, 0x1000 + 16].iter().filter(|&&pc| btb.lookup(pc).is_some()).count();
+        btb.train(0x1000 + 32, 0xc, &hist());
+        let survivors = [0x1000u64, 0x1000 + 16]
+            .iter()
+            .filter(|&&pc| btb.predict(pc, &hist()).is_some())
+            .count();
         assert_eq!(survivors, 1);
-        assert_eq!(btb.lookup(0x1000 + 32), Some(0xc));
+        assert_eq!(btb.predict(0x1000 + 32, &hist()), Some(0xc));
+    }
+
+    #[test]
+    fn btb_round_robin_replacement_alternates_ways() {
+        let mut btb = Btb::new(2); // one set, two ways
+        btb.train(0x1000, 0xa, &hist());
+        btb.train(0x1010, 0xb, &hist());
+        // Full set: consecutive conflicting installs evict alternating ways,
+        // so the two most recent victims are always resident.
+        btb.train(0x1020, 0xc, &hist());
+        btb.train(0x1030, 0xd, &hist());
+        assert_eq!(btb.predict(0x1020, &hist()), Some(0xc));
+        assert_eq!(btb.predict(0x1030, &hist()), Some(0xd));
+        assert_eq!(btb.predict(0x1000, &hist()), None);
+        assert_eq!(btb.predict(0x1010, &hist()), None);
     }
 
     #[test]
     #[should_panic(expected = "power of two")]
     fn btb_size_is_validated() {
         let _ = Btb::new(3);
+    }
+
+    #[test]
+    fn btb_storage_and_config() {
+        let btb = Btb::table1();
+        assert_eq!(btb.config().entries, 4096);
+        assert_eq!(btb.storage_bits(), BtbConfig::table1().storage_bits());
+        assert!(btb.storage_bits() > 4096 * 50);
     }
 
     #[test]

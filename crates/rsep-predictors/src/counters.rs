@@ -189,6 +189,58 @@ impl ProbabilisticCounter {
     }
 }
 
+/// The shared parameters of a *table* of probabilistic counters.
+///
+/// The SoA predictor tables store each entry's confidence as a raw byte
+/// (the counter value) instead of a full [`ProbabilisticCounter`] per
+/// entry — the width and increment probability are uniform across a
+/// table, so they live once in the predictor. The update rules are
+/// bit-for-bit those of [`ProbabilisticCounter`], including the
+/// short-circuit order of the saturation check and the LFSR draw (the
+/// draw only happens below saturation, which keeps the shared LFSR
+/// sequence identical to the per-entry representation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConfidenceParams {
+    max: u8,
+    inc_denominator: u32,
+}
+
+impl ConfidenceParams {
+    /// Parameters for `bits`-wide counters incrementing with probability
+    /// `1 / inc_denominator`.
+    pub fn new(bits: u8, inc_denominator: u32) -> ConfidenceParams {
+        assert!((1..=7).contains(&bits), "counter width must be 1..=7 bits");
+        assert!(inc_denominator >= 1);
+        ConfidenceParams { max: (1 << bits) - 1, inc_denominator }
+    }
+
+    /// Saturation value.
+    #[inline]
+    pub fn max(&self) -> u8 {
+        self.max
+    }
+
+    /// Records a correct outcome on a raw counter value.
+    #[inline]
+    pub fn record_correct(&self, value: &mut u8, lfsr: &mut Lfsr) {
+        if *value < self.max && lfsr.one_in(self.inc_denominator) {
+            *value += 1;
+        }
+    }
+
+    /// Records an incorrect outcome (reset, the conservative policy).
+    #[inline]
+    pub fn record_incorrect(&self, value: &mut u8) {
+        *value = 0;
+    }
+
+    /// Returns `true` when the raw value is saturated.
+    #[inline]
+    pub fn is_saturated(&self, value: u8) -> bool {
+        value == self.max
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -287,5 +339,31 @@ mod tests {
     fn storage_bits() {
         assert_eq!(ProbabilisticCounter::new(3, 4).storage_bits(), 3);
         assert_eq!(ProbabilisticCounter::new(1, 4).storage_bits(), 1);
+    }
+
+    #[test]
+    fn confidence_params_match_the_per_entry_counter_bit_for_bit() {
+        // Same seed, same outcome stream: the raw-byte representation must
+        // track the per-entry counter exactly (including the shared LFSR
+        // sequence, i.e. the draw must happen iff the counter draws).
+        let mut lfsr_a = Lfsr::new(77);
+        let mut lfsr_b = Lfsr::new(77);
+        let mut counter = ProbabilisticCounter::new(3, 4);
+        let params = ConfidenceParams::new(3, 4);
+        let mut raw = 0u8;
+        let mut pattern = 0x9e37_79b9u64;
+        for _ in 0..10_000 {
+            pattern = pattern.wrapping_mul(6364136223846793005).wrapping_add(1);
+            if pattern.is_multiple_of(5) {
+                counter.record_incorrect();
+                params.record_incorrect(&mut raw);
+            } else {
+                counter.record_correct(&mut lfsr_a);
+                params.record_correct(&mut raw, &mut lfsr_b);
+            }
+            assert_eq!(counter.value(), raw);
+            assert_eq!(counter.is_saturated(), params.is_saturated(raw));
+            assert_eq!(lfsr_a, lfsr_b, "LFSR sequences must stay in lockstep");
+        }
     }
 }

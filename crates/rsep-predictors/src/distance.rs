@@ -10,6 +10,15 @@
 //! candidate* so commit-time sampling can hand training over to the
 //! validation path (Section IV-B3).
 //!
+//! Storage is one flat array of packed entry words per component family
+//! (`comp << tagged_log2 | idx` for the tagged components): tag, distance,
+//! confidence and useful bit share a single word, so the
+//! longest-to-shortest provider walk touches one cache line per component
+//! instead of one per field array. The confidence counters are raw bit
+//! fields updated through the table-wide [`ConfidenceParams`], bit-for-bit
+//! the old per-entry [`ProbabilisticCounter`](crate::ProbabilisticCounter)
+//! behaviour.
+//!
 //! Two standard configurations are provided:
 //!
 //! * [`DistancePredictorConfig::ideal`] — 16K-entry base + 6 × 1K-entry
@@ -17,8 +26,9 @@
 //! * [`DistancePredictorConfig::realistic`] — 2K-entry base + 6 × 512-entry
 //!   tagged components with 5..10-bit tags, ≈ 10.1 KB (Section VI-B).
 
-use crate::counters::{Lfsr, ProbabilisticCounter};
+use crate::counters::{ConfidenceParams, Lfsr};
 use crate::history::{FoldedHistory, GlobalHistory};
+use crate::predictor::{IDistPredictor, Predictor, PredictorStats};
 
 /// Configuration of the distance predictor.
 #[derive(Debug, Clone, PartialEq)]
@@ -130,18 +140,58 @@ impl rsep_isa::Fingerprint for DistancePredictorConfig {
     }
 }
 
-#[derive(Debug, Clone)]
-struct BaseEntry {
-    distance: u16,
-    confidence: ProbabilisticCounter,
+/// "No distance stored" sentinel of the packed distance field (the former
+/// `BaseEntry`/`TaggedEntry` invalid marker).
+const NO_DISTANCE: u16 = u16::MAX;
+
+/// Packed tagged-entry word: tag in bits 0..32, distance in bits 32..48,
+/// raw confidence in bits 48..55 (counter widths are 1..=7 bits), useful
+/// flag in bit 55. A fresh entry is tag `u32::MAX` + [`NO_DISTANCE`].
+const T_DIST_SHIFT: u32 = 32;
+const T_CONF_SHIFT: u32 = 48;
+const T_USEFUL: u64 = 1 << 55;
+const FRESH_TAGGED: u64 = (u32::MAX as u64) | ((NO_DISTANCE as u64) << T_DIST_SHIFT);
+
+#[inline]
+fn t_tag(entry: u64) -> u32 {
+    entry as u32
 }
 
-#[derive(Debug, Clone)]
-struct TaggedEntry {
-    tag: u32,
-    distance: u16,
-    confidence: ProbabilisticCounter,
-    useful: bool,
+#[inline]
+fn t_dist(entry: u64) -> u16 {
+    (entry >> T_DIST_SHIFT) as u16
+}
+
+#[inline]
+fn t_conf(entry: u64) -> u8 {
+    ((entry >> T_CONF_SHIFT) & 0x7f) as u8
+}
+
+#[inline]
+fn t_pack(tag: u32, dist: u16, conf: u8, useful: bool) -> u64 {
+    u64::from(tag)
+        | (u64::from(dist) << T_DIST_SHIFT)
+        | (u64::from(conf) << T_CONF_SHIFT)
+        | if useful { T_USEFUL } else { 0 }
+}
+
+/// Packed base-entry word: distance in bits 0..16, raw confidence above.
+const B_CONF_SHIFT: u32 = 16;
+const FRESH_BASE: u32 = NO_DISTANCE as u32;
+
+#[inline]
+fn b_dist(entry: u32) -> u16 {
+    entry as u16
+}
+
+#[inline]
+fn b_conf(entry: u32) -> u8 {
+    (entry >> B_CONF_SHIFT) as u8
+}
+
+#[inline]
+fn b_pack(dist: u16, conf: u8) -> u32 {
+    u32::from(dist) | (u32::from(conf) << B_CONF_SHIFT)
 }
 
 /// Identifies the component that provided a prediction.
@@ -180,51 +230,29 @@ impl DistancePrediction {
     }
 }
 
-/// Outcome statistics of the distance predictor.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct DistancePredictorStats {
-    /// Lookups performed.
-    pub lookups: u64,
-    /// Lookups that found a usable (saturated-confidence) prediction.
-    pub usable_predictions: u64,
-    /// Training updates where the stored distance matched the observed one.
-    pub correct_trainings: u64,
-    /// Training updates where the stored distance differed.
-    pub incorrect_trainings: u64,
-}
-
 /// TAGE-like instruction-distance predictor.
 #[derive(Debug)]
 pub struct DistancePredictor {
     config: DistancePredictorConfig,
-    base: Vec<BaseEntry>,
-    tagged: Vec<Vec<TaggedEntry>>,
+    conf: ConfidenceParams,
+    /// Packed base entries (distance | confidence), one word per entry.
+    base: Box<[u32]>,
+    /// Packed tagged entries (tag | distance | confidence | useful), one
+    /// word per entry, `comp << tagged_log2 | idx`.
+    tagged: Box<[u64]>,
     index_fold: Vec<FoldedHistory>,
     tag_fold: Vec<FoldedHistory>,
     lfsr: Lfsr,
-    stats: DistancePredictorStats,
+    stats: PredictorStats,
 }
 
 impl DistancePredictor {
     /// Creates a predictor with the given configuration.
     pub fn new(config: DistancePredictorConfig) -> DistancePredictor {
         assert_eq!(config.tag_bits.len(), config.num_tagged, "one tag width per component");
-        let proto =
-            ProbabilisticCounter::new(config.confidence_bits, config.confidence_denominator);
-        let base = vec![BaseEntry { distance: u16::MAX, confidence: proto }; 1 << config.base_log2];
-        let tagged = (0..config.num_tagged)
-            .map(|_| {
-                vec![
-                    TaggedEntry {
-                        tag: u32::MAX,
-                        distance: u16::MAX,
-                        confidence: proto,
-                        useful: false
-                    };
-                    1 << config.tagged_log2
-                ]
-            })
-            .collect();
+        let conf = ConfidenceParams::new(config.confidence_bits, config.confidence_denominator);
+        let base_entries = 1usize << config.base_log2;
+        let tagged_entries = config.num_tagged << config.tagged_log2;
         let index_fold = (0..config.num_tagged)
             .map(|i| FoldedHistory::new(config.history_length(i), config.tagged_log2 as usize))
             .collect();
@@ -233,12 +261,13 @@ impl DistancePredictor {
             .collect();
         DistancePredictor {
             config,
-            base,
-            tagged,
+            conf,
+            base: vec![FRESH_BASE; base_entries].into_boxed_slice(),
+            tagged: vec![FRESH_TAGGED; tagged_entries].into_boxed_slice(),
             index_fold,
             tag_fold,
             lfsr: Lfsr::new(0xdeed_beef_1234_5678),
-            stats: DistancePredictorStats::default(),
+            stats: PredictorStats::default(),
         }
     }
 
@@ -252,18 +281,14 @@ impl DistancePredictor {
         DistancePredictor::new(DistancePredictorConfig::realistic())
     }
 
-    /// The configuration in use.
-    pub fn config(&self) -> &DistancePredictorConfig {
-        &self.config
-    }
-
-    /// Statistics collected so far.
-    pub fn stats(&self) -> DistancePredictorStats {
-        self.stats
-    }
-
     fn base_index(&self, pc: u64) -> usize {
         ((pc >> 2) as usize) & ((1 << self.config.base_log2) - 1)
+    }
+
+    /// Flat index of entry `idx` of tagged component `comp`.
+    #[inline]
+    fn flat(&self, comp: usize, idx: usize) -> usize {
+        (comp << self.config.tagged_log2) | idx
     }
 
     fn tagged_index(&self, pc: u64, comp: usize, history: &GlobalHistory) -> usize {
@@ -282,114 +307,16 @@ impl DistancePredictor {
         ((pc ^ (pc >> 7) ^ self.tag_fold[comp].value()) & mask) as u32
     }
 
-    /// Looks up a distance prediction for the instruction at `pc`.
-    ///
-    /// Returns `None` when no component holds an entry for this
-    /// instruction. The returned prediction may still be unusable if its
-    /// confidence is not saturated — check [`DistancePrediction::usable`].
-    pub fn predict(&mut self, pc: u64, history: &GlobalHistory) -> Option<DistancePrediction> {
-        self.stats.lookups += 1;
-        // Longest-history matching tagged component wins.
-        for comp in (0..self.config.num_tagged).rev() {
-            let idx = self.tagged_index(pc, comp, history);
-            let entry = &self.tagged[comp][idx];
-            if entry.tag == self.tag(pc, comp) && entry.distance != u16::MAX {
-                let p = DistancePrediction {
-                    distance: u32::from(entry.distance),
-                    confidence: entry.confidence.value(),
-                    confidence_max: entry.confidence.max(),
-                    provider: Provider::Tagged(comp),
-                    provider_index: idx,
-                };
-                if p.usable() {
-                    self.stats.usable_predictions += 1;
-                }
-                return Some(p);
-            }
-        }
-        let idx = self.base_index(pc);
-        let entry = &self.base[idx];
-        if entry.distance == u16::MAX {
-            return None;
-        }
-        let p = DistancePrediction {
-            distance: u32::from(entry.distance),
-            confidence: entry.confidence.value(),
-            confidence_max: entry.confidence.max(),
-            provider: Provider::Base,
-            provider_index: idx,
-        };
-        if p.usable() {
-            self.stats.usable_predictions += 1;
-        }
-        Some(p)
-    }
-
-    /// Trains the predictor with an observed distance for the instruction
-    /// at `pc`.
-    ///
-    /// `observed` is the IDist computed at commit (from the FIFO history or
-    /// from the validation mechanism); distances larger than the
-    /// representable maximum are clamped and treated as "no pair".
-    pub fn train(&mut self, pc: u64, observed: u32, history: &GlobalHistory) {
-        let observed = observed.min(self.config.max_distance()) as u16;
-        // Find the providing component exactly as predict would.
-        let prediction = self.lookup_provider(pc, history);
-        match prediction {
-            Some((Provider::Tagged(comp), idx)) => {
-                let tag = self.tag(pc, comp);
-                let entry = &mut self.tagged[comp][idx];
-                debug_assert_eq!(entry.tag, tag);
-                if entry.distance == observed {
-                    self.stats.correct_trainings += 1;
-                    entry.confidence.record_correct(&mut self.lfsr);
-                    entry.useful = true;
-                } else {
-                    self.stats.incorrect_trainings += 1;
-                    if entry.confidence.value() == 0 {
-                        entry.distance = observed;
-                        entry.useful = false;
-                    } else {
-                        entry.confidence.record_incorrect();
-                    }
-                    self.allocate(pc, observed, comp + 1, history);
-                }
-            }
-            Some((Provider::Base, idx)) => {
-                let entry = &mut self.base[idx];
-                if entry.distance == observed {
-                    self.stats.correct_trainings += 1;
-                    entry.confidence.record_correct(&mut self.lfsr);
-                } else {
-                    self.stats.incorrect_trainings += 1;
-                    if entry.confidence.value() == 0 {
-                        entry.distance = observed;
-                    } else {
-                        entry.confidence.record_incorrect();
-                    }
-                    self.allocate(pc, observed, 0, history);
-                }
-            }
-            None => {
-                // First sighting: install in the base component.
-                let idx = self.base_index(pc);
-                let entry = &mut self.base[idx];
-                entry.distance = observed;
-                entry.confidence.record_incorrect();
-            }
-        }
-    }
-
     fn lookup_provider(&self, pc: u64, history: &GlobalHistory) -> Option<(Provider, usize)> {
         for comp in (0..self.config.num_tagged).rev() {
             let idx = self.tagged_index(pc, comp, history);
-            let entry = &self.tagged[comp][idx];
-            if entry.tag == self.tag(pc, comp) && entry.distance != u16::MAX {
+            let entry = self.tagged[self.flat(comp, idx)];
+            if t_tag(entry) == self.tag(pc, comp) && t_dist(entry) != NO_DISTANCE {
                 return Some((Provider::Tagged(comp), idx));
             }
         }
         let idx = self.base_index(pc);
-        if self.base[idx].distance != u16::MAX {
+        if b_dist(self.base[idx]) != NO_DISTANCE {
             return Some((Provider::Base, idx));
         }
         None
@@ -401,11 +328,11 @@ impl DistancePredictor {
         for comp in from_comp..self.config.num_tagged {
             let idx = self.tagged_index(pc, comp, history);
             let tag = self.tag(pc, comp);
-            let entry = &mut self.tagged[comp][idx];
-            if !entry.useful {
-                entry.tag = tag;
-                entry.distance = observed;
-                entry.confidence.record_incorrect();
+            let flat = self.flat(comp, idx);
+            if self.tagged[flat] & T_USEFUL == 0 {
+                let mut conf = t_conf(self.tagged[flat]);
+                self.conf.record_incorrect(&mut conf);
+                self.tagged[flat] = t_pack(tag, observed, conf, false);
                 return;
             }
         }
@@ -413,14 +340,131 @@ impl DistancePredictor {
         if self.lfsr.one_in(8) {
             for comp in from_comp..self.config.num_tagged {
                 let idx = self.tagged_index(pc, comp, history);
-                self.tagged[comp][idx].useful = false;
+                let flat = self.flat(comp, idx);
+                self.tagged[flat] &= !T_USEFUL;
+            }
+        }
+    }
+}
+
+impl Predictor for DistancePredictor {
+    type Config = DistancePredictorConfig;
+    type Prediction = DistancePrediction;
+    /// The IDist observed at commit (from the FIFO history or the
+    /// validation mechanism); distances larger than the representable
+    /// maximum are clamped and treated as "no pair".
+    type Outcome = u32;
+    type Stats = PredictorStats;
+
+    fn name(&self) -> &'static str {
+        "distance"
+    }
+
+    /// Looks up a distance prediction for the instruction at `pc`.
+    ///
+    /// Returns `None` when no component holds an entry for this
+    /// instruction. The returned prediction may still be unusable if its
+    /// confidence is not saturated — check [`DistancePrediction::usable`].
+    fn predict(&mut self, pc: u64, history: &GlobalHistory) -> Option<DistancePrediction> {
+        self.stats.lookups += 1;
+        // Longest-history matching tagged component wins.
+        for comp in (0..self.config.num_tagged).rev() {
+            let idx = self.tagged_index(pc, comp, history);
+            let entry = self.tagged[self.flat(comp, idx)];
+            if t_tag(entry) == self.tag(pc, comp) && t_dist(entry) != NO_DISTANCE {
+                let p = DistancePrediction {
+                    distance: u32::from(t_dist(entry)),
+                    confidence: t_conf(entry),
+                    confidence_max: self.conf.max(),
+                    provider: Provider::Tagged(comp),
+                    provider_index: idx,
+                };
+                if p.usable() {
+                    self.stats.used += 1;
+                }
+                return Some(p);
+            }
+        }
+        let idx = self.base_index(pc);
+        let entry = self.base[idx];
+        if b_dist(entry) == NO_DISTANCE {
+            return None;
+        }
+        let p = DistancePrediction {
+            distance: u32::from(b_dist(entry)),
+            confidence: b_conf(entry),
+            confidence_max: self.conf.max(),
+            provider: Provider::Base,
+            provider_index: idx,
+        };
+        if p.usable() {
+            self.stats.used += 1;
+        }
+        Some(p)
+    }
+
+    /// Trains the predictor with an observed distance for the instruction
+    /// at `pc`.
+    fn train(&mut self, pc: u64, observed: u32, history: &GlobalHistory) {
+        let observed = observed.min(self.config.max_distance()) as u16;
+        // Find the providing component exactly as predict would.
+        let prediction = self.lookup_provider(pc, history);
+        match prediction {
+            Some((Provider::Tagged(comp), idx)) => {
+                let tag = self.tag(pc, comp);
+                let flat = self.flat(comp, idx);
+                let entry = self.tagged[flat];
+                debug_assert_eq!(t_tag(entry), tag);
+                if t_dist(entry) == observed {
+                    self.stats.correct += 1;
+                    let mut conf = t_conf(entry);
+                    self.conf.record_correct(&mut conf, &mut self.lfsr);
+                    self.tagged[flat] = t_pack(tag, observed, conf, true);
+                } else {
+                    self.stats.incorrect += 1;
+                    let mut conf = t_conf(entry);
+                    if conf == 0 {
+                        // Replace the distance; useful clears.
+                        self.tagged[flat] = t_pack(tag, observed, conf, false);
+                    } else {
+                        self.conf.record_incorrect(&mut conf);
+                        self.tagged[flat] = t_pack(tag, t_dist(entry), conf, entry & T_USEFUL != 0);
+                    }
+                    self.allocate(pc, observed, comp + 1, history);
+                }
+            }
+            Some((Provider::Base, idx)) => {
+                let entry = self.base[idx];
+                if b_dist(entry) == observed {
+                    self.stats.correct += 1;
+                    let mut conf = b_conf(entry);
+                    self.conf.record_correct(&mut conf, &mut self.lfsr);
+                    self.base[idx] = b_pack(observed, conf);
+                } else {
+                    self.stats.incorrect += 1;
+                    if b_conf(entry) == 0 {
+                        self.base[idx] = b_pack(observed, 0);
+                    } else {
+                        let mut conf = b_conf(entry);
+                        self.conf.record_incorrect(&mut conf);
+                        self.base[idx] = b_pack(b_dist(entry), conf);
+                    }
+                    self.allocate(pc, observed, 0, history);
+                }
+            }
+            None => {
+                // First sighting: install in the base component.
+                let idx = self.base_index(pc);
+                let mut conf = b_conf(self.base[idx]);
+                self.conf.record_incorrect(&mut conf);
+                self.base[idx] = b_pack(observed, conf);
             }
         }
     }
 
     /// Advances the folded histories after a branch outcome has been pushed
     /// into the global history.
-    pub fn on_history_update(&mut self, history: &GlobalHistory) {
+    fn on_history_update(&mut self, history: &GlobalHistory) {
         for f in self.index_fold.iter_mut() {
             f.update(history);
         }
@@ -428,11 +472,30 @@ impl DistancePredictor {
             f.update(history);
         }
     }
+
+    fn config(&self) -> &DistancePredictorConfig {
+        &self.config
+    }
+
+    fn stats(&self) -> PredictorStats {
+        self.stats
+    }
+
+    fn storage_bits(&self) -> u64 {
+        self.config.storage_bits()
+    }
+}
+
+impl IDistPredictor for DistancePredictor {
+    fn max_distance(&self) -> u32 {
+        self.config.max_distance()
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::counters::ProbabilisticCounter;
 
     #[test]
     fn storage_matches_paper_figures() {
@@ -453,6 +516,7 @@ mod tests {
     #[test]
     fn max_distance_fits_rob() {
         assert_eq!(DistancePredictorConfig::ideal().max_distance(), 255);
+        assert_eq!(DistancePredictor::ideal().max_distance(), 255);
     }
 
     #[test]
@@ -573,7 +637,7 @@ mod tests {
         p.train(0x100, 9, &hist);
         let s = p.stats();
         assert_eq!(s.lookups, 1);
-        assert!(s.correct_trainings >= 1);
-        assert!(s.incorrect_trainings >= 1);
+        assert!(s.correct >= 1);
+        assert!(s.incorrect >= 1);
     }
 }

@@ -10,9 +10,17 @@
 //! As in the paper's VP baseline, validation happens at commit and a
 //! misprediction squashes the whole pipeline, so predictions are only used
 //! when a probabilistic confidence counter is saturated.
+//!
+//! Storage is flat packed arrays: each tagged entry's tag, confidence,
+//! valid and useful bits share one word (`comp << tagged_log2 | idx`), so
+//! the provider walk touches a single cache line per component; the
+//! 64-bit strides live in a parallel array read only on a tag match. The
+//! confidence counters are raw bit fields updated through the table-wide
+//! [`ConfidenceParams`] — bit-for-bit the former per-entry counters.
 
-use crate::counters::{Lfsr, ProbabilisticCounter};
+use crate::counters::{ConfidenceParams, Lfsr};
 use crate::history::{FoldedHistory, GlobalHistory};
+use crate::predictor::{Predictor, PredictorStats, ValuePredictor};
 
 /// Configuration of a D-VTAGE value predictor.
 #[derive(Debug, Clone, PartialEq)]
@@ -32,7 +40,9 @@ pub struct DvtageConfig {
     pub max_history: usize,
     /// Stride width in bits (strides are stored as small signed deltas).
     pub stride_bits: u8,
-    /// Confidence counter width.
+    /// Confidence counter width. At most 6 bits: the confidence shares a
+    /// packed metadata word with the valid/useful flags (the per-entry
+    /// counters this replaced accepted up to 7; the paper uses 3).
     pub confidence_bits: u8,
     /// Probabilistic increment denominator.
     pub confidence_denominator: u32,
@@ -103,21 +113,33 @@ impl rsep_isa::Fingerprint for DvtageConfig {
     }
 }
 
-#[derive(Debug, Clone)]
-struct BaseEntry {
-    valid: bool,
-    last_value: u64,
-    stride: i64,
-    confidence: ProbabilisticCounter,
+/// Valid flag of a packed base metadata byte.
+const VALID: u8 = 1 << 7;
+/// Confidence mask of a packed base metadata byte: the low 6 bits.
+const CONF_MASK: u8 = (1 << 6) - 1;
+
+/// Packed tagged-entry word: tag in bits 0..32, raw confidence in bits
+/// 32..38, valid in bit 38, useful in bit 39.
+const T_CONF_SHIFT: u32 = 32;
+const T_VALID: u64 = 1 << 38;
+const T_USEFUL: u64 = 1 << 39;
+
+#[inline]
+fn t_tag(entry: u64) -> u32 {
+    entry as u32
 }
 
-#[derive(Debug, Clone)]
-struct TaggedEntry {
-    tag: u32,
-    valid: bool,
-    stride: i64,
-    confidence: ProbabilisticCounter,
-    useful: bool,
+#[inline]
+fn t_conf(entry: u64) -> u8 {
+    ((entry >> T_CONF_SHIFT) & 0x3f) as u8
+}
+
+#[inline]
+fn t_pack(tag: u32, conf: u8, valid: bool, useful: bool) -> u64 {
+    u64::from(tag)
+        | (u64::from(conf) << T_CONF_SHIFT)
+        | if valid { T_VALID } else { 0 }
+        | if useful { T_USEFUL } else { 0 }
 }
 
 /// A value prediction.
@@ -138,55 +160,39 @@ impl ValuePrediction {
     }
 }
 
-/// Statistics of a D-VTAGE predictor.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct DvtageStats {
-    /// Lookups performed.
-    pub lookups: u64,
-    /// Lookups returning a usable prediction.
-    pub usable_predictions: u64,
-    /// Commit-time updates where the predicted value matched.
-    pub correct_trainings: u64,
-    /// Commit-time updates where the predicted value differed.
-    pub incorrect_trainings: u64,
-}
-
 /// D-VTAGE value predictor.
 #[derive(Debug)]
 pub struct Dvtage {
     config: DvtageConfig,
-    base: Vec<BaseEntry>,
-    tagged: Vec<Vec<TaggedEntry>>,
+    conf: ConfidenceParams,
+    /// Base-component last values.
+    base_value: Box<[u64]>,
+    /// Base-component fallback strides.
+    base_stride: Box<[i64]>,
+    /// Base-component packed valid/confidence bytes.
+    base_meta: Box<[u8]>,
+    /// Packed tagged entries (tag | confidence | valid | useful), one word
+    /// per entry, `comp << tagged_log2 | idx`.
+    tagged: Box<[u64]>,
+    /// Tagged-component strides, same indexing (read only on a tag match).
+    strides: Box<[i64]>,
     index_fold: Vec<FoldedHistory>,
     tag_fold: Vec<FoldedHistory>,
     lfsr: Lfsr,
-    stats: DvtageStats,
+    stats: PredictorStats,
 }
 
 impl Dvtage {
     /// Creates a predictor with the given configuration.
     pub fn new(config: DvtageConfig) -> Dvtage {
         assert_eq!(config.tag_bits.len(), config.num_tagged, "one tag width per component");
-        let conf = ProbabilisticCounter::new(config.confidence_bits, config.confidence_denominator);
-        let base = vec![
-            BaseEntry { valid: false, last_value: 0, stride: 0, confidence: conf };
-            1 << config.base_log2
-        ];
-        let tagged =
-            (0..config.num_tagged)
-                .map(|_| {
-                    vec![
-                        TaggedEntry {
-                            tag: 0,
-                            valid: false,
-                            stride: 0,
-                            confidence: conf,
-                            useful: false
-                        };
-                        1 << config.tagged_log2
-                    ]
-                })
-                .collect();
+        assert!(
+            config.confidence_bits <= 6,
+            "confidence must fit the packed metadata byte (6 bits)"
+        );
+        let conf = ConfidenceParams::new(config.confidence_bits, config.confidence_denominator);
+        let base_entries = 1usize << config.base_log2;
+        let tagged_entries = config.num_tagged << config.tagged_log2;
         let index_fold = (0..config.num_tagged)
             .map(|i| FoldedHistory::new(config.history_length(i), config.tagged_log2 as usize))
             .collect();
@@ -195,12 +201,16 @@ impl Dvtage {
             .collect();
         Dvtage {
             config,
-            base,
-            tagged,
+            conf,
+            base_value: vec![0u64; base_entries].into_boxed_slice(),
+            base_stride: vec![0i64; base_entries].into_boxed_slice(),
+            base_meta: vec![0u8; base_entries].into_boxed_slice(),
+            tagged: vec![0u64; tagged_entries].into_boxed_slice(),
+            strides: vec![0i64; tagged_entries].into_boxed_slice(),
             index_fold,
             tag_fold,
             lfsr: Lfsr::new(0xc0ff_ee15_600d),
-            stats: DvtageStats::default(),
+            stats: PredictorStats::default(),
         }
     }
 
@@ -209,18 +219,14 @@ impl Dvtage {
         Dvtage::new(DvtageConfig::paper_256kb())
     }
 
-    /// The configuration in use.
-    pub fn config(&self) -> &DvtageConfig {
-        &self.config
-    }
-
-    /// Statistics collected so far.
-    pub fn stats(&self) -> DvtageStats {
-        self.stats
-    }
-
     fn base_index(&self, pc: u64) -> usize {
         ((pc >> 2) as usize) & ((1 << self.config.base_log2) - 1)
+    }
+
+    /// Flat index of entry `idx` of tagged component `comp`.
+    #[inline]
+    fn flat(&self, comp: usize, idx: usize) -> usize {
+        (comp << self.config.tagged_log2) | idx
     }
 
     fn tagged_index(&self, pc: u64, comp: usize, history: &GlobalHistory) -> usize {
@@ -237,110 +243,6 @@ impl Dvtage {
         ((pc >> 2) ^ ((pc >> 2) >> 9) ^ self.tag_fold[comp].value()) as u32 & mask as u32
     }
 
-    /// Looks up a value prediction for the instruction at `pc`.
-    pub fn predict(&mut self, pc: u64, history: &GlobalHistory) -> Option<ValuePrediction> {
-        self.stats.lookups += 1;
-        let base_idx = self.base_index(pc);
-        let base = &self.base[base_idx];
-        if !base.valid {
-            return None;
-        }
-        // Longest matching tagged component provides the stride; the base
-        // provides the last value (and a fallback stride).
-        let mut stride = base.stride;
-        let mut confidence = base.confidence;
-        for comp in (0..self.config.num_tagged).rev() {
-            let idx = self.tagged_index(pc, comp, history);
-            let entry = &self.tagged[comp][idx];
-            if entry.valid && entry.tag == self.tag(pc, comp) {
-                stride = entry.stride;
-                confidence = entry.confidence;
-                break;
-            }
-        }
-        let prediction = ValuePrediction {
-            value: base.last_value.wrapping_add_signed(stride),
-            confidence: confidence.value(),
-            confidence_max: confidence.max(),
-        };
-        if prediction.usable() {
-            self.stats.usable_predictions += 1;
-        }
-        Some(prediction)
-    }
-
-    /// Trains the predictor with the committed result of the instruction at
-    /// `pc`.
-    pub fn train(&mut self, pc: u64, actual: u64, history: &GlobalHistory) {
-        let base_idx = self.base_index(pc);
-        let predicted = if self.base[base_idx].valid {
-            let base = &self.base[base_idx];
-            let mut stride = base.stride;
-            let mut provider: Option<(usize, usize)> = None;
-            for comp in (0..self.config.num_tagged).rev() {
-                let idx = self.tagged_index(pc, comp, history);
-                let entry = &self.tagged[comp][idx];
-                if entry.valid && entry.tag == self.tag(pc, comp) {
-                    stride = entry.stride;
-                    provider = Some((comp, idx));
-                    break;
-                }
-            }
-            Some((base.last_value.wrapping_add_signed(stride), provider))
-        } else {
-            None
-        };
-
-        match predicted {
-            Some((value, provider)) => {
-                let correct = value == actual;
-                if correct {
-                    self.stats.correct_trainings += 1;
-                } else {
-                    self.stats.incorrect_trainings += 1;
-                }
-                let observed_stride = actual.wrapping_sub(self.base[base_idx].last_value) as i64;
-                let clamped = Self::clamp_stride(observed_stride, self.config.stride_bits);
-                match provider {
-                    Some((comp, idx)) => {
-                        let entry = &mut self.tagged[comp][idx];
-                        if correct {
-                            entry.confidence.record_correct(&mut self.lfsr);
-                            entry.useful = true;
-                        } else {
-                            if entry.confidence.value() == 0 {
-                                entry.stride = clamped;
-                                entry.useful = false;
-                            }
-                            entry.confidence.record_incorrect();
-                            self.allocate(pc, clamped, comp + 1, history);
-                        }
-                    }
-                    None => {
-                        let entry = &mut self.base[base_idx];
-                        if correct {
-                            entry.confidence.record_correct(&mut self.lfsr);
-                        } else {
-                            if entry.confidence.value() == 0 {
-                                entry.stride = clamped;
-                            }
-                            entry.confidence.record_incorrect();
-                            self.allocate(pc, clamped, 0, history);
-                        }
-                    }
-                }
-                self.base[base_idx].last_value = actual;
-            }
-            None => {
-                let entry = &mut self.base[base_idx];
-                entry.valid = true;
-                entry.last_value = actual;
-                entry.stride = 0;
-                entry.confidence.record_incorrect();
-            }
-        }
-    }
-
     fn clamp_stride(stride: i64, bits: u8) -> i64 {
         let max = (1i64 << (bits - 1)) - 1;
         stride.clamp(-max - 1, max)
@@ -350,31 +252,174 @@ impl Dvtage {
         for comp in from_comp..self.config.num_tagged {
             let idx = self.tagged_index(pc, comp, history);
             let tag = self.tag(pc, comp);
-            let entry = &mut self.tagged[comp][idx];
-            if !entry.useful {
-                entry.valid = true;
-                entry.tag = tag;
-                entry.stride = stride;
-                entry.confidence.record_incorrect();
+            let flat = self.flat(comp, idx);
+            if self.tagged[flat] & T_USEFUL == 0 {
+                self.strides[flat] = stride;
+                let mut conf = t_conf(self.tagged[flat]);
+                self.conf.record_incorrect(&mut conf);
+                self.tagged[flat] = t_pack(tag, conf, true, false);
                 return;
             }
         }
         if self.lfsr.one_in(8) {
             for comp in from_comp..self.config.num_tagged {
                 let idx = self.tagged_index(pc, comp, history);
-                self.tagged[comp][idx].useful = false;
+                let flat = self.flat(comp, idx);
+                self.tagged[flat] &= !T_USEFUL;
+            }
+        }
+    }
+}
+
+impl Predictor for Dvtage {
+    type Config = DvtageConfig;
+    type Prediction = ValuePrediction;
+    /// The committed 64-bit result.
+    type Outcome = u64;
+    type Stats = PredictorStats;
+
+    fn name(&self) -> &'static str {
+        "dvtage"
+    }
+
+    /// Looks up a value prediction for the instruction at `pc`.
+    fn predict(&mut self, pc: u64, history: &GlobalHistory) -> Option<ValuePrediction> {
+        self.stats.lookups += 1;
+        let base_idx = self.base_index(pc);
+        if self.base_meta[base_idx] & VALID == 0 {
+            return None;
+        }
+        // Longest matching tagged component provides the stride; the base
+        // provides the last value (and a fallback stride).
+        let mut stride = self.base_stride[base_idx];
+        let mut confidence = self.base_meta[base_idx] & CONF_MASK;
+        for comp in (0..self.config.num_tagged).rev() {
+            let idx = self.tagged_index(pc, comp, history);
+            let flat = self.flat(comp, idx);
+            let entry = self.tagged[flat];
+            if entry & T_VALID != 0 && t_tag(entry) == self.tag(pc, comp) {
+                stride = self.strides[flat];
+                confidence = t_conf(entry);
+                break;
+            }
+        }
+        let prediction = ValuePrediction {
+            value: self.base_value[base_idx].wrapping_add_signed(stride),
+            confidence,
+            confidence_max: self.conf.max(),
+        };
+        if prediction.usable() {
+            self.stats.used += 1;
+        }
+        Some(prediction)
+    }
+
+    /// Trains the predictor with the committed result of the instruction at
+    /// `pc`.
+    fn train(&mut self, pc: u64, actual: u64, history: &GlobalHistory) {
+        let base_idx = self.base_index(pc);
+        let predicted = if self.base_meta[base_idx] & VALID != 0 {
+            let mut stride = self.base_stride[base_idx];
+            let mut provider: Option<(usize, usize)> = None;
+            for comp in (0..self.config.num_tagged).rev() {
+                let idx = self.tagged_index(pc, comp, history);
+                let flat = self.flat(comp, idx);
+                let entry = self.tagged[flat];
+                if entry & T_VALID != 0 && t_tag(entry) == self.tag(pc, comp) {
+                    stride = self.strides[flat];
+                    provider = Some((comp, idx));
+                    break;
+                }
+            }
+            Some((self.base_value[base_idx].wrapping_add_signed(stride), provider))
+        } else {
+            None
+        };
+
+        match predicted {
+            Some((value, provider)) => {
+                let correct = value == actual;
+                if correct {
+                    self.stats.correct += 1;
+                } else {
+                    self.stats.incorrect += 1;
+                }
+                let observed_stride = actual.wrapping_sub(self.base_value[base_idx]) as i64;
+                let clamped = Self::clamp_stride(observed_stride, self.config.stride_bits);
+                match provider {
+                    Some((comp, idx)) => {
+                        let flat = self.flat(comp, idx);
+                        let entry = self.tagged[flat];
+                        let mut conf = t_conf(entry);
+                        if correct {
+                            self.conf.record_correct(&mut conf, &mut self.lfsr);
+                            self.tagged[flat] =
+                                t_pack(t_tag(entry), conf, entry & T_VALID != 0, true);
+                        } else {
+                            let mut useful = entry & T_USEFUL != 0;
+                            if conf == 0 {
+                                self.strides[flat] = clamped;
+                                useful = false;
+                            }
+                            self.conf.record_incorrect(&mut conf);
+                            self.tagged[flat] =
+                                t_pack(t_tag(entry), conf, entry & T_VALID != 0, useful);
+                            self.allocate(pc, clamped, comp + 1, history);
+                        }
+                    }
+                    None => {
+                        let mut conf = self.base_meta[base_idx] & CONF_MASK;
+                        if correct {
+                            self.conf.record_correct(&mut conf, &mut self.lfsr);
+                            self.base_meta[base_idx] = VALID | conf;
+                        } else {
+                            if conf == 0 {
+                                self.base_stride[base_idx] = clamped;
+                            }
+                            self.conf.record_incorrect(&mut conf);
+                            self.base_meta[base_idx] = VALID | conf;
+                            self.allocate(pc, clamped, 0, history);
+                        }
+                    }
+                }
+                self.base_value[base_idx] = actual;
+            }
+            None => {
+                self.base_value[base_idx] = actual;
+                self.base_stride[base_idx] = 0;
+                let mut conf = self.base_meta[base_idx] & CONF_MASK;
+                self.conf.record_incorrect(&mut conf);
+                self.base_meta[base_idx] = VALID | conf;
             }
         }
     }
 
     /// Advances the folded histories after a branch outcome was pushed.
-    pub fn on_history_update(&mut self, history: &GlobalHistory) {
+    fn on_history_update(&mut self, history: &GlobalHistory) {
         for f in self.index_fold.iter_mut() {
             f.update(history);
         }
         for f in self.tag_fold.iter_mut() {
             f.update(history);
         }
+    }
+
+    fn config(&self) -> &DvtageConfig {
+        &self.config
+    }
+
+    fn stats(&self) -> PredictorStats {
+        self.stats
+    }
+
+    fn storage_bits(&self) -> u64 {
+        self.config.storage_bits()
+    }
+}
+
+impl ValuePredictor<ValuePrediction> for Dvtage {
+    fn usable(prediction: &ValuePrediction) -> bool {
+        prediction.usable()
     }
 }
 
@@ -467,7 +512,7 @@ mod tests {
         p.train(0x100, 2, &hist);
         let s = p.stats();
         assert_eq!(s.lookups, 1);
-        assert!(s.correct_trainings + s.incorrect_trainings >= 1);
+        assert!(s.correct + s.incorrect >= 1);
     }
 
     #[test]
@@ -475,5 +520,13 @@ mod tests {
         assert_eq!(Dvtage::clamp_stride(1 << 40, 16), (1 << 15) - 1);
         assert_eq!(Dvtage::clamp_stride(-(1 << 40), 16), -(1 << 15));
         assert_eq!(Dvtage::clamp_stride(5, 16), 5);
+    }
+
+    #[test]
+    fn usable_gate_via_the_value_predictor_trait() {
+        let p = ValuePrediction { value: 1, confidence: 7, confidence_max: 7 };
+        assert!(<Dvtage as ValuePredictor<_>>::usable(&p));
+        let p = ValuePrediction { value: 1, confidence: 3, confidence_max: 7 };
+        assert!(!<Dvtage as ValuePredictor<_>>::usable(&p));
     }
 }

@@ -1,7 +1,14 @@
 //! # rsep-predictors
 //!
-//! Prediction structures used by the RSEP reproduction:
+//! Prediction structures used by the RSEP reproduction, unified behind one
+//! trait family (see [`predictor`]):
 //!
+//! * [`Predictor`] — the common interface: `predict` / `train` /
+//!   `on_squash` / `storage_bits` / `fingerprint`, with associated
+//!   `Config: Fingerprint`, `Prediction`, `Outcome` and `Stats` types and
+//!   the shared [`PredictorStats`] counters. Sub-traits refine the shape
+//!   per family: [`BranchPredictor`] (TAGE), [`ValuePredictor`] (D-VTAGE,
+//!   zero) and [`IDistPredictor`] (the distance predictor).
 //! * [`Tage`] — the TAGE conditional branch predictor of the Table I front
 //!   end (1 + 12 components, ~15K entries).
 //! * [`DistancePredictor`] — the TAGE-like instruction-distance predictor of
@@ -11,11 +18,14 @@
 //!   VP baseline.
 //! * [`ZeroPredictor`] — the zero predictor of Section III.
 //! * [`Btb`] / [`ReturnAddressStack`] — front-end target prediction.
+//! * [`PredictorStack`] — TAGE + BTB + RAS + global history resolved one
+//!   fetch block at a time through [`PredictorStack::predict_block`].
 //! * [`ProbabilisticCounter`] — 3-bit probabilistic (FPC) confidence
 //!   counters shared by the value/distance/zero predictors.
 //!
-//! All predictors are deterministic given their internal LFSR seeds, so
-//! simulations are reproducible.
+//! Every table is stored struct-of-arrays (flat tag arrays plus packed
+//! counter/useful bytes), and all predictors are deterministic given their
+//! internal LFSR seeds, so simulations are reproducible.
 
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
@@ -25,15 +35,17 @@ pub mod counters;
 pub mod distance;
 pub mod dvtage;
 pub mod history;
+pub mod predictor;
+pub mod stack;
 pub mod tage;
 pub mod zero;
 
-pub use btb::{Btb, ReturnAddressStack};
-pub use counters::{Lfsr, ProbabilisticCounter, SaturatingCounter};
-pub use distance::{
-    DistancePrediction, DistancePredictor, DistancePredictorConfig, DistancePredictorStats,
-};
-pub use dvtage::{Dvtage, DvtageConfig, DvtageStats, ValuePrediction};
+pub use btb::{Btb, BtbConfig, ReturnAddressStack};
+pub use counters::{ConfidenceParams, Lfsr, ProbabilisticCounter, SaturatingCounter};
+pub use distance::{DistancePrediction, DistancePredictor, DistancePredictorConfig};
+pub use dvtage::{Dvtage, DvtageConfig, ValuePrediction};
 pub use history::{FoldedHistory, GlobalHistory};
-pub use tage::{Tage, TageConfig, TagePrediction, TageStats};
-pub use zero::{ZeroPredictor, ZeroPredictorConfig, ZeroPredictorStats};
+pub use predictor::{BranchPredictor, IDistPredictor, Predictor, PredictorStats, ValuePredictor};
+pub use stack::{PredictRequest, PredictorStack};
+pub use tage::{Tage, TageConfig, TagePrediction};
+pub use zero::{ZeroPrediction, ZeroPredictor, ZeroPredictorConfig};

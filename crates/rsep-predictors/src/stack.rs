@@ -1,0 +1,295 @@
+//! The front-end predictor stack: TAGE + BTB + RAS + global history,
+//! resolved one fetch block at a time.
+//!
+//! [`PredictorStack`] owns every structure the fetch stage consults —
+//! the [`Tage`] direction predictor, the [`Btb`], the
+//! [`ReturnAddressStack`] and the [`GlobalHistory`] all of them index
+//! with — and exposes two entry points:
+//!
+//! * [`PredictorStack::predict_block`] — the batched path: one call per
+//!   fetch block per cycle, resolving the block's [`PredictRequest`]s in
+//!   fetch order. This is the hot-path interface the core uses — the
+//!   fetch stage hands over one block instead of one call per branch
+//!   (the `predictor_stack` bench tracks both entry points; the win is
+//!   structural today, and the block boundary is where future
+//!   cross-branch optimisations land).
+//! * [`PredictorStack::predict_one`] — the per-branch reference path
+//!   (exactly the retired per-instruction protocol), kept for one PR as
+//!   the oracle the golden-stats and property tests compare against.
+//!
+//! # Bit-identity of the batched path
+//!
+//! Prediction order is observable: each branch's TAGE lookup reads the
+//! global history *including every earlier branch of the same block*, the
+//! RAS pops/pushes in branch order, and a mispredicted branch ends the
+//! fetch block (younger instructions are not fetched this cycle, so their
+//! branches must not touch any predictor state). `predict_block`
+//! therefore resolves requests strictly in slice order and **stops after
+//! the first misprediction**, returning how many requests it resolved —
+//! the unresolved tail is handed back to the caller untouched, exactly as
+//! the per-branch loop would have left it. See `DESIGN.md` ("Front-end
+//! predictor stack") for the full argument.
+
+use crate::btb::{Btb, ReturnAddressStack};
+use crate::history::GlobalHistory;
+use crate::predictor::{Predictor, PredictorStats};
+use crate::tage::Tage;
+use rsep_isa::{BranchInfo, BranchKind};
+
+/// One branch of a fetch block, resolved by
+/// [`PredictorStack::predict_block`].
+#[derive(Debug, Clone, Copy)]
+pub struct PredictRequest {
+    /// PC of the branch instruction.
+    pub pc: u64,
+    /// Oracle branch information travelling with the trace (kind, actual
+    /// direction, actual target).
+    pub branch: BranchInfo,
+    /// Output: whether the front end mispredicted this branch (wrong
+    /// direction, wrong/missing BTB target, or RAS mismatch).
+    pub mispredicted: bool,
+}
+
+impl PredictRequest {
+    /// A request for the branch at `pc`.
+    pub fn new(pc: u64, branch: BranchInfo) -> PredictRequest {
+        PredictRequest { pc, branch, mispredicted: false }
+    }
+}
+
+/// The front-end predictor stack (see the module docs).
+#[derive(Debug)]
+pub struct PredictorStack {
+    tage: Tage,
+    btb: Btb,
+    ras: ReturnAddressStack,
+    ghist: GlobalHistory,
+}
+
+impl PredictorStack {
+    /// Builds a stack from its components.
+    pub fn new(tage: Tage, btb: Btb, ras: ReturnAddressStack) -> PredictorStack {
+        PredictorStack { tage, btb, ras, ghist: GlobalHistory::new() }
+    }
+
+    /// The Table I front end: 1+12-component TAGE, 2-way 4K-entry BTB,
+    /// 32-entry RAS.
+    pub fn table1() -> PredictorStack {
+        PredictorStack::new(Tage::table1(), Btb::table1(), ReturnAddressStack::table1())
+    }
+
+    /// Resolves one fetch block's branch predictions in fetch order,
+    /// stopping after the first mispredicted branch (which ends the
+    /// block). Returns the number of requests resolved; requests past that
+    /// point were not touched and must not be treated as fetched.
+    pub fn predict_block(&mut self, requests: &mut [PredictRequest]) -> usize {
+        for (i, request) in requests.iter_mut().enumerate() {
+            request.mispredicted = predict_one_inner(
+                &mut self.tage,
+                &mut self.btb,
+                &mut self.ras,
+                &mut self.ghist,
+                request.pc,
+                request.branch,
+            );
+            if request.mispredicted {
+                return i + 1;
+            }
+        }
+        requests.len()
+    }
+
+    /// Predicts one branch, updates the predictors and returns `true` if
+    /// the front end mispredicted it — the retired per-branch protocol,
+    /// kept as the reference for [`PredictorStack::predict_block`].
+    pub fn predict_one(&mut self, pc: u64, branch: BranchInfo) -> bool {
+        predict_one_inner(&mut self.tage, &mut self.btb, &mut self.ras, &mut self.ghist, pc, branch)
+    }
+
+    /// Statistics of the trained components, labelled by family name.
+    pub fn stats(&self) -> Vec<(&'static str, PredictorStats)> {
+        vec![(self.tage.name(), self.tage.stats()), (self.btb.name(), self.btb.stats())]
+    }
+
+    /// Total storage of the front-end stack in bits (TAGE + BTB + RAS).
+    pub fn storage_bits(&self) -> u64 {
+        self.tage.storage_bits() + self.btb.storage_bits() + self.ras.storage_bits()
+    }
+
+    /// The global history the stack maintains (pushed once per branch).
+    pub fn history(&self) -> &GlobalHistory {
+        &self.ghist
+    }
+}
+
+/// The per-branch prediction protocol, shared verbatim by the batched and
+/// per-branch entry points (free function so `predict_block` can call it
+/// while iterating a borrowed request slice).
+fn predict_one_inner(
+    tage: &mut Tage,
+    btb: &mut Btb,
+    ras: &mut ReturnAddressStack,
+    ghist: &mut GlobalHistory,
+    pc: u64,
+    branch: BranchInfo,
+) -> bool {
+    // The TAGE walk runs only for conditional branches: its prediction is
+    // never consumed for returns/unconditionals/indirects, and `predict`
+    // has no table side effects, so skipping it there is pure dead-work
+    // elimination (bit-identical simulated behaviour; only the lookup
+    // counter changes meaning — it now counts real direction lookups).
+    let mut prediction = None;
+    let mispredicted = match branch.kind {
+        BranchKind::Return => match ras.pop() {
+            Some(target) => target != branch.target,
+            None => true,
+        },
+        BranchKind::Unconditional | BranchKind::Indirect => {
+            // Direction is known; the target must come from the BTB.
+            btb.predict(pc, ghist) != Some(branch.target)
+        }
+        BranchKind::Conditional => {
+            let p = tage.predict(pc, ghist).expect("TAGE always answers");
+            prediction = Some(p);
+            let direction_wrong = p.taken != branch.taken;
+            let target_wrong = branch.taken && btb.predict(pc, ghist) != Some(branch.target);
+            direction_wrong || target_wrong
+        }
+    };
+    if let Some(prediction) = prediction {
+        tage.train(pc, (branch.taken, prediction), ghist);
+    }
+    if branch.taken {
+        btb.train(pc, branch.target, ghist);
+    }
+    if branch.kind == BranchKind::Unconditional {
+        // Calls push the fall-through address for a later return.
+        ras.push(pc + 4);
+    }
+    ghist.push(branch.taken, pc);
+    tage.on_history_update(ghist);
+    mispredicted
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn conditional(taken: bool, target: u64) -> BranchInfo {
+        BranchInfo { kind: BranchKind::Conditional, taken, target }
+    }
+
+    /// A deterministic stream of branches with a mix of kinds, predictable
+    /// and random directions.
+    fn stream(len: usize) -> Vec<(u64, BranchInfo)> {
+        let mut state = 0x1234_5678_9abc_def0u64;
+        (0..len)
+            .map(|i| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let pc = 0x40_0000 + (i as u64 % 24) * 4;
+                let branch = match state % 7 {
+                    0 => {
+                        BranchInfo { kind: BranchKind::Unconditional, taken: true, target: pc + 64 }
+                    }
+                    1 => BranchInfo { kind: BranchKind::Return, taken: true, target: pc + 4 },
+                    _ => conditional(i % 5 != 4, pc + 32),
+                };
+                (pc, branch)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn batched_blocks_match_the_per_branch_reference() {
+        // Feed the identical branch stream through both entry points in
+        // blocks of varying width: resolved prefixes, mispredict flags,
+        // statistics and history state must match exactly.
+        let mut batched = PredictorStack::table1();
+        let mut reference = PredictorStack::table1();
+        let stream = stream(4_000);
+        let mut cursor = 0usize;
+        let mut block = 1usize;
+        while cursor < stream.len() {
+            let width = 1 + block % 8;
+            block += 1;
+            let end = (cursor + width).min(stream.len());
+            let mut requests: Vec<PredictRequest> =
+                stream[cursor..end].iter().map(|&(pc, b)| PredictRequest::new(pc, b)).collect();
+            let resolved = batched.predict_block(&mut requests);
+            for (offset, request) in requests[..resolved].iter().enumerate() {
+                let (pc, branch) = stream[cursor + offset];
+                let expected = reference.predict_one(pc, branch);
+                assert_eq!(
+                    request.mispredicted,
+                    expected,
+                    "branch {} diverges between batched and per-branch paths",
+                    cursor + offset
+                );
+            }
+            // The batched path stops exactly at the first misprediction.
+            if resolved < requests.len() {
+                assert!(requests[resolved - 1].mispredicted);
+            }
+            cursor += resolved;
+        }
+        assert_eq!(batched.stats(), reference.stats());
+        assert_eq!(batched.history().recent(64), reference.history().recent(64));
+    }
+
+    #[test]
+    fn block_stops_at_the_first_misprediction() {
+        let mut stack = PredictorStack::table1();
+        // A cold conditional taken branch always mispredicts (no BTB
+        // entry), so a block of three resolves exactly one request.
+        let mut requests = vec![
+            PredictRequest::new(0x1000, conditional(true, 0x9000)),
+            PredictRequest::new(0x1004, conditional(false, 0x9100)),
+            PredictRequest::new(0x1008, conditional(false, 0x9200)),
+        ];
+        let resolved = stack.predict_block(&mut requests);
+        assert_eq!(resolved, 1);
+        assert!(requests[0].mispredicted);
+        assert!(!requests[1].mispredicted, "unresolved requests stay untouched");
+        // Only the resolved branch entered the history and the stats.
+        assert_eq!(stack.stats()[0].1.lookups, 1);
+    }
+
+    #[test]
+    fn trained_branches_stop_mispredicting() {
+        let mut stack = PredictorStack::table1();
+        let pc = 0x2000;
+        let branch = conditional(true, 0x5000);
+        // First sight: direction may be right but the BTB misses.
+        assert!(stack.predict_one(pc, branch));
+        let mut mispredicts = 0;
+        for _ in 0..200 {
+            if stack.predict_one(pc, branch) {
+                mispredicts += 1;
+            }
+        }
+        assert!(mispredicts < 10, "always-taken branch kept mispredicting ({mispredicts})");
+    }
+
+    #[test]
+    fn returns_match_the_call_stack() {
+        let mut stack = PredictorStack::table1();
+        let call_pc = 0x3000;
+        // A call (unconditional) pushes call_pc + 4; the matching return
+        // predicts correctly, a mismatched one does not.
+        let call = BranchInfo { kind: BranchKind::Unconditional, taken: true, target: 0x8000 };
+        stack.predict_one(call_pc, call);
+        let good = BranchInfo { kind: BranchKind::Return, taken: true, target: call_pc + 4 };
+        assert!(!stack.predict_one(0x8010, good));
+        let bad = BranchInfo { kind: BranchKind::Return, taken: true, target: 0x1234 };
+        assert!(stack.predict_one(0x8010, bad));
+    }
+
+    #[test]
+    fn storage_covers_all_components() {
+        let stack = PredictorStack::table1();
+        let expected = Tage::table1().storage_bits()
+            + Btb::table1().storage_bits()
+            + ReturnAddressStack::table1().storage_bits();
+        assert_eq!(stack.storage_bits(), expected);
+    }
+}

@@ -5,12 +5,23 @@
 //! entries, with a minimum misprediction penalty of 17 cycles. This module
 //! implements a standard TAGE [31]: geometric history lengths, partial tags,
 //! useful bits, and allocation on mispredictions.
+//!
+//! Storage is one flat array of packed entry words across all tagged
+//! components (entry `idx` of component `comp` lives at
+//! `comp << tagged_log2 | idx`): the partial tag in the low 16 bits, the
+//! 3-bit signed counter (biased by +4) and the 2-bit useful counter above
+//! it. The provider walk of [`Predictor::predict`] touches one random
+//! entry per component, so a single packed word per entry — one cache
+//! line touch — beats both the retired `Vec<Vec<Entry>>` layout and a
+//! split tag-array/metadata-array layout (measured by the
+//! `predictor_stack` bench).
 
 use crate::counters::Lfsr;
 use crate::history::{FoldedHistory, GlobalHistory};
+use crate::predictor::{BranchPredictor, Predictor, PredictorStats};
 
 /// Configuration of a TAGE branch predictor.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TageConfig {
     /// log2 of the number of entries of the bimodal base table.
     pub base_log2: u8,
@@ -62,12 +73,48 @@ impl TageConfig {
     }
 }
 
-#[derive(Debug, Clone, Copy, Default)]
-struct TaggedEntry {
-    tag: u16,
-    /// Signed 3-bit counter: >= 0 predicts taken.
-    ctr: i8,
-    useful: u8,
+impl rsep_isa::Fingerprint for TageConfig {
+    fn fingerprint(&self, h: &mut rsep_isa::Fnv) {
+        h.write_str("TageConfig");
+        self.base_log2.fingerprint(h);
+        self.tagged_log2.fingerprint(h);
+        self.num_tagged.fingerprint(h);
+        self.min_history.fingerprint(h);
+        self.max_history.fingerprint(h);
+        self.tag_bits.fingerprint(h);
+    }
+}
+
+/// Packed tagged-entry word: the partial tag in bits 0..16, the 3-bit
+/// signed counter (-4..=3, biased by +4) in bits 16..19, the 2-bit useful
+/// counter in bits 19..21. A fresh entry decodes to
+/// `tag = 0, ctr = 0, useful = 0` — exactly the old
+/// `TaggedEntry::default()`.
+const CTR_BIAS: i8 = 4;
+const CTR_SHIFT: u32 = 16;
+const USEFUL_SHIFT: u32 = 19;
+const NEW_ENTRY: u32 = (CTR_BIAS as u32) << CTR_SHIFT;
+
+#[inline]
+fn entry_tag(entry: u32) -> u16 {
+    entry as u16
+}
+
+#[inline]
+fn entry_ctr(entry: u32) -> i8 {
+    ((entry >> CTR_SHIFT) & 0b111) as i8 - CTR_BIAS
+}
+
+#[inline]
+fn entry_useful(entry: u32) -> u8 {
+    ((entry >> USEFUL_SHIFT) & 0b11) as u8
+}
+
+#[inline]
+fn pack_entry(tag: u16, ctr: i8, useful: u8) -> u32 {
+    u32::from(tag)
+        | ((((ctr + CTR_BIAS) as u32) & 0b111) << CTR_SHIFT)
+        | (u32::from(useful) << USEFUL_SHIFT)
 }
 
 /// Where a TAGE prediction came from (used for the update policy).
@@ -86,43 +133,24 @@ pub struct TagePrediction {
 #[derive(Debug)]
 pub struct Tage {
     config: TageConfig,
-    base: Vec<i8>,
-    tagged: Vec<Vec<TaggedEntry>>,
+    base: Box<[i8]>,
+    /// Packed tagged entries (tag | counter | useful), one word per entry,
+    /// `comp << tagged_log2 | idx`.
+    entries: Box<[u32]>,
     index_fold: Vec<FoldedHistory>,
     tag_fold0: Vec<FoldedHistory>,
     tag_fold1: Vec<FoldedHistory>,
     lfsr: Lfsr,
-    stats: TageStats,
-}
-
-/// Accuracy statistics of a [`Tage`] predictor.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct TageStats {
-    /// Number of predictions made.
-    pub predictions: u64,
-    /// Number of mispredictions.
-    pub mispredictions: u64,
-}
-
-impl TageStats {
-    /// Mispredictions per kilo-prediction.
-    pub fn mpki(&self, instructions: u64) -> f64 {
-        if instructions == 0 {
-            0.0
-        } else {
-            self.mispredictions as f64 * 1000.0 / instructions as f64
-        }
-    }
+    stats: PredictorStats,
 }
 
 impl Tage {
     /// Creates a predictor with the given configuration.
     pub fn new(config: TageConfig) -> Tage {
         assert_eq!(config.tag_bits.len(), config.num_tagged, "one tag width per component");
-        let base = vec![0i8; 1 << config.base_log2];
-        let tagged = (0..config.num_tagged)
-            .map(|_| vec![TaggedEntry::default(); 1 << config.tagged_log2])
-            .collect();
+        let base = vec![0i8; 1 << config.base_log2].into_boxed_slice();
+        let tagged_entries = config.num_tagged << config.tagged_log2;
+        let entries = vec![NEW_ENTRY; tagged_entries].into_boxed_slice();
         let index_fold = (0..config.num_tagged)
             .map(|i| FoldedHistory::new(config.history_length(i), config.tagged_log2 as usize))
             .collect();
@@ -140,12 +168,12 @@ impl Tage {
         Tage {
             config,
             base,
-            tagged,
+            entries,
             index_fold,
             tag_fold0,
             tag_fold1,
             lfsr: Lfsr::new(0xb5ad_4ece_da1c_e2a9),
-            stats: TageStats::default(),
+            stats: PredictorStats::default(),
         }
     }
 
@@ -154,15 +182,17 @@ impl Tage {
         Tage::new(TageConfig::table1())
     }
 
-    /// Accuracy statistics so far.
-    pub fn stats(&self) -> TageStats {
-        self.stats
-    }
-
     fn base_index(&self, pc: u64) -> usize {
         ((pc >> 2) as usize) & ((1 << self.config.base_log2) - 1)
     }
 
+    /// Flat index of entry `idx` of tagged component `comp`.
+    #[inline]
+    fn flat(&self, comp: usize, idx: usize) -> usize {
+        (comp << self.config.tagged_log2) | idx
+    }
+
+    #[inline]
     fn tagged_index(&self, pc: u64, comp: usize, history: &GlobalHistory) -> usize {
         let mask = (1usize << self.config.tagged_log2) - 1;
         let pc = pc >> 2;
@@ -172,65 +202,92 @@ impl Tage {
             & mask
     }
 
+    #[inline]
     fn tag(&self, pc: u64, comp: usize) -> u16 {
         let mask = (1u64 << self.config.tag_bits[comp]) - 1;
         let pc = pc >> 2;
         ((pc ^ self.tag_fold0[comp].value() ^ (self.tag_fold1[comp].value() << 1)) & mask) as u16
     }
+}
 
-    /// Predicts the direction of the conditional branch at `pc`.
-    pub fn predict(&self, pc: u64, history: &GlobalHistory) -> TagePrediction {
+impl Predictor for Tage {
+    type Config = TageConfig;
+    type Prediction = TagePrediction;
+    /// The observed direction plus the prediction being trained against
+    /// (TAGE's update policy depends on provider/alternate agreement).
+    type Outcome = (bool, TagePrediction);
+    type Stats = PredictorStats;
+
+    fn name(&self) -> &'static str {
+        "tage"
+    }
+
+    /// Predicts the direction of the conditional branch at `pc`. TAGE
+    /// always answers (the bimodal base backs every lookup), so this is
+    /// never `None`.
+    fn predict(&mut self, pc: u64, history: &GlobalHistory) -> Option<TagePrediction> {
+        self.stats.lookups += 1;
         let base_taken = self.base[self.base_index(pc)] >= 0;
         let mut provider = None;
         let mut alt: Option<bool> = None;
         let mut provider_taken = base_taken;
         // Search from longest history to shortest.
         for comp in (0..self.config.num_tagged).rev() {
-            let idx = self.tagged_index(pc, comp, history);
-            let entry = &self.tagged[comp][idx];
-            if entry.tag == self.tag(pc, comp) {
+            let idx = self.flat(comp, self.tagged_index(pc, comp, history));
+            let entry = self.entries[idx];
+            if entry_tag(entry) == self.tag(pc, comp) {
                 if provider.is_none() {
                     provider = Some(comp);
-                    provider_taken = entry.ctr >= 0;
+                    provider_taken = entry_ctr(entry) >= 0;
                 } else if alt.is_none() {
-                    alt = Some(entry.ctr >= 0);
+                    alt = Some(entry_ctr(entry) >= 0);
                 }
             }
         }
-        TagePrediction { taken: provider_taken, provider, alt_taken: alt.unwrap_or(base_taken) }
+        if provider.is_some() {
+            self.stats.used += 1;
+        }
+        Some(TagePrediction {
+            taken: provider_taken,
+            provider,
+            alt_taken: alt.unwrap_or(base_taken),
+        })
     }
 
     /// Updates the predictor with the actual outcome of the branch at `pc`.
     ///
-    /// `prediction` must be the value returned by [`Tage::predict`] for this
-    /// dynamic branch, and `history` the global history *at prediction
+    /// The outcome carries the value returned by [`Predictor::predict`] for
+    /// this dynamic branch; `history` is the global history *at prediction
     /// time* (i.e. before pushing this branch's outcome).
-    pub fn update(
+    fn train(
         &mut self,
         pc: u64,
-        taken: bool,
-        prediction: TagePrediction,
+        (taken, prediction): (bool, TagePrediction),
         history: &GlobalHistory,
     ) {
-        self.stats.predictions += 1;
         let mispredicted = prediction.taken != taken;
         if mispredicted {
-            self.stats.mispredictions += 1;
+            self.stats.incorrect += 1;
+        } else {
+            self.stats.correct += 1;
         }
 
         // Update the provider.
         match prediction.provider {
             Some(comp) => {
-                let idx = self.tagged_index(pc, comp, history);
-                let entry = &mut self.tagged[comp][idx];
-                entry.ctr = if taken { (entry.ctr + 1).min(3) } else { (entry.ctr - 1).max(-4) };
+                let idx = self.flat(comp, self.tagged_index(pc, comp, history));
+                let entry = self.entries[idx];
+                let mut ctr = entry_ctr(entry);
+                let mut useful = entry_useful(entry);
+                ctr = if taken { (ctr + 1).min(3) } else { (ctr - 1).max(-4) };
                 if prediction.taken != prediction.alt_taken {
                     if !mispredicted {
-                        entry.useful = (entry.useful + 1).min(3);
+                        useful = (useful + 1).min(3);
                     } else {
-                        entry.useful = entry.useful.saturating_sub(1);
+                        useful = useful.saturating_sub(1);
                     }
                 }
+                self.entries[idx] = pack_entry(entry_tag(entry), ctr, useful);
             }
             None => {
                 let idx = self.base_index(pc);
@@ -245,15 +302,10 @@ impl Tage {
             let start = prediction.provider.map(|p| p + 1).unwrap_or(0);
             let mut allocated = false;
             for comp in start..self.config.num_tagged {
-                let idx = self.tagged_index(pc, comp, history);
-                let entry = &mut self.tagged[comp][idx];
-                if entry.useful == 0 {
-                    entry.tag = 0; // recomputed below
+                let idx = self.flat(comp, self.tagged_index(pc, comp, history));
+                if entry_useful(self.entries[idx]) == 0 {
                     let tag = self.tag(pc, comp);
-                    let entry = &mut self.tagged[comp][idx];
-                    entry.tag = tag;
-                    entry.ctr = if taken { 0 } else { -1 };
-                    entry.useful = 0;
+                    self.entries[idx] = pack_entry(tag, if taken { 0 } else { -1 }, 0);
                     allocated = true;
                     break;
                 }
@@ -262,9 +314,13 @@ impl Tage {
                 // Grace: periodically age useful bits so allocation does not
                 // starve.
                 for comp in start..self.config.num_tagged {
-                    let idx = self.tagged_index(pc, comp, history);
-                    let entry = &mut self.tagged[comp][idx];
-                    entry.useful = entry.useful.saturating_sub(1);
+                    let idx = self.flat(comp, self.tagged_index(pc, comp, history));
+                    let entry = self.entries[idx];
+                    self.entries[idx] = pack_entry(
+                        entry_tag(entry),
+                        entry_ctr(entry),
+                        entry_useful(entry).saturating_sub(1),
+                    );
                 }
             }
         }
@@ -273,7 +329,7 @@ impl Tage {
     /// Advances the folded histories after a branch outcome has been pushed
     /// into the global history. Must be called once per outcome, after
     /// [`GlobalHistory::push`].
-    pub fn on_history_update(&mut self, history: &GlobalHistory) {
+    fn on_history_update(&mut self, history: &GlobalHistory) {
         for f in self.index_fold.iter_mut() {
             f.update(history);
         }
@@ -283,6 +339,24 @@ impl Tage {
         for f in self.tag_fold1.iter_mut() {
             f.update(history);
         }
+    }
+
+    fn config(&self) -> &TageConfig {
+        &self.config
+    }
+
+    fn stats(&self) -> PredictorStats {
+        self.stats
+    }
+
+    fn storage_bits(&self) -> u64 {
+        self.config.storage_bits()
+    }
+}
+
+impl BranchPredictor for Tage {
+    fn predict_taken(&mut self, pc: u64, history: &GlobalHistory) -> bool {
+        self.predict(pc, history).expect("TAGE always answers").taken
     }
 }
 
@@ -299,11 +373,11 @@ mod tests {
         for i in 0..branches {
             let pc = 0x40_0000 + (i % 13) * 4;
             let taken = outcome(i);
-            let pred = tage.predict(pc, &hist);
+            let pred = tage.predict(pc, &hist).unwrap();
             if pred.taken == taken {
                 correct += 1;
             }
-            tage.update(pc, taken, pred, &hist);
+            tage.train(pc, (taken, pred), &hist);
             hist.push(taken, pc);
             tage.on_history_update(&hist);
         }
@@ -359,11 +433,41 @@ mod tests {
     fn stats_track_mispredictions() {
         let mut tage = Tage::table1();
         let hist = GlobalHistory::new();
-        let pred = tage.predict(0x1000, &hist);
-        tage.update(0x1000, !pred.taken, pred, &hist);
-        assert_eq!(tage.stats().predictions, 1);
-        assert_eq!(tage.stats().mispredictions, 1);
+        let pred = tage.predict(0x1000, &hist).unwrap();
+        tage.train(0x1000, (!pred.taken, pred), &hist);
+        assert_eq!(tage.stats().lookups, 1);
+        assert_eq!(tage.stats().incorrect, 1);
         assert!(tage.stats().mpki(1000) > 0.0);
+    }
+
+    #[test]
+    fn entry_packing_round_trips() {
+        for ctr in -4i8..=3 {
+            for useful in 0u8..=3 {
+                for tag in [0u16, 1, 0x1fff, u16::MAX] {
+                    let packed = pack_entry(tag, ctr, useful);
+                    assert_eq!(entry_tag(packed), tag);
+                    assert_eq!(entry_ctr(packed), ctr);
+                    assert_eq!(entry_useful(packed), useful);
+                }
+            }
+        }
+        assert_eq!(entry_tag(NEW_ENTRY), 0);
+        assert_eq!(entry_ctr(NEW_ENTRY), 0);
+        assert_eq!(entry_useful(NEW_ENTRY), 0);
+    }
+
+    #[test]
+    fn predictor_trait_surface() {
+        use rsep_isa::Fingerprint as _;
+        let mut tage = Tage::table1();
+        assert_eq!(tage.name(), "tage");
+        assert_eq!(tage.storage_bits(), TageConfig::table1().storage_bits());
+        assert_eq!(Predictor::fingerprint(&tage), TageConfig::table1().fingerprint_value());
+        let hist = GlobalHistory::new();
+        let taken = tage.predict_taken(0x4000, &hist);
+        let pred = tage.predict(0x4000, &hist).unwrap();
+        assert_eq!(pred.taken, taken);
     }
 
     #[test]

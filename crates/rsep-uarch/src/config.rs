@@ -6,9 +6,6 @@
 //! unit inventory listed in the table and a three-level cache hierarchy in
 //! front of a DDR4-like memory latency.
 
-use crate::cache::CacheLayout;
-use crate::rob::RobKind;
-
 /// Which wakeup/select implementation the core uses.
 ///
 /// Both produce bit-identical [`SimStats`](crate::SimStats) — the polling
@@ -25,6 +22,25 @@ pub enum SchedulerKind {
     /// The original full-ROB readiness rescan every cycle. O(ROB × sources
     /// + stores) per cycle; kept as the reference implementation.
     Polling,
+}
+
+/// Which fetch-stage prediction protocol the core uses.
+///
+/// Both produce bit-identical [`SimStats`](crate::SimStats) — the
+/// per-branch loop is retained for one PR as the oracle for the batched
+/// fetch-block path and is exercised against it by the golden-stats and
+/// property tests. Simulated behaviour is the same; only simulator
+/// throughput differs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FrontendKind {
+    /// One [`PredictorStack::predict_block`](rsep_predictors::PredictorStack::predict_block)
+    /// call resolves the whole fetch block's branches per cycle. The
+    /// default.
+    #[default]
+    BatchedBlock,
+    /// The original per-instruction pull/predict/push loop, kept as the
+    /// reference implementation.
+    PerBranch,
 }
 
 /// Front-end, back-end and memory parameters of the simulated core.
@@ -119,12 +135,9 @@ pub struct CoreConfig {
     /// Wakeup/select implementation (identical simulated behaviour; see
     /// [`SchedulerKind`]).
     pub scheduler: SchedulerKind,
-    /// In-flight storage backing the ROB (identical simulated behaviour;
-    /// see [`RobKind`]).
-    pub rob: RobKind,
-    /// Cache array storage layout (identical simulated behaviour; see
-    /// [`CacheLayout`]).
-    pub cache_layout: CacheLayout,
+    /// Fetch-stage prediction protocol (identical simulated behaviour; see
+    /// [`FrontendKind`]).
+    pub frontend: FrontendKind,
 }
 
 impl CoreConfig {
@@ -171,8 +184,7 @@ impl CoreConfig {
             l1d_prefetch: true,
             l2_prefetch: true,
             scheduler: SchedulerKind::EventDriven,
-            rob: RobKind::Arena,
-            cache_layout: CacheLayout::Soa,
+            frontend: FrontendKind::BatchedBlock,
         }
     }
 
@@ -333,11 +345,12 @@ impl rsep_isa::Fingerprint for CoreConfig {
         self.dram_latency.fingerprint(h);
         self.l1d_prefetch.fingerprint(h);
         self.l2_prefetch.fingerprint(h);
-        // `scheduler`, `rob` and `cache_layout` are deliberately NOT part
-        // of the fingerprint: each pair of implementations is proven
-        // bit-identical (golden-stats and property tests), so cells cached
-        // under one mode stay valid for the others — and stores written
-        // before the fields existed resume cleanly.
+        // `scheduler` and `frontend` are deliberately NOT part of the
+        // fingerprint: each pair of implementations is proven bit-identical
+        // (golden-stats and property tests), so cells cached under one mode
+        // stay valid for the others — and stores written before the fields
+        // existed resume cleanly. (`rob` and `cache_layout` were the same
+        // kind of switch until their legacy backends were retired.)
     }
 }
 
@@ -407,22 +420,18 @@ mod tests {
     }
 
     #[test]
-    fn rob_and_cache_layout_do_not_change_the_fingerprint() {
+    fn frontend_choice_does_not_change_the_fingerprint() {
         use rsep_isa::Fingerprint;
-        let digest = |rob: RobKind, cache_layout: CacheLayout| {
+        let digest = |frontend: FrontendKind| {
             let mut config = CoreConfig::table1();
-            config.rob = rob;
-            config.cache_layout = cache_layout;
+            config.frontend = frontend;
             let mut h = rsep_isa::Fnv::new();
             config.fingerprint(&mut h);
             h.finish()
         };
-        // The storage backends are observationally identical, so cached
-        // cells are shared across all of them.
-        assert_eq!(
-            digest(RobKind::Arena, CacheLayout::Soa),
-            digest(RobKind::Deque, CacheLayout::Nested)
-        );
+        // Both fetch protocols are observationally identical, so cached
+        // cells are shared between them.
+        assert_eq!(digest(FrontendKind::BatchedBlock), digest(FrontendKind::PerBranch));
     }
 
     #[test]

@@ -15,15 +15,15 @@
 //! commit-time squash on mispredictions) is modelled in full.
 
 use crate::cache::{CacheHierarchy, MemRequest};
-use crate::config::{CoreConfig, SchedulerKind};
+use crate::config::{CoreConfig, FrontendKind, SchedulerKind};
 use crate::engine::{Disposition, RenameAction, RenameContext, SpecEngine, ValidationKind};
 use crate::regfile::{PhysRegFile, RegisterFiles, NOT_READY};
 use crate::rename::RenameMap;
 use crate::rob::{InflightInst, InstSlot, Rob, SrcRegs};
 use crate::sched::{StoreQueue, WakeupQueue};
 use crate::stats::SimStats;
-use rsep_isa::{BranchKind, DynInst, OpClass, PhysReg};
-use rsep_predictors::{Btb, GlobalHistory, ReturnAddressStack, Tage};
+use rsep_isa::{DynInst, OpClass, PhysReg};
+use rsep_predictors::{PredictRequest, PredictorStack, PredictorStats};
 use std::collections::VecDeque;
 
 /// Cycles without a commit before the watchdog flushes the pipeline.
@@ -76,6 +76,25 @@ struct FetchedInst {
     ready_at: u64,
     /// Whether the front end mispredicted this branch.
     mispredicted: bool,
+}
+
+/// Rollback mark of one branch of the current fetch block: the fetch-side
+/// bookkeeping watermark right after the branch's instruction was
+/// enqueued. If the block's batched prediction stops at this branch, the
+/// tail beyond the watermark is unwound — nothing past it has touched any
+/// state outside the fetch stage's own buffers.
+#[derive(Debug, Clone, Copy)]
+struct FetchMark {
+    /// Sequence number of the branch instruction.
+    seq: u64,
+    /// `fetch_queue.len()` after the branch was enqueued.
+    queue_len: u32,
+    /// `mem_batch.len()` after the branch was enqueued.
+    mem_batch_len: u32,
+    /// `fetch_pending.len()` after the branch was enqueued.
+    fetch_pending_len: u32,
+    /// `last_fetch_block` after the branch was enqueued.
+    last_fetch_block: u64,
 }
 
 /// A pending validation µ-op (second issue of an RSEP-predicted
@@ -303,10 +322,19 @@ pub struct Core {
     /// (left behind by a squash) are recognised and dropped lazily.
     dispatch_gen: u64,
     pending_validations: Vec<PendingValidation>,
-    tage: Tage,
-    btb: Btb,
-    ras: ReturnAddressStack,
-    ghist: GlobalHistory,
+    /// The front-end predictor stack (TAGE + BTB + RAS + global history),
+    /// consulted once per fetch block through
+    /// [`PredictorStack::predict_block`].
+    stack: PredictorStack,
+    /// Per-predictor counter snapshot taken at [`Core::reset_stats`], so
+    /// finalised statistics cover the measurement window only.
+    predictor_baseline: Vec<(&'static str, PredictorStats)>,
+    /// Reused buffer of the fetch block's branch-prediction requests.
+    predict_requests: Vec<PredictRequest>,
+    /// Per-request rollback marks: the fetch bookkeeping watermark right
+    /// after the branch's instruction was enqueued (see
+    /// [`Core::fetch_batched`]).
+    predict_marks: Vec<FetchMark>,
     fetch_resume_at: u64,
     pending_redirect: Option<u64>,
     div_busy_until: u64,
@@ -350,7 +378,7 @@ impl Core {
             regs.set_ready_at(preg, 0);
         }
         let hierarchy = CacheHierarchy::new(&config);
-        let rob = Rob::with_kind(config.rob_size, config.rob);
+        let rob = Rob::new(config.rob_size);
         Core {
             arch_map: spec_map.clone(),
             spec_map,
@@ -371,10 +399,10 @@ impl Core {
             fetch_pending: Vec::new(),
             dispatch_gen: 0,
             pending_validations: Vec::new(),
-            tage: Tage::table1(),
-            btb: Btb::table1(),
-            ras: ReturnAddressStack::table1(),
-            ghist: GlobalHistory::new(),
+            stack: PredictorStack::table1(),
+            predictor_baseline: Vec::new(),
+            predict_requests: Vec::new(),
+            predict_marks: Vec::new(),
             fetch_resume_at: 0,
             pending_redirect: None,
             div_busy_until: 0,
@@ -411,15 +439,43 @@ impl Core {
     }
 
     /// Resets measurement counters while keeping all microarchitectural
-    /// state (used to separate warm-up from measurement, Section V).
+    /// state (used to separate warm-up from measurement, Section V). The
+    /// predictor counters keep accumulating inside their structures; a
+    /// snapshot taken here lets [`Core::take_stats`] report only the
+    /// post-reset window, like every other `SimStats` counter.
     pub fn reset_stats(&mut self) {
         self.stats = SimStats::default();
+        self.predictor_baseline = self.current_predictor_stats();
     }
 
-    /// Finalises and returns the statistics, attaching cache counters.
+    /// The cumulative per-predictor counters (front-end stack first, then
+    /// the speculation engine's predictors).
+    fn current_predictor_stats(&self) -> Vec<(&'static str, PredictorStats)> {
+        let mut stats = self.stack.stats();
+        stats.extend(self.engine.predictor_stats());
+        stats
+    }
+
+    /// Finalises and returns the statistics, attaching cache counters and
+    /// the unified per-predictor counters (measured from the last
+    /// [`Core::reset_stats`], like every other counter; the cache
+    /// counters remain cumulative, as before this API existed).
     pub fn take_stats(&mut self) -> SimStats {
         let mut stats = std::mem::take(&mut self.stats);
         stats.cache = self.hierarchy.stats().to_vec();
+        stats.predictors = self
+            .current_predictor_stats()
+            .into_iter()
+            .map(|(family, cumulative)| {
+                let baseline = self
+                    .predictor_baseline
+                    .iter()
+                    .find(|(name, _)| *name == family)
+                    .map(|(_, stats)| *stats)
+                    .unwrap_or_default();
+                (family, cumulative.since(&baseline))
+            })
+            .collect();
         stats
     }
 
@@ -1254,6 +1310,28 @@ impl Core {
             return;
         }
         debug_assert!(self.mem_batch.is_empty() && self.fetch_pending.is_empty());
+        match self.config.frontend {
+            FrontendKind::BatchedBlock => self.fetch_batched(trace),
+            FrontendKind::PerBranch => self.fetch_per_branch(trace),
+        }
+        self.resolve_fetch_batch();
+    }
+
+    /// Batched fetch: enqueue the cycle's fetch block instruction by
+    /// instruction (recording a rollback mark per branch), then resolve
+    /// every branch of the block with **one**
+    /// [`PredictorStack::predict_block`] call — in fetch order, stopping
+    /// at the first misprediction. Instructions enqueued past a
+    /// mispredicted branch are unwound: until the block's i-cache batch
+    /// resolves at the end of the fetch stage, nothing they did has left
+    /// the fetch stage's own buffers, so popping them back into the
+    /// replay queue and truncating the batch restores exactly the state
+    /// the per-branch reference path would have produced (see
+    /// `DESIGN.md`).
+    fn fetch_batched(&mut self, trace: &mut dyn Iterator<Item = DynInst>) {
+        let mut requests = std::mem::take(&mut self.predict_requests);
+        let mut marks = std::mem::take(&mut self.predict_marks);
+        debug_assert!(requests.is_empty() && marks.is_empty());
         let mut fetched = 0;
         let mut taken_branches = 0;
         while fetched < self.config.fetch_width
@@ -1269,25 +1347,90 @@ impl Core {
                     }
                 },
             };
-            // Instruction cache: charge once per new cache block. The
-            // access itself joins the cycle's batch; the extra latency of a
-            // miss is patched into `ready_at` once the batch resolves.
-            let block = inst.pc >> self.fetch_block_shift;
-            if block != self.last_fetch_block {
-                self.fetch_pending.push((self.fetch_queue.len(), self.mem_batch.len() as u32));
-                self.mem_batch.push(MemRequest::fetch(inst.pc));
-                self.last_fetch_block = block;
+            let branch = inst.branch;
+            let is_taken = branch.map(|b| b.taken).unwrap_or(false);
+            let seq = inst.seq;
+            if let Some(branch) = branch {
+                requests.push(PredictRequest::new(inst.pc, branch));
             }
+            self.push_fetched(inst, false);
+            if branch.is_some() {
+                marks.push(FetchMark {
+                    seq,
+                    queue_len: self.fetch_queue.len() as u32,
+                    mem_batch_len: self.mem_batch.len() as u32,
+                    fetch_pending_len: self.fetch_pending.len() as u32,
+                    last_fetch_block: self.last_fetch_block,
+                });
+            }
+            fetched += 1;
+            // The taken-branch budget is oracle information that travels
+            // with the trace; mispredictions are discovered below.
+            if is_taken {
+                taken_branches += 1;
+                if taken_branches > self.config.fetch_taken_branches {
+                    break;
+                }
+            }
+        }
 
+        // One batched call resolves the block's branches in fetch order.
+        let resolved = self.stack.predict_block(&mut requests);
+
+        // The engine observes exactly the resolved branches, in fetch
+        // order (its history state is disjoint from the stack's, so
+        // notifying after the batch is equivalent to interleaving).
+        for request in &requests[..resolved] {
+            self.engine.on_branch(request.pc, request.branch.taken);
+        }
+
+        if resolved > 0 && requests[resolved - 1].mispredicted {
+            // The block ends at the mispredicted branch: flag it, block
+            // fetch until it resolves, and unwind everything younger.
+            let mark = marks[resolved - 1];
+            self.fetch_queue[mark.queue_len as usize - 1].mispredicted = true;
+            self.pending_redirect = Some(mark.seq);
+            while self.fetch_queue.len() > mark.queue_len as usize {
+                let tail = self.fetch_queue.pop_back().expect("length checked above");
+                self.replay.push_front(tail.inst);
+            }
+            self.mem_batch.truncate(mark.mem_batch_len as usize);
+            self.fetch_pending.truncate(mark.fetch_pending_len as usize);
+            self.last_fetch_block = mark.last_fetch_block;
+        }
+
+        requests.clear();
+        self.predict_requests = requests;
+        marks.clear();
+        self.predict_marks = marks;
+    }
+
+    /// Per-branch fetch: the original pull/predict/push loop, retained for
+    /// one PR as the oracle for [`Core::fetch_batched`].
+    fn fetch_per_branch(&mut self, trace: &mut dyn Iterator<Item = DynInst>) {
+        let mut fetched = 0;
+        let mut taken_branches = 0;
+        while fetched < self.config.fetch_width
+            && self.fetch_queue.len() < self.config.fetch_queue_size
+        {
+            let inst = match self.replay.pop_front() {
+                Some(inst) => inst,
+                None => match trace.next() {
+                    Some(inst) => inst,
+                    None => {
+                        self.trace_done = true;
+                        break;
+                    }
+                },
+            };
             let mut mispredicted = false;
             if let Some(branch) = inst.branch {
-                mispredicted = self.predict_branch(inst.pc, branch);
+                mispredicted = self.stack.predict_one(inst.pc, branch);
+                self.engine.on_branch(inst.pc, branch.taken);
             }
-
-            let ready_at = self.clock + self.config.frontend_depth;
             let is_taken = inst.branch.map(|b| b.taken).unwrap_or(false);
             let seq = inst.seq;
-            self.fetch_queue.push_back(FetchedInst { inst, ready_at, mispredicted });
+            self.push_fetched(inst, mispredicted);
             fetched += 1;
 
             if mispredicted {
@@ -1301,60 +1444,46 @@ impl Core {
                 }
             }
         }
-        if !self.mem_batch.is_empty() {
-            self.hierarchy.access_batch(&mut self.mem_batch, self.clock);
-            let pending = std::mem::take(&mut self.fetch_pending);
-            for &(queue_idx, request_idx) in &pending {
-                let latency = self.mem_batch[request_idx as usize].latency;
-                let extra = latency.saturating_sub(self.config.l1i_latency);
-                self.fetch_queue[queue_idx].ready_at += extra;
-            }
-            self.fetch_pending = pending;
-            self.fetch_pending.clear();
-            self.mem_batch.clear();
-        }
     }
 
-    /// Predicts one branch, updates the predictors and returns `true` if
-    /// the front end mispredicted it.
-    fn predict_branch(&mut self, pc: u64, branch: rsep_isa::BranchInfo) -> bool {
-        let prediction = self.tage.predict(pc, &self.ghist);
-        let mispredicted = match branch.kind {
-            BranchKind::Return => match self.ras.pop() {
-                Some(target) => target != branch.target,
-                None => true,
-            },
-            BranchKind::Unconditional | BranchKind::Indirect => {
-                // Direction is known; the target must come from the BTB.
-                self.btb.lookup(pc) != Some(branch.target)
-            }
-            BranchKind::Conditional => {
-                let direction_wrong = prediction.taken != branch.taken;
-                let target_wrong = branch.taken && self.btb.lookup(pc) != Some(branch.target);
-                direction_wrong || target_wrong
-            }
-        };
-        if branch.kind == BranchKind::Conditional {
-            self.tage.update(pc, branch.taken, prediction, &self.ghist);
+    /// Enqueues one fetched instruction, charging the instruction cache
+    /// once per new cache block (the access joins the cycle's memory
+    /// batch; a miss's extra latency is patched into `ready_at` when the
+    /// batch resolves).
+    fn push_fetched(&mut self, inst: DynInst, mispredicted: bool) {
+        let block = inst.pc >> self.fetch_block_shift;
+        if block != self.last_fetch_block {
+            self.fetch_pending.push((self.fetch_queue.len(), self.mem_batch.len() as u32));
+            self.mem_batch.push(MemRequest::fetch(inst.pc));
+            self.last_fetch_block = block;
         }
-        if branch.taken {
-            self.btb.update(pc, branch.target);
+        let ready_at = self.clock + self.config.frontend_depth;
+        self.fetch_queue.push_back(FetchedInst { inst, ready_at, mispredicted });
+    }
+
+    /// Resolves the fetch stage's i-cache batch and patches miss latencies
+    /// into the affected instructions' `ready_at`.
+    fn resolve_fetch_batch(&mut self) {
+        if self.mem_batch.is_empty() {
+            return;
         }
-        if branch.kind == BranchKind::Unconditional {
-            // Calls push the fall-through address for a later return.
-            self.ras.push(pc + 4);
+        self.hierarchy.access_batch(&mut self.mem_batch, self.clock);
+        let pending = std::mem::take(&mut self.fetch_pending);
+        for &(queue_idx, request_idx) in &pending {
+            let latency = self.mem_batch[request_idx as usize].latency;
+            let extra = latency.saturating_sub(self.config.l1i_latency);
+            self.fetch_queue[queue_idx].ready_at += extra;
         }
-        self.ghist.push(branch.taken, pc);
-        self.tage.on_history_update(&self.ghist);
-        self.engine.on_branch(pc, branch.taken);
-        mispredicted
+        self.fetch_pending = pending;
+        self.fetch_pending.clear();
+        self.mem_batch.clear();
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rsep_isa::{ArchReg, DynInstBuilder};
+    use rsep_isa::{ArchReg, BranchKind, DynInstBuilder};
 
     fn alu(seq: u64, pc: u64, dest: u8, src: Option<u8>, result: u64) -> DynInst {
         let mut b =
@@ -1678,30 +1807,22 @@ mod tests {
     }
 
     #[test]
-    fn flat_backends_match_the_legacy_backends_on_generated_traces() {
-        use crate::cache::CacheLayout;
-        use crate::rob::RobKind;
+    fn batched_fetch_matches_the_per_branch_reference_on_generated_traces() {
         use rsep_trace::{BenchmarkProfile, TraceGenerator};
         for name in ["gcc", "mcf", "libquantum"] {
             let profile = BenchmarkProfile::by_name(name).unwrap();
             for seed in [1u64, 7] {
-                let run = |rob: RobKind, cache_layout: CacheLayout| {
+                let run = |frontend: FrontendKind| {
                     let mut config = CoreConfig::small_test();
-                    config.rob = rob;
-                    config.cache_layout = cache_layout;
+                    config.frontend = frontend;
                     let mut core = Core::baseline(config);
                     let mut trace = TraceGenerator::new(&profile, seed);
                     core.run(&mut trace, 20_000).unwrap();
                     core.take_stats()
                 };
-                let flat = run(RobKind::Arena, CacheLayout::Soa);
-                let legacy = run(RobKind::Deque, CacheLayout::Nested);
-                assert_eq!(flat, legacy, "{name} seed {seed}: storage backends diverge");
-                // The mixed combinations agree too.
-                let mixed = run(RobKind::Arena, CacheLayout::Nested);
-                assert_eq!(flat, mixed, "{name} seed {seed}: arena+nested diverges");
-                let mixed = run(RobKind::Deque, CacheLayout::Soa);
-                assert_eq!(flat, mixed, "{name} seed {seed}: deque+soa diverges");
+                let batched = run(FrontendKind::BatchedBlock);
+                let per_branch = run(FrontendKind::PerBranch);
+                assert_eq!(batched, per_branch, "{name} seed {seed}: fetch protocols diverge");
             }
         }
     }

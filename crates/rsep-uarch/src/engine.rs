@@ -24,6 +24,7 @@
 
 use crate::rob::Rob;
 use rsep_isa::{DynInst, PhysReg};
+use rsep_predictors::PredictorStats;
 
 /// How equality-prediction validation is charged (Section IV-F).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -189,6 +190,14 @@ pub trait SpecEngine: std::fmt::Debug {
     /// should therefore be returned to the free list (shared registers kept
     /// alive only by squashed sharers).
     fn on_squash(&mut self, _from_seq: u64) -> Vec<PhysReg> {
+        Vec::new()
+    }
+
+    /// The unified statistics of every predictor the engine drives,
+    /// labelled by family name. The core appends these to
+    /// [`SimStats::predictors`](crate::SimStats) alongside the front-end
+    /// stack's own counters when statistics are finalised.
+    fn predictor_stats(&self) -> Vec<(&'static str, PredictorStats)> {
         Vec::new()
     }
 }

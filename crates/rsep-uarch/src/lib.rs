@@ -50,16 +50,14 @@ pub mod rob;
 pub mod sched;
 pub mod stats;
 
-pub use cache::{
-    AccessKind, Cache, CacheHierarchy, CacheLayout, CacheStats, MemRequest, StridePrefetcher,
-};
-pub use config::{CoreConfig, SchedulerKind};
+pub use cache::{AccessKind, Cache, CacheHierarchy, CacheStats, MemRequest, StridePrefetcher};
+pub use config::{CoreConfig, FrontendKind, SchedulerKind};
 pub use core::{Core, SimError};
 pub use engine::{
     Disposition, NullEngine, RenameAction, RenameContext, SpecEngine, ValidationKind,
 };
 pub use regfile::{PhysRegFile, RegisterFiles, NOT_READY};
 pub use rename::RenameMap;
-pub use rob::{InflightInst, InstSlot, Rob, RobKind, SrcRegs};
+pub use rob::{InflightInst, InstSlot, Rob, SrcRegs};
 pub use sched::{StoreQueue, WakeupQueue};
 pub use stats::{CoverageCounts, SimStats};

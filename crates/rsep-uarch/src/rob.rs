@@ -5,47 +5,27 @@
 //! retrieve the physical register of the provider instruction
 //! (Section IV-E1), which is why the [`Rob`] exposes sequence-number lookup.
 //!
-//! # Storage backends
+//! # Storage
 //!
-//! Two interchangeable backends implement the in-flight store (selected by
-//! [`RobKind`], default [`RobKind::Arena`]):
-//!
-//! * **Slot arena** — a fixed array of `capacity.next_power_of_two()`
-//!   slots. Sequence numbers in the ROB are dense (dispatch is in program
-//!   order and replay preserves numbering — asserted on every push), so the
-//!   slot of `seq` is simply `seq & mask`: every lookup, whether by
-//!   sequence number or by [`InstSlot`] handle, is a single array index
-//!   with no search, and squashing truncates the ring in place without
-//!   allocating.
-//! * **Deque** — the original `VecDeque` ring, kept for one PR as the
-//!   reference implementation; the model-based property test and the
-//!   golden-stats campaigns prove the arena bit-identical against it.
+//! The in-flight store is a **slot arena**: a fixed array of
+//! `capacity.next_power_of_two()` slots. Sequence numbers in the ROB are
+//! dense (dispatch is in program order and replay preserves numbering —
+//! asserted on every push), so the slot of `seq` is simply `seq & mask`:
+//! every lookup, whether by sequence number or by [`InstSlot`] handle, is a
+//! single array index with no search, and squashing truncates the ring in
+//! place without allocating. (The original `VecDeque` backend was retained
+//! for one PR as `RobKind::Deque` and retired after the PR 4 equivalence
+//! proofs; `tests/proptest_rob.rs` still drives the arena against an
+//! in-test reference model.)
 //!
 //! Scheduler-side structures (wakeup lists, ready set, store-queue parking
-//! — see [`crate::sched`]) no longer store bare sequence numbers: they hold
+//! — see [`crate::sched`]) do not store bare sequence numbers: they hold
 //! copyable [`InstSlot`] handles, which [`Rob::get`]/[`Rob::get_mut`]
 //! resolve in O(1) *and* validate in the same step (a stale handle left
 //! behind by a squash fails its generation check and resolves to `None`).
 
 use crate::engine::{Disposition, ValidationKind};
 use rsep_isa::{DynInst, PhysReg, RegClass, MAX_SOURCES};
-use std::collections::VecDeque;
-
-/// Which storage backend holds the in-flight instructions.
-///
-/// Both backends produce bit-identical simulated behaviour — the deque is
-/// retained as the reference model for the slot arena and is exercised
-/// against it by the golden-stats campaigns and the model-based property
-/// test. Only simulator throughput differs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum RobKind {
-    /// Fixed-capacity slot arena indexed by `seq & mask`: O(1) handle and
-    /// sequence-number resolution, allocation-free squash. The default.
-    #[default]
-    Arena,
-    /// The original `VecDeque` ring, kept as the reference implementation.
-    Deque,
-}
 
 /// Copyable, generation-tagged handle to an in-flight instruction.
 ///
@@ -255,72 +235,40 @@ impl InflightInst {
     }
 }
 
-/// The reorder buffer.
+/// The reorder buffer: a flat slot arena. `slots.len()` is
+/// `capacity.next_power_of_two()`, so `seq & mask` maps every live (dense)
+/// sequence number to a distinct slot.
 #[derive(Debug)]
 pub struct Rob {
-    backend: Backend,
-    capacity: usize,
-}
-
-#[derive(Debug)]
-enum Backend {
-    Arena(Arena),
-    Deque(VecDeque<InflightInst>),
-}
-
-/// The flat slot arena. `slots.len()` is `capacity.next_power_of_two()`, so
-/// `seq & mask` maps every live (dense) sequence number to a distinct slot.
-#[derive(Debug)]
-struct Arena {
     slots: Box<[Option<InflightInst>]>,
     mask: u64,
     /// Sequence number of the oldest in-flight instruction (meaningful only
     /// while `len > 0`).
     head_seq: u64,
     len: usize,
+    capacity: usize,
 }
 
-impl Arena {
+impl Rob {
+    /// Creates a ROB with the given capacity.
+    pub fn new(capacity: usize) -> Rob {
+        assert!(capacity > 0);
+        let slots = capacity.next_power_of_two();
+        Rob {
+            slots: (0..slots).map(|_| None).collect(),
+            mask: slots as u64 - 1,
+            head_seq: 0,
+            len: 0,
+            capacity,
+        }
+    }
+
     fn idx(&self, seq: u64) -> usize {
         (seq & self.mask) as usize
     }
 
     fn contains_seq(&self, seq: u64) -> bool {
         self.len > 0 && seq >= self.head_seq && seq - self.head_seq < self.len as u64
-    }
-}
-
-impl Rob {
-    /// Creates a ROB with the given capacity and the default (arena)
-    /// backend.
-    pub fn new(capacity: usize) -> Rob {
-        Rob::with_kind(capacity, RobKind::Arena)
-    }
-
-    /// Creates a ROB with the given capacity and storage backend.
-    pub fn with_kind(capacity: usize, kind: RobKind) -> Rob {
-        assert!(capacity > 0);
-        let backend = match kind {
-            RobKind::Arena => {
-                let slots = capacity.next_power_of_two();
-                Backend::Arena(Arena {
-                    slots: (0..slots).map(|_| None).collect(),
-                    mask: slots as u64 - 1,
-                    head_seq: 0,
-                    len: 0,
-                })
-            }
-            RobKind::Deque => Backend::Deque(VecDeque::with_capacity(capacity)),
-        };
-        Rob { backend, capacity }
-    }
-
-    /// The storage backend in use.
-    pub fn kind(&self) -> RobKind {
-        match self.backend {
-            Backend::Arena(_) => RobKind::Arena,
-            Backend::Deque(_) => RobKind::Deque,
-        }
     }
 
     /// Capacity in entries.
@@ -330,20 +278,17 @@ impl Rob {
 
     /// Current occupancy.
     pub fn len(&self) -> usize {
-        match &self.backend {
-            Backend::Arena(a) => a.len,
-            Backend::Deque(d) => d.len(),
-        }
+        self.len
     }
 
     /// Returns `true` when no instruction is in flight.
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.len == 0
     }
 
     /// Returns `true` when no further instruction can be dispatched.
     pub fn is_full(&self) -> bool {
-        self.len() >= self.capacity
+        self.len >= self.capacity
     }
 
     /// Appends a newly renamed instruction and returns its handle.
@@ -357,70 +302,46 @@ impl Rob {
     pub fn push(&mut self, entry: InflightInst) -> InstSlot {
         assert!(!self.is_full(), "ROB overflow");
         let slot = entry.slot();
-        match &mut self.backend {
-            Backend::Arena(a) => {
-                if a.len > 0 {
-                    assert!(
-                        entry.seq() == a.head_seq + a.len as u64,
-                        "out-of-order dispatch into the ROB (in-flight sequence \
-                         numbers must be dense)"
-                    );
-                } else {
-                    a.head_seq = entry.seq();
-                }
-                let idx = a.idx(entry.seq());
-                debug_assert!(a.slots[idx].is_none(), "arena slot collision");
-                a.slots[idx] = Some(entry);
-                a.len += 1;
-            }
-            Backend::Deque(d) => {
-                if let Some(last) = d.back() {
-                    assert!(
-                        entry.seq() == last.seq() + 1,
-                        "out-of-order dispatch into the ROB (in-flight sequence \
-                         numbers must be dense)"
-                    );
-                }
-                d.push_back(entry);
-            }
+        if self.len > 0 {
+            assert!(
+                entry.seq() == self.head_seq + self.len as u64,
+                "out-of-order dispatch into the ROB (in-flight sequence \
+                 numbers must be dense)"
+            );
+        } else {
+            self.head_seq = entry.seq();
         }
+        let idx = self.idx(entry.seq());
+        debug_assert!(self.slots[idx].is_none(), "arena slot collision");
+        self.slots[idx] = Some(entry);
+        self.len += 1;
         slot
     }
 
     /// The oldest in-flight instruction.
     pub fn head(&self) -> Option<&InflightInst> {
-        match &self.backend {
-            Backend::Arena(a) => {
-                if a.len == 0 {
-                    return None;
-                }
-                a.slots[a.idx(a.head_seq)].as_ref()
-            }
-            Backend::Deque(d) => d.front(),
+        if self.len == 0 {
+            return None;
         }
+        self.slots[self.idx(self.head_seq)].as_ref()
     }
 
     /// Removes and returns the oldest instruction (it has committed).
     pub fn pop_head(&mut self) -> Option<InflightInst> {
-        match &mut self.backend {
-            Backend::Arena(a) => {
-                if a.len == 0 {
-                    return None;
-                }
-                let idx = a.idx(a.head_seq);
-                let entry = a.slots[idx].take();
-                debug_assert!(entry.is_some(), "dense arena head slot must be occupied");
-                a.head_seq += 1;
-                a.len -= 1;
-                entry
-            }
-            Backend::Deque(d) => d.pop_front(),
+        if self.len == 0 {
+            return None;
         }
+        let idx = self.idx(self.head_seq);
+        let entry = self.slots[idx].take();
+        debug_assert!(entry.is_some(), "dense arena head slot must be occupied");
+        self.head_seq += 1;
+        self.len -= 1;
+        entry
     }
 
     /// Resolves a generation-tagged handle: `None` if the entry left the
     /// window (committed or squashed) or was re-dispatched under a newer
-    /// generation. O(1) in both backends.
+    /// generation. O(1).
     pub fn get(&self, slot: InstSlot) -> Option<&InflightInst> {
         let entry = self.find_by_seq(slot.seq)?;
         (entry.sched_gen == slot.gen).then_some(entry)
@@ -434,102 +355,52 @@ impl Rob {
 
     /// Looks up an in-flight instruction by sequence number.
     ///
-    /// In-flight sequence numbers are dense, so this is direct indexing in
-    /// both backends — the former linear-scan fallback is gone, and the
-    /// invariant it papered over is asserted at dispatch instead.
+    /// In-flight sequence numbers are dense, so this is direct indexing —
+    /// the invariant is asserted at dispatch.
     pub fn find_by_seq(&self, seq: u64) -> Option<&InflightInst> {
-        match &self.backend {
-            Backend::Arena(a) => {
-                if !a.contains_seq(seq) {
-                    return None;
-                }
-                let entry = a.slots[a.idx(seq)].as_ref();
-                debug_assert!(entry.is_some_and(|e| e.seq() == seq), "dense-seq invariant broken");
-                entry
-            }
-            Backend::Deque(d) => {
-                let head_seq = d.front()?.seq();
-                if seq < head_seq {
-                    return None;
-                }
-                let entry = d.get((seq - head_seq) as usize);
-                debug_assert!(entry.is_none_or(|e| e.seq() == seq), "dense-seq invariant broken");
-                entry
-            }
+        if !self.contains_seq(seq) {
+            return None;
         }
+        let entry = self.slots[self.idx(seq)].as_ref();
+        debug_assert!(entry.is_some_and(|e| e.seq() == seq), "dense-seq invariant broken");
+        entry
     }
 
     /// Mutable lookup by sequence number.
     pub fn find_by_seq_mut(&mut self, seq: u64) -> Option<&mut InflightInst> {
-        match &mut self.backend {
-            Backend::Arena(a) => {
-                if !a.contains_seq(seq) {
-                    return None;
-                }
-                let idx = a.idx(seq);
-                let entry = a.slots[idx].as_mut();
-                debug_assert!(
-                    entry.as_ref().is_some_and(|e| e.seq() == seq),
-                    "dense-seq invariant broken"
-                );
-                entry
-            }
-            Backend::Deque(d) => {
-                let head_seq = d.front()?.seq();
-                if seq < head_seq {
-                    return None;
-                }
-                let entry = d.get_mut((seq - head_seq) as usize);
-                debug_assert!(
-                    entry.as_ref().is_none_or(|e| e.seq() == seq),
-                    "dense-seq invariant broken"
-                );
-                entry
-            }
+        if !self.contains_seq(seq) {
+            return None;
         }
+        let idx = self.idx(seq);
+        let entry = self.slots[idx].as_mut();
+        debug_assert!(entry.as_ref().is_some_and(|e| e.seq() == seq), "dense-seq invariant broken");
+        entry
     }
 
     /// Iterates over in-flight instructions from oldest to youngest.
     pub fn iter(&self) -> RobIter<'_> {
-        RobIter(match &self.backend {
-            Backend::Arena(a) => IterInner::Arena { arena: a, next: a.head_seq, remaining: a.len },
-            Backend::Deque(d) => IterInner::Deque(d.iter()),
-        })
+        RobIter { rob: self, next: self.head_seq, remaining: self.len }
     }
 
     /// Removes every instruction with `seq >= from_seq` (a squash), handing
     /// each to `f` from oldest to youngest. No intermediate collection is
-    /// allocated — the arena truncates its ring in place and the deque
-    /// drains its tail.
+    /// allocated — the arena truncates its ring in place.
     pub fn squash_from_each(&mut self, from_seq: u64, mut f: impl FnMut(InflightInst)) {
-        match &mut self.backend {
-            Backend::Arena(a) => {
-                if a.len == 0 {
-                    return;
-                }
-                let end = a.head_seq + a.len as u64;
-                // Clamp both ways: a `from_seq` below the head squashes the
-                // whole window, one beyond the tail is a no-op (the length
-                // update below must not run past `end` either way).
-                let start = from_seq.clamp(a.head_seq, end);
-                for seq in start..end {
-                    let idx = (seq & a.mask) as usize;
-                    let entry = a.slots[idx].take().expect("dense arena slot must be occupied");
-                    debug_assert_eq!(entry.seq(), seq, "dense-seq invariant broken");
-                    f(entry);
-                }
-                a.len = (start - a.head_seq) as usize;
-            }
-            Backend::Deque(d) => {
-                let Some(head_seq) = d.front().map(|e| e.seq()) else {
-                    return;
-                };
-                let keep = (from_seq.saturating_sub(head_seq) as usize).min(d.len());
-                for entry in d.drain(keep..) {
-                    f(entry);
-                }
-            }
+        if self.len == 0 {
+            return;
         }
+        let end = self.head_seq + self.len as u64;
+        // Clamp both ways: a `from_seq` below the head squashes the whole
+        // window, one beyond the tail is a no-op (the length update below
+        // must not run past `end` either way).
+        let start = from_seq.clamp(self.head_seq, end);
+        for seq in start..end {
+            let idx = (seq & self.mask) as usize;
+            let entry = self.slots[idx].take().expect("dense arena slot must be occupied");
+            debug_assert_eq!(entry.seq(), seq, "dense-seq invariant broken");
+            f(entry);
+        }
+        self.len = (start - self.head_seq) as usize;
     }
 
     /// Removes every instruction with `seq >= from_seq` (a squash) and
@@ -545,39 +416,28 @@ impl Rob {
 /// Oldest-to-youngest iterator over the in-flight instructions (see
 /// [`Rob::iter`]).
 #[derive(Debug)]
-pub struct RobIter<'a>(IterInner<'a>);
-
-#[derive(Debug)]
-enum IterInner<'a> {
-    Arena { arena: &'a Arena, next: u64, remaining: usize },
-    Deque(std::collections::vec_deque::Iter<'a, InflightInst>),
+pub struct RobIter<'a> {
+    rob: &'a Rob,
+    next: u64,
+    remaining: usize,
 }
 
 impl<'a> Iterator for RobIter<'a> {
     type Item = &'a InflightInst;
 
     fn next(&mut self) -> Option<&'a InflightInst> {
-        match &mut self.0 {
-            IterInner::Arena { arena, next, remaining } => {
-                if *remaining == 0 {
-                    return None;
-                }
-                let entry = arena.slots[arena.idx(*next)].as_ref();
-                debug_assert!(entry.is_some(), "dense arena slot must be occupied");
-                *next += 1;
-                *remaining -= 1;
-                entry
-            }
-            IterInner::Deque(iter) => iter.next(),
+        if self.remaining == 0 {
+            return None;
         }
+        let entry = self.rob.slots[self.rob.idx(self.next)].as_ref();
+        debug_assert!(entry.is_some(), "dense arena slot must be occupied");
+        self.next += 1;
+        self.remaining -= 1;
+        entry
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {
-        let remaining = match &self.0 {
-            IterInner::Arena { remaining, .. } => *remaining,
-            IterInner::Deque(iter) => iter.len(),
-        };
-        (remaining, Some(remaining))
+        (self.remaining, Some(self.remaining))
     }
 }
 
@@ -611,21 +471,17 @@ mod tests {
         }
     }
 
-    const BOTH: [RobKind; 2] = [RobKind::Arena, RobKind::Deque];
-
     #[test]
     fn push_pop_in_order() {
-        for kind in BOTH {
-            let mut rob = Rob::with_kind(4, kind);
-            assert!(rob.is_empty());
-            rob.push(entry(0));
-            rob.push(entry(1));
-            assert_eq!(rob.len(), 2);
-            assert_eq!(rob.head().unwrap().seq(), 0);
-            assert_eq!(rob.pop_head().unwrap().seq(), 0);
-            assert_eq!(rob.pop_head().unwrap().seq(), 1);
-            assert!(rob.pop_head().is_none(), "{kind:?}");
-        }
+        let mut rob = Rob::new(4);
+        assert!(rob.is_empty());
+        rob.push(entry(0));
+        rob.push(entry(1));
+        assert_eq!(rob.len(), 2);
+        assert_eq!(rob.head().unwrap().seq(), 0);
+        assert_eq!(rob.pop_head().unwrap().seq(), 0);
+        assert_eq!(rob.pop_head().unwrap().seq(), 1);
+        assert!(rob.pop_head().is_none());
     }
 
     #[test]
@@ -646,66 +502,53 @@ mod tests {
 
     #[test]
     #[should_panic(expected = "sequence numbers must be dense")]
-    fn non_dense_dispatch_panics_in_the_arena() {
+    fn non_dense_dispatch_panics() {
         // Regression pin for the dense-seq invariant that replaced the
         // linear-scan fallback: a gap in dispatched sequence numbers must
         // trip the assert, not silently corrupt slot addressing.
-        let mut rob = Rob::with_kind(8, RobKind::Arena);
-        rob.push(entry(0));
-        rob.push(entry(2));
-    }
-
-    #[test]
-    #[should_panic(expected = "sequence numbers must be dense")]
-    fn non_dense_dispatch_panics_in_the_deque() {
-        let mut rob = Rob::with_kind(8, RobKind::Deque);
+        let mut rob = Rob::new(8);
         rob.push(entry(0));
         rob.push(entry(2));
     }
 
     #[test]
     fn find_by_seq_with_dense_numbers() {
-        for kind in BOTH {
-            let mut rob = Rob::with_kind(8, kind);
-            for s in 10..16 {
-                rob.push(entry(s));
-            }
-            assert_eq!(rob.find_by_seq(12).unwrap().seq(), 12);
-            assert!(rob.find_by_seq(9).is_none());
-            assert!(rob.find_by_seq(16).is_none());
-            rob.find_by_seq_mut(13).unwrap().issued = true;
-            assert!(rob.find_by_seq(13).unwrap().issued, "{kind:?}");
+        let mut rob = Rob::new(8);
+        for s in 10..16 {
+            rob.push(entry(s));
         }
+        assert_eq!(rob.find_by_seq(12).unwrap().seq(), 12);
+        assert!(rob.find_by_seq(9).is_none());
+        assert!(rob.find_by_seq(16).is_none());
+        rob.find_by_seq_mut(13).unwrap().issued = true;
+        assert!(rob.find_by_seq(13).unwrap().issued);
     }
 
     #[test]
     fn slot_handles_resolve_in_o1_and_validate_generation() {
-        for kind in BOTH {
-            let mut rob = Rob::with_kind(8, kind);
-            let mut e = entry(3);
-            e.sched_gen = 7;
-            // An arena slot survives ring wrap-around of older entries.
-            let slot = InstSlot { seq: 3, gen: 7 };
-            rob.push(entry(0));
-            rob.push(entry(1));
-            rob.push(entry(2));
-            assert_eq!(rob.push(e), slot);
-            assert_eq!(rob.get(slot).unwrap().seq(), 3);
-            // Wrong generation: the entry was re-dispatched; stale handle.
-            assert!(rob.get(InstSlot { seq: 3, gen: 6 }).is_none());
-            // Committed head: handle beyond the window resolves to None.
-            rob.pop_head();
-            assert!(rob.get(InstSlot { seq: 0, gen: 0 }).is_none());
-            rob.get_mut(slot).unwrap().issued = true;
-            assert!(rob.get(slot).unwrap().issued, "{kind:?}");
-        }
+        let mut rob = Rob::new(8);
+        let mut e = entry(3);
+        e.sched_gen = 7;
+        let slot = InstSlot { seq: 3, gen: 7 };
+        rob.push(entry(0));
+        rob.push(entry(1));
+        rob.push(entry(2));
+        assert_eq!(rob.push(e), slot);
+        assert_eq!(rob.get(slot).unwrap().seq(), 3);
+        // Wrong generation: the entry was re-dispatched; stale handle.
+        assert!(rob.get(InstSlot { seq: 3, gen: 6 }).is_none());
+        // Committed head: handle beyond the window resolves to None.
+        rob.pop_head();
+        assert!(rob.get(InstSlot { seq: 0, gen: 0 }).is_none());
+        rob.get_mut(slot).unwrap().issued = true;
+        assert!(rob.get(slot).unwrap().issued);
     }
 
     #[test]
     fn arena_slots_wrap_around_the_ring() {
         // Capacity 4 (mask 3): sequence numbers far beyond the capacity
         // keep mapping onto distinct slots as the window slides.
-        let mut rob = Rob::with_kind(4, RobKind::Arena);
+        let mut rob = Rob::new(4);
         for s in 0..4 {
             rob.push(entry(s));
         }
@@ -721,49 +564,45 @@ mod tests {
 
     #[test]
     fn squash_removes_younger_entries() {
-        for kind in BOTH {
-            let mut rob = Rob::with_kind(8, kind);
-            for s in 0..6 {
-                rob.push(entry(s));
-            }
-            let squashed = rob.squash_from(3);
-            assert_eq!(squashed.len(), 3);
-            assert_eq!(squashed[0].seq(), 3);
-            assert_eq!(rob.len(), 3);
-            assert_eq!(rob.iter().last().unwrap().seq(), 2, "{kind:?}");
-            // Replay refills the squashed range.
-            for s in 3..6 {
-                rob.push(entry(s));
-            }
-            assert_eq!(rob.len(), 6);
-            assert_eq!(rob.find_by_seq(5).unwrap().seq(), 5);
+        let mut rob = Rob::new(8);
+        for s in 0..6 {
+            rob.push(entry(s));
         }
+        let squashed = rob.squash_from(3);
+        assert_eq!(squashed.len(), 3);
+        assert_eq!(squashed[0].seq(), 3);
+        assert_eq!(rob.len(), 3);
+        assert_eq!(rob.iter().last().unwrap().seq(), 2);
+        // Replay refills the squashed range.
+        for s in 3..6 {
+            rob.push(entry(s));
+        }
+        assert_eq!(rob.len(), 6);
+        assert_eq!(rob.find_by_seq(5).unwrap().seq(), 5);
     }
 
     #[test]
     fn squash_from_each_visits_oldest_first_without_collecting() {
-        for kind in BOTH {
-            let mut rob = Rob::with_kind(8, kind);
-            for s in 0..6 {
-                rob.push(entry(s));
-            }
-            let mut seen = Vec::new();
-            rob.squash_from_each(2, |e| seen.push(e.seq()));
-            assert_eq!(seen, vec![2, 3, 4, 5], "{kind:?}");
-            assert_eq!(rob.len(), 2);
-            // A squash point beyond the youngest entry is a no-op and must
-            // not corrupt the occupancy (regression: the arena once set
-            // `len` from the unclamped squash point).
-            rob.squash_from_each(100, |_| panic!("nothing is younger than seq 100"));
-            assert_eq!(rob.len(), 2);
-            assert!(!rob.is_full());
-            rob.push(entry(2));
-            assert_eq!(rob.len(), 3);
-            // Squashing everything (and an empty ROB) is fine too.
-            rob.squash_from_each(0, |_| {});
-            assert!(rob.is_empty());
-            rob.squash_from_each(0, |_| panic!("empty ROB has nothing to squash"));
+        let mut rob = Rob::new(8);
+        for s in 0..6 {
+            rob.push(entry(s));
         }
+        let mut seen = Vec::new();
+        rob.squash_from_each(2, |e| seen.push(e.seq()));
+        assert_eq!(seen, vec![2, 3, 4, 5]);
+        assert_eq!(rob.len(), 2);
+        // A squash point beyond the youngest entry is a no-op and must
+        // not corrupt the occupancy (regression: the arena once set
+        // `len` from the unclamped squash point).
+        rob.squash_from_each(100, |_| panic!("nothing is younger than seq 100"));
+        assert_eq!(rob.len(), 2);
+        assert!(!rob.is_full());
+        rob.push(entry(2));
+        assert_eq!(rob.len(), 3);
+        // Squashing everything (and an empty ROB) is fine too.
+        rob.squash_from_each(0, |_| {});
+        assert!(rob.is_empty());
+        rob.squash_from_each(0, |_| panic!("empty ROB has nothing to squash"));
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use crate::cache::CacheStats;
 use crate::engine::Disposition;
+use rsep_predictors::PredictorStats;
 
 /// Per-mechanism coverage counts (the quantities plotted in Figure 5).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -138,6 +139,11 @@ pub struct SimStats {
     pub coverage: CoverageCounts,
     /// Cache statistics at the end of the run, per level.
     pub cache: Vec<(&'static str, CacheStats)>,
+    /// Unified per-predictor statistics at the end of the run, labelled by
+    /// family name (front-end stack first, then the speculation engine's
+    /// predictors), merged across checkpoints with
+    /// [`PredictorStats::merge`].
+    pub predictors: Vec<(&'static str, PredictorStats)>,
     /// Sum of ROB occupancy sampled every cycle (for averaging).
     pub rob_occupancy_sum: u64,
 }
@@ -230,6 +236,12 @@ impl SimStats {
             match self.cache.iter_mut().find(|(name, _)| name == level) {
                 Some((_, mine)) => mine.merge(cache),
                 None => self.cache.push((level, *cache)),
+            }
+        }
+        for (family, stats) in &other.predictors {
+            match self.predictors.iter_mut().find(|(name, _)| name == family) {
+                Some((_, mine)) => mine.merge(stats),
+                None => self.predictors.push((family, *stats)),
             }
         }
     }

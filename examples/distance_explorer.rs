@@ -6,7 +6,7 @@
 
 use rsep::core::{Ddt, DdtConfig, FifoHistory, FifoHistoryConfig};
 use rsep::isa::FoldHash;
-use rsep::predictors::{DistancePredictor, GlobalHistory};
+use rsep::predictors::{DistancePredictor, GlobalHistory, Predictor as _};
 use rsep::trace::{BenchmarkProfile, TraceGenerator};
 
 fn main() {
