@@ -12,6 +12,8 @@
 //! trajectory can be tracked across PRs instead of living only in logs.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rsep_bench::record::BenchRecord;
+use rsep_stats::json::Json;
 use rsep_trace::{BenchmarkProfile, TraceGenerator};
 use rsep_uarch::{Core, CoreConfig, SchedulerKind};
 use std::time::Instant;
@@ -51,10 +53,13 @@ const BENCH_JSON_DEFAULT: &str =
 
 /// Prints absolute throughput (simulated cycles & instructions per second)
 /// for each scheduler — the number the ROADMAP bench trajectory tracks —
-/// and records it as JSON (`BENCH_cycle_loop.json`).
+/// and records it as schema-v2 JSON (`BENCH_cycle_loop.json`): host
+/// metadata, max-RSS, and (in `obs` builds) the per-stage cycle
+/// attribution of an instrumented run.
 fn throughput(_c: &mut Criterion) {
     let insts = trace_insts();
-    let mut records = Vec::new();
+    let round2 = |x: f64| (x * 100.0).round() / 100.0;
+    let mut results = Vec::new();
     for (label, scheduler) in
         [("event_driven", SchedulerKind::EventDriven), ("polling", SchedulerKind::Polling)]
     {
@@ -76,22 +81,44 @@ fn throughput(_c: &mut Criterion) {
         println!(
             "cycle_loop/throughput/{label:<14} {mcycles:>8.2} Mcycles/s  {minsts:>7.2} Minsts/s"
         );
-        records.push(format!(
-            "    {{\"scheduler\": \"{label}\", \"ms_per_run\": {:.3}, \
-             \"mcycles_per_sec\": {mcycles:.2}, \"minsts_per_sec\": {minsts:.2}}}",
-            best * 1e3,
-        ));
+        results.push(Json::Object(vec![
+            ("scheduler".to_string(), Json::Str(label.to_string())),
+            ("ms_per_run".to_string(), Json::Num((best * 1e6).round() / 1e3)),
+            ("mcycles_per_sec".to_string(), Json::Num(round2(mcycles))),
+            ("minsts_per_sec".to_string(), Json::Num(round2(minsts))),
+        ]));
     }
-    let path = std::env::var("RSEP_BENCH_JSON").unwrap_or_else(|_| BENCH_JSON_DEFAULT.to_string());
-    let json = format!(
-        "{{\n  \"bench\": \"cycle_loop\",\n  \"profile\": \"gcc\",\n  \
-         \"config\": \"table1\",\n  \"commits\": {COMMITS},\n  \"results\": [\n{}\n  ]\n}}\n",
-        records.join(",\n"),
-    );
-    match std::fs::write(&path, &json) {
-        Ok(()) => println!("cycle_loop/throughput written to {path}"),
-        Err(error) => eprintln!("cycle_loop/throughput: cannot write {path}: {error}"),
-    }
+    let record = BenchRecord {
+        bench: "cycle_loop",
+        params: vec![
+            ("profile", Json::Str("gcc".to_string())),
+            ("config", Json::Str("table1".to_string())),
+            ("commits", Json::Num(COMMITS as f64)),
+        ],
+        results,
+        attribution: measured_attribution(&insts),
+    };
+    record.write("RSEP_BENCH_JSON", BENCH_JSON_DEFAULT);
+}
+
+/// Per-stage attribution of one instrumented event-driven run over the
+/// bench trace (`obs` builds only; `null` otherwise).
+#[cfg(feature = "obs")]
+fn measured_attribution(insts: &[rsep_isa::DynInst]) -> Json {
+    let mut config = CoreConfig::table1();
+    config.scheduler = SchedulerKind::EventDriven;
+    let mut core = Core::baseline(config);
+    let mut trace = insts.iter().cloned();
+    core.run(&mut trace, COMMITS).expect("bench trace cannot wedge");
+    let attribution = core.take_attribution().expect("obs build");
+    attribution.validate(core.stats().cycles).expect("attribution sums to cycles");
+    rsep_bench::record::attribution_json(&attribution)
+}
+
+/// Without the `obs` feature the counters do not exist; record `null`.
+#[cfg(not(feature = "obs"))]
+fn measured_attribution(_insts: &[rsep_isa::DynInst]) -> Json {
+    Json::Null
 }
 
 criterion_group!(benches, bench, throughput);

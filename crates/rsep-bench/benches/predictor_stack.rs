@@ -21,10 +21,12 @@
 //! next to `BENCH_cycle_loop.json`.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rsep_bench::record::BenchRecord;
 use rsep_isa::{BranchInfo, BranchKind};
 use rsep_predictors::{
     FoldedHistory, GlobalHistory, Lfsr, PredictRequest, Predictor, PredictorStack, Tage, TageConfig,
 };
+use rsep_stats::json::Json;
 use std::time::Instant;
 
 const BRANCHES: usize = 100_000;
@@ -479,10 +481,13 @@ const BENCH_JSON_DEFAULT: &str =
     concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_predictor_stack.json");
 
 /// Prints absolute throughput (branches per second) for each path and
-/// records it as JSON (`BENCH_predictor_stack.json`).
+/// records it as schema-v2 JSON (`BENCH_predictor_stack.json`) with host
+/// metadata and max-RSS. No core runs here, so the attribution slot is
+/// always `null`.
 fn throughput(_c: &mut Criterion) {
     let stream = branch_stream();
-    let mut records = Vec::new();
+    let round2 = |x: f64| (x * 100.0).round() / 100.0;
+    let mut results = Vec::new();
     let paths: [BenchPath; 5] = [
         ("batched", run_batched),
         ("per_branch", run_per_branch),
@@ -500,22 +505,19 @@ fn throughput(_c: &mut Criterion) {
         }
         let mbranches = BRANCHES as f64 / best / 1e6;
         println!("predictor_stack/throughput/{label:<12} {mbranches:>8.2} Mbranches/s");
-        records.push(format!(
-            "    {{\"path\": \"{label}\", \"ms_per_run\": {:.3}, \"mbranches_per_sec\": {mbranches:.2}}}",
-            best * 1e3,
-        ));
+        results.push(Json::Object(vec![
+            ("path".to_string(), Json::Str(label.to_string())),
+            ("ms_per_run".to_string(), Json::Num((best * 1e6).round() / 1e3)),
+            ("mbranches_per_sec".to_string(), Json::Num(round2(mbranches))),
+        ]));
     }
-    let path = std::env::var("RSEP_BENCH_PREDICTOR_JSON")
-        .unwrap_or_else(|_| BENCH_JSON_DEFAULT.to_string());
-    let json = format!(
-        "{{\n  \"bench\": \"predictor_stack\",\n  \"branches\": {BRANCHES},\n  \
-         \"block\": {BLOCK},\n  \"results\": [\n{}\n  ]\n}}\n",
-        records.join(",\n"),
-    );
-    match std::fs::write(&path, &json) {
-        Ok(()) => println!("predictor_stack/throughput written to {path}"),
-        Err(error) => eprintln!("predictor_stack/throughput: cannot write {path}: {error}"),
-    }
+    let record = BenchRecord {
+        bench: "predictor_stack",
+        params: vec![("branches", Json::Num(BRANCHES as f64)), ("block", Json::Num(BLOCK as f64))],
+        results,
+        attribution: Json::Null,
+    };
+    record.write("RSEP_BENCH_PREDICTOR_JSON", BENCH_JSON_DEFAULT);
 }
 
 criterion_group!(benches, bench, throughput);

@@ -1,0 +1,156 @@
+//! Criterion bench: trace generation vs simulation — how much of a
+//! campaign cell's wall-clock is spent *making* instructions rather than
+//! simulating them?
+//!
+//! Three modes over the same gcc workload as `cycle_loop`:
+//!
+//! * `trace_gen/generate` — [`TraceGenerator`] iteration alone (the cost
+//!   the simulator pays on top of simulation in a streamed run);
+//! * `trace_gen/simulate_pregenerated` — the baseline core over a
+//!   pre-collected `Vec<DynInst>` (pure simulation);
+//! * `trace_gen/simulate_streaming` — the baseline core pulling straight
+//!   from a live generator (how campaign cells actually run).
+//!
+//! The `throughput` entry derives the generation share of streamed
+//! wall-clock as `generate / streaming` — the standalone generation cost
+//! over the streamed run it is embedded in. (The alternative,
+//! `streaming − pregenerated`, subtracts two ~17 ms measurements whose
+//! true gap is ~1.3 ms, so run-to-run noise swamps it.) The record goes,
+//! with the per-mode numbers, as schema-v2 JSON to `BENCH_trace_gen.json`
+//! (override with `RSEP_BENCH_TRACE_JSON`). DESIGN.md § "Trace-generation
+//! cost" records the measured share against the ROADMAP's ~30% guess.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rsep_bench::record::BenchRecord;
+use rsep_stats::json::Json;
+use rsep_trace::{BenchmarkProfile, TraceGenerator};
+use rsep_uarch::{Core, CoreConfig};
+use std::time::Instant;
+
+const COMMITS: u64 = 30_000;
+/// Same head-room over the commit target as `cycle_loop` uses.
+const INSTS: usize = COMMITS as usize + 4_000;
+const SEED: u64 = 42;
+
+fn profile() -> BenchmarkProfile {
+    BenchmarkProfile::by_name("gcc").unwrap()
+}
+
+/// Generation alone: drain the generator, folding PCs so the work cannot
+/// be optimised away.
+fn generate(profile: &BenchmarkProfile) -> u64 {
+    let mut acc = 0u64;
+    for inst in TraceGenerator::new(profile, SEED).take(INSTS) {
+        acc = acc.wrapping_add(inst.pc);
+    }
+    acc
+}
+
+/// Pure simulation: the core consumes an already-materialised trace.
+fn simulate_pregenerated(insts: &[rsep_isa::DynInst]) -> u64 {
+    let mut core = Core::baseline(CoreConfig::table1());
+    let mut trace = insts.iter().cloned();
+    core.run(&mut trace, COMMITS).expect("bench trace cannot wedge");
+    core.stats().cycles
+}
+
+/// Streamed simulation: the core pulls from a live generator, the way
+/// campaign cells run.
+fn simulate_streaming(profile: &BenchmarkProfile) -> u64 {
+    let mut core = Core::baseline(CoreConfig::table1());
+    let mut trace = TraceGenerator::new(profile, SEED).take(INSTS);
+    core.run(&mut trace, COMMITS).expect("bench trace cannot wedge");
+    core.stats().cycles
+}
+
+fn bench(c: &mut Criterion) {
+    let profile = profile();
+    let insts: Vec<rsep_isa::DynInst> = TraceGenerator::new(&profile, SEED).take(INSTS).collect();
+    // The streamed and pregenerated runs must simulate identical cycles —
+    // the comparison is meaningless otherwise.
+    assert_eq!(simulate_pregenerated(&insts), simulate_streaming(&profile));
+    c.bench_function("trace_gen/generate", |b| b.iter(|| black_box(generate(&profile))));
+    c.bench_function("trace_gen/simulate_pregenerated", |b| {
+        b.iter(|| black_box(simulate_pregenerated(&insts)))
+    });
+    c.bench_function("trace_gen/simulate_streaming", |b| {
+        b.iter(|| black_box(simulate_streaming(&profile)))
+    });
+}
+
+/// Default output path: the workspace root, next to the other records.
+const BENCH_JSON_DEFAULT: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_trace_gen.json");
+
+/// Best-of-3 wall-clock per mode, plus the derived generation share of
+/// streamed wall-clock, as schema-v2 JSON.
+fn throughput(_c: &mut Criterion) {
+    let profile = profile();
+    let insts: Vec<rsep_isa::DynInst> = TraceGenerator::new(&profile, SEED).take(INSTS).collect();
+    let round2 = |x: f64| (x * 100.0).round() / 100.0;
+
+    let best_of = |label: &str, run: &mut dyn FnMut() -> u64| -> (f64, u64) {
+        run(); // untimed warm-up
+        let mut best = f64::MAX;
+        let mut payload = 0u64;
+        for _ in 0..3 {
+            let start = Instant::now();
+            payload = black_box(run());
+            best = best.min(start.elapsed().as_secs_f64());
+        }
+        println!(
+            "trace_gen/throughput/{label:<22} {:>8.3} ms/run  {:>7.2} Minsts/s",
+            best * 1e3,
+            INSTS as f64 / best / 1e6
+        );
+        (best, payload)
+    };
+
+    let (gen_secs, _) = best_of("generate", &mut || generate(&profile));
+    let (pregen_secs, cycles) =
+        best_of("simulate_pregenerated", &mut || simulate_pregenerated(&insts));
+    let (stream_secs, _) = best_of("simulate_streaming", &mut || simulate_streaming(&profile));
+
+    let share_pct = (gen_secs / stream_secs * 100.0).min(100.0);
+    println!("trace_gen/throughput/generation_share       {share_pct:>8.1} % of streamed run");
+
+    let mode_result = |mode: &str, secs: f64, extra: Vec<(&str, Json)>| {
+        let mut pairs = vec![
+            ("mode".to_string(), Json::Str(mode.to_string())),
+            ("ms_per_run".to_string(), Json::Num((secs * 1e6).round() / 1e3)),
+            ("minsts_per_sec".to_string(), Json::Num(round2(INSTS as f64 / secs / 1e6))),
+        ];
+        for (key, value) in extra {
+            pairs.push((key.to_string(), value));
+        }
+        Json::Object(pairs)
+    };
+    let mcycles = |secs: f64| Json::Num(round2(cycles as f64 / secs / 1e6));
+    let record = BenchRecord {
+        bench: "trace_gen",
+        params: vec![
+            ("profile", Json::Str("gcc".to_string())),
+            ("config", Json::Str("table1".to_string())),
+            ("commits", Json::Num(COMMITS as f64)),
+            ("insts", Json::Num(INSTS as f64)),
+            ("generation_share_pct", Json::Num((share_pct * 10.0).round() / 10.0)),
+        ],
+        results: vec![
+            mode_result("generate", gen_secs, Vec::new()),
+            mode_result(
+                "simulate_pregenerated",
+                pregen_secs,
+                vec![("mcycles_per_sec", mcycles(pregen_secs))],
+            ),
+            mode_result(
+                "simulate_streaming",
+                stream_secs,
+                vec![("mcycles_per_sec", mcycles(stream_secs))],
+            ),
+        ],
+        attribution: Json::Null,
+    };
+    record.write("RSEP_BENCH_TRACE_JSON", BENCH_JSON_DEFAULT);
+}
+
+criterion_group!(benches, bench, throughput);
+criterion_main!(benches);

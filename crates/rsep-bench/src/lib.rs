@@ -31,6 +31,8 @@
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
 
+pub mod record;
+
 use rsep_campaign::env::env_u64;
 use rsep_campaign::{presets, Campaign, CampaignSpec};
 use rsep_core::{BenchmarkResult, MechanismConfig};

@@ -33,6 +33,14 @@
 //!   --storage        with `run`: print the per-mechanism storage-budget
 //!                    report (Table II: RSEP ≈10.1 KB vs D-VTAGE ≈256 KB)
 //!                    and exit without simulating
+//!   --attribution    with `run`: simulate the baseline core instrumented
+//!                    (needs a build with the `obs` feature) and print the
+//!                    per-stage cycle-attribution table instead of the
+//!                    evaluation reports; honours --benchmarks / --seed /
+//!                    --checkpoints / --warmup / --measure / --smoke
+//!   --progress       heartbeat on stderr: `[done/total] cells  N cells/s
+//!                    ETA Ts` (off by default; stdout is byte-identical
+//!                    with or without it)
 //!   --quiet          suppress progress and timing on stderr
 //!   --version        print the version and exit
 //! ```
@@ -94,6 +102,8 @@ struct Cli {
     store: StoreChoice,
     shard: Option<Shard>,
     storage: bool,
+    attribution: bool,
+    progress: bool,
 }
 
 fn usage() -> &'static str {
@@ -101,7 +111,7 @@ fn usage() -> &'static str {
      [--jobs N] [--smoke] [--json|--csv|--md] [--benchmarks list] \
      [--seed N] [--checkpoints N] [--warmup N] [--measure N] \
      [--store jsonl:path] [--shard i/n] [--cache-dir dir | --cache] [--storage] \
-     [--quiet] [--version]"
+     [--attribution] [--progress] [--quiet] [--version]"
 }
 
 fn parse_args(args: &[String]) -> Result<Cli, String> {
@@ -120,6 +130,8 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         store: StoreChoice::Memory,
         shard: None,
         storage: false,
+        attribution: false,
+        progress: false,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -193,6 +205,8 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
             }
             "--shard" => cli.shard = Some(Shard::parse(&value_of("--shard")?)?),
             "--storage" => cli.storage = true,
+            "--attribution" => cli.attribution = true,
+            "--progress" => cli.progress = true,
             "--help" | "-h" => return Err(usage().to_string()),
             flag if flag.starts_with('-') => return Err(format!("unknown flag '{flag}'")),
             command if cli.command.is_empty() => cli.command = command.to_string(),
@@ -240,7 +254,7 @@ impl Cli {
 
     fn campaign(&self) -> Campaign {
         let jobs = self.jobs.unwrap_or_else(rsep_campaign::jobs_from_env);
-        Campaign::new(Executor::new(jobs).with_progress(!self.quiet))
+        Campaign::new(Executor::new(jobs).with_progress(!self.quiet).with_heartbeat(self.progress))
     }
 
     fn emit(&self, exp: &Experiment) {
@@ -417,13 +431,71 @@ fn validate(cli: &Cli) -> Result<(), Failure> {
     if cli.storage && cli.command != "run" {
         return Err(usage_error("--storage is only supported with 'run'"));
     }
+    if cli.attribution && cli.command != "run" {
+        return Err(usage_error("--attribution is only supported with 'run'"));
+    }
     Ok(())
+}
+
+/// Simulates the baseline core over the configured checkpoint grid with the
+/// per-stage attribution counters live, and renders the merged table. The
+/// counters describe the *simulator* (where its cycles go), so this report
+/// is separate from the evaluation reports and never part of them.
+#[cfg(feature = "obs")]
+fn attribution_text(cli: &Cli) -> Result<String, Failure> {
+    let spec = cli.configure(presets::fig1())?;
+    let mut merged = rsep_uarch::StageAttribution::default();
+    let mut out = format!(
+        "Per-stage cycle attribution (baseline core, {} profile(s) × {} checkpoint(s), \
+         {} + {} instructions)\n\n",
+        spec.profiles.len(),
+        spec.checkpoints.count,
+        spec.checkpoints.warmup,
+        spec.checkpoints.measure
+    );
+    for profile in &spec.profiles {
+        let mut cycles = 0u64;
+        for index in 0..spec.checkpoints.count {
+            let mut trace = rsep_trace::TraceGenerator::new(
+                profile,
+                rsep_core::checkpoint_seed(spec.seed, index),
+            );
+            let mut core = rsep_uarch::Core::baseline(spec.core_config.clone());
+            let fail = |e: &dyn std::fmt::Display| {
+                runtime_error(format!("attribution: {}/{index}: {e}", profile.name))
+            };
+            core.run(&mut trace, spec.checkpoints.warmup).map_err(|e| fail(&e))?;
+            core.reset_stats(); // also clears warm-up attribution
+            core.run(&mut trace, spec.checkpoints.measure).map_err(|e| fail(&e))?;
+            let attribution = core.take_attribution().expect("obs build");
+            attribution.validate(core.stats().cycles).map_err(|e| fail(&e))?;
+            cycles += attribution.cycles;
+            merged.merge(&attribution);
+        }
+        out.push_str(&format!("  {:<14}{cycles:>12} measured cycles\n", profile.name));
+    }
+    out.push('\n');
+    out.push_str(&merged.render_table());
+    Ok(out)
+}
+
+/// Without the `obs` feature the counters are compiled out entirely.
+#[cfg(not(feature = "obs"))]
+fn attribution_text(_cli: &Cli) -> Result<String, Failure> {
+    Err(runtime_error(
+        "--attribution needs an instrumented build: rebuild with the `obs` feature, e.g.\n  \
+         cargo run --release --features obs --bin rsep -- run --attribution",
+    ))
 }
 
 fn run_command(cli: &Cli) -> Result<(), Failure> {
     validate(cli)?;
     if cli.storage {
         emit_text(&storage_text());
+        return Ok(());
+    }
+    if cli.attribution {
+        emit_text(&attribution_text(cli)?);
         return Ok(());
     }
     match cli.command.as_str() {

@@ -120,6 +120,70 @@ fn storage_report_reproduces_the_paper_comparison() {
 }
 
 #[test]
+fn attribution_is_a_run_only_modifier() {
+    // Flag misuse is a usage error regardless of the build's features.
+    assert_eq!(rsep(&["fig4", "--attribution"]).status.code(), Some(2));
+    assert_eq!(rsep(&["table1", "--attribution"]).status.code(), Some(2));
+}
+
+#[cfg(feature = "obs")]
+#[test]
+fn attribution_prints_the_stage_table() {
+    let output = rsep(&[
+        "run",
+        "--attribution",
+        "--quiet",
+        "--benchmarks",
+        "mcf",
+        "--checkpoints",
+        "1",
+        "--warmup",
+        "500",
+        "--measure",
+        "1000",
+    ]);
+    assert!(output.status.success(), "{}", String::from_utf8_lossy(&output.stderr));
+    let text = String::from_utf8(output.stdout).unwrap();
+    for section in ["per-stage cycle attribution", "fetch", "rename", "issue", "commit slots"] {
+        assert!(text.contains(section), "missing '{section}' in: {text}");
+    }
+}
+
+#[cfg(not(feature = "obs"))]
+#[test]
+fn attribution_without_obs_exits_1_with_a_rebuild_hint() {
+    let output = rsep(&["run", "--attribution", "--quiet"]);
+    assert_eq!(output.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("obs"), "hint missing from: {stderr}");
+}
+
+#[test]
+fn progress_heartbeat_leaves_stdout_byte_identical() {
+    let args = [
+        "fig4",
+        "--benchmarks",
+        "mcf",
+        "--checkpoints",
+        "1",
+        "--warmup",
+        "200",
+        "--measure",
+        "500",
+        "--csv",
+        "--quiet",
+    ];
+    let without = rsep(&args);
+    let mut with_args = args.to_vec();
+    with_args.push("--progress");
+    let with = rsep(&with_args);
+    assert!(without.status.success() && with.status.success());
+    assert_eq!(without.stdout, with.stdout, "--progress must not change report output");
+    let stderr = String::from_utf8_lossy(&with.stderr);
+    assert!(stderr.contains("cells/s") && stderr.contains("ETA"), "heartbeat missing: {stderr}");
+}
+
+#[test]
 fn runtime_failures_exit_1() {
     // Merging a file that does not exist is a runtime failure, not usage.
     let output = rsep(&["merge", "/nonexistent/rsep-shard.jsonl"]);

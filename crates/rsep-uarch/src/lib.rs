@@ -40,6 +40,7 @@
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
 
+pub mod attribution;
 pub mod cache;
 pub mod config;
 pub mod core;
@@ -50,6 +51,9 @@ pub mod rob;
 pub mod sched;
 pub mod stats;
 
+pub use attribution::{
+    FetchCycles, IssueCycles, RenameBlock, RenameCycles, StageAttribution, WorkCounts,
+};
 pub use cache::{AccessKind, Cache, CacheHierarchy, CacheStats, MemRequest, StridePrefetcher};
 pub use config::{CoreConfig, FrontendKind, SchedulerKind};
 pub use core::{Core, SimError};
