@@ -7,6 +7,8 @@
 //! measure was retired with the PR 4 equivalence proofs in; the
 //! struct-of-arrays layout is now the only one.)
 
+#![forbid(unsafe_code)]
+
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use rsep_uarch::{AccessKind, CacheHierarchy, CoreConfig, MemRequest};
 

@@ -11,6 +11,8 @@
 //! workspace root (override the path with `RSEP_BENCH_JSON`), so the bench
 //! trajectory can be tracked across PRs instead of living only in logs.
 
+#![forbid(unsafe_code)]
+
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use rsep_bench::record::BenchRecord;
 use rsep_stats::json::Json;

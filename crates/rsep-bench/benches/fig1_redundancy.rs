@@ -1,5 +1,7 @@
 //! Criterion bench: Figure 1 redundancy analysis (also asserts the
 //! zero-heavy shape on the zeusmp-like profile).
+
+#![forbid(unsafe_code)]
 use criterion::{criterion_group, criterion_main, Criterion};
 use rsep_core::{RedundancyAnalyzer, RedundancyConfig};
 use rsep_trace::{BenchmarkProfile, TraceGenerator};

@@ -1,5 +1,7 @@
 //! Criterion bench: one Figure 4 cell (RSEP-ideal on the libquantum-like
 //! profile) at smoke scale — times the full simulation path.
+
+#![forbid(unsafe_code)]
 use criterion::{criterion_group, criterion_main, Criterion};
 use rsep_core::{run_benchmark, MechanismConfig};
 use rsep_trace::{BenchmarkProfile, CheckpointSpec};

@@ -1,5 +1,7 @@
 //! Criterion bench: the validation-policy variants of Figure 6 on one
 //! profile at smoke scale.
+
+#![forbid(unsafe_code)]
 use criterion::{criterion_group, criterion_main, Criterion};
 use rsep_core::run_benchmark;
 use rsep_trace::{BenchmarkProfile, CheckpointSpec};

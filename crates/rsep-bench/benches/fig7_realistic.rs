@@ -1,5 +1,7 @@
 //! Criterion bench: ideal vs realistic RSEP (Figure 7) on one profile at
 //! smoke scale.
+
+#![forbid(unsafe_code)]
 use criterion::{criterion_group, criterion_main, Criterion};
 use rsep_core::{run_benchmark, MechanismConfig};
 use rsep_trace::{BenchmarkProfile, CheckpointSpec};

@@ -20,6 +20,8 @@
 //! `RSEP_BENCH_PREDICTOR_JSON`), so the bench trajectory is tracked per PR
 //! next to `BENCH_cycle_loop.json`.
 
+#![forbid(unsafe_code)]
+
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use rsep_bench::record::BenchRecord;
 use rsep_isa::{BranchInfo, BranchKind};

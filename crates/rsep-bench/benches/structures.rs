@@ -1,5 +1,7 @@
 //! Criterion bench: microbenchmarks of the RSEP hardware structures
 //! themselves (distance predictor, FIFO history, ISRB, fold hash).
+
+#![forbid(unsafe_code)]
 use criterion::{criterion_group, criterion_main, Criterion};
 use rsep_core::{FifoHistory, FifoHistoryConfig, Isrb, IsrbConfig};
 use rsep_isa::FoldHash;

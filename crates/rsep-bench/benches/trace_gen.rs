@@ -20,6 +20,8 @@
 //! (override with `RSEP_BENCH_TRACE_JSON`). DESIGN.md § "Trace-generation
 //! cost" records the measured share against the ROADMAP's ~30% guess.
 
+#![forbid(unsafe_code)]
+
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use rsep_bench::record::BenchRecord;
 use rsep_stats::json::Json;

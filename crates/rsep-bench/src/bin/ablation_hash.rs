@@ -1,4 +1,6 @@
 //! Section IV-A ablation: pairing-hash width sensitivity.
+
+#![forbid(unsafe_code)]
 fn main() {
     let scale = rsep_bench::scale_from_env();
     let exp = rsep_bench::ablation_hash(&scale);

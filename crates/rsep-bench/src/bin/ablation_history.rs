@@ -1,4 +1,6 @@
 //! Section VI-A2 ablation: FIFO history depth sensitivity.
+
+#![forbid(unsafe_code)]
 fn main() {
     let scale = rsep_bench::scale_from_env();
     let exp = rsep_bench::ablation_history(&scale);

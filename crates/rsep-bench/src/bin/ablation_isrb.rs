@@ -1,4 +1,6 @@
 //! Section VI-A3 ablation: ISRB size sensitivity.
+
+#![forbid(unsafe_code)]
 fn main() {
     let scale = rsep_bench::scale_from_env();
     let exp = rsep_bench::ablation_isrb(&scale);

@@ -14,6 +14,8 @@
 //! Schema-v1 records (no `schema_version`) are accepted as baselines so
 //! the gate works across the v1→v2 transition.
 
+#![forbid(unsafe_code)]
+
 use rsep_stats::json::Json;
 use std::process::ExitCode;
 

@@ -1,5 +1,7 @@
 //! Regenerates Figure 1: fraction of committed instructions whose result is
 //! zero or already present in the PRF (loads vs other producers).
+
+#![forbid(unsafe_code)]
 fn main() {
     let scale = rsep_bench::scale_from_env();
     let exp = rsep_bench::figure1(&scale);

@@ -1,5 +1,7 @@
 //! Regenerates Figure 4: speedup over baseline of zero prediction, move
 //! elimination, RSEP, value prediction and RSEP + VP.
+
+#![forbid(unsafe_code)]
 fn main() {
     let scale = rsep_bench::scale_from_env();
     let exp = rsep_bench::figure4(&scale);

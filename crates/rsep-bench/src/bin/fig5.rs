@@ -1,5 +1,7 @@
 //! Regenerates Figure 5: percentage of committed instructions covered by
 //! each mechanism (RSEP alone, and VP on top of RSEP).
+
+#![forbid(unsafe_code)]
 fn main() {
     let scale = rsep_bench::scale_from_env();
     let exp = rsep_bench::figure5(&scale);

@@ -1,5 +1,7 @@
 //! Regenerates Figure 6: impact of the validation mechanism and of
 //! commit-time sampling on RSEP's speedup.
+
+#![forbid(unsafe_code)]
 fn main() {
     let scale = rsep_bench::scale_from_env();
     let exp = rsep_bench::figure6(&scale);

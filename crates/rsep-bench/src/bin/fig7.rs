@@ -1,5 +1,7 @@
 //! Regenerates Figure 7: ideal RSEP vs the realistic 10.1 KB configuration,
 //! plus the Section VI-B accuracy / coverage / storage summary.
+
+#![forbid(unsafe_code)]
 fn main() {
     let scale = rsep_bench::scale_from_env();
     let (speedups, summary) = rsep_bench::figure7(&scale);

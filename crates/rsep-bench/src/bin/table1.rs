@@ -1,4 +1,6 @@
 //! Prints Table I: the simulated core configuration.
+
+#![forbid(unsafe_code)]
 fn main() {
     println!("{}", rsep_bench::table1());
 }

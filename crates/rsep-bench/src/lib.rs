@@ -28,6 +28,7 @@
 //! The paper's own scale (10 × (50M + 100M) instructions per benchmark) is
 //! available through [`paper_scale`] but is far too slow for routine use.
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
 

@@ -111,9 +111,9 @@ pub fn max_rss_kb() -> Option<u64> {
 
 /// Current time as `YYYY-MM-DDTHH:MM:SSZ`.
 fn utc_now() -> String {
-    let secs =
-        SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.as_secs()).unwrap_or_default();
-    format_utc(secs)
+    // lint: exempt(determinism, bench-record host metadata; records are not simulation results)
+    let now = SystemTime::now();
+    format_utc(now.duration_since(UNIX_EPOCH).map(|d| d.as_secs()).unwrap_or_default())
 }
 
 /// Formats seconds-since-epoch as an ISO-8601 UTC timestamp (hand-rolled —

@@ -52,6 +52,8 @@
 //! Exit codes: 0 success, 1 runtime failure (store I/O, corrupt or
 //! mismatched files), 2 usage error.
 
+#![forbid(unsafe_code)]
+
 use rsep_campaign::{
     merge_stored, presets, CachedStore, Campaign, CampaignResult, CampaignSpec, Executor,
     JsonlStore, ReportFormat, Shard,

@@ -53,6 +53,7 @@
 //! assert!(run.result.is_none()); // partial grid: report comes from merge
 //! ```
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
 

@@ -37,6 +37,7 @@
 //! println!("speedup: {:.3}", rsep.speedup_over(&baseline));
 //! ```
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
 

@@ -22,6 +22,7 @@
 //!   types, used by `rsep-campaign` to derive content-addressed cell keys
 //!   for result memoisation and resumable campaign stores.
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
 

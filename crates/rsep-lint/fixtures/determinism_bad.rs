@@ -1,0 +1,15 @@
+//! Fixture: wall-clock reads and hash-order collections.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub fn measure() -> u64 {
+    let t0 = Instant::now();
+    let mut seen: HashMap<u64, u64> = HashMap::new();
+    seen.insert(1, 2);
+    t0.elapsed().as_nanos() as u64 + seen.len() as u64
+}
+
+pub fn stamp() -> bool {
+    std::time::SystemTime::now().elapsed().is_ok()
+}

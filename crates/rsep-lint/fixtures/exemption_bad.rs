@@ -1,0 +1,10 @@
+//! Fixture: exemption-hygiene violations — empty reason, unknown lint,
+//! unused exemption, missing parens, unclosed parens, unknown directive.
+
+// lint: exempt(determinism, )
+// lint: exempt(made-up-lint, some reason)
+// lint: exempt(determinism, nothing below ever trips this)
+// lint: exempt determinism
+// lint: exempt(determinism
+// lint: suppress(determinism, wrong verb)
+pub fn clean() {}

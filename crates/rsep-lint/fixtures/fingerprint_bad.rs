@@ -1,0 +1,12 @@
+//! Fixture: `width` is hashed, `depth` is not.
+
+pub struct Knobs {
+    pub width: u32,
+    pub depth: u32,
+}
+
+impl Fingerprint for Knobs {
+    fn fingerprint(&self, h: &mut Fnv) {
+        self.width.fingerprint(h);
+    }
+}

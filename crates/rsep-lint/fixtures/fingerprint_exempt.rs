@@ -1,0 +1,13 @@
+//! Fixture: the missing field carries a documented exemption.
+
+pub struct Knobs {
+    pub width: u32,
+    // lint: exempt(fingerprint-coverage, depth is derived from width at load time)
+    pub depth: u32,
+}
+
+impl Fingerprint for Knobs {
+    fn fingerprint(&self, h: &mut Fnv) {
+        self.width.fingerprint(h);
+    }
+}

@@ -1,0 +1,20 @@
+//! Fixture: `written` is emitted but never read back; `ghost` is read but
+//! never emitted; the free-function pair leaks `extra`.
+
+impl Report {
+    pub fn to_json(&self) -> Json {
+        obj(&[("cycles", self.cycles), ("written", self.written)])
+    }
+
+    pub fn from_json(json: &Json) -> Report {
+        Report { cycles: get(json, "cycles"), written: 0, ghost: get(json, "ghost") }
+    }
+}
+
+fn stats_to_json(s: &Stats) -> Json {
+    obj(&[("ipc", s.ipc)])
+}
+
+fn stats_from_json(json: &Json) -> Stats {
+    Stats { ipc: get(json, "ipc"), extra: get(json, "extra") }
+}

@@ -1,0 +1,17 @@
+//! Fixture: `stalls` is folded by `merge()`, `flushes` is not, and
+//! `CacheStats` (a stats-family name) has no `merge()` at all.
+
+pub struct SimStats {
+    pub stalls: u64,
+    pub flushes: u64,
+}
+
+impl SimStats {
+    pub fn merge(&mut self, other: &SimStats) {
+        self.stalls += other.stalls;
+    }
+}
+
+pub struct CacheStats {
+    pub hits: u64,
+}

@@ -1,0 +1,18 @@
+//! Fixture: both merge-coverage findings carry documented exemptions.
+
+pub struct SimStats {
+    pub stalls: u64,
+    // lint: exempt(merge-coverage, flushes is recomputed from stalls after merging)
+    pub flushes: u64,
+}
+
+impl SimStats {
+    pub fn merge(&mut self, other: &SimStats) {
+        self.stalls += other.stalls;
+    }
+}
+
+// lint: exempt(merge-coverage, per-run scratch stats; never folded across shards)
+pub struct CacheStats {
+    pub hits: u64,
+}

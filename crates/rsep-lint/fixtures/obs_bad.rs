@@ -1,0 +1,15 @@
+//! Fixture: one `obs!`-wrapped reference, one `#[cfg(feature = "obs")]`
+//! item, and one ungated reference that must be flagged.
+
+pub fn record(core: &mut Core) {
+    obs! {
+        core.attribution.cycles += 1;
+    }
+    let snapshot = StageAttribution::default();
+    drop(snapshot);
+}
+
+#[cfg(feature = "obs")]
+pub fn gated() -> WorkCounts {
+    WorkCounts::default()
+}

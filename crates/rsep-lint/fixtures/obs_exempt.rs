@@ -1,0 +1,10 @@
+//! Fixture: the ungated reference carries a documented exemption.
+
+pub fn record(core: &mut Core) {
+    obs! {
+        core.attribution.cycles += 1;
+    }
+    // lint: exempt(obs-gate, snapshot type is always compiled for testability)
+    let snapshot = StageAttribution::default();
+    drop(snapshot);
+}

@@ -1,0 +1,270 @@
+//! `rsep-lint` — workspace invariant linter.
+//!
+//! The equivalence-proof discipline of this repo rests on hand-maintained
+//! coverage invariants that `clippy` cannot see: every config field hashed
+//! by its [`Fingerprint`] impl (or a stale `CellKey` silently poisons the
+//! result cache), every stats counter folded by `merge()` (or shard merges
+//! silently drop data), every hand-rolled `to_json` key read back by
+//! `from_json`, attribution code kept behind the `obs` gate, and no
+//! wall-clock/hash-order nondeterminism in result-affecting code. This
+//! crate machine-checks all five with a dependency-free token-level
+//! scanner.
+//!
+//! Deliberate exclusions are declared in-source:
+//!
+//! ```text
+//! // lint: exempt(<lint>, <reason>)        — covers this line and the next item's line
+//! // lint: exempt-file(<lint>, <reason>)   — covers the whole file
+//! ```
+//!
+//! Empty reasons, unknown lint names, malformed directives and exemptions
+//! that no longer suppress anything are themselves findings (lint name
+//! `exemption`), so the exemption inventory can never rot.
+//!
+//! [`Fingerprint`]: ../rsep_isa/fingerprint/trait.Fingerprint.html
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod lexer;
+pub mod lints;
+pub mod parse;
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+use lexer::{Directive, Token};
+use parse::ParsedFile;
+
+/// The five enforced lints, in diagnostic-name form.
+pub const LINT_NAMES: [&str; 5] =
+    ["determinism", "fingerprint-coverage", "json-roundtrip", "merge-coverage", "obs-gate"];
+
+/// Lint name under which exemption-hygiene findings are reported. Not
+/// exemptable itself.
+pub const EXEMPTION_LINT: &str = "exemption";
+
+/// One finding, rendered as `file:line: lint-name: message`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Diagnostic {
+    /// Display path of the offending file.
+    pub file: String,
+    /// 1-based line.
+    pub line: usize,
+    /// Lint name ([`LINT_NAMES`] or [`EXEMPTION_LINT`]).
+    pub lint: String,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Builds a diagnostic.
+    pub fn new(file: &str, line: usize, lint: &str, message: String) -> Diagnostic {
+        Diagnostic { file: file.to_string(), line, lint: lint.to_string(), message }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}: {}", self.file, self.line, self.lint, self.message)
+    }
+}
+
+/// One source file handed to the linter.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Display path used in diagnostics (workspace-relative in CLI runs).
+    pub path: String,
+    /// Owning crate's directory name (scopes the `obs-gate` lint).
+    pub crate_name: String,
+    /// Full source text.
+    pub text: String,
+}
+
+/// A lexed and parsed source file, as consumed by the lint passes.
+#[derive(Debug)]
+pub struct Unit {
+    /// Display path used in diagnostics.
+    pub path: String,
+    /// Owning crate's directory name.
+    pub crate_name: String,
+    /// Flat token stream (lines non-decreasing).
+    pub tokens: Vec<Token>,
+    /// Exemption directives, in source order.
+    pub directives: Vec<Directive>,
+    /// Items and gated spans.
+    pub parsed: ParsedFile,
+}
+
+/// Lints a set of in-memory sources and returns the surviving diagnostics,
+/// sorted by `(file, line, lint, message)`. Findings inside `#[cfg(test)]`
+/// spans are dropped; findings matched by a well-formed exemption are
+/// suppressed; exemption-hygiene problems are appended as `exemption`
+/// findings.
+pub fn lint_sources(files: Vec<SourceFile>) -> Vec<Diagnostic> {
+    let units: Vec<Unit> = files
+        .into_iter()
+        .map(|f| {
+            let lexed = lexer::lex(&f.text);
+            let parsed = parse::parse_file(&lexed.tokens);
+            Unit {
+                path: f.path,
+                crate_name: f.crate_name,
+                tokens: lexed.tokens,
+                directives: lexed.directives,
+                parsed,
+            }
+        })
+        .collect();
+
+    let mut raw: Vec<Diagnostic> = Vec::new();
+    raw.extend(lints::fingerprint_coverage(&units));
+    raw.extend(lints::merge_coverage(&units));
+    raw.extend(lints::json_roundtrip(&units));
+    raw.extend(lints::obs_gate(&units));
+    raw.extend(lints::determinism(&units));
+
+    let by_path: BTreeMap<&str, usize> =
+        units.iter().enumerate().map(|(i, u)| (u.path.as_str(), i)).collect();
+    // For each directive: the line it is on plus the line of the next token
+    // after it (the item the comment annotates).
+    let covered: Vec<Vec<(usize, Option<usize>)>> = units
+        .iter()
+        .map(|u| {
+            u.directives
+                .iter()
+                .map(|d| {
+                    let split = u.tokens.partition_point(|t| t.line <= d.line);
+                    (d.line, u.tokens.get(split).map(|t| t.line))
+                })
+                .collect()
+        })
+        .collect();
+    let mut used: Vec<Vec<bool>> = units.iter().map(|u| vec![false; u.directives.len()]).collect();
+
+    let mut kept: Vec<Diagnostic> = Vec::new();
+    for d in raw {
+        let Some(&ui) = by_path.get(d.file.as_str()) else {
+            kept.push(d);
+            continue;
+        };
+        let u = &units[ui];
+        if u.parsed.test_lines.iter().any(|&(a, b)| a <= d.line && d.line <= b) {
+            continue;
+        }
+        let mut suppressed = false;
+        for (di, dir) in u.directives.iter().enumerate() {
+            if dir.malformed.is_some()
+                || dir.reason.is_empty()
+                || !LINT_NAMES.contains(&dir.lint.as_str())
+                || dir.lint != d.lint
+            {
+                continue;
+            }
+            let (own, next) = covered[ui][di];
+            if dir.file_level || d.line == own || Some(d.line) == next {
+                used[ui][di] = true;
+                suppressed = true;
+                break;
+            }
+        }
+        if !suppressed {
+            kept.push(d);
+        }
+    }
+
+    // Exemption hygiene: malformed, unknown lint, empty reason, unused.
+    for (ui, u) in units.iter().enumerate() {
+        for (di, dir) in u.directives.iter().enumerate() {
+            let in_tests = u.parsed.test_lines.iter().any(|&(a, b)| a <= dir.line && dir.line <= b);
+            if in_tests {
+                continue;
+            }
+            if let Some(msg) = &dir.malformed {
+                kept.push(Diagnostic::new(&u.path, dir.line, EXEMPTION_LINT, msg.clone()));
+            } else if !LINT_NAMES.contains(&dir.lint.as_str()) {
+                kept.push(Diagnostic::new(
+                    &u.path,
+                    dir.line,
+                    EXEMPTION_LINT,
+                    format!("exemption names unknown lint `{}`", dir.lint),
+                ));
+            } else if dir.reason.is_empty() {
+                kept.push(Diagnostic::new(
+                    &u.path,
+                    dir.line,
+                    EXEMPTION_LINT,
+                    format!("exemption for `{}` must carry a non-empty reason", dir.lint),
+                ));
+            } else if !used[ui][di] {
+                kept.push(Diagnostic::new(
+                    &u.path,
+                    dir.line,
+                    EXEMPTION_LINT,
+                    format!("exemption for `{}` does not suppress any finding", dir.lint),
+                ));
+            }
+        }
+    }
+
+    kept.sort();
+    kept.dedup();
+    kept
+}
+
+/// Lints every `crates/*/src/**/*.rs` under `root`. Returns the surviving
+/// diagnostics plus the number of files scanned. `benches/`, `tests/` and
+/// fixture directories are outside `src/` and therefore never scanned.
+pub fn lint_workspace(root: &Path) -> Result<(Vec<Diagnostic>, usize), String> {
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<PathBuf> = std::fs::read_dir(&crates_dir)
+        .map_err(|e| format!("cannot read {}: {e}", crates_dir.display()))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| p.is_dir())
+        .collect();
+    crate_dirs.sort();
+    let mut files = Vec::new();
+    for cdir in &crate_dirs {
+        let src = cdir.join("src");
+        if !src.is_dir() {
+            continue;
+        }
+        let crate_name =
+            cdir.file_name().map(|n| n.to_string_lossy().into_owned()).unwrap_or_default();
+        let mut paths = Vec::new();
+        collect_rs(&src, &mut paths)?;
+        paths.sort();
+        for p in paths {
+            let text = std::fs::read_to_string(&p)
+                .map_err(|e| format!("cannot read {}: {e}", p.display()))?;
+            let display = p
+                .strip_prefix(root)
+                .unwrap_or(&p)
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy())
+                .collect::<Vec<_>>()
+                .join("/");
+            files.push(SourceFile { path: display, crate_name: crate_name.clone(), text });
+        }
+    }
+    if files.is_empty() {
+        return Err(format!("no crates/*/src/**/*.rs files under {}", root.display()));
+    }
+    let count = files.len();
+    Ok((lint_sources(files), count))
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let entries =
+        std::fs::read_dir(dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+    for entry in entries.filter_map(Result::ok) {
+        let p = entry.path();
+        if p.is_dir() {
+            collect_rs(&p, out)?;
+        } else if p.extension().is_some_and(|ext| ext == "rs") {
+            out.push(p);
+        }
+    }
+    Ok(())
+}

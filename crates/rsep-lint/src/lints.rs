@@ -1,0 +1,314 @@
+//! The five lint passes.
+//!
+//! Each pass takes the full set of lexed+parsed [`Unit`]s (cross-file,
+//! because a struct and its `impl Fingerprint` may live in different files)
+//! and returns raw diagnostics; the engine applies `#[cfg(test)]` filtering
+//! and exemption suppression afterwards.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::lexer::TokKind;
+use crate::{Diagnostic, Unit};
+
+/// The stats family whose `merge()` coverage is enforced: everything a
+/// sharded/checkpointed campaign folds together. A field missing from
+/// `merge()` silently drops data on every shard merge.
+pub const STATS_FAMILY: [&str; 10] = [
+    "CacheStats",
+    "CoverageCounts",
+    "FetchCycles",
+    "IssueCycles",
+    "PredictorStats",
+    "RedundancyReport",
+    "RenameCycles",
+    "SimStats",
+    "StageAttribution",
+    "WorkCounts",
+];
+
+/// Attribution types that must stay behind the `obs` gate in `rsep-uarch`
+/// (the zero-overhead claim of the observability layer).
+pub const OBS_TYPES: [&str; 6] =
+    ["FetchCycles", "IssueCycles", "RenameBlock", "RenameCycles", "StageAttribution", "WorkCounts"];
+
+fn ident_of(kind: &TokKind) -> Option<&str> {
+    match kind {
+        TokKind::Ident(s) => Some(s),
+        _ => None,
+    }
+}
+
+/// Idents appearing in a set of body token ranges.
+fn body_idents<'a>(u: &'a Unit, bodies: &[(usize, usize)]) -> BTreeSet<&'a str> {
+    let mut set = BTreeSet::new();
+    for &(b0, b1) in bodies {
+        for t in &u.tokens[b0..b1] {
+            if let Some(s) = ident_of(&t.kind) {
+                set.insert(s);
+            }
+        }
+    }
+    set
+}
+
+/// **fingerprint-coverage** — every named field of a struct with a manual
+/// `impl Fingerprint` must be referenced in its `fingerprint()` body. A
+/// field left out of the hash means two configs that differ only in that
+/// field share a `CellKey`, and the result cache serves one config's
+/// numbers for the other.
+pub fn fingerprint_coverage(units: &[Unit]) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let struct_map = struct_index(units);
+    for u in units {
+        for im in &u.parsed.impls {
+            if im.trait_name.as_deref() != Some("Fingerprint") {
+                continue;
+            }
+            let Some(&(ui, si)) = struct_map.get(im.type_name.as_str()) else { continue };
+            let Some(f) = im.fns.iter().find(|f| f.name == "fingerprint" && f.body.is_some())
+            else {
+                continue;
+            };
+            let body = body_idents(u, &[f.body.unwrap()]);
+            let def_unit = &units[ui];
+            let sd = &def_unit.parsed.structs[si];
+            for field in &sd.fields {
+                if !body.contains(field.name.as_str()) {
+                    diags.push(Diagnostic::new(
+                        &def_unit.path,
+                        field.line,
+                        "fingerprint-coverage",
+                        format!(
+                            "field `{}` of `{}` is not referenced in its `fingerprint()` body",
+                            field.name, sd.name
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+    diags
+}
+
+/// **merge-coverage** — every field of the [`STATS_FAMILY`] must appear in
+/// that type's `merge()`.
+pub fn merge_coverage(units: &[Unit]) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let struct_map = struct_index(units);
+    for name in STATS_FAMILY {
+        let Some(&(ui, si)) = struct_map.get(name) else { continue };
+        let def_unit = &units[ui];
+        let sd = &def_unit.parsed.structs[si];
+        let mut merge_bodies: Vec<(&Unit, (usize, usize))> = Vec::new();
+        for u in units {
+            for im in &u.parsed.impls {
+                if im.type_name != name {
+                    continue;
+                }
+                for f in &im.fns {
+                    if f.name == "merge" {
+                        if let Some(b) = f.body {
+                            merge_bodies.push((u, b));
+                        }
+                    }
+                }
+            }
+        }
+        if merge_bodies.is_empty() {
+            diags.push(Diagnostic::new(
+                &def_unit.path,
+                sd.line,
+                "merge-coverage",
+                format!("`{name}` is in the stats family but has no `merge()`"),
+            ));
+            continue;
+        }
+        let mut idents = BTreeSet::new();
+        for (u, b) in &merge_bodies {
+            idents.extend(body_idents(u, &[*b]));
+        }
+        for field in &sd.fields {
+            if !idents.contains(field.name.as_str()) {
+                diags.push(Diagnostic::new(
+                    &def_unit.path,
+                    field.line,
+                    "merge-coverage",
+                    format!("field `{}` of `{name}` does not appear in its `merge()`", field.name),
+                ));
+            }
+        }
+    }
+    diags
+}
+
+/// **json-roundtrip** — string keys emitted by a `to_json`/`to_json_value`
+/// must be read by the paired `from_json` and vice versa. Pairing is
+/// per-file: impl methods pair by type, free functions pair by the
+/// `<prefix>_to_json` / `<prefix>_from_json` naming convention. Types with
+/// only one side (e.g. write-only bench records) are skipped.
+pub fn json_roundtrip(units: &[Unit]) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for u in units {
+        type Sides = (Vec<(usize, usize)>, Vec<(usize, usize)>);
+        let mut pairs: BTreeMap<String, Sides> = BTreeMap::new();
+        for im in &u.parsed.impls {
+            for f in &im.fns {
+                let Some(b) = f.body else { continue };
+                match f.name.as_str() {
+                    "to_json" | "to_json_value" => {
+                        pairs.entry(im.type_name.clone()).or_default().0.push(b);
+                    }
+                    "from_json" => pairs.entry(im.type_name.clone()).or_default().1.push(b),
+                    _ => {}
+                }
+            }
+        }
+        for f in &u.parsed.free_fns {
+            let Some(b) = f.body else { continue };
+            if let Some(p) = f.name.strip_suffix("_to_json") {
+                pairs.entry(p.to_string()).or_default().0.push(b);
+            } else if let Some(p) = f.name.strip_suffix("_from_json") {
+                pairs.entry(p.to_string()).or_default().1.push(b);
+            }
+        }
+        for (name, (tos, froms)) in pairs {
+            if tos.is_empty() || froms.is_empty() {
+                continue;
+            }
+            let emitted = string_keys(u, &tos);
+            let consumed = string_keys(u, &froms);
+            for (key, line) in &emitted {
+                if !consumed.contains_key(key.as_str()) {
+                    diags.push(Diagnostic::new(
+                        &u.path,
+                        *line,
+                        "json-roundtrip",
+                        format!(
+                            "key \"{key}\" is emitted by `{name}`'s to_json but never read by \
+                             its from_json"
+                        ),
+                    ));
+                }
+            }
+            for (key, line) in &consumed {
+                if !emitted.contains_key(key.as_str()) {
+                    diags.push(Diagnostic::new(
+                        &u.path,
+                        *line,
+                        "json-roundtrip",
+                        format!(
+                            "key \"{key}\" is read by `{name}`'s from_json but never emitted by \
+                             its to_json"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+    diags
+}
+
+/// **obs-gate** — in `rsep-uarch`, attribution types must only be named
+/// inside `obs! { ... }` or under `#[cfg(feature = "obs")]`.
+pub fn obs_gate(units: &[Unit]) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for u in units {
+        if u.crate_name != "rsep-uarch" {
+            continue;
+        }
+        let spans = &u.parsed.obs_tokens;
+        let mut seen: BTreeSet<(usize, &str)> = BTreeSet::new();
+        for (ti, t) in u.tokens.iter().enumerate() {
+            let Some(s) = ident_of(&t.kind) else { continue };
+            if !OBS_TYPES.contains(&s) {
+                continue;
+            }
+            if spans.iter().any(|&(a, b)| a <= ti && ti <= b) {
+                continue;
+            }
+            if seen.insert((t.line, s)) {
+                diags.push(Diagnostic::new(
+                    &u.path,
+                    t.line,
+                    "obs-gate",
+                    format!("`{s}` referenced outside `obs!` / `#[cfg(feature = \"obs\")]`"),
+                ));
+            }
+        }
+    }
+    diags
+}
+
+/// **determinism** — wall-clock reads and hash-order collections flagged
+/// everywhere: campaign results must be bit-identical across machines,
+/// thread counts and shardings, so nondeterminism sources need an explicit
+/// justification.
+pub fn determinism(units: &[Unit]) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for u in units {
+        let mut seen: BTreeSet<(usize, &str)> = BTreeSet::new();
+        for (ti, t) in u.tokens.iter().enumerate() {
+            let Some(s) = ident_of(&t.kind) else { continue };
+            if s == "HashMap" || s == "HashSet" {
+                if seen.insert((t.line, s)) {
+                    diags.push(Diagnostic::new(
+                        &u.path,
+                        t.line,
+                        "determinism",
+                        format!(
+                            "`{s}` has nondeterministic iteration order; use an ordered \
+                             structure or exempt with a justification"
+                        ),
+                    ));
+                }
+                continue;
+            }
+            if (s == "SystemTime" || s == "Instant")
+                && matches!(u.tokens.get(ti + 1).map(|t| &t.kind), Some(TokKind::Punct(':')))
+                && matches!(u.tokens.get(ti + 2).map(|t| &t.kind), Some(TokKind::Punct(':')))
+                && u.tokens.get(ti + 3).and_then(|t| ident_of(&t.kind)) == Some("now")
+                && seen.insert((t.line, s))
+            {
+                diags.push(Diagnostic::new(
+                    &u.path,
+                    t.line,
+                    "determinism",
+                    format!("`{s}::now()` reads the wall clock; results must not depend on it"),
+                ));
+            }
+        }
+    }
+    diags
+}
+
+/// Global struct index: name → (unit index, struct index). First definition
+/// wins, so shadowing test helpers lower in a file cannot hijack a name.
+fn struct_index(units: &[Unit]) -> BTreeMap<&str, (usize, usize)> {
+    let mut map = BTreeMap::new();
+    for (ui, u) in units.iter().enumerate() {
+        for (si, s) in u.parsed.structs.iter().enumerate() {
+            map.entry(s.name.as_str()).or_insert((ui, si));
+        }
+    }
+    map
+}
+
+/// Ident-like string literals (JSON keys) in the given body ranges, with
+/// the first line each appears on. Literals with spaces or punctuation
+/// (error messages, labels) are ignored.
+fn string_keys(u: &Unit, bodies: &[(usize, usize)]) -> BTreeMap<String, usize> {
+    let mut keys = BTreeMap::new();
+    for &(b0, b1) in bodies {
+        for t in &u.tokens[b0..b1] {
+            if let TokKind::Str(s) = &t.kind {
+                let mut cs = s.chars();
+                let ident_like = cs.next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+                    && cs.all(|c| c.is_ascii_alphanumeric() || c == '_');
+                if ident_like {
+                    keys.entry(s.clone()).or_insert(t.line);
+                }
+            }
+        }
+    }
+    keys
+}

@@ -1,0 +1,76 @@
+//! CLI for the workspace invariant linter.
+//!
+//! ```text
+//! rsep-lint [ROOT]     # default ROOT: current directory
+//! ```
+//!
+//! Exit codes: `0` clean, `1` findings, `2` usage/IO error. Diagnostics go
+//! to stdout in `file:line: lint-name: message` form; the summary goes to
+//! stderr.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+use std::path::Path;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+usage: rsep-lint [ROOT]
+
+Walks ROOT/crates/*/src and enforces the workspace invariants:
+  fingerprint-coverage  every field of a struct with a manual `impl
+                        Fingerprint` is referenced in its fingerprint() body
+  merge-coverage        every stats-family field appears in its merge()
+  json-roundtrip        to_json keys are read by the paired from_json, and
+                        vice versa
+  obs-gate              attribution types in rsep-uarch stay behind obs! /
+                        #[cfg(feature = \"obs\")]
+  determinism           SystemTime::now / Instant::now / HashMap / HashSet
+                        need an explicit justification
+
+Deliberate exclusions: `// lint: exempt(<lint>, <reason>)` on or above the
+line, or `// lint: exempt-file(<lint>, <reason>)` for a whole file.
+
+Exit codes: 0 clean, 1 findings, 2 usage/IO error.";
+
+fn main() -> ExitCode {
+    let mut root: Option<String> = None;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            s if s.starts_with('-') => {
+                eprintln!("rsep-lint: unknown option `{s}`\n{USAGE}");
+                return ExitCode::from(2);
+            }
+            s => {
+                if root.is_some() {
+                    eprintln!("rsep-lint: at most one ROOT argument\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+                root = Some(s.to_string());
+            }
+        }
+    }
+    let root = root.unwrap_or_else(|| ".".to_string());
+    match rsep_lint::lint_workspace(Path::new(&root)) {
+        Err(e) => {
+            eprintln!("rsep-lint: {e}");
+            ExitCode::from(2)
+        }
+        Ok((diags, scanned)) => {
+            for d in &diags {
+                println!("{d}");
+            }
+            if diags.is_empty() {
+                eprintln!("rsep-lint: clean ({scanned} files)");
+                ExitCode::SUCCESS
+            } else {
+                eprintln!("rsep-lint: {} finding(s) in {scanned} files", diags.len());
+                ExitCode::from(1)
+            }
+        }
+    }
+}

@@ -1,0 +1,444 @@
+//! Item-level parse over the token stream.
+//!
+//! Extracts what the lints need and nothing more: structs with named
+//! fields, `impl` blocks with their methods, free functions, `#[cfg(test)]`
+//! line ranges (excluded from every lint), and the obs-gated token spans
+//! (`obs! { ... }` invocations and items under `#[cfg(feature = "obs")]`).
+//! `macro_rules!` bodies are skipped entirely — macro fragments are not
+//! real items.
+
+use crate::lexer::{TokKind, Token};
+
+/// A named struct field.
+#[derive(Debug)]
+pub struct Field {
+    /// Field name.
+    pub name: String,
+    /// 1-based line of the field name token.
+    pub line: usize,
+}
+
+/// A struct definition. Tuple and unit structs parse with empty `fields`.
+#[derive(Debug)]
+pub struct StructDef {
+    /// Type name.
+    pub name: String,
+    /// 1-based line of the name token.
+    pub line: usize,
+    /// Named fields in declaration order.
+    pub fields: Vec<Field>,
+}
+
+/// A function with an optional body given as a `start..end` token index
+/// range (exclusive of the closing brace).
+#[derive(Debug)]
+pub struct FnDef {
+    /// Function name.
+    pub name: String,
+    /// 1-based line of the name token.
+    pub line: usize,
+    /// Body token range, `None` for bodyless declarations.
+    pub body: Option<(usize, usize)>,
+}
+
+/// An `impl` block: `impl Trait for Type { ... }` or `impl Type { ... }`.
+#[derive(Debug)]
+pub struct ImplDef {
+    /// Last path segment of the trait, when this is a trait impl.
+    pub trait_name: Option<String>,
+    /// Last path segment of the implementing type.
+    pub type_name: String,
+    /// Functions defined directly in the block.
+    pub fns: Vec<FnDef>,
+}
+
+/// Everything the lints need from one file.
+#[derive(Debug, Default)]
+pub struct ParsedFile {
+    /// Struct definitions, in source order.
+    pub structs: Vec<StructDef>,
+    /// `impl` blocks, in source order.
+    pub impls: Vec<ImplDef>,
+    /// Free (non-impl) functions, including trait-declaration methods.
+    pub free_fns: Vec<FnDef>,
+    /// Inclusive line ranges under `#[cfg(test)]`.
+    pub test_lines: Vec<(usize, usize)>,
+    /// Inclusive token index ranges gated by `obs!` or
+    /// `#[cfg(feature = "obs")]`.
+    pub obs_tokens: Vec<(usize, usize)>,
+}
+
+fn is_punct(t: &Token, c: char) -> bool {
+    t.kind == TokKind::Punct(c)
+}
+
+fn as_ident(t: &Token) -> Option<&str> {
+    match &t.kind {
+        TokKind::Ident(s) => Some(s),
+        _ => None,
+    }
+}
+
+fn is_ident(t: &Token, s: &str) -> bool {
+    as_ident(t) == Some(s)
+}
+
+fn punct_at(toks: &[Token], i: usize, c: char) -> bool {
+    toks.get(i).is_some_and(|t| is_punct(t, c))
+}
+
+fn ident_at(toks: &[Token], i: usize) -> Option<&str> {
+    toks.get(i).and_then(as_ident)
+}
+
+/// Index just after the delimiter matching `toks[i]` (which must be `open`).
+fn skip_balanced(toks: &[Token], i: usize, open: char, close: char) -> usize {
+    let mut depth = 1usize;
+    let mut j = i + 1;
+    while j < toks.len() && depth > 0 {
+        if is_punct(&toks[j], open) {
+            depth += 1;
+        } else if is_punct(&toks[j], close) {
+            depth -= 1;
+        }
+        j += 1;
+    }
+    j
+}
+
+/// Index just after the `>` matching `toks[i]` (which must be `<`). The `>`
+/// of a `->` arrow is not treated as a closer.
+fn skip_generics(toks: &[Token], i: usize) -> usize {
+    let mut depth = 1i32;
+    let mut j = i + 1;
+    while j < toks.len() && depth > 0 {
+        if is_punct(&toks[j], '<') {
+            depth += 1;
+        } else if is_punct(&toks[j], '>') && !is_punct(&toks[j - 1], '-') {
+            depth -= 1;
+        }
+        j += 1;
+    }
+    j
+}
+
+/// Parses a whole token stream into items and gated spans.
+pub fn parse_file(toks: &[Token]) -> ParsedFile {
+    let mut pf = ParsedFile::default();
+    scan_gating(toks, &mut pf);
+    let mut i = 0usize;
+    while i < toks.len() {
+        if is_ident(&toks[i], "macro_rules") && punct_at(toks, i + 1, '!') {
+            let mut j = i + 2;
+            if ident_at(toks, j).is_some() {
+                j += 1;
+            }
+            i = match toks.get(j).map(|t| &t.kind) {
+                Some(TokKind::Punct('{')) => skip_balanced(toks, j, '{', '}'),
+                Some(TokKind::Punct('(')) => skip_balanced(toks, j, '(', ')'),
+                Some(TokKind::Punct('[')) => skip_balanced(toks, j, '[', ']'),
+                _ => j,
+            };
+            continue;
+        }
+        if is_ident(&toks[i], "struct") {
+            if let Some((sd, next)) = parse_struct(toks, i) {
+                pf.structs.push(sd);
+                i = next;
+                continue;
+            }
+        }
+        if is_ident(&toks[i], "impl") {
+            if let Some((im, next)) = parse_impl(toks, i) {
+                pf.impls.push(im);
+                i = next;
+                continue;
+            }
+        }
+        if is_ident(&toks[i], "fn") {
+            if let Some((f, next)) = parse_fn(toks, i) {
+                pf.free_fns.push(f);
+                i = next;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    pf
+}
+
+/// Full-stream scan for `#[cfg(test)]` line ranges and obs-gated token
+/// spans. Runs over every token (not just top level) because `obs!`
+/// invocations live inside method bodies.
+fn scan_gating(toks: &[Token], pf: &mut ParsedFile) {
+    let mut i = 0usize;
+    while i < toks.len() {
+        if is_ident(&toks[i], "obs") && punct_at(toks, i + 1, '!') {
+            let after = match toks.get(i + 2).map(|t| &t.kind) {
+                Some(TokKind::Punct('{')) => skip_balanced(toks, i + 2, '{', '}'),
+                Some(TokKind::Punct('(')) => skip_balanced(toks, i + 2, '(', ')'),
+                Some(TokKind::Punct('[')) => skip_balanced(toks, i + 2, '[', ']'),
+                _ => {
+                    i += 1;
+                    continue;
+                }
+            };
+            pf.obs_tokens.push((i, after.saturating_sub(1)));
+            i = after;
+            continue;
+        }
+        if is_punct(&toks[i], '#') && punct_at(toks, i + 1, '[') {
+            let after_attr = skip_balanced(toks, i + 1, '[', ']');
+            let attr = &toks[i + 2..after_attr.saturating_sub(1).max(i + 2)];
+            let has = |s: &str| attr.iter().any(|t| is_ident(t, s));
+            let has_obs_str = attr.iter().any(|t| matches!(&t.kind, TokKind::Str(v) if v == "obs"));
+            let is_cfg = has("cfg");
+            let gates_test = is_cfg && has("test") && !has("not");
+            let gates_obs = is_cfg && has("feature") && has_obs_str && !has("not");
+            if (gates_test || gates_obs) && after_attr < toks.len() {
+                let end = item_end(toks, after_attr);
+                if gates_test {
+                    pf.test_lines.push((toks[i].line, toks[end].line));
+                }
+                if gates_obs {
+                    pf.obs_tokens.push((i, end));
+                }
+            }
+            i = after_attr;
+            continue;
+        }
+        i += 1;
+    }
+}
+
+/// Index (inclusive) of the last token of the item starting at `k`: the
+/// matching `}` of its first top-level block, or the `;`/`,` that terminates
+/// it, or the token before an enclosing closer. Leading attributes are
+/// skipped into the item.
+fn item_end(toks: &[Token], mut k: usize) -> usize {
+    while punct_at(toks, k, '#') && punct_at(toks, k + 1, '[') {
+        k = skip_balanced(toks, k + 1, '[', ']');
+    }
+    let (mut paren, mut brack, mut brace, mut angle) = (0i32, 0i32, 0i32, 0i32);
+    while k < toks.len() {
+        if let TokKind::Punct(c) = toks[k].kind {
+            match c {
+                '(' => paren += 1,
+                ')' => {
+                    if paren == 0 {
+                        return k.saturating_sub(1);
+                    }
+                    paren -= 1;
+                }
+                '[' => brack += 1,
+                ']' => {
+                    if brack == 0 {
+                        return k.saturating_sub(1);
+                    }
+                    brack -= 1;
+                }
+                '{' => {
+                    if paren == 0 && brack == 0 && brace == 0 {
+                        return skip_balanced(toks, k, '{', '}').saturating_sub(1);
+                    }
+                    brace += 1;
+                }
+                '}' => {
+                    if brace == 0 {
+                        return k.saturating_sub(1);
+                    }
+                    brace -= 1;
+                }
+                '<' => angle += 1,
+                '>' if !punct_at(toks, k.wrapping_sub(1), '-') && angle > 0 => angle -= 1,
+                ';' | ',' if paren == 0 && brack == 0 && brace == 0 && angle <= 0 => return k,
+                _ => {}
+            }
+        }
+        k += 1;
+    }
+    toks.len().saturating_sub(1)
+}
+
+/// Parses `struct Name ... { fields }` starting at the `struct` keyword.
+fn parse_struct(toks: &[Token], i: usize) -> Option<(StructDef, usize)> {
+    let name = ident_at(toks, i + 1)?.to_string();
+    let line = toks[i + 1].line;
+    let mut j = i + 2;
+    if punct_at(toks, j, '<') {
+        j = skip_generics(toks, j);
+    }
+    // Scan over a possible `where` clause to the body/terminator.
+    while j < toks.len()
+        && !is_punct(&toks[j], '{')
+        && !is_punct(&toks[j], '(')
+        && !is_punct(&toks[j], ';')
+    {
+        j += 1;
+    }
+    if j >= toks.len() {
+        return None;
+    }
+    if is_punct(&toks[j], ';') {
+        return Some((StructDef { name, line, fields: Vec::new() }, j + 1));
+    }
+    if is_punct(&toks[j], '(') {
+        let mut k = skip_balanced(toks, j, '(', ')');
+        while k < toks.len() && !is_punct(&toks[k], ';') {
+            k += 1;
+        }
+        return Some((StructDef { name, line, fields: Vec::new() }, k + 1));
+    }
+    let after = skip_balanced(toks, j, '{', '}');
+    let body_end = after.saturating_sub(1); // index of the matching `}`
+    let mut fields = Vec::new();
+    let mut k = j + 1;
+    while k < body_end {
+        while punct_at(toks, k, '#') && punct_at(toks, k + 1, '[') {
+            k = skip_balanced(toks, k + 1, '[', ']');
+        }
+        if k >= body_end {
+            break;
+        }
+        if is_ident(&toks[k], "pub") {
+            k += 1;
+            if punct_at(toks, k, '(') {
+                k = skip_balanced(toks, k, '(', ')');
+            }
+        }
+        let Some(fname) = ident_at(toks, k) else { break };
+        fields.push(Field { name: fname.to_string(), line: toks[k].line });
+        k += 1;
+        if !punct_at(toks, k, ':') {
+            break;
+        }
+        k += 1;
+        // Skip the type up to the `,` separating fields.
+        let (mut paren, mut brack, mut brace, mut angle) = (0i32, 0i32, 0i32, 0i32);
+        while k < body_end {
+            if let TokKind::Punct(c) = toks[k].kind {
+                match c {
+                    '(' => paren += 1,
+                    ')' => paren -= 1,
+                    '[' => brack += 1,
+                    ']' => brack -= 1,
+                    '{' => brace += 1,
+                    '}' => brace -= 1,
+                    '<' => angle += 1,
+                    '>' if !punct_at(toks, k - 1, '-') => angle -= 1,
+                    ',' if paren == 0 && brack == 0 && brace == 0 && angle == 0 => {
+                        k += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            k += 1;
+        }
+    }
+    Some((StructDef { name, line, fields }, after))
+}
+
+/// Parses `fn name(...) ... { body }` (or `...;`) starting at `fn`.
+fn parse_fn(toks: &[Token], i: usize) -> Option<(FnDef, usize)> {
+    let name = ident_at(toks, i + 1)?.to_string();
+    let line = toks[i + 1].line;
+    let mut j = i + 2;
+    if punct_at(toks, j, '<') {
+        j = skip_generics(toks, j);
+    }
+    if !punct_at(toks, j, '(') {
+        return None;
+    }
+    j = skip_balanced(toks, j, '(', ')');
+    // Return type and `where` clause up to the body or `;`.
+    let (mut paren, mut brack, mut angle) = (0i32, 0i32, 0i32);
+    while j < toks.len() {
+        if let TokKind::Punct(c) = toks[j].kind {
+            match c {
+                '(' => paren += 1,
+                ')' => paren -= 1,
+                '[' => brack += 1,
+                ']' => brack -= 1,
+                '<' => angle += 1,
+                '>' if !punct_at(toks, j - 1, '-') && angle > 0 => angle -= 1,
+                '{' if paren == 0 && brack == 0 && angle == 0 => break,
+                ';' if paren == 0 && brack == 0 && angle == 0 => {
+                    return Some((FnDef { name, line, body: None }, j + 1));
+                }
+                _ => {}
+            }
+        }
+        j += 1;
+    }
+    if j >= toks.len() {
+        return None;
+    }
+    let after = skip_balanced(toks, j, '{', '}');
+    Some((FnDef { name, line, body: Some((j + 1, after.saturating_sub(1))) }, after))
+}
+
+/// Parses `impl [<..>] [Trait for] Type [where ..] { fns }` starting at
+/// `impl`.
+fn parse_impl(toks: &[Token], i: usize) -> Option<(ImplDef, usize)> {
+    let mut j = i + 1;
+    if punct_at(toks, j, '<') {
+        j = skip_generics(toks, j);
+    }
+    let mut path_a: Vec<String> = Vec::new();
+    let mut path_b: Vec<String> = Vec::new();
+    let mut after_for = false;
+    let mut angle = 0i32;
+    while j < toks.len() {
+        if angle == 0 && is_punct(&toks[j], '{') {
+            break;
+        }
+        if angle == 0 && is_ident(&toks[j], "where") {
+            while j < toks.len() && !is_punct(&toks[j], '{') {
+                j += 1;
+            }
+            break;
+        }
+        if angle == 0 && is_ident(&toks[j], "for") {
+            after_for = true;
+            j += 1;
+            continue;
+        }
+        match &toks[j].kind {
+            TokKind::Punct('<') => angle += 1,
+            TokKind::Punct('>') if !punct_at(toks, j - 1, '-') && angle > 0 => angle -= 1,
+            TokKind::Ident(s) if angle == 0 => {
+                if after_for {
+                    path_b.push(s.clone());
+                } else {
+                    path_a.push(s.clone());
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    if j >= toks.len() {
+        return None;
+    }
+    let (trait_name, type_name) = if after_for {
+        (path_a.last().cloned(), path_b.last().cloned()?)
+    } else {
+        (None, path_a.last().cloned()?)
+    };
+    let after = skip_balanced(toks, j, '{', '}');
+    let body_end = after.saturating_sub(1);
+    let mut fns = Vec::new();
+    let mut k = j + 1;
+    while k < body_end {
+        if is_ident(&toks[k], "fn") {
+            if let Some((f, next)) = parse_fn(toks, k) {
+                fns.push(f);
+                k = next;
+                continue;
+            }
+        }
+        k += 1;
+    }
+    Some((ImplDef { trait_name, type_name, fns }, after))
+}

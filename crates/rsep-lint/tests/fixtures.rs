@@ -1,0 +1,148 @@
+//! Fixture corpus: each lint demonstrated on a known-bad snippet with the
+//! exact `file:line: lint-name: message` output pinned, plus the
+//! exempted-good twin that must come back clean.
+
+use rsep_lint::{lint_sources, SourceFile};
+
+/// Lints one fixture file under the given crate name and returns the
+/// rendered diagnostics.
+fn run(name: &str, crate_name: &str) -> Vec<String> {
+    let path = format!("{}/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{path}: {e}"));
+    lint_sources(vec![SourceFile {
+        path: format!("fixtures/{name}"),
+        crate_name: crate_name.to_string(),
+        text,
+    }])
+    .iter()
+    .map(ToString::to_string)
+    .collect()
+}
+
+#[test]
+fn fingerprint_bad_pins_the_diagnostic() {
+    assert_eq!(
+        run("fingerprint_bad.rs", "fixture"),
+        ["fixtures/fingerprint_bad.rs:5: fingerprint-coverage: field `depth` of `Knobs` is not \
+          referenced in its `fingerprint()` body"]
+    );
+}
+
+#[test]
+fn fingerprint_exempted_twin_is_clean() {
+    assert_eq!(run("fingerprint_exempt.rs", "fixture"), [] as [&str; 0]);
+}
+
+#[test]
+fn merge_bad_pins_both_diagnostics() {
+    assert_eq!(
+        run("merge_bad.rs", "fixture"),
+        [
+            "fixtures/merge_bad.rs:6: merge-coverage: field `flushes` of `SimStats` does not \
+             appear in its `merge()`",
+            "fixtures/merge_bad.rs:15: merge-coverage: `CacheStats` is in the stats family but \
+             has no `merge()`",
+        ]
+    );
+}
+
+#[test]
+fn merge_exempted_twin_is_clean() {
+    assert_eq!(run("merge_exempt.rs", "fixture"), [] as [&str; 0]);
+}
+
+#[test]
+fn json_bad_pins_all_three_diagnostics() {
+    assert_eq!(
+        run("json_bad.rs", "fixture"),
+        [
+            "fixtures/json_bad.rs:6: json-roundtrip: key \"written\" is emitted by `Report`'s \
+             to_json but never read by its from_json",
+            "fixtures/json_bad.rs:10: json-roundtrip: key \"ghost\" is read by `Report`'s \
+             from_json but never emitted by its to_json",
+            "fixtures/json_bad.rs:19: json-roundtrip: key \"extra\" is read by `stats`'s \
+             from_json but never emitted by its to_json",
+        ]
+    );
+}
+
+#[test]
+fn json_exempted_twin_is_clean() {
+    assert_eq!(run("json_exempt.rs", "fixture"), [] as [&str; 0]);
+}
+
+#[test]
+fn obs_bad_flags_only_the_ungated_reference() {
+    assert_eq!(
+        run("obs_bad.rs", "rsep-uarch"),
+        ["fixtures/obs_bad.rs:8: obs-gate: `StageAttribution` referenced outside `obs!` / \
+          `#[cfg(feature = \"obs\")]`"]
+    );
+}
+
+#[test]
+fn obs_exempted_twin_is_clean() {
+    assert_eq!(run("obs_exempt.rs", "rsep-uarch"), [] as [&str; 0]);
+}
+
+#[test]
+fn obs_gate_is_scoped_to_rsep_uarch() {
+    // The identical bad source is fine in any other crate.
+    assert_eq!(run("obs_bad.rs", "rsep-campaign"), [] as [&str; 0]);
+}
+
+#[test]
+fn determinism_bad_pins_all_four_diagnostics() {
+    assert_eq!(
+        run("determinism_bad.rs", "fixture"),
+        [
+            "fixtures/determinism_bad.rs:3: determinism: `HashMap` has nondeterministic \
+             iteration order; use an ordered structure or exempt with a justification",
+            "fixtures/determinism_bad.rs:7: determinism: `Instant::now()` reads the wall clock; \
+             results must not depend on it",
+            "fixtures/determinism_bad.rs:8: determinism: `HashMap` has nondeterministic \
+             iteration order; use an ordered structure or exempt with a justification",
+            "fixtures/determinism_bad.rs:14: determinism: `SystemTime::now()` reads the wall \
+             clock; results must not depend on it",
+        ]
+    );
+}
+
+#[test]
+fn determinism_exempted_twin_is_clean() {
+    // Also proves `#[cfg(test)]` modules are out of scope: the fixture's
+    // test module uses HashSet and Instant::now with no exemption.
+    assert_eq!(run("determinism_exempt.rs", "fixture"), [] as [&str; 0]);
+}
+
+#[test]
+fn exemption_hygiene_violations_are_findings() {
+    assert_eq!(
+        run("exemption_bad.rs", "fixture"),
+        [
+            "fixtures/exemption_bad.rs:4: exemption: exemption for `determinism` must carry a \
+             non-empty reason",
+            "fixtures/exemption_bad.rs:5: exemption: exemption names unknown lint `made-up-lint`",
+            "fixtures/exemption_bad.rs:6: exemption: exemption for `determinism` does not \
+             suppress any finding",
+            "fixtures/exemption_bad.rs:7: exemption: expected `(<lint>, <reason>)` after \
+             `exempt`",
+            "fixtures/exemption_bad.rs:8: exemption: unclosed `(` in exemption directive",
+            "fixtures/exemption_bad.rs:9: exemption: unknown `lint:` directive (expected \
+             `exempt(<lint>, <reason>)` or `exempt-file(...)`)",
+        ]
+    );
+}
+
+#[test]
+fn exempt_file_covers_the_whole_file() {
+    let text = "use std::collections::HashMap;\n\
+                // lint: exempt-file(determinism, fixture-wide justification)\n\
+                pub fn build() -> HashMap<u64, u64> {\n    HashMap::new()\n}\n";
+    let diags = lint_sources(vec![SourceFile {
+        path: "inline.rs".to_string(),
+        crate_name: "fixture".to_string(),
+        text: text.to_string(),
+    }]);
+    assert_eq!(diags, []);
+}

@@ -1,0 +1,129 @@
+//! Self-application: the shipped workspace lints clean, and deliberate
+//! mutations of real invariant-bearing code are caught. The mutations are
+//! the in-tree version of the CI demo that deletes a `fingerprint()` field
+//! reference and requires the lint gate to fail.
+
+use std::path::Path;
+
+use rsep_lint::{lint_sources, lint_workspace, SourceFile};
+
+fn workspace_root() -> &'static Path {
+    Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."))
+}
+
+#[test]
+fn shipped_workspace_is_clean() {
+    let (diags, scanned) = lint_workspace(workspace_root()).expect("workspace walk");
+    assert!(scanned > 50, "suspiciously few files scanned: {scanned}");
+    let rendered: Vec<String> = diags.iter().map(ToString::to_string).collect();
+    assert!(
+        rendered.is_empty(),
+        "rsep-lint findings on the shipped tree:\n{}",
+        rendered.join("\n")
+    );
+}
+
+/// Lints one real workspace file (optionally mutated) as its own crate.
+fn lint_one(rel: &str, crate_name: &str, text: String) -> Vec<String> {
+    lint_sources(vec![SourceFile {
+        path: rel.to_string(),
+        crate_name: crate_name.to_string(),
+        text,
+    }])
+    .iter()
+    .map(ToString::to_string)
+    .collect()
+}
+
+fn read_workspace_file(rel: &str) -> String {
+    let path = workspace_root().join(rel);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()))
+}
+
+/// Removes the unique line containing `needle`, panicking if absent (the
+/// mutation must actually mutate).
+fn delete_line(text: &str, needle: &str) -> String {
+    let mut found = false;
+    let kept: Vec<&str> = text
+        .lines()
+        .filter(|l| {
+            let hit = l.contains(needle);
+            found |= hit;
+            !hit
+        })
+        .collect();
+    assert!(found, "mutation target `{needle}` not found");
+    kept.join("\n") + "\n"
+}
+
+/// 1-based line of the first line containing `needle`.
+fn line_of(text: &str, needle: &str) -> usize {
+    text.lines().position(|l| l.contains(needle)).expect(needle) + 1
+}
+
+#[test]
+fn deleting_a_fingerprint_field_reference_is_caught() {
+    let rel = "crates/rsep-uarch/src/config.rs";
+    let original = read_workspace_file(rel);
+    assert_eq!(lint_one(rel, "rsep-uarch", original.clone()), [] as [&str; 0]);
+
+    let mutated = delete_line(&original, "self.dram_latency.fingerprint(h);");
+    let field_line = line_of(&mutated, "pub dram_latency:");
+    assert_eq!(
+        lint_one(rel, "rsep-uarch", mutated),
+        [format!(
+            "{rel}:{field_line}: fingerprint-coverage: field `dram_latency` of `CoreConfig` is \
+             not referenced in its `fingerprint()` body"
+        )]
+    );
+}
+
+#[test]
+fn deleting_a_merge_statement_is_caught() {
+    let rel = "crates/rsep-uarch/src/stats.rs";
+    let original = read_workspace_file(rel);
+    assert_eq!(lint_one(rel, "rsep-uarch", original.clone()), [] as [&str; 0]);
+
+    let mutated = delete_line(&original, "self.stlf_forwards += other.stlf_forwards;");
+    let field_line = line_of(&mutated, "pub stlf_forwards:");
+    assert_eq!(
+        lint_one(rel, "rsep-uarch", mutated),
+        [format!(
+            "{rel}:{field_line}: merge-coverage: field `stlf_forwards` of `SimStats` does not \
+             appear in its `merge()`"
+        )]
+    );
+}
+
+#[test]
+fn blanking_an_exemption_reason_is_caught() {
+    let rel = "crates/rsep-core/src/config.rs";
+    let original = read_workspace_file(rel);
+    let needle = "// lint: exempt(fingerprint-coverage, presentation-only; cached cells must \
+                  be label-invariant)";
+    assert!(original.contains(needle), "expected the label exemption in {rel}");
+    let mutated = original.replace(needle, "// lint: exempt(fingerprint-coverage, )");
+    let diags = lint_one(rel, "rsep-core", mutated);
+    // The blanked exemption no longer suppresses, so both the hygiene
+    // finding and the underlying fingerprint-coverage finding surface.
+    assert_eq!(diags.len(), 2, "expected two findings, got:\n{}", diags.join("\n"));
+    assert!(diags.iter().any(|d| d.contains("must carry a non-empty reason")), "{diags:?}");
+    assert!(diags.iter().any(|d| d.contains("field `label` of `MechanismConfig`")), "{diags:?}");
+}
+
+#[test]
+fn dropping_a_from_json_reader_is_caught() {
+    let rel = "crates/rsep-campaign/src/store.rs";
+    let original = read_workspace_file(rel);
+    // Stop reading back SimStats' "cycles": the writer side now emits a key
+    // the reader ignores, exactly the stale-schema bug the lint exists for.
+    let needle = "\"cycles\"";
+    assert!(original.contains(needle), "expected a cycles key in {rel}");
+    let mutated = original.replacen("\"cycles\"", "\"cycles_renamed\"", 1);
+    let diags = lint_one(rel, "rsep-campaign", mutated);
+    assert!(
+        diags.iter().any(|d| d.contains("json-roundtrip")),
+        "expected a json-roundtrip finding, got:\n{}",
+        diags.join("\n")
+    );
+}

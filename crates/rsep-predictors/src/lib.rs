@@ -27,6 +27,7 @@
 //! counter/useful bytes), and all predictors are deterministic given their
 //! internal LFSR seeds, so simulations are reproducible.
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
 

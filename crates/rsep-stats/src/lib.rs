@@ -13,6 +13,7 @@
 //! insertion order, so a campaign produces byte-identical reports at any
 //! thread count.
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
 

@@ -42,6 +42,7 @@
 //! assert!(window.windows(2).all(|w| w[1].seq == w[0].seq + 1));
 //! ```
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
 

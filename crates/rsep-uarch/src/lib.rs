@@ -37,6 +37,7 @@
 //! assert!(stats.ipc() > 0.1);
 //! ```
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
 
@@ -51,9 +52,10 @@ pub mod rob;
 pub mod sched;
 pub mod stats;
 
-pub use attribution::{
-    FetchCycles, IssueCycles, RenameBlock, RenameCycles, StageAttribution, WorkCounts,
-};
+// lint: exempt(obs-gate, re-export of the always-compiled attribution types)
+pub use attribution::{FetchCycles, IssueCycles, RenameBlock, RenameCycles};
+// lint: exempt(obs-gate, re-export of the always-compiled attribution types)
+pub use attribution::{StageAttribution, WorkCounts};
 pub use cache::{AccessKind, Cache, CacheHierarchy, CacheStats, MemRequest, StridePrefetcher};
 pub use config::{CoreConfig, FrontendKind, SchedulerKind};
 pub use core::{Core, SimError};

@@ -24,6 +24,7 @@
 
 use crate::rob::InstSlot;
 use std::cmp::Reverse;
+// lint: exempt(determinism, only used with the deterministic SeqHasher via U64Map below)
 use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::hash::{BuildHasherDefault, Hasher};
 
@@ -51,6 +52,7 @@ impl Hasher for SeqHasher {
     }
 }
 
+// lint: exempt(determinism, deterministic SeqHasher seed and keyed access only; never iterated)
 type U64Map<V> = HashMap<u64, V, BuildHasherDefault<SeqHasher>>;
 
 /// Calendar + ready set for event-driven select.

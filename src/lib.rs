@@ -21,6 +21,7 @@
 //! See `README.md` for a quick start and `DESIGN.md` / `EXPERIMENTS.md` for
 //! the reproduction methodology.
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 pub use rsep_campaign as campaign;

@@ -14,6 +14,7 @@
 //! Set `CRITERION_MEASURE_MS` / `CRITERION_WARMUP_MS` to change the window
 //! sizes (e.g. in CI smoke runs).
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 use std::time::{Duration, Instant};

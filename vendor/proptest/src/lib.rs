@@ -11,6 +11,7 @@
 //! generated cases (256 by default, `PROPTEST_CASES` to override), so
 //! failures are reproducible from the panic message alone.
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 /// Deterministic case generator (SplitMix64).

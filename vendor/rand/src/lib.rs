@@ -12,6 +12,7 @@
 //! The generator is fully deterministic for a given seed, which is what the
 //! campaign engine's reproducibility guarantees rest on.
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 /// Core RNG abstraction: a source of raw 64-bit randomness.
