@@ -70,6 +70,7 @@ fn throughput(_c: &mut Criterion) {
         let mut best = f64::MAX;
         let mut cycles = 0;
         for _ in 0..3 {
+            // lint: exempt(determinism, bench measures wall-clock throughput; timings never enter simulation results)
             let start = Instant::now();
             let (c, committed) = run_once(&insts, scheduler);
             let secs = start.elapsed().as_secs_f64();

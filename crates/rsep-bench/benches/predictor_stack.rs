@@ -501,6 +501,7 @@ fn throughput(_c: &mut Criterion) {
         run(&stream); // untimed warm-up
         let mut best = f64::MAX;
         for _ in 0..3 {
+            // lint: exempt(determinism, bench measures wall-clock throughput; timings never enter simulation results)
             let start = Instant::now();
             black_box(run(&stream));
             best = best.min(start.elapsed().as_secs_f64());

@@ -95,6 +95,7 @@ fn throughput(_c: &mut Criterion) {
         let mut best = f64::MAX;
         let mut payload = 0u64;
         for _ in 0..3 {
+            // lint: exempt(determinism, bench measures wall-clock throughput; timings never enter simulation results)
             let start = Instant::now();
             payload = black_box(run());
             best = best.min(start.elapsed().as_secs_f64());

@@ -97,6 +97,7 @@ fn label_of(entry: &Json) -> Option<(String, String)> {
     pairs.iter().find_map(|(k, v)| v.as_str().map(|label| (k.clone(), label.to_string())))
 }
 
+// lint: json-reader(BenchRecord)
 fn compare(baseline: &Json, current: &Json, threshold_pct: f64) -> Report {
     let mut report = Report { lines: Vec::new(), failures: Vec::new(), compared: 0 };
     let empty: [Json; 0] = [];

@@ -43,6 +43,7 @@ use rsep_uarch::CoreConfig;
 
 /// Experiment scale (checkpoints, warm-up, measurement, seed, benchmarks).
 #[derive(Debug, Clone)]
+// lint: exempt(dead-pub-api, scale knob for external perf tooling; consumed via smoke_scale/paper_scale)
 pub struct Scale {
     /// Checkpoint specification.
     pub spec: CheckpointSpec,
@@ -71,6 +72,7 @@ pub fn scale_from_env() -> Scale {
 
 /// A small scale for Criterion benches and tests: a handful of
 /// representative benchmarks at reduced instruction counts.
+// lint: exempt(dead-pub-api, entry point for external perf tooling and ad-hoc profiling runs)
 pub fn smoke_scale() -> Scale {
     let names = ["mcf", "dealII", "libquantum", "perlbench", "gcc", "zeusmp"];
     Scale {
@@ -82,6 +84,7 @@ pub fn smoke_scale() -> Scale {
 
 /// The paper's own scale (Section V): 10 checkpoints × (50M + 100M)
 /// instructions per benchmark. Provided for completeness.
+// lint: exempt(dead-pub-api, the paper-faithful scale is part of the reproduction contract)
 pub fn paper_scale() -> Scale {
     Scale { spec: CheckpointSpec::paper(), seed: 42, benchmarks: BenchmarkProfile::spec2006() }
 }
@@ -129,6 +132,7 @@ pub fn figure1(scale: &Scale) -> Experiment {
 /// Runs one benchmark under a list of mechanisms plus the baseline, and
 /// returns `(baseline, results)` — through the campaign engine, so the
 /// mechanism × checkpoint cells run in parallel.
+// lint: exempt(dead-pub-api, entry point for external perf tooling and ad-hoc profiling runs)
 pub fn run_mechanisms(
     profile: &BenchmarkProfile,
     mechanisms: &[MechanismConfig],

@@ -40,6 +40,7 @@ use std::path::{Path, PathBuf};
 
 /// Bumped whenever the key derivation or the stored-cell encoding changes,
 /// so stale stores are invalidated instead of misread.
+// lint: exempt(dead-pub-api, on-disk format contract; external tooling checks it before reading a store)
 pub const STORE_FORMAT_VERSION: u64 = 1;
 
 /// Basis of the second (high) hash lane of a [`CellKey`].
@@ -668,6 +669,7 @@ impl ResultStore for JsonlStore {
 }
 
 /// One stored cell: grid index, content-addressed key, and result.
+// lint: exempt(dead-pub-api, named alias documenting the tuple shape Store implementations exchange)
 pub type StoredCell = (usize, CellKey, CheckpointResult);
 
 /// Reads a JSONL store file: the campaign header plus every complete cell

@@ -130,7 +130,7 @@ impl VpConfig {
 #[derive(Debug, Clone, PartialEq)]
 pub struct MechanismConfig {
     /// Human-readable label (used in reports).
-    // lint: exempt(fingerprint-coverage, presentation-only; cached cells must be label-invariant)
+    // lint: exempt(fingerprint-coverage, presentation-only; cached cells must be label-invariant; proven-by crates/rsep-campaign/tests/store.rs)
     pub label: String,
     /// Non-speculative zero-idiom elimination (part of the Table I baseline
     /// rename stage).

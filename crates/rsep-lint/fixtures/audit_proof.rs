@@ -1,0 +1,8 @@
+//! Fixture: equivalence test cited by exclusion_audit_bad.rs. References
+//! one excluded field (`tint`, so its citation passes) but not the other.
+
+#[test]
+fn tint_never_reaches_the_cache_key() {
+    let tint = 0xff_u32;
+    assert_eq!(tint & 0xff, 0xff);
+}

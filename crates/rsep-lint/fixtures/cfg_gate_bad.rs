@@ -1,0 +1,11 @@
+//! Fixture: an obs-only helper called from unconditionally-compiled code —
+//! the exact shape that breaks `cargo build` without `--features obs`.
+
+#[cfg(feature = "obs")]
+pub fn obs_only_helper() -> u64 {
+    7
+}
+
+pub fn caller() -> u64 {
+    obs_only_helper()
+}

@@ -1,0 +1,17 @@
+//! Fixture: the `#[cfg(not(feature = "obs"))]` twin pattern — the name has
+//! an unconditional definition in the non-obs build, so calling it from
+//! ungated code is safe and must not be flagged.
+
+#[cfg(feature = "obs")]
+pub fn counted_retire() -> u64 {
+    7
+}
+
+#[cfg(not(feature = "obs"))]
+pub fn counted_retire() -> u64 {
+    0
+}
+
+pub fn caller() -> u64 {
+    counted_retire()
+}

@@ -1,0 +1,15 @@
+//! Fixture: `used_helper` is consumed by another compilation unit
+//! (dead_pub_user.rs); `orphan_helper` and `OrphanConfig` are pub surface
+//! nothing references.
+
+pub fn used_helper() -> u64 {
+    41
+}
+
+pub fn orphan_helper() -> u64 {
+    42
+}
+
+pub struct OrphanConfig {
+    pub ways: u32,
+}

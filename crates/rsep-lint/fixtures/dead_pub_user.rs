@@ -1,0 +1,6 @@
+//! Fixture: the external consumer that keeps `used_helper` alive. The
+//! consumer itself is private, so it is not pub surface to audit.
+
+fn drive() -> u64 {
+    used_helper() + 1
+}

@@ -1,0 +1,12 @@
+//! Fixture: `use ... as` renames do not launder nondeterminism — the alias
+//! is tracked back to the underlying type.
+
+use std::collections::HashMap as Map;
+use std::time::Instant as Clock;
+
+pub fn measure() -> u64 {
+    let t0 = Clock::now();
+    let mut seen: Map<u64, u64> = Map::new();
+    seen.insert(1, 2);
+    t0.elapsed().as_nanos() as u64 + seen.len() as u64
+}

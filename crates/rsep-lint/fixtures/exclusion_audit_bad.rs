@@ -1,0 +1,18 @@
+//! Fixture: three broken exclusion proofs — no `proven-by` clause, a cited
+//! file that does not exist, and a cited file that never mentions the
+//! excluded field — plus one well-formed citation (`tint`).
+
+pub struct Palette {
+    // lint: exempt(fingerprint-coverage, presentation only)
+    pub color: u32,
+    // lint: exempt(fingerprint-coverage, presentation only; proven-by fixtures/no_such_proof.rs)
+    pub shade: u32,
+    // lint: exempt(fingerprint-coverage, presentation only; proven-by fixtures/audit_proof.rs)
+    pub hue: u32,
+    // lint: exempt(fingerprint-coverage, presentation only; proven-by fixtures/audit_proof.rs)
+    pub tint: u32,
+}
+
+impl Fingerprint for Palette {
+    fn fingerprint(&self, _h: &mut Fnv) {}
+}

@@ -2,7 +2,7 @@
 
 pub struct Knobs {
     pub width: u32,
-    // lint: exempt(fingerprint-coverage, depth is derived from width at load time)
+    // lint: exempt(fingerprint-coverage, depth is derived from width at load time; proven-by fixtures/fingerprint_proof.rs)
     pub depth: u32,
 }
 

@@ -1,0 +1,9 @@
+//! Fixture: the equivalence test cited by fingerprint_exempt.rs. It must
+//! reference the excluded field (`depth`) to satisfy the
+//! fingerprint-exclusion-audit lint.
+
+#[test]
+fn depth_is_always_derived_from_width() {
+    let knobs = Knobs::from_width(32);
+    assert_eq!(knobs.depth, derived_depth(knobs.width));
+}

@@ -1,0 +1,19 @@
+//! Fixture: a write-only record paired with its reader via
+//! `// lint: json-reader(<Type>)`. The reader consumes a key the writer
+//! never emits.
+
+pub struct Rec {
+    pub alpha: u64,
+    pub beta: u64,
+}
+
+impl Rec {
+    pub fn to_json(&self) -> Vec<(String, u64)> {
+        vec![("alpha".into(), self.alpha), ("beta".into(), self.beta)]
+    }
+}
+
+// lint: json-reader(Rec)
+pub fn check(map: &Map) -> u64 {
+    map.get("alpha").copied().unwrap_or(0) + map.get("gamma").copied().unwrap_or(0)
+}

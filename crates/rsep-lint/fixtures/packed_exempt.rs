@@ -1,0 +1,20 @@
+//! Fixture: the overlapping layout of packed_bad.rs with a documented
+//! exemption on the shift constant every finding anchors at.
+
+// lint: exempt(packed-layout, deliberate tag/ctr aliasing models the paper's shared storage trick)
+const CTR_SHIFT: u32 = 14;
+const USEFUL_SHIFT: u32 = 17;
+
+fn pack(tag: u16, ctr: u8, useful: u8) -> u32 {
+    u32::from(tag)
+        | ((u32::from(ctr) & 0b111) << CTR_SHIFT)
+        | ((u32::from(useful) & 0b11) << USEFUL_SHIFT)
+}
+
+fn unpack_ctr(entry: u32) -> u8 {
+    ((entry >> CTR_SHIFT) & 0b11) as u8
+}
+
+fn unpack_useful(entry: u32) -> u8 {
+    ((entry >> USEFUL_SHIFT) & 0b11) as u8
+}

@@ -7,9 +7,9 @@
 //! brace/paren depth without worrying about quoted delimiters.
 
 /// What a [`Token`] is. Only the distinctions the lints need survive:
-/// identifiers (field/type references), string literals (JSON keys), and
-/// punctuation (delimiter matching). Numbers and lifetimes are kept as
-/// placeholder tokens so "next token" line arithmetic stays honest.
+/// identifiers (field/type references), string literals (JSON keys),
+/// punctuation (delimiter matching) and integer literal values (the
+/// `packed-layout` const evaluator).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TokKind {
     /// Identifier or keyword.
@@ -18,8 +18,10 @@ pub enum TokKind {
     Str(String),
     /// Single punctuation character.
     Punct(char),
-    /// Numeric or char literal (value unused by any lint).
-    Num,
+    /// Numeric or char literal. Integer literals carry their value so the
+    /// `packed-layout` lint can evaluate shift/mask constants; floats, char
+    /// literals and out-of-range integers carry `None`.
+    Num(Option<u128>),
     /// Lifetime such as `'a` (name unused by any lint).
     Lifetime,
 }
@@ -62,6 +64,17 @@ impl Directive {
     }
 }
 
+/// A `// lint: json-reader(<Type>)` declaration: the next function consumes
+/// JSON produced by `<Type>`'s `to_json`, so every key it `get`s must be
+/// emitted by that writer — even when the writer lives in another crate.
+#[derive(Debug, Clone)]
+pub struct ReaderDecl {
+    /// 1-based line the declaration comment starts on.
+    pub line: usize,
+    /// Writer type whose emitted keys bound the reader.
+    pub target: String,
+}
+
 /// Result of lexing one source file.
 #[derive(Debug, Default)]
 pub struct Lexed {
@@ -69,6 +82,8 @@ pub struct Lexed {
     pub tokens: Vec<Token>,
     /// Exemption directives found in comments, in source order.
     pub directives: Vec<Directive>,
+    /// `json-reader` declarations found in comments, in source order.
+    pub readers: Vec<ReaderDecl>,
 }
 
 fn is_ident_start(c: char) -> bool {
@@ -109,8 +124,10 @@ pub fn lex(src: &str) -> Lexed {
                 j += 1;
             }
             let body: String = chars[start..j].iter().collect();
-            if let Some(d) = parse_directive(&body, ln) {
-                out.directives.push(d);
+            match parse_directive(&body, ln) {
+                Some(ParsedComment::Exempt(d)) => out.directives.push(d),
+                Some(ParsedComment::Reader(r)) => out.readers.push(r),
+                None => {}
             }
             i = j;
             continue;
@@ -154,12 +171,12 @@ pub fn lex(src: &str) -> Lexed {
                 while j < n && chars[j] != '\'' {
                     j += 1;
                 }
-                out.tokens.push(Token { kind: TokKind::Num, line: ln });
+                out.tokens.push(Token { kind: TokKind::Num(None), line: ln });
                 i = j + 1;
                 continue;
             }
             if i + 2 < n && chars[i + 2] == '\'' && chars[i + 1] != '\'' {
-                out.tokens.push(Token { kind: TokKind::Num, line: ln });
+                out.tokens.push(Token { kind: TokKind::Num(None), line: ln });
                 i += 3;
                 continue;
             }
@@ -186,13 +203,17 @@ pub fn lex(src: &str) -> Lexed {
             while j < n && (is_ident_continue(chars[j])) {
                 j += 1;
             }
+            let mut float = false;
             if j + 1 < n && chars[j] == '.' && chars[j + 1].is_ascii_digit() {
+                float = true;
                 j += 1;
                 while j < n && is_ident_continue(chars[j]) {
                     j += 1;
                 }
             }
-            out.tokens.push(Token { kind: TokKind::Num, line: ln });
+            let text: String = chars[i..j].iter().collect();
+            let value = if float { None } else { int_value(&text) };
+            out.tokens.push(Token { kind: TokKind::Num(value), line: ln });
             i = j;
             continue;
         }
@@ -200,6 +221,26 @@ pub fn lex(src: &str) -> Lexed {
         i += 1;
     }
     out
+}
+
+/// Parses the value of an integer literal: decimal, `0x`/`0o`/`0b`
+/// prefixes, `_` separators and a trailing type suffix (`u32`, `i8`,
+/// `usize`, ...). Returns `None` for anything else (floats never get here).
+fn int_value(text: &str) -> Option<u128> {
+    let t = text.replace('_', "");
+    let (radix, digits) = match t.as_bytes() {
+        [b'0', b'x', ..] => (16, &t[2..]),
+        [b'0', b'o', ..] => (8, &t[2..]),
+        [b'0', b'b', ..] => (2, &t[2..]),
+        _ => (10, t.as_str()),
+    };
+    // Strip a type suffix: the first char that is not a digit of `radix`
+    // starts the suffix (hex digits are never suffix starts for radix 16).
+    let end = digits.find(|c: char| !c.is_digit(radix)).unwrap_or(digits.len());
+    if end == 0 {
+        return None;
+    }
+    u128::from_str_radix(&digits[..end], radix).ok()
 }
 
 /// Lexes a normal (escaped) string body starting just after the opening
@@ -252,7 +293,7 @@ fn lex_prefixed(chars: &[char], i: usize, ln: usize) -> Option<(Token, usize)> {
         while k < n && chars[k] != '\'' {
             k += 1;
         }
-        return Some((Token { kind: TokKind::Num, line: ln }, k + 1));
+        return Some((Token { kind: TokKind::Num(None), line: ln }, k + 1));
     }
     if raw && chars[j] == '#' {
         let mut hashes = 0usize;
@@ -302,37 +343,69 @@ fn lex_prefixed(chars: &[char], i: usize, ln: usize) -> Option<(Token, usize)> {
     None
 }
 
-/// Parses an exemption directive out of a line-comment body (the text after
+/// A recognised `lint:` comment: an exemption (possibly malformed, so the
+/// engine can report it) or a `json-reader` declaration.
+enum ParsedComment {
+    Exempt(Directive),
+    Reader(ReaderDecl),
+}
+
+/// Parses a lint directive out of a line-comment body (the text after
 /// `//`). Returns `None` for ordinary comments; malformed `lint:` directives
 /// come back with [`Directive::malformed`] set so the engine can report them.
-fn parse_directive(body: &str, line: usize) -> Option<Directive> {
+fn parse_directive(body: &str, line: usize) -> Option<ParsedComment> {
     let t = body.trim_start_matches(['/', '!']).trim_start();
     let rest = t.strip_prefix("lint:")?.trim();
+    if let Some(r) = rest.strip_prefix("json-reader") {
+        let r = r.trim_start();
+        let target = r
+            .strip_prefix('(')
+            .and_then(|r| r.split_once(')'))
+            .map(|(inner, _)| inner.trim())
+            .filter(|t| !t.is_empty() && t.chars().all(|c| c.is_alphanumeric() || c == '_'));
+        return Some(match target {
+            Some(t) => ParsedComment::Reader(ReaderDecl { line, target: t.to_string() }),
+            None => ParsedComment::Exempt(Directive::malformed(
+                line,
+                "expected `(<WriterType>)` after `json-reader`",
+            )),
+        });
+    }
     let (file_level, rest) = if let Some(r) = rest.strip_prefix("exempt-file") {
         (true, r.trim_start())
     } else if let Some(r) = rest.strip_prefix("exempt") {
         (false, r.trim_start())
     } else {
-        return Some(Directive::malformed(
+        return Some(ParsedComment::Exempt(Directive::malformed(
             line,
-            "unknown `lint:` directive (expected `exempt(<lint>, <reason>)` or `exempt-file(...)`)",
-        ));
+            "unknown `lint:` directive (expected `exempt(<lint>, <reason>)`, `exempt-file(...)` \
+             or `json-reader(<Type>)`)",
+        )));
     };
     let Some(after_paren) = rest.strip_prefix('(') else {
-        return Some(Directive::malformed(line, "expected `(<lint>, <reason>)` after `exempt`"));
+        return Some(ParsedComment::Exempt(Directive::malformed(
+            line,
+            "expected `(<lint>, <reason>)` after `exempt`",
+        )));
     };
     let Some(end) = after_paren.rfind(')') else {
-        return Some(Directive::malformed(line, "unclosed `(` in exemption directive"));
+        return Some(ParsedComment::Exempt(Directive::malformed(
+            line,
+            "unclosed `(` in exemption directive",
+        )));
     };
     let inner = &after_paren[..end];
     let Some((lint, reason)) = inner.split_once(',') else {
-        return Some(Directive::malformed(line, "expected `, <reason>` after the lint name"));
+        return Some(ParsedComment::Exempt(Directive::malformed(
+            line,
+            "expected `, <reason>` after the lint name",
+        )));
     };
-    Some(Directive {
+    Some(ParsedComment::Exempt(Directive {
         line,
         file_level,
         lint: lint.trim().to_string(),
         reason: reason.trim().to_string(),
         malformed: None,
-    })
+    }))
 }

@@ -6,16 +6,31 @@
 //! result cache), every stats counter folded by `merge()` (or shard merges
 //! silently drop data), every hand-rolled `to_json` key read back by
 //! `from_json`, attribution code kept behind the `obs` gate, and no
-//! wall-clock/hash-order nondeterminism in result-affecting code. This
-//! crate machine-checks all five with a dependency-free token-level
-//! scanner.
+//! wall-clock/hash-order nondeterminism in result-affecting code.
+//!
+//! The linter runs in two passes. Pass 1 lexes and parses every scanned
+//! file (no `syn`, no dependencies — a token-level scanner) and builds a
+//! workspace [symbol graph](graph::Graph): every struct/enum/trait/fn/const
+//! with its crate, file, line, visibility and `#[cfg]`/`obs!` gate, plus
+//! every identifier reference resolved by name across all crates. Pass 2
+//! runs the lints — the per-file coverage checks plus the cross-file
+//! queries (`cfg-gate-consistency`, `dead-pub-api`,
+//! `fingerprint-exclusion-audit`, the bit-level `packed-layout` prover and
+//! the cross-crate half of `json-roundtrip`).
 //!
 //! Deliberate exclusions are declared in-source:
 //!
 //! ```text
 //! // lint: exempt(<lint>, <reason>)        — covers this line and the next item's line
 //! // lint: exempt-file(<lint>, <reason>)   — covers the whole file
+//! // lint: json-reader(<Type>)             — next fn's get("...") keys must be
+//! //                                         emitted by <Type>'s to_json
 //! ```
+//!
+//! `fingerprint-coverage` exemptions must additionally cite the equivalence
+//! test proving the exclusion safe — `; proven-by <file>` at the end of the
+//! reason — which the `fingerprint-exclusion-audit` lint verifies exists
+//! and references the excluded field.
 //!
 //! Empty reasons, unknown lint names, malformed directives and exemptions
 //! that no longer suppress anything are themselves findings (lint name
@@ -26,20 +41,31 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod graph;
 pub mod lexer;
 pub mod lints;
+pub mod packed;
 pub mod parse;
 
 use std::collections::BTreeMap;
 use std::fmt;
 use std::path::{Path, PathBuf};
 
-use lexer::{Directive, Token};
+use lexer::{Directive, ReaderDecl, Token};
 use parse::ParsedFile;
 
-/// The five enforced lints, in diagnostic-name form.
-pub const LINT_NAMES: [&str; 5] =
-    ["determinism", "fingerprint-coverage", "json-roundtrip", "merge-coverage", "obs-gate"];
+/// The nine enforced lints, in diagnostic-name form.
+pub const LINT_NAMES: [&str; 9] = [
+    "cfg-gate-consistency",
+    "dead-pub-api",
+    "determinism",
+    "fingerprint-coverage",
+    "fingerprint-exclusion-audit",
+    "json-roundtrip",
+    "merge-coverage",
+    "obs-gate",
+    "packed-layout",
+];
 
 /// Lint name under which exemption-hygiene findings are reported. Not
 /// exemptable itself.
@@ -71,6 +97,34 @@ impl fmt::Display for Diagnostic {
     }
 }
 
+/// A diagnostic plus whether an exemption suppressed it. Exempted findings
+/// are kept (for `--json` and exemption-inventory tooling) but do not fail
+/// the lint run.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Finding {
+    /// The diagnostic.
+    pub diag: Diagnostic,
+    /// Suppressed by a well-formed `// lint: exempt(...)` directive.
+    pub exempted: bool,
+}
+
+/// Which source tree a file came from; decides which lints apply. Coverage
+/// invariants (fingerprint/merge/json/obs/packed) bind library code only;
+/// determinism, exemption hygiene and the symbol-graph reference scan run
+/// everywhere, so a bench or test referencing a pub item keeps it alive
+/// for `dead-pub-api`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tree {
+    /// `src/` of a crate (library or binary code).
+    Src,
+    /// `tests/` integration tests.
+    Tests,
+    /// `benches/` benchmarks.
+    Benches,
+    /// `examples/`.
+    Examples,
+}
+
 /// One source file handed to the linter.
 #[derive(Debug)]
 pub struct SourceFile {
@@ -78,6 +132,8 @@ pub struct SourceFile {
     pub path: String,
     /// Owning crate's directory name (scopes the `obs-gate` lint).
     pub crate_name: String,
+    /// Source tree the file belongs to.
+    pub tree: Tree,
     /// Full source text.
     pub text: String,
 }
@@ -89,30 +145,63 @@ pub struct Unit {
     pub path: String,
     /// Owning crate's directory name.
     pub crate_name: String,
+    /// Source tree the file belongs to.
+    pub tree: Tree,
+    /// Compilation-unit key: `crate:<name>` for a crate's library tree,
+    /// `file:<path>` for binaries, tests, benches and examples (each is its
+    /// own unit). `dead-pub-api` counts references across these keys.
+    pub unit_key: String,
     /// Flat token stream (lines non-decreasing).
     pub tokens: Vec<Token>,
     /// Exemption directives, in source order.
     pub directives: Vec<Directive>,
+    /// `json-reader(<Type>)` declarations, in source order.
+    pub readers: Vec<ReaderDecl>,
     /// Items and gated spans.
     pub parsed: ParsedFile,
 }
 
-/// Lints a set of in-memory sources and returns the surviving diagnostics,
-/// sorted by `(file, line, lint, message)`. Findings inside `#[cfg(test)]`
-/// spans are dropped; findings matched by a well-formed exemption are
-/// suppressed; exemption-hygiene problems are appended as `exemption`
-/// findings.
+fn unit_key(tree: Tree, crate_name: &str, path: &str) -> String {
+    let lib_tree = tree == Tree::Src && !path.contains("/src/bin/") && !path.ends_with("/main.rs");
+    if lib_tree {
+        format!("crate:{crate_name}")
+    } else {
+        format!("file:{path}")
+    }
+}
+
+/// Lints a set of in-memory sources and returns the surviving (non-exempt)
+/// diagnostics, sorted by `(file, line, lint, message)`.
 pub fn lint_sources(files: Vec<SourceFile>) -> Vec<Diagnostic> {
+    lint_sources_with_root(files, None)
+        .into_iter()
+        .filter(|f| !f.exempted)
+        .map(|f| f.diag)
+        .collect()
+}
+
+/// Full engine: lints a set of in-memory sources and returns all findings,
+/// exempted ones included, sorted by `(file, line, lint, message)`.
+/// Findings inside `#[cfg(test)]` spans are dropped; findings matched by a
+/// well-formed exemption are kept with `exempted = true`;
+/// exemption-hygiene problems are appended as `exemption` findings. `root`
+/// (when given) resolves `proven-by` paths that are outside the scanned
+/// set.
+pub fn lint_sources_with_root(files: Vec<SourceFile>, root: Option<&Path>) -> Vec<Finding> {
     let units: Vec<Unit> = files
         .into_iter()
         .map(|f| {
             let lexed = lexer::lex(&f.text);
             let parsed = parse::parse_file(&lexed.tokens);
+            let key = unit_key(f.tree, &f.crate_name, &f.path);
             Unit {
                 path: f.path,
                 crate_name: f.crate_name,
+                tree: f.tree,
+                unit_key: key,
                 tokens: lexed.tokens,
                 directives: lexed.directives,
+                readers: lexed.readers,
                 parsed,
             }
         })
@@ -122,8 +211,21 @@ pub fn lint_sources(files: Vec<SourceFile>) -> Vec<Diagnostic> {
     raw.extend(lints::fingerprint_coverage(&units));
     raw.extend(lints::merge_coverage(&units));
     raw.extend(lints::json_roundtrip(&units));
+    raw.extend(lints::json_reader_checks(&units));
     raw.extend(lints::obs_gate(&units));
     raw.extend(lints::determinism(&units));
+    for u in units.iter().filter(|u| u.tree == Tree::Src) {
+        raw.extend(packed::packed_layout_unit(u));
+    }
+    let g = graph::Graph::build(&units);
+    raw.extend(lints::cfg_gate_consistency(&units, &g));
+    // With a single compilation unit there is no possible external
+    // consumer, so dead-pub-api would flag everything `pub`; it only means
+    // something over a multi-unit workspace.
+    if units.len() >= 2 {
+        raw.extend(lints::dead_pub_api(&units, &g));
+    }
+    raw.extend(lints::fingerprint_exclusion_audit(&units, root));
 
     let by_path: BTreeMap<&str, usize> =
         units.iter().enumerate().map(|(i, u)| (u.path.as_str(), i)).collect();
@@ -143,10 +245,10 @@ pub fn lint_sources(files: Vec<SourceFile>) -> Vec<Diagnostic> {
         .collect();
     let mut used: Vec<Vec<bool>> = units.iter().map(|u| vec![false; u.directives.len()]).collect();
 
-    let mut kept: Vec<Diagnostic> = Vec::new();
+    let mut kept: Vec<Finding> = Vec::new();
     for d in raw {
         let Some(&ui) = by_path.get(d.file.as_str()) else {
-            kept.push(d);
+            kept.push(Finding { diag: d, exempted: false });
             continue;
         };
         let u = &units[ui];
@@ -169,9 +271,7 @@ pub fn lint_sources(files: Vec<SourceFile>) -> Vec<Diagnostic> {
                 break;
             }
         }
-        if !suppressed {
-            kept.push(d);
-        }
+        kept.push(Finding { diag: d, exempted: suppressed });
     }
 
     // Exemption hygiene: malformed, unknown lint, empty reason, unused.
@@ -181,29 +281,34 @@ pub fn lint_sources(files: Vec<SourceFile>) -> Vec<Diagnostic> {
             if in_tests {
                 continue;
             }
-            if let Some(msg) = &dir.malformed {
-                kept.push(Diagnostic::new(&u.path, dir.line, EXEMPTION_LINT, msg.clone()));
+            let diag = if let Some(msg) = &dir.malformed {
+                Some(Diagnostic::new(&u.path, dir.line, EXEMPTION_LINT, msg.clone()))
             } else if !LINT_NAMES.contains(&dir.lint.as_str()) {
-                kept.push(Diagnostic::new(
+                Some(Diagnostic::new(
                     &u.path,
                     dir.line,
                     EXEMPTION_LINT,
                     format!("exemption names unknown lint `{}`", dir.lint),
-                ));
+                ))
             } else if dir.reason.is_empty() {
-                kept.push(Diagnostic::new(
+                Some(Diagnostic::new(
                     &u.path,
                     dir.line,
                     EXEMPTION_LINT,
                     format!("exemption for `{}` must carry a non-empty reason", dir.lint),
-                ));
+                ))
             } else if !used[ui][di] {
-                kept.push(Diagnostic::new(
+                Some(Diagnostic::new(
                     &u.path,
                     dir.line,
                     EXEMPTION_LINT,
                     format!("exemption for `{}` does not suppress any finding", dir.lint),
-                ));
+                ))
+            } else {
+                None
+            };
+            if let Some(d) = diag {
+                kept.push(Finding { diag: d, exempted: false });
             }
         }
     }
@@ -213,10 +318,25 @@ pub fn lint_sources(files: Vec<SourceFile>) -> Vec<Diagnostic> {
     kept
 }
 
-/// Lints every `crates/*/src/**/*.rs` under `root`. Returns the surviving
-/// diagnostics plus the number of files scanned. `benches/`, `tests/` and
-/// fixture directories are outside `src/` and therefore never scanned.
+/// Lints the workspace under `root` and returns the surviving (non-exempt)
+/// diagnostics plus the number of files scanned.
 pub fn lint_workspace(root: &Path) -> Result<(Vec<Diagnostic>, usize), String> {
+    let (findings, scanned) = lint_workspace_full(root)?;
+    Ok((findings.into_iter().filter(|f| !f.exempted).map(|f| f.diag).collect(), scanned))
+}
+
+/// Lints the workspace under `root` and returns all findings (exempted ones
+/// included) plus the number of files scanned. Scans `crates/*/{src,tests,
+/// benches,examples}` and the root `src/`, `tests/`, `benches/` and
+/// `examples/` trees; fixture directories are outside all of these and
+/// therefore never scanned.
+pub fn lint_workspace_full(root: &Path) -> Result<(Vec<Finding>, usize), String> {
+    const TREES: [(&str, Tree); 4] = [
+        ("src", Tree::Src),
+        ("tests", Tree::Tests),
+        ("benches", Tree::Benches),
+        ("examples", Tree::Examples),
+    ];
     let crates_dir = root.join("crates");
     let mut crate_dirs: Vec<PathBuf> = std::fs::read_dir(&crates_dir)
         .map_err(|e| format!("cannot read {}: {e}", crates_dir.display()))?
@@ -224,35 +344,48 @@ pub fn lint_workspace(root: &Path) -> Result<(Vec<Diagnostic>, usize), String> {
         .filter(|p| p.is_dir())
         .collect();
     crate_dirs.sort();
+    // The workspace root is itself a crate (the facade); scan its trees
+    // last so crate files sort first in diagnostics of equal line.
+    crate_dirs.push(root.to_path_buf());
     let mut files = Vec::new();
     for cdir in &crate_dirs {
-        let src = cdir.join("src");
-        if !src.is_dir() {
-            continue;
-        }
-        let crate_name =
-            cdir.file_name().map(|n| n.to_string_lossy().into_owned()).unwrap_or_default();
-        let mut paths = Vec::new();
-        collect_rs(&src, &mut paths)?;
-        paths.sort();
-        for p in paths {
-            let text = std::fs::read_to_string(&p)
-                .map_err(|e| format!("cannot read {}: {e}", p.display()))?;
-            let display = p
-                .strip_prefix(root)
-                .unwrap_or(&p)
-                .components()
-                .map(|c| c.as_os_str().to_string_lossy())
-                .collect::<Vec<_>>()
-                .join("/");
-            files.push(SourceFile { path: display, crate_name: crate_name.clone(), text });
+        let crate_name = if cdir == root {
+            "rsep".to_string()
+        } else {
+            cdir.file_name().map(|n| n.to_string_lossy().into_owned()).unwrap_or_default()
+        };
+        for (sub, tree) in TREES {
+            let dir = cdir.join(sub);
+            if !dir.is_dir() {
+                continue;
+            }
+            let mut paths = Vec::new();
+            collect_rs(&dir, &mut paths)?;
+            paths.sort();
+            for p in paths {
+                let text = std::fs::read_to_string(&p)
+                    .map_err(|e| format!("cannot read {}: {e}", p.display()))?;
+                let display = p
+                    .strip_prefix(root)
+                    .unwrap_or(&p)
+                    .components()
+                    .map(|c| c.as_os_str().to_string_lossy())
+                    .collect::<Vec<_>>()
+                    .join("/");
+                files.push(SourceFile {
+                    path: display,
+                    crate_name: crate_name.clone(),
+                    tree,
+                    text,
+                });
+            }
         }
     }
     if files.is_empty() {
-        return Err(format!("no crates/*/src/**/*.rs files under {}", root.display()));
+        return Err(format!("no source files under {}", root.display()));
     }
     let count = files.len();
-    Ok((lint_sources(files), count))
+    Ok((lint_sources_with_root(files, Some(root)), count))
 }
 
 fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {

@@ -1,0 +1,607 @@
+//! **packed-layout** — prove packed-word bitfield clusters consistent.
+//!
+//! The flat predictor tables pack several logical fields into one integer
+//! word (`tag | ctr << CTR_SHIFT | useful << USEFUL_SHIFT`), with free
+//! helper functions packing and unpacking around shared shift/mask
+//! constants. Nothing ties those constants together: nudging one shift
+//! makes two fields overlap and every table silently corrupts. This pass
+//! evaluates the constants with a small const-expression interpreter,
+//! recovers the `(bit offset, width)` of every packed field from the
+//! pack/unpack function bodies, and proves per word width that the fields
+//! are pairwise disjoint, fit the word, and that pack and unpack agree on
+//! each field's width.
+//!
+//! Scope is deliberately narrow so the proof stays sound: only free
+//! functions (no `self` receiver) whose parameter/return types are bare
+//! `u8`/`u16`/`u32`/`u64`/`u128` join a cluster, and only terms the
+//! interpreter can fully evaluate produce fields — anything else is
+//! ignored, never guessed at.
+
+use std::collections::BTreeMap;
+
+use crate::lexer::{TokKind, Token};
+use crate::parse::FnDef;
+use crate::{Diagnostic, Unit};
+
+/// Bit width of a bare integer type name.
+fn int_width(name: &str) -> Option<u32> {
+    match name {
+        "u8" | "i8" => Some(8),
+        "u16" | "i16" => Some(16),
+        "u32" | "i32" => Some(32),
+        "u64" | "i64" | "usize" | "isize" => Some(64),
+        "u128" | "i128" => Some(128),
+        _ => None,
+    }
+}
+
+fn mask(bits: u32) -> u128 {
+    if bits >= 128 {
+        u128::MAX
+    } else {
+        (1u128 << bits) - 1
+    }
+}
+
+fn is_punct(t: &Token, c: char) -> bool {
+    t.kind == TokKind::Punct(c)
+}
+
+fn as_ident(t: &Token) -> Option<&str> {
+    match &t.kind {
+        TokKind::Ident(s) => Some(s),
+        _ => None,
+    }
+}
+
+/// Const-expression evaluator over one file's token stream. Supports the
+/// constant grammar the packed clusters actually use: integer literals,
+/// named consts, `uN::MAX` / `uN::BITS`, parens, `as` casts, and the
+/// binary operators `| ^ & << >> + - *`.
+struct Eval<'a> {
+    u: &'a Unit,
+    /// Const name → value token range (first definition wins).
+    consts: BTreeMap<&'a str, (usize, usize)>,
+}
+
+impl<'a> Eval<'a> {
+    fn new(u: &'a Unit) -> Eval<'a> {
+        let mut consts = BTreeMap::new();
+        for c in &u.parsed.consts {
+            consts.entry(c.name.as_str()).or_insert(c.val);
+        }
+        Eval { u, consts }
+    }
+
+    fn eval(&self, toks: &[Token], fuel: u32) -> Option<u128> {
+        let mut pos = 0usize;
+        let v = self.expr(toks, &mut pos, 0, fuel)?;
+        if pos == toks.len() {
+            Some(v)
+        } else {
+            None
+        }
+    }
+
+    fn const_value(&self, name: &str, fuel: u32) -> Option<u128> {
+        let &(a, b) = self.consts.get(name)?;
+        self.eval(&self.u.tokens[a..b], fuel.checked_sub(1)?)
+    }
+
+    /// Precedence-climbing binary expression parse. Levels (low to high):
+    /// `|`, `^`, `&`, `<< >>`, `+ -`, `*`.
+    fn expr(&self, t: &[Token], pos: &mut usize, min_lvl: u8, fuel: u32) -> Option<u128> {
+        let mut lhs = self.primary(t, pos, fuel)?;
+        loop {
+            let Some(tok) = t.get(*pos) else { return Some(lhs) };
+            let (lvl, len) = match &tok.kind {
+                TokKind::Punct('|') => (0u8, 1usize),
+                TokKind::Punct('^') => (1, 1),
+                TokKind::Punct('&') => (2, 1),
+                TokKind::Punct('<') if t.get(*pos + 1).is_some_and(|n| is_punct(n, '<')) => (3, 2),
+                TokKind::Punct('>') if t.get(*pos + 1).is_some_and(|n| is_punct(n, '>')) => (3, 2),
+                TokKind::Punct('+' | '-') => (4, 1),
+                TokKind::Punct('*') => (5, 1),
+                _ => return Some(lhs),
+            };
+            if lvl < min_lvl {
+                return Some(lhs);
+            }
+            let op = match &tok.kind {
+                TokKind::Punct(c) => *c,
+                _ => unreachable!(),
+            };
+            *pos += len;
+            let rhs = self.expr(t, pos, lvl + 1, fuel)?;
+            lhs = match (op, len) {
+                ('|', _) => lhs | rhs,
+                ('^', _) => lhs ^ rhs,
+                ('&', _) => lhs & rhs,
+                ('<', 2) => lhs.checked_shl(u32::try_from(rhs).ok()?)?,
+                ('>', 2) => lhs.checked_shr(u32::try_from(rhs).ok()?)?,
+                ('+', _) => lhs.checked_add(rhs)?,
+                ('-', _) => lhs.checked_sub(rhs)?,
+                ('*', _) => lhs.checked_mul(rhs)?,
+                _ => return None,
+            };
+        }
+    }
+
+    fn primary(&self, t: &[Token], pos: &mut usize, fuel: u32) -> Option<u128> {
+        if fuel == 0 {
+            return None;
+        }
+        let tok = t.get(*pos)?;
+        let mut v = match &tok.kind {
+            TokKind::Punct('(') => {
+                *pos += 1;
+                let v = self.expr(t, pos, 0, fuel)?;
+                if !t.get(*pos).is_some_and(|c| is_punct(c, ')')) {
+                    return None;
+                }
+                *pos += 1;
+                v
+            }
+            TokKind::Num(Some(v)) => {
+                *pos += 1;
+                *v
+            }
+            TokKind::Ident(s) => {
+                // `uN::MAX` / `uN::BITS` path, else a named const.
+                if t.get(*pos + 1).is_some_and(|c| is_punct(c, ':'))
+                    && t.get(*pos + 2).is_some_and(|c| is_punct(c, ':'))
+                {
+                    let width = int_width(s)?;
+                    let assoc = t.get(*pos + 3).and_then(as_ident)?;
+                    *pos += 4;
+                    match assoc {
+                        "MAX" => mask(width),
+                        "BITS" => u128::from(width),
+                        _ => return None,
+                    }
+                } else {
+                    *pos += 1;
+                    self.const_value(s, fuel)?
+                }
+            }
+            _ => return None,
+        };
+        // `as` casts bind tighter than every binary operator.
+        while t.get(*pos).is_some_and(|c| as_ident(c) == Some("as")) {
+            let ty = t.get(*pos + 1).and_then(as_ident)?;
+            v &= mask(int_width(ty)?);
+            *pos += 2;
+        }
+        Some(v)
+    }
+}
+
+/// One recovered packed field.
+#[derive(Debug, Clone)]
+struct FieldSpec {
+    lo: u32,
+    width: u32,
+    label: String,
+    /// Diagnostic anchor: the shift constant's definition line when the
+    /// field's position comes from a named const, else the function line.
+    anchor: usize,
+}
+
+impl FieldSpec {
+    fn hi(&self) -> u32 {
+        self.lo + self.width
+    }
+    fn overlaps(&self, other: &FieldSpec) -> bool {
+        self.lo < other.hi() && other.lo < self.hi()
+    }
+}
+
+/// Splits `toks` at top-level occurrences of single `|` (logical `||`
+/// aborts — not a pack expression).
+fn split_terms(toks: &[Token]) -> Option<Vec<&[Token]>> {
+    let mut depth = 0i32;
+    let mut start = 0usize;
+    let mut out = Vec::new();
+    let mut k = 0usize;
+    while k < toks.len() {
+        match &toks[k].kind {
+            TokKind::Punct('(' | '[' | '{') => depth += 1,
+            TokKind::Punct(')' | ']' | '}') => depth -= 1,
+            TokKind::Punct('|') => {
+                if toks.get(k + 1).is_some_and(|n| is_punct(n, '|')) {
+                    return None;
+                }
+                if depth == 0 {
+                    out.push(&toks[start..k]);
+                    start = k + 1;
+                }
+            }
+            _ => {}
+        }
+        k += 1;
+    }
+    out.push(&toks[start..]);
+    Some(out)
+}
+
+/// Strips parens enclosing the whole slice, repeatedly.
+fn strip_parens(mut t: &[Token]) -> &[Token] {
+    loop {
+        if t.len() < 2 || !is_punct(&t[0], '(') || !is_punct(&t[t.len() - 1], ')') {
+            return t;
+        }
+        // The first `(` must match the last `)`.
+        let mut depth = 0i32;
+        for (k, tok) in t.iter().enumerate() {
+            if is_punct(tok, '(') {
+                depth += 1;
+            } else if is_punct(tok, ')') {
+                depth -= 1;
+                if depth == 0 && k != t.len() - 1 {
+                    return t;
+                }
+            }
+        }
+        t = &t[1..t.len() - 1];
+    }
+}
+
+/// Index of the rightmost top-level occurrence of `op` (1 or 2 chars).
+fn rfind_op(toks: &[Token], op: char, two: bool) -> Option<usize> {
+    let mut depth = 0i32;
+    let mut found = None;
+    let mut k = 0usize;
+    while k < toks.len() {
+        match &toks[k].kind {
+            TokKind::Punct('(' | '[' | '{') => depth += 1,
+            TokKind::Punct(')' | ']' | '}') => depth -= 1,
+            TokKind::Punct(c) if *c == op && depth == 0 => {
+                if two {
+                    if toks.get(k + 1).is_some_and(|n| is_punct(n, op)) {
+                        found = Some(k);
+                        k += 2;
+                        continue;
+                    }
+                } else {
+                    found = Some(k);
+                }
+            }
+            _ => {}
+        }
+        k += 1;
+    }
+    found
+}
+
+/// Index of the rightmost top-level `as` keyword.
+fn rfind_as(toks: &[Token]) -> Option<usize> {
+    let mut depth = 0i32;
+    let mut found = None;
+    for (k, t) in toks.iter().enumerate() {
+        match &t.kind {
+            TokKind::Punct('(' | '[' | '{') => depth += 1,
+            TokKind::Punct(')' | ']' | '}') => depth -= 1,
+            TokKind::Ident(s) if s == "as" && depth == 0 => found = Some(k),
+            _ => {}
+        }
+    }
+    found
+}
+
+/// Width of a bare parameter type (`bool` packs as one bit).
+fn param_width(ty: &str) -> Option<u32> {
+    if ty == "bool" {
+        Some(1)
+    } else {
+        int_width(ty)
+    }
+}
+
+/// Span of the set bits of `v`: `(trailing_zeros, width)`.
+fn bit_span(v: u128) -> Option<(u32, u32)> {
+    if v == 0 {
+        return None;
+    }
+    let tz = v.trailing_zeros();
+    let hi = 128 - v.leading_zeros();
+    Some((tz, hi - tz))
+}
+
+/// Label/anchor for a shift or flag whose expression is a single named
+/// const: the const's name and definition line.
+fn const_label(u: &Unit, toks: &[Token]) -> Option<(String, usize)> {
+    let t = strip_parens(toks);
+    if t.len() != 1 {
+        return None;
+    }
+    let name = as_ident(&t[0])?;
+    let c = u.parsed.consts.iter().find(|c| c.name == name)?;
+    Some((name.to_string(), c.line))
+}
+
+/// Recovers the field a single pack term writes, or `None` when the term
+/// is not provable.
+fn pack_term_field(u: &Unit, ev: &Eval<'_>, f: &FnDef, term: &[Token]) -> Option<FieldSpec> {
+    let t = strip_parens(term);
+    if t.is_empty() {
+        return None;
+    }
+    // `if cond { FLAG } else { 0 }` — a boolean flag bit.
+    if as_ident(&t[0]) == Some("if") {
+        let open_a = t.iter().position(|tok| is_punct(tok, '{'))?;
+        let mut depth = 0i32;
+        let mut close_a = open_a;
+        for (k, tok) in t.iter().enumerate().skip(open_a) {
+            if is_punct(tok, '{') {
+                depth += 1;
+            } else if is_punct(tok, '}') {
+                depth -= 1;
+                if depth == 0 {
+                    close_a = k;
+                    break;
+                }
+            }
+        }
+        let block_a = &t[open_a + 1..close_a];
+        if as_ident(t.get(close_a + 1)?) != Some("else") || !is_punct(t.get(close_a + 2)?, '{') {
+            return None;
+        }
+        let block_b = &t[close_a + 3..t.len() - 1];
+        let va = ev.eval(block_a, 16)?;
+        let vb = ev.eval(block_b, 16)?;
+        let (v, branch) = match (va, vb) {
+            (v, 0) if v != 0 => (v, block_a),
+            (0, v) if v != 0 => (v, block_b),
+            _ => return None,
+        };
+        let (lo, width) = bit_span(v)?;
+        let (label, anchor) = const_label(u, branch).unwrap_or_else(|| (f.name.clone(), f.line));
+        return Some(FieldSpec { lo, width, label, anchor });
+    }
+    // `value_expr << SHIFT` (shift optional).
+    let (value, shift, shift_label) = match rfind_op(t, '<', true) {
+        Some(k) => {
+            let shift_toks = &t[k + 2..];
+            let s = u32::try_from(ev.eval(shift_toks, 16)?).ok()?;
+            (strip_parens(&t[..k]), s, const_label(u, shift_toks))
+        }
+        None => (t, 0u32, None),
+    };
+    let (label, anchor) = shift_label.unwrap_or_else(|| (f.name.clone(), f.line));
+    // Width of the value expression.
+    if let Some(k) = rfind_op(value, '&', false) {
+        let m = ev.eval(&value[k + 1..], 16).or_else(|| ev.eval(&value[..k], 16))?;
+        if m == 0 || !(m + 1).is_power_of_two() {
+            return None;
+        }
+        return Some(FieldSpec { lo: shift, width: m.count_ones(), label, anchor });
+    }
+    // `uK::from(x)` — width of `x`'s declared parameter type, else `K`.
+    if value.len() >= 6
+        && as_ident(&value[3]) == Some("from")
+        && is_punct(&value[1], ':')
+        && is_punct(&value[2], ':')
+        && is_punct(&value[4], '(')
+        && is_punct(&value[value.len() - 1], ')')
+    {
+        let k_width = int_width(as_ident(&value[0])?)?;
+        let inner = strip_parens(&value[5..value.len() - 1]);
+        let width = match inner {
+            [one] => as_ident(one)
+                .and_then(|n| f.params.iter().find(|p| p.name == n))
+                .and_then(|p| param_width(&p.ty))
+                .unwrap_or(k_width),
+            _ => k_width,
+        };
+        let label = if label == f.name {
+            inner.first().and_then(as_ident).map_or(label, str::to_string)
+        } else {
+            label
+        };
+        return Some(FieldSpec { lo: shift, width, label, anchor });
+    }
+    // `expr as uK` — unmasked cast, width is the full cast width.
+    if let Some(k) = rfind_as(value) {
+        let width = int_width(as_ident(value.get(k + 1)?)?)?;
+        if k + 2 == value.len() {
+            return Some(FieldSpec { lo: shift, width, label, anchor });
+        }
+        return None;
+    }
+    // Bare parameter.
+    if let [one] = value {
+        if let Some(p) = as_ident(one).and_then(|n| f.params.iter().find(|p| p.name == n)) {
+            let width = param_width(&p.ty)?;
+            return Some(FieldSpec { lo: shift, width, label: p.name.clone(), anchor });
+        }
+    }
+    // Constant term (`| FLAG`).
+    let v = ev.eval(value, 16)?;
+    let (tz, width) = bit_span(v)?;
+    let (label, anchor) = const_label(u, value).unwrap_or((label, anchor));
+    Some(FieldSpec { lo: shift + tz, width, label, anchor })
+}
+
+/// Recovers the field an unpack accessor reads, or `None` when the body
+/// does not match a known accessor shape.
+fn unpack_field(u: &Unit, ev: &Eval<'_>, f: &FnDef) -> Option<FieldSpec> {
+    let (b0, b1) = f.body?;
+    let body = strip_parens(&u.tokens[b0..b1]);
+    let p = &f.params.first()?.name;
+    let mut q = 0usize;
+    while q < body.len() {
+        if as_ident(&body[q]) != Some(p.as_str()) {
+            q += 1;
+            continue;
+        }
+        // `param as uK` — the low K bits.
+        if as_ident(body.get(q + 1)?) == Some("as") {
+            let width = int_width(as_ident(body.get(q + 2)?)?)?;
+            return Some(FieldSpec { lo: 0, width, label: f.name.clone(), anchor: f.line });
+        }
+        // `param & FLAG != 0` — a flag bit.
+        if is_punct(body.get(q + 1)?, '&')
+            && body.get(q + 3).is_some_and(|t| is_punct(t, '!'))
+            && body.get(q + 4).is_some_and(|t| is_punct(t, '='))
+        {
+            let flag_toks = &body[q + 2..q + 3];
+            let v = ev.eval(flag_toks, 16)?;
+            let (lo, width) = bit_span(v)?;
+            let (label, anchor) =
+                const_label(u, flag_toks).unwrap_or_else(|| (f.name.clone(), f.line));
+            return Some(FieldSpec { lo, width, label, anchor });
+        }
+        // `(param >> SHIFT) & MASK` or `(param >> SHIFT) as uK`.
+        if body.get(q + 1).is_some_and(|t| is_punct(t, '>'))
+            && body.get(q + 2).is_some_and(|t| is_punct(t, '>'))
+        {
+            // Shift operand: a single ident or literal.
+            let shift_toks = &body[q + 3..(q + 4).min(body.len())];
+            let s = u32::try_from(ev.eval(shift_toks, 16)?).ok()?;
+            let (label, anchor) =
+                const_label(u, shift_toks).unwrap_or_else(|| (f.name.clone(), f.line));
+            let mut j = q + 4;
+            while body.get(j).is_some_and(|t| is_punct(t, ')')) {
+                j += 1;
+            }
+            if body.get(j).is_some_and(|t| is_punct(t, '&')) {
+                let m = ev.eval(&body[j + 1..(j + 2).min(body.len())], 16)?;
+                if m == 0 || !(m + 1).is_power_of_two() {
+                    return None;
+                }
+                return Some(FieldSpec { lo: s, width: m.count_ones(), label, anchor });
+            }
+            if as_ident(body.get(j)?) == Some("as") {
+                let width = int_width(as_ident(body.get(j + 1)?)?)?;
+                return Some(FieldSpec { lo: s, width, label, anchor });
+            }
+            return None;
+        }
+        return None;
+    }
+    None
+}
+
+/// The packed-layout pass over one unit's free functions.
+pub fn packed_layout_unit(u: &Unit) -> Vec<Diagnostic> {
+    let ev = Eval::new(u);
+    struct PackFn {
+        fields: Vec<FieldSpec>,
+    }
+    // word width → (pack fns, unpack fields)
+    let mut clusters: BTreeMap<u32, (Vec<PackFn>, Vec<FieldSpec>)> = BTreeMap::new();
+    for f in &u.parsed.free_fns {
+        if f.has_self {
+            continue;
+        }
+        let Some((b0, b1)) = f.body else { continue };
+        // Pack candidate: bare uN return, body a top-level `|` of terms.
+        if let Some(w) = f.ret.as_deref().and_then(int_width) {
+            let body = strip_parens(&u.tokens[b0..b1]);
+            if let Some(terms) = split_terms(body) {
+                if terms.len() >= 2 {
+                    let fields: Vec<FieldSpec> =
+                        terms.iter().filter_map(|t| pack_term_field(u, &ev, f, t)).collect();
+                    if fields.iter().any(|fs| fs.lo > 0) {
+                        clusters.entry(w).or_default().0.push(PackFn { fields });
+                        continue;
+                    }
+                }
+            }
+        }
+        // Unpack candidate: exactly one bare-uN parameter.
+        if f.params.len() == 1 && f.params[0].simple_ty {
+            if let Some(w) = int_width(&f.params[0].ty) {
+                if let Some(fs) = unpack_field(u, &ev, f) {
+                    clusters.entry(w).or_default().1.push(fs);
+                }
+            }
+        }
+    }
+
+    let mut diags = Vec::new();
+    let overlap_diag = |diags: &mut Vec<Diagnostic>, w: u32, a: &FieldSpec, b: &FieldSpec| {
+        let (lo, hi) = if a.lo <= b.lo { (a, b) } else { (b, a) };
+        diags.push(Diagnostic::new(
+            &u.path,
+            hi.anchor,
+            "packed-layout",
+            format!(
+                "`{}` (bits {}..{}) and `{}` (bits {}..{}) of the u{w} packed word overlap",
+                lo.label,
+                lo.lo,
+                lo.hi(),
+                hi.label,
+                hi.lo,
+                hi.hi(),
+            ),
+        ));
+    };
+    for (&w, (packs, unpacks)) in &clusters {
+        if packs.is_empty() {
+            continue; // unpack shapes without a packer are not a cluster
+        }
+        let mut pack_widths: BTreeMap<u32, u32> = BTreeMap::new();
+        for pf in packs {
+            for fs in &pf.fields {
+                pack_widths.entry(fs.lo).or_insert(fs.width);
+                if fs.hi() > w {
+                    diags.push(Diagnostic::new(
+                        &u.path,
+                        fs.anchor,
+                        "packed-layout",
+                        format!(
+                            "`{}` (bits {}..{}) does not fit the u{w} packed word",
+                            fs.label,
+                            fs.lo,
+                            fs.hi(),
+                        ),
+                    ));
+                }
+            }
+            for (i, a) in pf.fields.iter().enumerate() {
+                for b in &pf.fields[i + 1..] {
+                    if a.overlaps(b) {
+                        overlap_diag(&mut diags, w, a, b);
+                    }
+                }
+            }
+        }
+        for fs in unpacks.iter() {
+            if fs.hi() > w {
+                diags.push(Diagnostic::new(
+                    &u.path,
+                    fs.anchor,
+                    "packed-layout",
+                    format!(
+                        "`{}` (bits {}..{}) does not fit the u{w} packed word",
+                        fs.label,
+                        fs.lo,
+                        fs.hi(),
+                    ),
+                ));
+            }
+            if let Some(&wp) = pack_widths.get(&fs.lo) {
+                if wp != fs.width {
+                    diags.push(Diagnostic::new(
+                        &u.path,
+                        fs.anchor,
+                        "packed-layout",
+                        format!(
+                            "pack writes {wp} bits at bit {} of the u{w} word but `{}` reads {}",
+                            fs.lo, fs.label, fs.width,
+                        ),
+                    ));
+                }
+            }
+        }
+        for (i, a) in unpacks.iter().enumerate() {
+            for b in &unpacks[i + 1..] {
+                if a.overlaps(b) {
+                    overlap_diag(&mut diags, w, a, b);
+                }
+            }
+        }
+    }
+    diags
+}

@@ -1,11 +1,14 @@
 //! Item-level parse over the token stream.
 //!
 //! Extracts what the lints need and nothing more: structs with named
-//! fields, `impl` blocks with their methods, free functions, `#[cfg(test)]`
+//! fields, `impl` blocks with their methods, free functions (with enough
+//! signature detail — visibility, parameter and return types — for the
+//! symbol graph and the `packed-layout` pass), `const` definitions with
+//! their value token ranges, enum/trait/type-alias names, `#[cfg(test)]`
 //! line ranges (excluded from every lint), and the obs-gated token spans
-//! (`obs! { ... }` invocations and items under `#[cfg(feature = "obs")]`).
-//! `macro_rules!` bodies are skipped entirely — macro fragments are not
-//! real items.
+//! (`obs! { ... }` invocations, items under `#[cfg(feature = "obs")]`, and
+//! files under `#![cfg(feature = "obs")]`). `macro_rules!` bodies are
+//! skipped entirely — macro fragments are not real items.
 
 use crate::lexer::{TokKind, Token};
 
@@ -25,8 +28,24 @@ pub struct StructDef {
     pub name: String,
     /// 1-based line of the name token.
     pub line: usize,
+    /// Token index of the name token.
+    pub tok: usize,
+    /// `pub` without a restriction (`pub(crate)` etc. count as private).
+    pub is_pub: bool,
     /// Named fields in declaration order.
     pub fields: Vec<Field>,
+}
+
+/// One function parameter.
+#[derive(Debug)]
+pub struct Param {
+    /// Binding name (`self` parameters are not recorded).
+    pub name: String,
+    /// Last identifier of the declared type (`u32`, `Json`, ...).
+    pub ty: String,
+    /// The declared type is a single bare identifier (no `&`, generics or
+    /// paths) — the only form the `packed-layout` width rules trust.
+    pub simple_ty: bool,
 }
 
 /// A function with an optional body given as a `start..end` token index
@@ -37,8 +56,53 @@ pub struct FnDef {
     pub name: String,
     /// 1-based line of the name token.
     pub line: usize,
+    /// Token index of the name token.
+    pub tok: usize,
+    /// `pub` without a restriction.
+    pub is_pub: bool,
+    /// Parameters in declaration order (without `self`).
+    pub params: Vec<Param>,
+    /// The signature has a `self` receiver (the function is a method).
+    pub has_self: bool,
+    /// Return type, when it is a single bare identifier (`-> u32`).
+    pub ret: Option<String>,
     /// Body token range, `None` for bodyless declarations.
     pub body: Option<(usize, usize)>,
+}
+
+/// A `const` definition with its value token range (for the
+/// `packed-layout` const evaluator).
+#[derive(Debug)]
+pub struct ConstDef {
+    /// Constant name.
+    pub name: String,
+    /// 1-based line of the name token.
+    pub line: usize,
+    /// Token index of the name token.
+    pub tok: usize,
+    /// `pub` without a restriction.
+    pub is_pub: bool,
+    /// Defined at brace depth 0 (module top level).
+    pub top_level: bool,
+    /// Last identifier of the declared type (`u32`, `u64`, ...).
+    pub ty: String,
+    /// Value token range between `=` and the terminating `;`.
+    pub val: (usize, usize),
+}
+
+/// A named item the lints only need by name: enums, traits, type aliases.
+#[derive(Debug)]
+pub struct ItemDecl {
+    /// `"enum"`, `"trait"` or `"type"`.
+    pub kind: &'static str,
+    /// Item name.
+    pub name: String,
+    /// 1-based line of the name token.
+    pub line: usize,
+    /// Token index of the name token.
+    pub tok: usize,
+    /// `pub` without a restriction.
+    pub is_pub: bool,
 }
 
 /// An `impl` block: `impl Trait for Type { ... }` or `impl Type { ... }`.
@@ -61,10 +125,15 @@ pub struct ParsedFile {
     pub impls: Vec<ImplDef>,
     /// Free (non-impl) functions, including trait-declaration methods.
     pub free_fns: Vec<FnDef>,
+    /// `const` definitions anywhere in the file, in source order.
+    pub consts: Vec<ConstDef>,
+    /// Enum, trait and type-alias declarations, in source order.
+    pub others: Vec<ItemDecl>,
     /// Inclusive line ranges under `#[cfg(test)]`.
     pub test_lines: Vec<(usize, usize)>,
     /// Inclusive token index ranges gated by `obs!` or
-    /// `#[cfg(feature = "obs")]`.
+    /// `#[cfg(feature = "obs")]` (a `#![cfg(feature = "obs")]` inner
+    /// attribute gates the rest of the file).
     pub obs_tokens: Vec<(usize, usize)>,
 }
 
@@ -122,10 +191,20 @@ fn skip_generics(toks: &[Token], i: usize) -> usize {
     j
 }
 
+/// Visibility of the item a `pub` run precedes. Only unrestricted `pub`
+/// makes an item part of the workspace API; `pub(crate)`/`pub(super)` are
+/// internal.
+fn pub_before(toks: &[Token], k: usize) -> bool {
+    // `k` is the index of the item keyword. A `pub(crate)`/`pub(super)`
+    // item keyword is preceded by `)` — restricted, never workspace-pub.
+    k > 0 && is_ident(&toks[k - 1], "pub")
+}
+
 /// Parses a whole token stream into items and gated spans.
 pub fn parse_file(toks: &[Token]) -> ParsedFile {
     let mut pf = ParsedFile::default();
     scan_gating(toks, &mut pf);
+    scan_consts(toks, &mut pf);
     let mut i = 0usize;
     while i < toks.len() {
         if is_ident(&toks[i], "macro_rules") && punct_at(toks, i + 1, '!') {
@@ -162,14 +241,160 @@ pub fn parse_file(toks: &[Token]) -> ParsedFile {
                 continue;
             }
         }
+        if is_ident(&toks[i], "enum") || is_ident(&toks[i], "trait") {
+            let kind = if is_ident(&toks[i], "enum") { "enum" } else { "trait" };
+            if let Some((decl, body, next)) = parse_named_block(toks, i, kind) {
+                // Trait-declaration methods stay visible as free functions
+                // (their bodies or signatures matter to the same passes).
+                if kind == "trait" {
+                    if let Some((b0, b1)) = body {
+                        let mut k = b0;
+                        while k < b1 {
+                            if is_ident(&toks[k], "fn") {
+                                if let Some((f, nk)) = parse_fn(toks, k) {
+                                    pf.free_fns.push(f);
+                                    k = nk;
+                                    continue;
+                                }
+                            }
+                            k += 1;
+                        }
+                    }
+                }
+                pf.others.push(decl);
+                i = next;
+                continue;
+            }
+        }
+        if is_ident(&toks[i], "type") {
+            if let Some(name) = ident_at(toks, i + 1) {
+                pf.others.push(ItemDecl {
+                    kind: "type",
+                    name: name.to_string(),
+                    line: toks[i + 1].line,
+                    tok: i + 1,
+                    is_pub: pub_before(toks, i),
+                });
+                let mut j = i + 2;
+                while j < toks.len() && !is_punct(&toks[j], ';') {
+                    j += 1;
+                }
+                i = j + 1;
+                continue;
+            }
+        }
         i += 1;
     }
     pf
 }
 
+/// Body token range of a block item, `None` for bodyless declarations.
+type BodyRange = Option<(usize, usize)>;
+
+/// Parses `enum`/`trait` `Name ... { body }`, returning the declaration,
+/// the body token range, and the index after the closing brace.
+fn parse_named_block(
+    toks: &[Token],
+    i: usize,
+    kind: &'static str,
+) -> Option<(ItemDecl, BodyRange, usize)> {
+    let name = ident_at(toks, i + 1)?.to_string();
+    let decl =
+        ItemDecl { kind, name, line: toks[i + 1].line, tok: i + 1, is_pub: pub_before(toks, i) };
+    let mut j = i + 2;
+    if punct_at(toks, j, '<') {
+        j = skip_generics(toks, j);
+    }
+    while j < toks.len() && !is_punct(&toks[j], '{') && !is_punct(&toks[j], ';') {
+        j += 1;
+    }
+    if j >= toks.len() || is_punct(&toks[j], ';') {
+        return Some((decl, None, j + 1));
+    }
+    let after = skip_balanced(toks, j, '{', '}');
+    Some((decl, Some((j + 1, after.saturating_sub(1))), after))
+}
+
+/// Full-stream scan for `const NAME: TYPE = value;` definitions at any
+/// depth (module level, impl blocks, function bodies). Const generic
+/// parameters (`<const N: usize>`) have no `=` value and are skipped.
+fn scan_consts(toks: &[Token], pf: &mut ParsedFile) {
+    let mut depth = 0i32;
+    let mut i = 0usize;
+    while i < toks.len() {
+        match &toks[i].kind {
+            TokKind::Punct('{') => depth += 1,
+            TokKind::Punct('}') => depth -= 1,
+            TokKind::Ident(s) if s == "const" => {
+                if let Some((cd, next)) = parse_const(toks, i, depth == 0) {
+                    pf.consts.push(cd);
+                    i = next;
+                    continue;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+}
+
+/// Parses `const NAME: TYPE = value;` starting at the `const` keyword.
+fn parse_const(toks: &[Token], i: usize, top_level: bool) -> Option<(ConstDef, usize)> {
+    let name = ident_at(toks, i + 1)?.to_string();
+    if !punct_at(toks, i + 2, ':') {
+        return None;
+    }
+    let mut j = i + 3;
+    let mut ty = String::new();
+    let mut depth = 0i32;
+    while j < toks.len() {
+        match &toks[j].kind {
+            TokKind::Punct('=') if depth == 0 => break,
+            // `;`, `,`, `>` or `)` before `=`: a const without a value
+            // (trait decl or const-generic parameter) — not a definition.
+            TokKind::Punct(';' | ',' | '>' | ')') if depth == 0 => return None,
+            TokKind::Punct('<' | '[' | '(') => depth += 1,
+            TokKind::Punct(']' | ')') => depth -= 1,
+            TokKind::Punct('>') if !punct_at(toks, j - 1, '-') => depth -= 1,
+            TokKind::Ident(s) => ty = s.clone(),
+            _ => {}
+        }
+        j += 1;
+    }
+    if j >= toks.len() {
+        return None;
+    }
+    let val_start = j + 1;
+    let mut k = val_start;
+    let mut vdepth = 0i32;
+    while k < toks.len() {
+        match &toks[k].kind {
+            TokKind::Punct('(' | '[' | '{') => vdepth += 1,
+            TokKind::Punct(')' | ']' | '}') => vdepth -= 1,
+            TokKind::Punct(';') if vdepth == 0 => break,
+            _ => {}
+        }
+        k += 1;
+    }
+    Some((
+        ConstDef {
+            name,
+            line: toks[i + 1].line,
+            tok: i + 1,
+            is_pub: pub_before(toks, i),
+            top_level,
+            ty,
+            val: (val_start, k),
+        },
+        k + 1,
+    ))
+}
+
 /// Full-stream scan for `#[cfg(test)]` line ranges and obs-gated token
 /// spans. Runs over every token (not just top level) because `obs!`
-/// invocations live inside method bodies.
+/// invocations live inside method bodies. Inner attributes
+/// (`#![cfg(feature = "obs")]`, `#![cfg(test)]`) gate every following
+/// token.
 fn scan_gating(toks: &[Token], pf: &mut ParsedFile) {
     let mut i = 0usize;
     while i < toks.len() {
@@ -187,16 +412,24 @@ fn scan_gating(toks: &[Token], pf: &mut ParsedFile) {
             i = after;
             continue;
         }
-        if is_punct(&toks[i], '#') && punct_at(toks, i + 1, '[') {
-            let after_attr = skip_balanced(toks, i + 1, '[', ']');
-            let attr = &toks[i + 2..after_attr.saturating_sub(1).max(i + 2)];
+        if is_punct(&toks[i], '#') && (punct_at(toks, i + 1, '[') || punct_at(toks, i + 1, '!')) {
+            let inner = punct_at(toks, i + 1, '!');
+            let open = if inner { i + 2 } else { i + 1 };
+            if !punct_at(toks, open, '[') {
+                i += 1;
+                continue;
+            }
+            let after_attr = skip_balanced(toks, open, '[', ']');
+            let attr = &toks[open + 1..after_attr.saturating_sub(1).max(open + 1)];
             let has = |s: &str| attr.iter().any(|t| is_ident(t, s));
             let has_obs_str = attr.iter().any(|t| matches!(&t.kind, TokKind::Str(v) if v == "obs"));
             let is_cfg = has("cfg");
             let gates_test = is_cfg && has("test") && !has("not");
             let gates_obs = is_cfg && has("feature") && has_obs_str && !has("not");
             if (gates_test || gates_obs) && after_attr < toks.len() {
-                let end = item_end(toks, after_attr);
+                // An inner attribute gates the rest of the file; an outer
+                // one gates the next item.
+                let end = if inner { toks.len() - 1 } else { item_end(toks, after_attr) };
                 if gates_test {
                     pf.test_lines.push((toks[i].line, toks[end].line));
                 }
@@ -264,6 +497,8 @@ fn item_end(toks: &[Token], mut k: usize) -> usize {
 fn parse_struct(toks: &[Token], i: usize) -> Option<(StructDef, usize)> {
     let name = ident_at(toks, i + 1)?.to_string();
     let line = toks[i + 1].line;
+    let tok = i + 1;
+    let is_pub = pub_before(toks, i);
     let mut j = i + 2;
     if punct_at(toks, j, '<') {
         j = skip_generics(toks, j);
@@ -280,14 +515,14 @@ fn parse_struct(toks: &[Token], i: usize) -> Option<(StructDef, usize)> {
         return None;
     }
     if is_punct(&toks[j], ';') {
-        return Some((StructDef { name, line, fields: Vec::new() }, j + 1));
+        return Some((StructDef { name, line, tok, is_pub, fields: Vec::new() }, j + 1));
     }
     if is_punct(&toks[j], '(') {
         let mut k = skip_balanced(toks, j, '(', ')');
         while k < toks.len() && !is_punct(&toks[k], ';') {
             k += 1;
         }
-        return Some((StructDef { name, line, fields: Vec::new() }, k + 1));
+        return Some((StructDef { name, line, tok, is_pub, fields: Vec::new() }, k + 1));
     }
     let after = skip_balanced(toks, j, '{', '}');
     let body_end = after.saturating_sub(1); // index of the matching `}`
@@ -336,13 +571,68 @@ fn parse_struct(toks: &[Token], i: usize) -> Option<(StructDef, usize)> {
             k += 1;
         }
     }
-    Some((StructDef { name, line, fields }, after))
+    Some((StructDef { name, line, tok, is_pub, fields }, after))
+}
+
+/// Parses the parameter list tokens (between the signature parens) into
+/// [`Param`]s plus a "has `self` receiver" flag. `self` receivers are not
+/// recorded as parameters.
+fn parse_params(toks: &[Token]) -> (Vec<Param>, bool) {
+    let mut params = Vec::new();
+    let mut has_self = false;
+    let mut depth = 0i32;
+    let mut start = 0usize;
+    let mut slices = Vec::new();
+    for (k, t) in toks.iter().enumerate() {
+        match &t.kind {
+            TokKind::Punct('(' | '[') => depth += 1,
+            TokKind::Punct(')' | ']') => depth -= 1,
+            TokKind::Punct('<') => depth += 1,
+            TokKind::Punct('>') if k > 0 && !is_punct(&toks[k - 1], '-') => depth -= 1,
+            TokKind::Punct(',') if depth == 0 => {
+                slices.push(&toks[start..k]);
+                start = k + 1;
+            }
+            _ => {}
+        }
+    }
+    if start < toks.len() {
+        slices.push(&toks[start..]);
+    }
+    for slice in slices {
+        let mut k = 0usize;
+        while k < slice.len()
+            && (is_punct(&slice[k], '&')
+                || is_ident(&slice[k], "mut")
+                || matches!(slice[k].kind, TokKind::Lifetime))
+        {
+            k += 1;
+        }
+        let Some(name) = slice.get(k).and_then(as_ident) else { continue };
+        if name == "self" {
+            has_self = true;
+            continue;
+        }
+        let name = name.to_string();
+        if !punct_at(slice, k + 1, ':') {
+            continue;
+        }
+        let ty_toks = &slice[k + 2..];
+        let ty = ty_toks.iter().rev().find_map(|t| as_ident(t)).unwrap_or("").to_string();
+        let simple_ty = ty_toks.len() == 1 && matches!(ty_toks[0].kind, TokKind::Ident(_));
+        if !ty.is_empty() {
+            params.push(Param { name, ty, simple_ty });
+        }
+    }
+    (params, has_self)
 }
 
 /// Parses `fn name(...) ... { body }` (or `...;`) starting at `fn`.
 fn parse_fn(toks: &[Token], i: usize) -> Option<(FnDef, usize)> {
     let name = ident_at(toks, i + 1)?.to_string();
     let line = toks[i + 1].line;
+    let tok = i + 1;
+    let is_pub = pub_before(toks, i);
     let mut j = i + 2;
     if punct_at(toks, j, '<') {
         j = skip_generics(toks, j);
@@ -350,10 +640,22 @@ fn parse_fn(toks: &[Token], i: usize) -> Option<(FnDef, usize)> {
     if !punct_at(toks, j, '(') {
         return None;
     }
+    let params_start = j + 1;
     j = skip_balanced(toks, j, '(', ')');
+    let (params, has_self) = parse_params(&toks[params_start..j.saturating_sub(1)]);
     // Return type and `where` clause up to the body or `;`.
+    let ret_start = j;
+    let mut ret_end = j;
     let (mut paren, mut brack, mut angle) = (0i32, 0i32, 0i32);
     while j < toks.len() {
+        if paren == 0
+            && brack == 0
+            && angle == 0
+            && is_ident(&toks[j], "where")
+            && ret_end == ret_start
+        {
+            ret_end = j;
+        }
         if let TokKind::Punct(c) = toks[j].kind {
             match c {
                 '(' => paren += 1,
@@ -364,7 +666,10 @@ fn parse_fn(toks: &[Token], i: usize) -> Option<(FnDef, usize)> {
                 '>' if !punct_at(toks, j - 1, '-') && angle > 0 => angle -= 1,
                 '{' if paren == 0 && brack == 0 && angle == 0 => break,
                 ';' if paren == 0 && brack == 0 && angle == 0 => {
-                    return Some((FnDef { name, line, body: None }, j + 1));
+                    let end = if ret_end == ret_start { j } else { ret_end };
+                    let ret = simple_ret(toks, ret_start, end);
+                    let f = FnDef { name, line, tok, is_pub, params, has_self, ret, body: None };
+                    return Some((f, j + 1));
                 }
                 _ => {}
             }
@@ -374,8 +679,20 @@ fn parse_fn(toks: &[Token], i: usize) -> Option<(FnDef, usize)> {
     if j >= toks.len() {
         return None;
     }
+    let end = if ret_end == ret_start { j } else { ret_end };
+    let ret = simple_ret(toks, ret_start, end);
     let after = skip_balanced(toks, j, '{', '}');
-    Some((FnDef { name, line, body: Some((j + 1, after.saturating_sub(1))) }, after))
+    let body = Some((j + 1, after.saturating_sub(1)));
+    Some((FnDef { name, line, tok, is_pub, params, has_self, ret, body }, after))
+}
+
+/// `Some(T)` when the tokens in `start..end` are exactly `-> T` with `T` a
+/// bare identifier — the only return form the `packed-layout` pass trusts.
+fn simple_ret(toks: &[Token], start: usize, end: usize) -> Option<String> {
+    if end != start + 3 || !punct_at(toks, start, '-') || !punct_at(toks, start + 1, '>') {
+        return None;
+    }
+    ident_at(toks, start + 2).map(str::to_string)
 }
 
 /// Parses `impl [<..>] [Trait for] Type [where ..] { fns }` starting at

@@ -1,11 +1,13 @@
 //! Self-application: the shipped workspace lints clean, and deliberate
 //! mutations of real invariant-bearing code are caught. The mutations are
-//! the in-tree version of the CI demo that deletes a `fingerprint()` field
-//! reference and requires the lint gate to fail.
+//! the in-tree version of the CI demos: deleting a `fingerprint()` field
+//! reference, sliding a packed-word shift constant into overlap, and
+//! stripping an exclusion proof — each must fail the gate at the exact
+//! expected `file:line`.
 
 use std::path::Path;
 
-use rsep_lint::{lint_sources, lint_workspace, SourceFile};
+use rsep_lint::{lint_sources_with_root, lint_workspace, SourceFile, Tree};
 
 fn workspace_root() -> &'static Path {
     Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."))
@@ -23,16 +25,27 @@ fn shipped_workspace_is_clean() {
     );
 }
 
-/// Lints one real workspace file (optionally mutated) as its own crate.
+/// Lints real workspace files (optionally mutated) as one in-memory set,
+/// resolving `proven-by` citations against the real workspace root.
+fn lint_set(files: Vec<(&str, &str, String)>) -> Vec<String> {
+    let files = files
+        .into_iter()
+        .map(|(rel, crate_name, text)| SourceFile {
+            path: rel.to_string(),
+            crate_name: crate_name.to_string(),
+            tree: Tree::Src,
+            text,
+        })
+        .collect();
+    lint_sources_with_root(files, Some(workspace_root()))
+        .iter()
+        .filter(|f| !f.exempted)
+        .map(|f| f.diag.to_string())
+        .collect()
+}
+
 fn lint_one(rel: &str, crate_name: &str, text: String) -> Vec<String> {
-    lint_sources(vec![SourceFile {
-        path: rel.to_string(),
-        crate_name: crate_name.to_string(),
-        text,
-    }])
-    .iter()
-    .map(ToString::to_string)
-    .collect()
+    lint_set(vec![(rel, crate_name, text)])
 }
 
 fn read_workspace_file(rel: &str) -> String {
@@ -96,11 +109,53 @@ fn deleting_a_merge_statement_is_caught() {
 }
 
 #[test]
+fn sliding_a_shift_constant_into_overlap_is_caught() {
+    let rel = "crates/rsep-predictors/src/tage.rs";
+    let original = read_workspace_file(rel);
+    assert_eq!(lint_one(rel, "rsep-predictors", original.clone()), [] as [&str; 0]);
+
+    // USEFUL_SHIFT 19 → 17 slides the 2-bit useful field into the 3-bit
+    // counter at bits 16..19. Pack side and unpack side both detect it and
+    // anchor at the mutated constant, so exactly one diagnostic survives
+    // dedup.
+    let needle = "const USEFUL_SHIFT: u32 = 19;";
+    assert!(original.contains(needle), "expected {needle} in {rel}");
+    let mutated = original.replace(needle, "const USEFUL_SHIFT: u32 = 17;");
+    let const_line = line_of(&mutated, "const USEFUL_SHIFT: u32 = 17;");
+    assert_eq!(
+        lint_one(rel, "rsep-predictors", mutated),
+        [format!(
+            "{rel}:{const_line}: packed-layout: `CTR_SHIFT` (bits 16..19) and `USEFUL_SHIFT` \
+             (bits 17..19) of the u32 packed word overlap"
+        )]
+    );
+}
+
+#[test]
+fn unmasking_a_packed_field_is_caught() {
+    let rel = "crates/rsep-predictors/src/dvtage.rs";
+    let original = read_workspace_file(rel);
+
+    // Dropping the confidence mask lets an 8-bit value smear over the
+    // VALID and USEFUL flag bits — the exact latent bug this lint found in
+    // the shipped pack functions.
+    let needle = "((u64::from(conf) & 0x3f) << T_CONF_SHIFT)";
+    assert!(original.contains(needle), "expected {needle} in {rel}");
+    let mutated = original.replace(needle, "(u64::from(conf) << T_CONF_SHIFT)");
+    let diags = lint_one(rel, "rsep-predictors", mutated);
+    assert!(
+        diags.iter().any(|d| d.contains("packed-layout") && d.contains("`T_VALID`")),
+        "expected a packed-layout overlap with T_VALID, got:\n{}",
+        diags.join("\n")
+    );
+}
+
+#[test]
 fn blanking_an_exemption_reason_is_caught() {
     let rel = "crates/rsep-core/src/config.rs";
     let original = read_workspace_file(rel);
     let needle = "// lint: exempt(fingerprint-coverage, presentation-only; cached cells must \
-                  be label-invariant)";
+                  be label-invariant; proven-by crates/rsep-campaign/tests/store.rs)";
     assert!(original.contains(needle), "expected the label exemption in {rel}");
     let mutated = original.replace(needle, "// lint: exempt(fingerprint-coverage, )");
     let diags = lint_one(rel, "rsep-core", mutated);
@@ -109,6 +164,43 @@ fn blanking_an_exemption_reason_is_caught() {
     assert_eq!(diags.len(), 2, "expected two findings, got:\n{}", diags.join("\n"));
     assert!(diags.iter().any(|d| d.contains("must carry a non-empty reason")), "{diags:?}");
     assert!(diags.iter().any(|d| d.contains("field `label` of `MechanismConfig`")), "{diags:?}");
+}
+
+#[test]
+fn stripping_an_exclusion_proof_is_caught() {
+    let rel = "crates/rsep-core/src/config.rs";
+    let original = read_workspace_file(rel);
+    let needle = "; proven-by crates/rsep-campaign/tests/store.rs)";
+    assert!(original.contains(needle), "expected a proven-by clause in {rel}");
+    let mutated = original.replace(needle, ")");
+    let directive_line = line_of(&mutated, "// lint: exempt(fingerprint-coverage,");
+    assert_eq!(
+        lint_one(rel, "rsep-core", mutated),
+        [format!(
+            "{rel}:{directive_line}: fingerprint-exclusion-audit: fingerprint-coverage \
+             exemption must cite the equivalence test proving the exclusion safe: append \
+             `; proven-by <file>` to the reason"
+        )]
+    );
+}
+
+#[test]
+fn citing_a_nonexistent_proof_is_caught() {
+    let rel = "crates/rsep-core/src/config.rs";
+    let original = read_workspace_file(rel);
+    let mutated = original.replace(
+        "proven-by crates/rsep-campaign/tests/store.rs",
+        "proven-by crates/rsep-campaign/tests/gone.rs",
+    );
+    assert_ne!(mutated, original);
+    let diags = lint_one(rel, "rsep-core", mutated);
+    assert!(
+        diags.iter().any(|d| d.contains(
+            "`crates/rsep-campaign/tests/gone.rs` cited by \
+                                         proven-by does not exist"
+        )),
+        "{diags:?}"
+    );
 }
 
 #[test]
@@ -126,4 +218,36 @@ fn dropping_a_from_json_reader_is_caught() {
         "expected a json-roundtrip finding, got:\n{}",
         diags.join("\n")
     );
+}
+
+#[test]
+fn renaming_a_bench_gate_key_is_caught() {
+    // The bench gate reads BenchRecord JSON from another crate; the
+    // `json-reader(BenchRecord)` declaration pairs them. Renaming a key the
+    // writer never emits must fail.
+    let gate_rel = "crates/rsep-bench/src/bin/bench_gate.rs";
+    let record_rel = "crates/rsep-bench/src/record.rs";
+    let gate = read_workspace_file(gate_rel);
+    let record = read_workspace_file(record_rel);
+    let clean = lint_set(vec![
+        (gate_rel, "rsep-bench", gate.clone()),
+        (record_rel, "rsep-bench", record.clone()),
+    ]);
+    assert!(
+        !clean.iter().any(|d| d.contains("json-roundtrip")),
+        "unexpected json findings on the shipped pair:\n{}",
+        clean.join("\n")
+    );
+
+    let needle = "get(\"results\")";
+    assert!(gate.contains(needle), "expected {needle} in {gate_rel}");
+    let mutated = gate.replace(needle, "get(\"result_rows\")");
+    let key_line = line_of(&mutated, "get(\"result_rows\")");
+    let diags =
+        lint_set(vec![(gate_rel, "rsep-bench", mutated), (record_rel, "rsep-bench", record)]);
+    let expected = format!(
+        "{gate_rel}:{key_line}: json-roundtrip: key \"result_rows\" is read by `compare` \
+         (json-reader of `BenchRecord`) but never emitted by `BenchRecord`'s to_json"
+    );
+    assert!(diags.contains(&expected), "expected:\n{expected}\ngot:\n{}", diags.join("\n"));
 }

@@ -171,7 +171,7 @@ fn t_conf(entry: u64) -> u8 {
 fn t_pack(tag: u32, dist: u16, conf: u8, useful: bool) -> u64 {
     u64::from(tag)
         | (u64::from(dist) << T_DIST_SHIFT)
-        | (u64::from(conf) << T_CONF_SHIFT)
+        | ((u64::from(conf) & 0x7f) << T_CONF_SHIFT)
         | if useful { T_USEFUL } else { 0 }
 }
 

@@ -137,7 +137,7 @@ fn t_conf(entry: u64) -> u8 {
 #[inline]
 fn t_pack(tag: u32, conf: u8, valid: bool, useful: bool) -> u64 {
     u64::from(tag)
-        | (u64::from(conf) << T_CONF_SHIFT)
+        | ((u64::from(conf) & 0x3f) << T_CONF_SHIFT)
         | if valid { T_VALID } else { 0 }
         | if useful { T_USEFUL } else { 0 }
 }

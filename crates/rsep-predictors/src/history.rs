@@ -9,6 +9,7 @@
 //! original TAGE implementation.
 
 /// Maximum supported history length in bits.
+// lint: exempt(dead-pub-api, documented sizing bound callers may validate configs against)
 pub const MAX_HISTORY_BITS: usize = 1024;
 
 /// Global branch outcome history and path history.

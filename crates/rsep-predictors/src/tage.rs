@@ -114,7 +114,7 @@ fn entry_useful(entry: u32) -> u8 {
 fn pack_entry(tag: u16, ctr: i8, useful: u8) -> u32 {
     u32::from(tag)
         | ((((ctr + CTR_BIAS) as u32) & 0b111) << CTR_SHIFT)
-        | (u32::from(useful) << USEFUL_SHIFT)
+        | ((u32::from(useful) & 0b11) << USEFUL_SHIFT)
 }
 
 /// Where a TAGE prediction came from (used for the update policy).

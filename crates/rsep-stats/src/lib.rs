@@ -33,6 +33,7 @@ pub fn harmonic_mean(values: &[f64]) -> f64 {
 }
 
 /// Geometric mean of a slice (0.0 for an empty slice).
+// lint: exempt(dead-pub-api, companion of harmonic_mean for downstream report aggregation)
 pub fn geometric_mean(values: &[f64]) -> f64 {
     let positive: Vec<f64> = values.iter().copied().filter(|v| *v > 0.0).collect();
     if positive.is_empty() {
@@ -62,6 +63,7 @@ pub fn speedup_percent(value: f64, baseline: f64) -> f64 {
 
 /// One data point of an experiment: a benchmark × series value.
 #[derive(Debug, Clone, PartialEq)]
+// lint: exempt(dead-pub-api, element type of Experiment's pub data vector; reached through it)
 pub struct DataPoint {
     /// Benchmark name.
     pub benchmark: String,

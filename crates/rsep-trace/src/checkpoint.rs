@@ -71,6 +71,7 @@ impl rsep_isa::Fingerprint for CheckpointSpec {
 
 /// One measured checkpoint: the warm-up stream and the measured stream.
 #[derive(Debug)]
+// lint: exempt(dead-pub-api, element type of CheckpointedTrace's pub checkpoints; reached through it)
 pub struct Checkpoint {
     /// Checkpoint index (0-based).
     pub index: usize,

@@ -134,11 +134,11 @@ pub struct CoreConfig {
     // ------------------------------------------------------- simulator
     /// Wakeup/select implementation (identical simulated behaviour; see
     /// [`SchedulerKind`]).
-    // lint: exempt(fingerprint-coverage, proven bit-identical variants must share cached cells)
+    // lint: exempt(fingerprint-coverage, proven bit-identical variants must share cached cells; proven-by crates/rsep-campaign/tests/golden_stats.rs)
     pub scheduler: SchedulerKind,
     /// Fetch-stage prediction protocol (identical simulated behaviour; see
     /// [`FrontendKind`]).
-    // lint: exempt(fingerprint-coverage, proven bit-identical variants must share cached cells)
+    // lint: exempt(fingerprint-coverage, proven bit-identical variants must share cached cells; proven-by crates/rsep-campaign/tests/golden_stats.rs)
     pub frontend: FrontendKind,
 }
 

@@ -34,6 +34,7 @@ use std::hash::{BuildHasherDefault, Hasher};
 /// nothing against simulator-internal keys. Fibonacci multiply + rotate
 /// mixes the low-entropy dword/sequence keys well enough for a `HashMap`.
 #[derive(Debug, Default, Clone, Copy)]
+// lint: exempt(dead-pub-api, hasher type named in pub BuildHasherDefault signatures; reached through them)
 pub struct SeqHasher(u64);
 
 impl Hasher for SeqHasher {
@@ -142,6 +143,7 @@ impl WakeupQueue {
 
 /// One in-flight store, tracked for disambiguation and forwarding.
 #[derive(Debug, Clone, Copy)]
+// lint: exempt(dead-pub-api, element type of StoreQueue's pub entries; reached through it)
 pub struct StoreRecord {
     /// Sequence number of the store.
     pub seq: u64,
