@@ -13,6 +13,15 @@
 //! result present in the baseline but missing from the current record.
 //! Schema-v1 records (no `schema_version`) are accepted as baselines so
 //! the gate works across the v1→v2 transition.
+//!
+//! One cross-path rule rides on top of the per-label comparisons: in the
+//! `predictor_stack` record, the current `batched` path must not trail
+//! the *baseline* `per_branch` path (the committed sequential-probe
+//! reference) by more than the threshold — the batched front end exists
+//! to beat the per-branch walk, so falling behind the figure it replaced
+//! is a regression even if the batched path's own baseline was slower.
+//! The rule applies whenever both labels are present and disappears with
+//! the per-branch path once it is deleted.
 
 #![forbid(unsafe_code)]
 
@@ -146,7 +155,46 @@ fn compare(baseline: &Json, current: &Json, threshold_pct: f64) -> Report {
             }
         }
     }
+    cross_path_rule(baseline_results, current_results, threshold_pct, &mut report);
     report
+}
+
+/// The `mbranches_per_sec` figure of the result labelled `path: <label>`.
+fn path_throughput(results: &[Json], label: &str) -> Option<f64> {
+    results
+        .iter()
+        .find(|entry| entry.get("path").and_then(Json::as_str) == Some(label))
+        .and_then(|entry| entry.get("mbranches_per_sec"))
+        .and_then(Json::as_f64)
+}
+
+/// Cross-path rule (see the module docs): the current `batched` path must
+/// not trail the committed `per_branch` reference beyond the threshold.
+fn cross_path_rule(
+    baseline_results: &[Json],
+    current_results: &[Json],
+    threshold_pct: f64,
+    report: &mut Report,
+) {
+    let (Some(reference), Some(batched)) = (
+        path_throughput(baseline_results, "per_branch"),
+        path_throughput(current_results, "batched"),
+    ) else {
+        return;
+    };
+    report.compared += 1;
+    let trail_pct = if reference > 0.0 { (reference - batched) / reference * 100.0 } else { 0.0 };
+    let verdict = if trail_pct > threshold_pct { "REGRESSED" } else { "ok" };
+    report.lines.push(format!(
+        "  batched vs per_branch    mbranches_per_sec    {reference:>10.2} -> {batched:>10.2}  \
+         ({trail_pct:+6.1}% drop) {verdict}"
+    ));
+    if trail_pct > threshold_pct {
+        report.failures.push(format!(
+            "batched path trails the committed per-branch reference by {trail_pct:.1}% \
+             ({batched:.2} vs {reference:.2} Mbranches/s)"
+        ));
+    }
 }
 
 #[cfg(test)]
@@ -213,6 +261,61 @@ mod tests {
         let baseline = record(&[("event_driven", 15.0)]);
         let current = record(&[("event_driven", 30.0), ("polling", 1.0)]);
         assert!(compare(&baseline, &current, 10.0).failures.is_empty());
+    }
+
+    fn stack_record(entries: &[(&str, f64)]) -> Json {
+        Json::Object(vec![(
+            "results".to_string(),
+            Json::Array(
+                entries
+                    .iter()
+                    .map(|(label, value)| {
+                        Json::Object(vec![
+                            ("path".to_string(), Json::Str(label.to_string())),
+                            ("mbranches_per_sec".to_string(), Json::Num(*value)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        )])
+    }
+
+    #[test]
+    fn batched_path_trailing_the_committed_per_branch_reference_fails() {
+        // The batched path improved over its own baseline yet still trails
+        // the committed per-branch figure — exactly the regression the
+        // per-label comparisons cannot see.
+        let baseline = stack_record(&[("batched", 4.0), ("per_branch", 9.16)]);
+        let current = stack_record(&[("batched", 6.0), ("per_branch", 9.2)]);
+        let report = compare(&baseline, &current, 10.0);
+        assert_eq!(report.failures.len(), 1, "{:?}", report.failures);
+        assert!(
+            report.failures[0].contains("trails the committed per-branch reference"),
+            "{}",
+            report.failures[0]
+        );
+    }
+
+    #[test]
+    fn batched_path_matching_the_per_branch_reference_passes() {
+        let baseline = stack_record(&[("batched", 9.0), ("per_branch", 9.16)]);
+        let current = stack_record(&[("batched", 9.5), ("per_branch", 9.2)]);
+        let report = compare(&baseline, &current, 10.0);
+        assert!(report.failures.is_empty(), "{:?}", report.failures);
+        // Two per-label comparisons plus the cross-path rule.
+        assert_eq!(report.compared, 3);
+    }
+
+    #[test]
+    fn cross_path_rule_disappears_with_the_per_branch_path() {
+        // Once the sequential-probe path is deleted the rule must not
+        // fire (and must not fail on the missing label either — the
+        // per-label MISSING check still covers baseline-only labels).
+        let baseline = stack_record(&[("batched", 9.0)]);
+        let current = stack_record(&[("batched", 9.5)]);
+        let report = compare(&baseline, &current, 10.0);
+        assert!(report.failures.is_empty(), "{:?}", report.failures);
+        assert_eq!(report.compared, 1);
     }
 
     #[test]

@@ -78,15 +78,22 @@ impl BenchRecord {
 pub fn host_metadata() -> Json {
     Json::Object(vec![
         ("cpu_model".to_string(), cpu_model().map(Json::Str).unwrap_or(Json::Null)),
-        (
-            "cores".to_string(),
-            std::thread::available_parallelism()
-                .map(|n| Json::Num(n.get() as f64))
-                .unwrap_or(Json::Null),
-        ),
+        ("cores".to_string(), online_cpus().map(Json::Int).unwrap_or(Json::Null)),
         ("rustc".to_string(), Json::Str(env!("RSEP_RUSTC_VERSION").to_string())),
         ("timestamp_utc".to_string(), Json::Str(utc_now())),
     ])
+}
+
+/// Number of online CPUs: `processor` entries in `/proc/cpuinfo` (the
+/// host's real online count), falling back to `available_parallelism`
+/// (which cgroup limits and affinity masks can clamp) where procfs is
+/// unavailable. `None` when neither source answers.
+fn online_cpus() -> Option<i64> {
+    let procfs = std::fs::read_to_string("/proc/cpuinfo")
+        .ok()
+        .map(|cpuinfo| cpuinfo.lines().filter(|line| line.starts_with("processor")).count() as i64)
+        .filter(|&n| n > 0);
+    procfs.or_else(|| std::thread::available_parallelism().ok().map(|n| n.get() as i64))
 }
 
 /// The CPU model name from `/proc/cpuinfo`, `None` where unavailable.
@@ -210,6 +217,13 @@ mod tests {
         assert_eq!(json.get("bench").and_then(Json::as_str), Some("cycle_loop"));
         let host = json.get("host").expect("host metadata");
         assert!(host.get("rustc").and_then(Json::as_str).is_some());
+        // The core count is the real online-CPU count, as an integer — the
+        // record must say `"cores": 8`, never `8.0`.
+        #[cfg(target_os = "linux")]
+        assert!(
+            host.get("cores").and_then(Json::as_i64).is_some_and(|n| n > 0),
+            "cores must be a positive integer"
+        );
         let stamp = host.get("timestamp_utc").and_then(Json::as_str).expect("timestamp");
         assert_eq!(stamp.len(), 20, "ISO-8601 Zulu: {stamp}");
         assert_eq!(json.get("commits").and_then(Json::as_f64), Some(5.0));

@@ -4,9 +4,10 @@
 //!
 //! * the event-driven scheduler and the retained polling oracle
 //!   ([`SchedulerKind`], PR 3), and
-//! * the batched fetch-block front end (SoA predictor tables resolved
-//!   through `PredictorStack::predict_block`) and the retained per-branch
-//!   reference protocol ([`FrontendKind`], this PR).
+//! * the batched gather/probe/resolve front end (SoA fold state plus
+//!   per-block TAGE bank probes behind `PredictorStack::predict_block`)
+//!   and the retained sequential-probe reference protocol
+//!   ([`FrontendKind`], PRs 5 and 9).
 //!
 //! This is the end-to-end complement to the unit- and property-level
 //! equivalence tests: it drives the real campaign engine over the real
@@ -68,14 +69,14 @@ fn assert_campaign_identical(name: &str, spec: CampaignSpec) {
     );
 }
 
-/// The batched fetch-block front end (the default) against the retained
-/// per-branch reference protocol.
-fn assert_batched_matches_per_branch(name: &str, spec: CampaignSpec) {
+/// The batched gather/probe/resolve front end (the default) against the
+/// retained sequential probe reference protocol.
+fn assert_batched_matches_sequential_probe(name: &str, spec: CampaignSpec) {
     assert_campaigns_identical(
         name,
-        "batched and per-branch front ends",
+        "batched and sequential-probe front ends",
         with_frontend(spec.clone(), FrontendKind::BatchedBlock),
-        with_frontend(spec, FrontendKind::PerBranch),
+        with_frontend(spec, FrontendKind::SequentialProbe),
     );
 }
 
@@ -101,22 +102,22 @@ fn figure7_smoke_is_bit_identical_across_schedulers() {
 
 #[test]
 fn figure4_smoke_is_bit_identical_across_frontends() {
-    assert_batched_matches_per_branch("fig4", presets::fig4().smoke());
+    assert_batched_matches_sequential_probe("fig4", presets::fig4().smoke());
 }
 
 #[test]
 fn figure5_smoke_is_bit_identical_across_frontends() {
-    assert_batched_matches_per_branch("fig5", presets::fig5().smoke());
+    assert_batched_matches_sequential_probe("fig5", presets::fig5().smoke());
 }
 
 #[test]
 fn figure6_smoke_is_bit_identical_across_frontends() {
-    assert_batched_matches_per_branch("fig6", presets::fig6().smoke());
+    assert_batched_matches_sequential_probe("fig6", presets::fig6().smoke());
 }
 
 #[test]
 fn figure7_smoke_is_bit_identical_across_frontends() {
-    assert_batched_matches_per_branch("fig7", presets::fig7().smoke());
+    assert_batched_matches_sequential_probe("fig7", presets::fig7().smoke());
 }
 
 #[test]

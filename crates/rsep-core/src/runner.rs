@@ -151,8 +151,11 @@ pub fn run_checkpoint(
     index: usize,
 ) -> CheckpointResult {
     let mut trace = TraceGenerator::new(profile, checkpoint_seed(seed, index));
+    // By-value engine: the cell runs on `Core<RsepEngine>`, so every
+    // per-branch / per-instruction engine hook is statically dispatched
+    // and inlined into the pipeline loop.
     let engine = RsepEngine::new(mechanism.clone());
-    let mut core = Core::new(core_config.clone(), Box::new(engine));
+    let mut core = Core::new(core_config.clone(), engine);
     if let Err(e) = core.run(&mut trace, spec.warmup) {
         return CheckpointResult::failed(index, &e);
     }

@@ -22,12 +22,13 @@ fn config_with(scheduler: SchedulerKind) -> CoreConfig {
     config
 }
 
-/// The event-driven scheduler with the retained per-branch fetch protocol
-/// — compared against the default batched fetch-block front end to prove
-/// the predictor-stack refactor bit-identical under full speculation.
-fn per_branch_frontend_config() -> CoreConfig {
+/// The event-driven scheduler with the retained sequential probe fetch
+/// protocol — compared against the default batched gather/probe/resolve
+/// front end to prove the block-probe refactor bit-identical under full
+/// speculation.
+fn sequential_probe_frontend_config() -> CoreConfig {
     let mut config = CoreConfig::small_test();
-    config.frontend = FrontendKind::PerBranch;
+    config.frontend = FrontendKind::SequentialProbe;
     config
 }
 
@@ -112,7 +113,7 @@ fn decode(seq: u64, raw: RawInst) -> DynInst {
 
 fn simulate_with_config(insts: &[DynInst], config: CoreConfig) -> SimStats {
     let engine = RsepEngine::new(MechanismConfig::rsep_plus_vp());
-    let mut core = Core::new(config, Box::new(engine));
+    let mut core = Core::new(config, engine);
     let mut trace = insts.iter().cloned();
     core.run(&mut trace, insts.len() as u64).expect("random traces must not wedge");
     core.take_stats()
@@ -125,8 +126,8 @@ fn simulate_with_engine(insts: &[DynInst], scheduler: SchedulerKind) -> SimStats
 proptest! {
     /// Random redundant DAGs under RSEP + VP: identical retirement (full
     /// commit) and bit-identical statistics in both scheduler modes and
-    /// under both fetch protocols (batched fetch blocks vs. the per-branch
-    /// reference).
+    /// under both fetch protocols (batched block probes vs. the
+    /// sequential probe reference).
     #[test]
     fn schedulers_agree_under_speculative_squashes(
         raws in collection::vec(
@@ -140,8 +141,8 @@ proptest! {
         let polling = simulate_with_engine(&insts, SchedulerKind::Polling);
         prop_assert_eq!(event.committed, insts.len() as u64);
         prop_assert_eq!(&event, &polling);
-        let per_branch = simulate_with_config(&insts, per_branch_frontend_config());
-        prop_assert_eq!(&event, &per_branch);
+        let sequential = simulate_with_config(&insts, sequential_probe_frontend_config());
+        prop_assert_eq!(&event, &sequential);
     }
 }
 
@@ -154,7 +155,7 @@ proptest! {
 #[test]
 fn squash_mid_replay_never_double_frees_registers() {
     let engine = RsepEngine::new(MechanismConfig::rsep_plus_vp());
-    let mut core = Core::new(config_with(SchedulerKind::EventDriven), Box::new(engine));
+    let mut core = Core::new(config_with(SchedulerKind::EventDriven), engine);
     // Alternate long trained runs with value flips: predictors gain
     // confidence, then mispredict, squashing mid-stream. Branches keep the
     // fetch queue and replay buffer populated when the squash hits.

@@ -91,11 +91,13 @@ impl Btb {
         Btb::new(4096)
     }
 
+    #[inline]
     fn set_index(&self, pc: u64) -> usize {
         ((pc >> 2) & self.set_mask) as usize
     }
 
     /// Index of the way holding `pc` in set `set`, if present.
+    #[inline]
     fn find_way(&self, set: usize, pc: u64) -> Option<usize> {
         let meta = self.meta[set];
         (0..2).find(|&way| {
@@ -119,6 +121,7 @@ impl Predictor for Btb {
 
     /// Looks up the predicted target of the branch at `pc`. The global
     /// history is unused: the BTB is PC-indexed.
+    #[inline]
     fn predict(&mut self, pc: u64, _history: &GlobalHistory) -> Option<u64> {
         self.stats.lookups += 1;
         let set = self.set_index(pc);
@@ -128,6 +131,7 @@ impl Predictor for Btb {
     }
 
     /// Installs or updates the target of the taken branch at `pc`.
+    #[inline]
     fn train(&mut self, pc: u64, target: u64, _history: &GlobalHistory) {
         let set = self.set_index(pc);
         if let Some(way) = self.find_way(set, pc) {
@@ -195,6 +199,7 @@ impl ReturnAddressStack {
     }
 
     /// Pushes a return address (on a call).
+    #[inline]
     pub fn push(&mut self, return_addr: u64) {
         self.top = (self.top + 1) % self.entries.len();
         self.entries[self.top] = return_addr;
@@ -203,6 +208,7 @@ impl ReturnAddressStack {
 
     /// Pops the predicted return address (on a return). Returns `None` when
     /// the stack is empty.
+    #[inline]
     pub fn pop(&mut self) -> Option<u64> {
         if self.depth == 0 {
             return None;

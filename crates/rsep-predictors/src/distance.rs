@@ -27,7 +27,7 @@
 //!   tagged components with 5..10-bit tags, ≈ 10.1 KB (Section VI-B).
 
 use crate::counters::{ConfidenceParams, Lfsr};
-use crate::history::{FoldedHistory, GlobalHistory};
+use crate::history::{FoldStateSoa, GlobalHistory};
 use crate::predictor::{IDistPredictor, Predictor, PredictorStats};
 
 /// Configuration of the distance predictor.
@@ -240,8 +240,9 @@ pub struct DistancePredictor {
     /// Packed tagged entries (tag | distance | confidence | useful), one
     /// word per entry, `comp << tagged_log2 | idx`.
     tagged: Box<[u64]>,
-    index_fold: Vec<FoldedHistory>,
-    tag_fold: Vec<FoldedHistory>,
+    /// Folded histories as one SoA family, role-major: lanes
+    /// `0..num_tagged` index folds, `num_tagged..2*num_tagged` tag folds.
+    folds: FoldStateSoa,
     lfsr: Lfsr,
     stats: PredictorStats,
 }
@@ -253,19 +254,19 @@ impl DistancePredictor {
         let conf = ConfidenceParams::new(config.confidence_bits, config.confidence_denominator);
         let base_entries = 1usize << config.base_log2;
         let tagged_entries = config.num_tagged << config.tagged_log2;
-        let index_fold = (0..config.num_tagged)
-            .map(|i| FoldedHistory::new(config.history_length(i), config.tagged_log2 as usize))
-            .collect();
-        let tag_fold = (0..config.num_tagged)
-            .map(|i| FoldedHistory::new(config.history_length(i), config.tag_bits[i] as usize))
-            .collect();
+        let mut geometry = Vec::with_capacity(2 * config.num_tagged);
+        geometry.extend(
+            (0..config.num_tagged).map(|i| (config.history_length(i), config.tagged_log2 as usize)),
+        );
+        geometry.extend(
+            (0..config.num_tagged).map(|i| (config.history_length(i), config.tag_bits[i] as usize)),
+        );
         DistancePredictor {
+            folds: FoldStateSoa::new(&geometry),
             config,
             conf,
             base: vec![FRESH_BASE; base_entries].into_boxed_slice(),
             tagged: vec![FRESH_TAGGED; tagged_entries].into_boxed_slice(),
-            index_fold,
-            tag_fold,
             lfsr: Lfsr::new(0xdeed_beef_1234_5678),
             stats: PredictorStats::default(),
         }
@@ -294,7 +295,7 @@ impl DistancePredictor {
     fn tagged_index(&self, pc: u64, comp: usize, history: &GlobalHistory) -> usize {
         let mask = (1usize << self.config.tagged_log2) - 1;
         let pc = pc >> 2;
-        let h = self.index_fold[comp].value();
+        let h = self.folds.value(comp);
         let path = history.path(6);
         ((pc ^ (pc >> self.config.tagged_log2 as u64) ^ h ^ (path << 2) ^ (comp as u64) << 1)
             as usize)
@@ -304,7 +305,7 @@ impl DistancePredictor {
     fn tag(&self, pc: u64, comp: usize) -> u32 {
         let mask = (1u64 << self.config.tag_bits[comp]) - 1;
         let pc = pc >> 2;
-        ((pc ^ (pc >> 7) ^ self.tag_fold[comp].value()) & mask) as u32
+        ((pc ^ (pc >> 7) ^ self.folds.value(self.config.num_tagged + comp)) & mask) as u32
     }
 
     fn lookup_provider(&self, pc: u64, history: &GlobalHistory) -> Option<(Provider, usize)> {
@@ -465,12 +466,7 @@ impl Predictor for DistancePredictor {
     /// Advances the folded histories after a branch outcome has been pushed
     /// into the global history.
     fn on_history_update(&mut self, history: &GlobalHistory) {
-        for f in self.index_fold.iter_mut() {
-            f.update(history);
-        }
-        for f in self.tag_fold.iter_mut() {
-            f.update(history);
-        }
+        self.folds.advance(history);
     }
 
     fn config(&self) -> &DistancePredictorConfig {

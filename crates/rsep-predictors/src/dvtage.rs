@@ -19,7 +19,7 @@
 //! [`ConfidenceParams`] — bit-for-bit the former per-entry counters.
 
 use crate::counters::{ConfidenceParams, Lfsr};
-use crate::history::{FoldedHistory, GlobalHistory};
+use crate::history::{FoldStateSoa, GlobalHistory};
 use crate::predictor::{Predictor, PredictorStats, ValuePredictor};
 
 /// Configuration of a D-VTAGE value predictor.
@@ -176,8 +176,9 @@ pub struct Dvtage {
     tagged: Box<[u64]>,
     /// Tagged-component strides, same indexing (read only on a tag match).
     strides: Box<[i64]>,
-    index_fold: Vec<FoldedHistory>,
-    tag_fold: Vec<FoldedHistory>,
+    /// Folded histories as one SoA family, role-major: lanes
+    /// `0..num_tagged` index folds, `num_tagged..2*num_tagged` tag folds.
+    folds: FoldStateSoa,
     lfsr: Lfsr,
     stats: PredictorStats,
 }
@@ -193,13 +194,15 @@ impl Dvtage {
         let conf = ConfidenceParams::new(config.confidence_bits, config.confidence_denominator);
         let base_entries = 1usize << config.base_log2;
         let tagged_entries = config.num_tagged << config.tagged_log2;
-        let index_fold = (0..config.num_tagged)
-            .map(|i| FoldedHistory::new(config.history_length(i), config.tagged_log2 as usize))
-            .collect();
-        let tag_fold = (0..config.num_tagged)
-            .map(|i| FoldedHistory::new(config.history_length(i), config.tag_bits[i] as usize))
-            .collect();
+        let mut geometry = Vec::with_capacity(2 * config.num_tagged);
+        geometry.extend(
+            (0..config.num_tagged).map(|i| (config.history_length(i), config.tagged_log2 as usize)),
+        );
+        geometry.extend(
+            (0..config.num_tagged).map(|i| (config.history_length(i), config.tag_bits[i] as usize)),
+        );
         Dvtage {
+            folds: FoldStateSoa::new(&geometry),
             config,
             conf,
             base_value: vec![0u64; base_entries].into_boxed_slice(),
@@ -207,8 +210,6 @@ impl Dvtage {
             base_meta: vec![0u8; base_entries].into_boxed_slice(),
             tagged: vec![0u64; tagged_entries].into_boxed_slice(),
             strides: vec![0i64; tagged_entries].into_boxed_slice(),
-            index_fold,
-            tag_fold,
             lfsr: Lfsr::new(0xc0ff_ee15_600d),
             stats: PredictorStats::default(),
         }
@@ -232,7 +233,7 @@ impl Dvtage {
     fn tagged_index(&self, pc: u64, comp: usize, history: &GlobalHistory) -> usize {
         let mask = (1usize << self.config.tagged_log2) - 1;
         let pc = pc >> 2;
-        let h = self.index_fold[comp].value();
+        let h = self.folds.value(comp);
         ((pc ^ (pc >> self.config.tagged_log2 as u64) ^ h ^ history.path(4) ^ (comp as u64) << 3)
             as usize)
             & mask
@@ -240,7 +241,8 @@ impl Dvtage {
 
     fn tag(&self, pc: u64, comp: usize) -> u32 {
         let mask = (1u64 << self.config.tag_bits[comp]) - 1;
-        ((pc >> 2) ^ ((pc >> 2) >> 9) ^ self.tag_fold[comp].value()) as u32 & mask as u32
+        ((pc >> 2) ^ ((pc >> 2) >> 9) ^ self.folds.value(self.config.num_tagged + comp)) as u32
+            & mask as u32
     }
 
     fn clamp_stride(stride: i64, bits: u8) -> i64 {
@@ -396,12 +398,7 @@ impl Predictor for Dvtage {
 
     /// Advances the folded histories after a branch outcome was pushed.
     fn on_history_update(&mut self, history: &GlobalHistory) {
-        for f in self.index_fold.iter_mut() {
-            f.update(history);
-        }
-        for f in self.tag_fold.iter_mut() {
-            f.update(history);
-        }
+        self.folds.advance(history);
     }
 
     fn config(&self) -> &DvtageConfig {

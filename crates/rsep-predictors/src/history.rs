@@ -7,18 +7,65 @@
 //! [`FoldedHistory`] maintains an incrementally-updated folded (compressed)
 //! image of the most recent `length` history bits, as in Seznec & Michaud's
 //! original TAGE implementation.
+//!
+//! Predictors maintain *many* folded images (Table I TAGE: 12 components ×
+//! 3 folds = 36). [`FoldStateSoa`] holds such a family as flat parallel
+//! arrays — `folded` values plus immutable per-fold geometry — advanced in
+//! **one pass** per pushed outcome ([`FoldStateSoa::advance`], the shared
+//! inserted bit hoisted out of the loop) instead of 36 per-object `update`
+//! calls, and checkpointed/rolled back as a plain array copy
+//! ([`FoldStateSoa::save_into`] / [`FoldStateSoa::restore`]) instead of
+//! per-object clones. Each lane applies bit-for-bit the same recurrence as
+//! [`FoldedHistory::update`]; `tests/proptest_fold_soa.rs` replays random
+//! outcome streams with rollback points against the per-object reference.
+//!
+//! # Multi-step advances are O(1) per lane
+//!
+//! A folded image is linear over GF(2): lane state is an element of
+//! GF(2)[x]/(x^L + 1) (L = `comp_len`), and one [`FoldStateSoa::advance`]
+//! step computes exactly `s' = x·s + i + e·x^outpoint` — the shift-left is
+//! the multiplication by `x`, the `comp >> comp_len` fold is the reduction
+//! of the overflow bit modulo `x^L + 1`, and `inserted`/`evicted` land at
+//! `x^0`/`x^outpoint`. Composing `k` steps therefore gives
+//!
+//! ```text
+//! s_k = x^k·s_0  +  I  +  E·x^outpoint        (mod x^L + 1)
+//! I = Σ_j i_j·x^(k-1-j)   E = Σ_j e_j·x^(k-1-j)
+//! ```
+//!
+//! — a rotation of the start state plus two window XORs, *independent of
+//! k*. [`FoldStateSoa::virtual_value`] evaluates that closed form without
+//! touching the stored state, and [`FoldStateSoa::jump`] commits a whole
+//! resolved block of pushes with it in one O(lanes) pass. That is what
+//! the batched fetch front end runs on: every branch of a block reads
+//! its fold values virtually from the block-start state, and nothing
+//! speculative ever lands in predictor state, so an early-terminated
+//! block needs no rollback (see `stack.rs`).
 
 /// Maximum supported history length in bits.
-// lint: exempt(dead-pub-api, documented sizing bound callers may validate configs against)
 pub const MAX_HISTORY_BITS: usize = 1024;
 
 /// Global branch outcome history and path history.
+///
+/// Outcomes are kept in two mirrored rings over the same positions
+/// (`(head + i) % MAX_HISTORY_BITS` holds the `i`-th most recent
+/// outcome): a byte ring serving single-bit reads ([`GlobalHistory::bit`]
+/// — one indexed load, the per-lane hot read of the fold advance) and a
+/// packed `u64` word ring serving run reads ([`GlobalHistory::window`] —
+/// a two-word extract instead of a per-bit walk, the batched front end's
+/// evicted-bit windows). The word ring is synced *lazily*:
+/// [`GlobalHistory::push`] writes only the byte ring (keeping the
+/// per-branch paths' push as cheap as a byte store), and `window` catches
+/// the word ring up on demand — so the read-modify-write per packed word
+/// is paid only by the one consumer that wants run reads, batched at its
+/// block cadence.
 #[derive(Debug, Clone)]
 pub struct GlobalHistory {
-    /// Circular buffer of the most recent branch outcomes; index 0 is the
-    /// most recent.
     bits: Vec<bool>,
+    words: [u64; MAX_HISTORY_BITS / 64],
     head: usize,
+    /// How many pushes the word ring is behind the byte ring.
+    stale: usize,
     /// Path history: low bits of the addresses of recent branches.
     path: u64,
 }
@@ -26,22 +73,67 @@ pub struct GlobalHistory {
 impl GlobalHistory {
     /// Creates an empty history.
     pub fn new() -> GlobalHistory {
-        GlobalHistory { bits: vec![false; MAX_HISTORY_BITS], head: 0, path: 0 }
+        GlobalHistory {
+            bits: vec![false; MAX_HISTORY_BITS],
+            words: [0; MAX_HISTORY_BITS / 64],
+            head: 0,
+            stale: 0,
+            path: 0,
+        }
     }
 
     /// Pushes a branch outcome and the branch address into the history.
+    /// Only the byte ring is written; the word ring is marked stale and
+    /// caught up by the next [`GlobalHistory::window`] call.
+    #[inline]
     pub fn push(&mut self, taken: bool, pc: u64) {
         self.head = (self.head + MAX_HISTORY_BITS - 1) % MAX_HISTORY_BITS;
         self.bits[self.head] = taken;
+        self.stale = (self.stale + 1).min(MAX_HISTORY_BITS);
         self.path = (self.path << 1) | ((pc >> 2) & 1);
     }
 
+    /// Replays the stale byte-ring suffix into the packed word ring.
+    #[cold]
+    fn sync_words(&mut self) {
+        for i in 0..self.stale {
+            let p = (self.head + i) % MAX_HISTORY_BITS;
+            let word = &mut self.words[p >> 6];
+            let at = (p & 63) as u32;
+            *word = (*word & !(1u64 << at)) | ((self.bits[p] as u64) << at);
+        }
+        self.stale = 0;
+    }
+
     /// Returns the `i`-th most recent outcome (0 = most recent).
+    #[inline]
     pub fn bit(&self, i: usize) -> bool {
         self.bits[(self.head + i) % MAX_HISTORY_BITS]
     }
 
+    /// Packs `n` consecutive outcomes starting `start_age` pushes back:
+    /// bit `i` of the result is [`GlobalHistory::bit`]`(start_age + i)`.
+    /// `n` must be at most 57 so the run spans at most two words; ages
+    /// wrap around the ring like `bit`'s. Takes `&mut self` to catch the
+    /// lazily-synced word ring up with any pushes since the last call.
+    #[inline]
+    pub fn window(&mut self, start_age: usize, n: usize) -> u64 {
+        if self.stale != 0 {
+            self.sync_words();
+        }
+        debug_assert!(n <= 57);
+        let p = (self.head + start_age) % MAX_HISTORY_BITS;
+        let off = (p & 63) as u32;
+        let lo = self.words[p >> 6];
+        let hi = self.words[((p >> 6) + 1) % (MAX_HISTORY_BITS / 64)];
+        // `(hi << (63 - off)) << 1` is `hi << (64 - off)` without the
+        // undefined shift at `off == 0`.
+        let run = (lo >> off) | ((hi << (63 - off)) << 1);
+        run & ((1u64 << n) - 1)
+    }
+
     /// Low `n` bits of the path history.
+    #[inline]
     pub fn path(&self, n: u8) -> u64 {
         if n >= 64 {
             self.path
@@ -107,6 +199,270 @@ impl FoldedHistory {
         self.comp ^= evicted << self.outpoint;
         self.comp ^= self.comp >> self.comp_len;
         self.comp &= (1u64 << self.comp_len) - 1;
+    }
+}
+
+/// XOR-folds `v` down to `len` bits: the representative of `v` in
+/// GF(2)[x]/(x^len + 1). At most a couple of iterations for the window
+/// widths the front end uses; zero when `v` already fits.
+#[inline]
+fn fold_reduce(mut v: u64, len: u32, mask: u64) -> u64 {
+    while v > mask {
+        v = (v & mask) ^ (v >> len);
+    }
+    v
+}
+
+/// A family of folded-history images stored as parallel flat arrays
+/// (structure-of-arrays) and advanced in a single pass per pushed outcome.
+///
+/// Lane `i` carries exactly the state of `FoldedHistory::new(orig_len[i],
+/// comp_len[i])` replayed over the same outcome stream: `advance` applies
+/// the identical fold recurrence per lane, with the shared `inserted` bit
+/// hoisted out of the loop and the loop body free of branches (the evicted
+/// bit of full-window lanes is masked rather than skipped), so the compiler
+/// can unroll/vectorise it. Checkpoint and rollback are plain copies of the
+/// `folded` array — the geometry arrays never change after construction.
+#[derive(Debug, Clone)]
+pub struct FoldStateSoa {
+    folded: Box<[u64]>,
+    orig_len: Box<[u32]>,
+    comp_len: Box<[u32]>,
+    outpoint: Box<[u32]>,
+    /// `(1 << comp_len) - 1` per lane, precomputed (the advance loop is the
+    /// hottest loop in the front end; a load beats a variable shift).
+    mask: Box<[u64]>,
+    /// Host AVX2 support, probed once at construction — the block advance
+    /// dispatches on a plain field load instead of re-querying the
+    /// feature cache on every call.
+    avx2: bool,
+}
+
+impl FoldStateSoa {
+    /// Creates a fold family from `(orig_len, comp_len)` pairs. Lane order
+    /// is the order of `geometry`; callers lay out their roles (index fold,
+    /// tag fold 0, tag fold 1, ...) role-major at fixed offsets.
+    pub fn new(geometry: &[(usize, usize)]) -> FoldStateSoa {
+        let mut orig_len = Vec::with_capacity(geometry.len());
+        let mut comp_len = Vec::with_capacity(geometry.len());
+        let mut outpoint = Vec::with_capacity(geometry.len());
+        let mut mask = Vec::with_capacity(geometry.len());
+        for &(orig, comp) in geometry {
+            assert!(comp > 0 && comp <= 63, "compressed length must be 1..=63");
+            assert!(orig <= MAX_HISTORY_BITS);
+            orig_len.push(orig as u32);
+            comp_len.push(comp as u32);
+            outpoint.push((orig % comp) as u32);
+            mask.push((1u64 << comp) - 1);
+        }
+        #[cfg(target_arch = "x86_64")]
+        let avx2 = std::arch::is_x86_feature_detected!("avx2");
+        #[cfg(not(target_arch = "x86_64"))]
+        let avx2 = false;
+        FoldStateSoa {
+            folded: vec![0u64; geometry.len()].into_boxed_slice(),
+            orig_len: orig_len.into_boxed_slice(),
+            comp_len: comp_len.into_boxed_slice(),
+            outpoint: outpoint.into_boxed_slice(),
+            mask: mask.into_boxed_slice(),
+            avx2,
+        }
+    }
+
+    /// Number of lanes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.folded.len()
+    }
+
+    /// True when the family holds no lanes.
+    pub fn is_empty(&self) -> bool {
+        self.folded.is_empty()
+    }
+
+    /// Current folded value of lane `i`.
+    #[inline]
+    pub fn value(&self, i: usize) -> u64 {
+        self.folded[i]
+    }
+
+    /// Window length (`orig_len`) of lane `i`.
+    #[inline]
+    pub fn orig_len(&self, i: usize) -> usize {
+        self.orig_len[i] as usize
+    }
+
+    /// Advances every lane after a new outcome has been pushed into
+    /// `history`. Must be called exactly once per [`GlobalHistory::push`],
+    /// *after* the push — the same contract as [`FoldedHistory::update`].
+    #[inline]
+    pub fn advance(&mut self, history: &GlobalHistory) {
+        let inserted = history.bit(0) as u64;
+        let lanes = self
+            .folded
+            .iter_mut()
+            .zip(self.orig_len.iter())
+            .zip(self.comp_len.iter().zip(self.outpoint.iter()))
+            .zip(self.mask.iter());
+        for (((folded, &orig_len), (&comp_len, &outpoint)), &mask) in lanes {
+            let orig = orig_len as usize;
+            // Full-window lanes have no evicted bit; mask instead of branch.
+            let in_window = (orig < MAX_HISTORY_BITS) as u64;
+            let evicted = history.bit(orig % MAX_HISTORY_BITS) as u64 & in_window;
+            let mut comp = (*folded << 1) | inserted;
+            comp ^= evicted << outpoint;
+            comp ^= comp >> comp_len;
+            *folded = comp & mask;
+        }
+    }
+
+    /// Read-only view of the folded values, lane-indexed — the seed for a
+    /// detached working copy stepped by [`FoldStateSoa::advance_values`].
+    #[inline]
+    pub fn values(&self) -> &[u64] {
+        &self.folded
+    }
+
+    /// Advances a detached copy of the folded values by one push without
+    /// touching the stored state: `values[lane]` follows the same fold
+    /// recurrence as [`FoldStateSoa::advance`], but the inserted bit is
+    /// supplied directly and each lane's evicted bit comes from bit
+    /// `window_bit` of `windows[lane]` — the packed evicted-bit windows of
+    /// the batched block protocol — instead of from per-lane
+    /// [`GlobalHistory::bit`] gathers. That makes the loop pure
+    /// element-wise array arithmetic, which is what lets the AVX2 build
+    /// vectorise it (the in-place `advance` cannot vectorise past its
+    /// history gathers). Dispatches to the AVX2 build when the host
+    /// supports it.
+    #[inline]
+    pub fn advance_values(
+        &self,
+        values: &mut [u64],
+        inserted_bit: u64,
+        windows: &[u64],
+        window_bit: u32,
+    ) {
+        #[cfg(target_arch = "x86_64")]
+        if self.avx2 {
+            // SAFETY: `self.avx2` holds the construction-time result of
+            // `is_x86_feature_detected!("avx2")` for this host.
+            #[allow(unsafe_code)]
+            unsafe {
+                self.advance_values_avx2(values, inserted_bit, windows, window_bit)
+            };
+            return;
+        }
+        self.advance_values_scalar(values, inserted_bit, windows, window_bit);
+    }
+
+    /// Scalar reference build of [`FoldStateSoa::advance_values`] — always
+    /// available on every target; the fold proptests replay it against the
+    /// dispatching entry point to pin the AVX2 build bit-identical.
+    #[inline(always)]
+    pub fn advance_values_scalar(
+        &self,
+        values: &mut [u64],
+        inserted_bit: u64,
+        windows: &[u64],
+        window_bit: u32,
+    ) {
+        let lanes = values
+            .iter_mut()
+            .zip(windows.iter())
+            .zip(self.comp_len.iter().zip(self.outpoint.iter()));
+        for ((value, &window), (&comp_len, &outpoint)) in lanes {
+            // Recompute the lane mask instead of loading `self.mask`: the
+            // loop is cache-miss bound in the block loop (the table probes
+            // between blocks evict the fold arrays), so trading a 288-byte
+            // stream for two ALU ops is a win — and AVX2 lowers the
+            // variable shift to one `vpsllvq`.
+            let mask = (1u64 << comp_len) - 1;
+            let evicted = (window >> window_bit) & 1;
+            let mut comp = (*value << 1) | inserted_bit;
+            comp ^= evicted << outpoint;
+            comp ^= comp >> comp_len;
+            *value = comp & mask;
+        }
+    }
+
+    /// AVX2 build of the same loop: the body *is* the scalar reference,
+    /// recompiled with AVX2 enabled so LLVM lowers the per-lane variable
+    /// shifts to `vpsllvq`/`vpsrlvq`. Only reached through the runtime
+    /// feature check in [`FoldStateSoa::advance_values`].
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2")]
+    fn advance_values_avx2(
+        &self,
+        values: &mut [u64],
+        inserted_bit: u64,
+        windows: &[u64],
+        window_bit: u32,
+    ) {
+        self.advance_values_scalar(values, inserted_bit, windows, window_bit);
+    }
+
+    /// The value lane `lane` would hold after `steps` further
+    /// [`FoldStateSoa::advance`] calls, computed in O(1) from the closed
+    /// form (see the module docs) without touching the stored state.
+    ///
+    /// `inserted` packs the `steps` outcome bits that would be pushed
+    /// (oldest at the highest bit, the bit of step `j` at bit
+    /// `steps-1-j`); `evicted` packs, in the same order, the bits leaving
+    /// this lane's `orig_len`-bit window at each step — i.e. bit
+    /// `steps-1-j` of `evicted` is the bit that is `orig_len` pushes old
+    /// at step `j` (for steps beyond `orig_len`, that is itself one of the
+    /// pushed outcome bits). `evicted` is ignored for full-window lanes.
+    /// `steps` must be at most 32 so the shifted windows cannot overflow.
+    #[inline]
+    pub fn virtual_value(&self, lane: usize, steps: usize, inserted: u64, evicted: u64) -> u64 {
+        debug_assert!(steps <= 32, "virtual_value windows are capped at 32 steps");
+        debug_assert!(inserted < (1u64 << steps) && evicted < (1u64 << steps));
+        let len = self.comp_len[lane];
+        let mask = self.mask[lane];
+        let outpoint = self.outpoint[lane];
+        let folded = self.folded[lane];
+        // x^steps · s0: rotate the state left by steps mod len. The masked
+        // double-shift form never shifts by >= 64 and handles r == 0.
+        let mut r = steps as u32;
+        while r >= len {
+            r -= len;
+        }
+        let rotated = ((folded << r) & mask) | (folded >> (len - r));
+        // I mod (x^len + 1): XOR-fold the inserted window into len bits.
+        let i = fold_reduce(inserted, len, mask);
+        // E·x^outpoint mod (x^len + 1): fold the evicted window, then
+        // rotate it to the eviction point.
+        let in_window = self.orig_len[lane] < MAX_HISTORY_BITS as u32;
+        let e = if in_window { fold_reduce(evicted, len, mask) } else { 0 };
+        let e = ((e << outpoint) & mask) | (e >> (len - outpoint));
+        rotated ^ i ^ e
+    }
+
+    /// Advances every lane by `steps` pushes at once — bit-identical to
+    /// `steps` successive [`FoldStateSoa::advance`] calls, in one O(lanes)
+    /// pass. `inserted` is the shared packed outcome window (as in
+    /// [`FoldStateSoa::virtual_value`]); `evicted(lane)` supplies each
+    /// lane's packed evicted-bit window.
+    #[inline]
+    pub fn jump(&mut self, steps: usize, inserted: u64, mut evicted: impl FnMut(usize) -> u64) {
+        for lane in 0..self.folded.len() {
+            let value = self.virtual_value(lane, steps, inserted, evicted(lane));
+            self.folded[lane] = value;
+        }
+    }
+
+    /// Copies the folded values into `saved` (cleared first); restore with
+    /// [`FoldStateSoa::restore`]. Reuses `saved`'s allocation.
+    #[inline]
+    pub fn save_into(&self, saved: &mut Vec<u64>) {
+        saved.clear();
+        saved.extend_from_slice(&self.folded);
+    }
+
+    /// Restores folded values captured by [`FoldStateSoa::save_into`].
+    #[inline]
+    pub fn restore(&mut self, saved: &[u64]) {
+        self.folded.copy_from_slice(saved);
     }
 }
 
@@ -213,5 +569,114 @@ mod tests {
     #[should_panic(expected = "compressed length")]
     fn zero_compressed_length_is_rejected() {
         let _ = FoldedHistory::new(10, 0);
+    }
+
+    /// Packs the evicted-bit window a lane of window length `orig` sees
+    /// over `steps` pushes starting from `h` with outcomes `taken` — the
+    /// oracle construction of the `evicted` argument of `virtual_value`.
+    fn evicted_window(h: &GlobalHistory, taken: &[bool], orig: usize, steps: usize) -> u64 {
+        let mut e = 0u64;
+        for (j, _) in taken.iter().enumerate().take(steps) {
+            // The bit leaving the window at step j: `orig - 1 - j` pushes
+            // old before the run, or — once the run outlives the window —
+            // one of the run's own outcomes.
+            let bit = if j < orig { h.bit(orig - 1 - j) } else { taken[j - orig] };
+            e = (e << 1) | bit as u64;
+        }
+        e
+    }
+
+    #[test]
+    fn virtual_value_and_jump_match_sequential_advances() {
+        let geometry = [
+            (4, 10),
+            (7, 7),
+            (8, 8),
+            (13, 9),
+            (32, 10),
+            (119, 11),
+            (640, 12),
+            (MAX_HISTORY_BITS, 13),
+        ];
+        let mut soa = FoldStateSoa::new(&geometry);
+        let mut h = GlobalHistory::new();
+        // Warm the history and the fold state past every window length.
+        for i in 0..1500u64 {
+            h.push(i.wrapping_mul(0x9e37_79b9) & 0x20 != 0, i * 4);
+            soa.advance(&h);
+        }
+        for steps in 0..=12usize {
+            let taken: Vec<bool> = (0..steps).map(|j| (steps * 7 + j) % 3 == 0).collect();
+            let inserted = taken.iter().fold(0u64, |acc, &t| (acc << 1) | t as u64);
+            let evicted: Vec<u64> =
+                geometry.iter().map(|&(orig, _)| evicted_window(&h, &taken, orig, steps)).collect();
+            // Reference: a copy advanced one push at a time.
+            let mut seq = soa.clone();
+            let mut seq_h = h.clone();
+            for (j, &t) in taken.iter().enumerate() {
+                seq_h.push(t, 0x2000 + j as u64 * 4);
+                seq.advance(&seq_h);
+            }
+            for (lane, &window) in evicted.iter().enumerate() {
+                assert_eq!(
+                    soa.virtual_value(lane, steps, inserted, window),
+                    seq.value(lane),
+                    "lane {lane} after {steps} steps"
+                );
+            }
+            let mut jumped = soa.clone();
+            jumped.jump(steps, inserted, |lane| evicted[lane]);
+            for lane in 0..geometry.len() {
+                assert_eq!(jumped.value(lane), seq.value(lane), "jump lane {lane}, {steps} steps");
+            }
+            // The closed form also agrees at every intermediate prefix —
+            // what the batched front end evaluates per in-block branch.
+            for j in 0..=steps {
+                let shift = steps - j;
+                for lane in 0..geometry.len() {
+                    let mut prefix = soa.clone();
+                    prefix.jump(j, inserted >> shift, |l| evicted[l] >> shift);
+                    assert_eq!(
+                        soa.virtual_value(lane, j, inserted >> shift, evicted[lane] >> shift),
+                        prefix.value(lane),
+                        "prefix {j} lane {lane}, {steps}-step window"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn soa_lanes_match_per_object_folds() {
+        let geometry =
+            [(4, 10), (7, 10), (13, 9), (32, 10), (119, 11), (640, 12), (MAX_HISTORY_BITS, 13)];
+        let mut soa = FoldStateSoa::new(&geometry);
+        let mut objects: Vec<FoldedHistory> =
+            geometry.iter().map(|&(o, c)| FoldedHistory::new(o, c)).collect();
+        let mut h = GlobalHistory::new();
+        let mut saved = Vec::new();
+        for i in 0..2000u64 {
+            if i == 700 {
+                soa.save_into(&mut saved);
+            }
+            if i == 900 {
+                // Restoring an old snapshot must reproduce the values the
+                // per-object folds would have if rewound the same way; rewind
+                // them by replaying from scratch below instead — here just
+                // check restore round-trips the current state.
+                let mut now = Vec::new();
+                soa.save_into(&mut now);
+                soa.restore(&saved);
+                soa.restore(&now);
+            }
+            h.push(i.wrapping_mul(0x9e37_79b9) & 0x40 != 0, i * 4);
+            soa.advance(&h);
+            for f in objects.iter_mut() {
+                f.update(&h);
+            }
+            for (lane, f) in objects.iter().enumerate() {
+                assert_eq!(soa.value(lane), f.value(), "lane {lane} at step {i}");
+            }
+        }
     }
 }

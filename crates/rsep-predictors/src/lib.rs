@@ -27,7 +27,11 @@
 //! counter/useful bytes), and all predictors are deterministic given their
 //! internal LFSR seeds, so simulations are reproducible.
 
-#![forbid(unsafe_code)]
+// `deny`, not `forbid`: the AVX2 build of the fold advance loop
+// (`history::FoldStateSoa::advance_values`) needs one scoped
+// `#[allow(unsafe_code)]` for its runtime-feature-gated call. That is the
+// only unsafe in the workspace.
+#![deny(unsafe_code)]
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
 
@@ -45,7 +49,7 @@ pub use btb::{Btb, BtbConfig, ReturnAddressStack};
 pub use counters::{ConfidenceParams, Lfsr, ProbabilisticCounter, SaturatingCounter};
 pub use distance::{DistancePrediction, DistancePredictor, DistancePredictorConfig};
 pub use dvtage::{Dvtage, DvtageConfig, ValuePrediction};
-pub use history::{FoldedHistory, GlobalHistory};
+pub use history::{FoldStateSoa, FoldedHistory, GlobalHistory};
 pub use predictor::{BranchPredictor, IDistPredictor, Predictor, PredictorStats, ValuePredictor};
 pub use stack::{PredictRequest, PredictorStack};
 pub use tage::{Tage, TageConfig, TagePrediction};

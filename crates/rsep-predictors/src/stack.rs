@@ -4,18 +4,29 @@
 //! [`PredictorStack`] owns every structure the fetch stage consults —
 //! the [`Tage`] direction predictor, the [`Btb`], the
 //! [`ReturnAddressStack`] and the [`GlobalHistory`] all of them index
-//! with — and exposes two entry points:
+//! with — and exposes three entry points:
 //!
-//! * [`PredictorStack::predict_block`] — the batched path: one call per
-//!   fetch block per cycle, resolving the block's [`PredictRequest`]s in
-//!   fetch order. This is the hot-path interface the core uses — the
-//!   fetch stage hands over one block instead of one call per branch
-//!   (the `predictor_stack` bench tracks both entry points; the win is
-//!   structural today, and the block boundary is where future
-//!   cross-branch optimisations land).
-//! * [`PredictorStack::predict_one`] — the per-branch reference path
-//!   (exactly the retired per-instruction protocol), kept for one PR as
-//!   the oracle the golden-stats and property tests compare against.
+//! * [`PredictorStack::predict_block`] — the batched hot path the core
+//!   uses: one call per fetch block per cycle, resolving the block's
+//!   [`PredictRequest`]s in three phases. **Gather** computes every
+//!   conditional branch's TAGE probe set (flat index + partial tag per
+//!   tagged component) against the history as of that branch *without
+//!   mutating any state*: per-branch fold values come from the O(1)
+//!   closed form ([`FoldStateSoa::virtual_value`] via
+//!   [`Tage::gather_block_probes_at`]) and the path bits from a local
+//!   virtual path register. **Probe** then reads all gathered entries
+//!   component-major, visiting each tagged table once per block;
+//!   **resolve** walks the branches in fetch order against the probed
+//!   words, training as it goes and stopping at the first misprediction
+//!   (which ends the block). Only then does the resolved prefix enter the
+//!   architectural history — plain pushes plus one whole-block fold jump
+//!   ([`Tage::finish_block`]) — so there is nothing to roll back.
+//! * [`PredictorStack::predict_block_sequential`] — the retired
+//!   sequential probe path (one full table walk per branch), kept for
+//!   one PR as the `FrontendKind::SequentialProbe` reference the
+//!   golden-stats and oracle tests pin the batched path against.
+//! * [`PredictorStack::predict_one`] — the per-branch protocol both
+//!   block paths must match, also the unit-test oracle.
 //!
 //! # Bit-identity of the batched path
 //!
@@ -23,12 +34,38 @@
 //! global history *including every earlier branch of the same block*, the
 //! RAS pops/pushes in branch order, and a mispredicted branch ends the
 //! fetch block (younger instructions are not fetched this cycle, so their
-//! branches must not touch any predictor state). `predict_block`
-//! therefore resolves requests strictly in slice order and **stops after
-//! the first misprediction**, returning how many requests it resolved —
-//! the unresolved tail is handed back to the caller untouched, exactly as
+//! branches must not touch any predictor state). The three-phase schedule
+//! preserves all of that:
+//!
+//! * Gathered indices/tags equal the sequential walk's exactly: branch
+//!   `j`'s fold values after `j` in-block pushes are evaluated by the
+//!   closed form of the fold recurrence (proven bit-identical to `j`
+//!   successive advances — `history` module docs and proptests), over the
+//!   block's oracle outcomes, and `train` derives the same indices as
+//!   `predict` (folds advance only after training), so one gathered set
+//!   serves both.
+//! * Probes are pure reads and every in-block table write lands in the
+//!   resolve phase, so hoisting and reordering the reads is invisible —
+//!   *except* for a provider counter update hitting an entry a younger
+//!   branch also probed. [`Tage::train_probed`] reports that one write
+//!   and `predict_block` patches it into the younger probed copies
+//!   (allocation and grace-decay writes occur only on mispredictions,
+//!   which terminate the block, so only provider updates need this).
+//! * BTB and RAS accesses stay in the resolve phase in fetch order (the
+//!   BTB is PC-indexed and ignores history, so deferring the history
+//!   pushes doesn't affect it).
+//! * The architectural history/fold state is written once, after the
+//!   block's end is known: exactly the `resolved` outcomes are pushed and
+//!   the folds jump by `resolved` steps, landing bit-for-bit on the
+//!   sequential state — speculative pushes, checkpoints and rollback are
+//!   gone entirely.
+//!
+//! `predict_block` resolves requests strictly in slice order and **stops
+//! after the first misprediction**, returning how many requests it
+//! resolved — the unresolved tail is handed back untouched, exactly as
 //! the per-branch loop would have left it. See `DESIGN.md` ("Front-end
-//! predictor stack") for the full argument.
+//! predictor stack") for the full argument, and
+//! `tests/block_probe_oracle.rs` for the proof harness.
 
 use crate::btb::{Btb, ReturnAddressStack};
 use crate::history::GlobalHistory;
@@ -57,6 +94,17 @@ impl PredictRequest {
     }
 }
 
+/// Reusable scratch of the batched path: gathered probe indices/tags and
+/// probed (and intra-block patched) entry words — all slot-major, one slot
+/// per *conditional* branch of the block. Grown to the widest block seen,
+/// so `predict_block` is allocation-free at steady state.
+#[derive(Debug, Default)]
+struct BlockScratch {
+    idx: Vec<u32>,
+    tag: Vec<u16>,
+    entry: Vec<u32>,
+}
+
 /// The front-end predictor stack (see the module docs).
 #[derive(Debug)]
 pub struct PredictorStack {
@@ -64,12 +112,19 @@ pub struct PredictorStack {
     btb: Btb,
     ras: ReturnAddressStack,
     ghist: GlobalHistory,
+    scratch: BlockScratch,
 }
 
 impl PredictorStack {
     /// Builds a stack from its components.
     pub fn new(tage: Tage, btb: Btb, ras: ReturnAddressStack) -> PredictorStack {
-        PredictorStack { tage, btb, ras, ghist: GlobalHistory::new() }
+        PredictorStack {
+            tage,
+            btb,
+            ras,
+            ghist: GlobalHistory::new(),
+            scratch: BlockScratch::default(),
+        }
     }
 
     /// The Table I front end: 1+12-component TAGE, 2-way 4K-entry BTB,
@@ -82,7 +137,142 @@ impl PredictorStack {
     /// stopping after the first mispredicted branch (which ends the
     /// block). Returns the number of requests resolved; requests past that
     /// point were not touched and must not be treated as fetched.
+    ///
+    /// Batched gather/probe/resolve schedule — bit-identical to
+    /// [`PredictorStack::predict_block_sequential`] (see the module docs
+    /// for the argument, `tests/block_probe_oracle.rs` for the proof).
     pub fn predict_block(&mut self, requests: &mut [PredictRequest]) -> usize {
+        if requests.is_empty() {
+            return 0;
+        }
+        if requests.len() > Tage::MAX_BLOCK {
+            // Wider than the packed block windows support (never hit by the
+            // core's fetch width) — the per-branch protocol is the same
+            // observable behaviour by construction.
+            return self.predict_block_sequential(requests);
+        }
+        let PredictorStack { tage, btb, ras, ghist, scratch } = self;
+        let lanes_per_slot = tage.num_tagged();
+
+        // Phase 1 — gather, without touching any predictor or history
+        // state. Each conditional branch's probe set (flat index + partial
+        // tag per component) is computed against the history as of that
+        // branch: fold values read off a detached working copy stepped one
+        // element-wise (vectorisable) pass per branch, path bits via a
+        // local virtual path register. Non-conditional branches gather
+        // nothing — the dead TAGE walk stays eliminated — but still step
+        // the working copy and the virtual path (every branch enters the
+        // history).
+        let outcomes = requests
+            .iter()
+            .fold(0u64, |packed, request| (packed << 1) | request.branch.taken as u64);
+        tage.begin_block(ghist, outcomes, requests.len());
+        let lanes = requests.len() * lanes_per_slot;
+        if scratch.idx.len() < lanes {
+            // Grow-only: shrinking would just re-zero on the next wide block.
+            scratch.idx.resize(lanes, 0);
+            scratch.tag.resize(lanes, 0);
+            scratch.entry.resize(lanes, 0);
+        }
+        let mut slots = 0usize;
+        let mut path = ghist.path(64);
+        for (pushes, request) in requests.iter().enumerate() {
+            if request.branch.kind == BranchKind::Conditional {
+                let at = slots * lanes_per_slot;
+                tage.gather_block_probes_at(
+                    request.pc,
+                    path & 0xff,
+                    &mut scratch.idx[at..at + lanes_per_slot],
+                    &mut scratch.tag[at..at + lanes_per_slot],
+                );
+                slots += 1;
+            }
+            tage.advance_block(pushes);
+            path = (path << 1) | ((request.pc >> 2) & 1);
+        }
+
+        // Phase 2 — probe every gathered entry component-major: each
+        // tagged table is visited once for the whole block.
+        tage.probe_entries(&scratch.idx, &mut scratch.entry, slots);
+
+        // Phase 3 — resolve in fetch order against the probed words.
+        let mut resolved = requests.len();
+        let mut cond = 0usize;
+        for (i, request) in requests.iter_mut().enumerate() {
+            let pc = request.pc;
+            let branch = request.branch;
+            request.mispredicted = match branch.kind {
+                BranchKind::Return => match ras.pop() {
+                    Some(target) => target != branch.target,
+                    None => true,
+                },
+                BranchKind::Unconditional | BranchKind::Indirect => {
+                    btb.predict(pc, ghist) != Some(branch.target)
+                }
+                BranchKind::Conditional => {
+                    let at = cond * lanes_per_slot;
+                    cond += 1;
+                    let prediction = tage.predict_probed(
+                        pc,
+                        &scratch.entry[at..at + lanes_per_slot],
+                        &scratch.tag[at..at + lanes_per_slot],
+                    );
+                    let direction_wrong = prediction.taken != branch.taken;
+                    let target_wrong =
+                        branch.taken && btb.predict(pc, ghist) != Some(branch.target);
+                    let (idx, tag, entry) = (&scratch.idx, &scratch.tag, &mut scratch.entry);
+                    tage.train_probed(
+                        pc,
+                        (branch.taken, prediction),
+                        &idx[at..at + lanes_per_slot],
+                        &tag[at..at + lanes_per_slot],
+                        // Forward the provider update into younger probed
+                        // copies of the same entry word. The flat index
+                        // encodes component + index, so only the same
+                        // component's lane of each younger slot can alias
+                        // it — one compare per younger slot.
+                        |comp, flat, word| {
+                            for slot in cond..slots {
+                                let lane = slot * lanes_per_slot + comp;
+                                if idx[lane] == flat {
+                                    entry[lane] = word;
+                                }
+                            }
+                        },
+                    );
+                    direction_wrong || target_wrong
+                }
+            };
+            if branch.taken {
+                btb.train(pc, branch.target, ghist);
+            }
+            if branch.kind == BranchKind::Unconditional {
+                // Calls push the fall-through address for a later return.
+                ras.push(pc + 4);
+            }
+            if request.mispredicted {
+                resolved = i + 1;
+                break;
+            }
+        }
+
+        // Phase 4 — commit. Nothing speculative was written during the
+        // block, so committing is just pushing the resolved prefix into
+        // the global history and jumping the fold state forward by the
+        // same prefix in one O(lanes) pass.
+        for request in requests[..resolved].iter() {
+            ghist.push(request.branch.taken, request.pc);
+        }
+        tage.finish_block(resolved);
+        resolved
+    }
+
+    /// The retired sequential probe path (`FrontendKind::SequentialProbe`):
+    /// resolves the block with the per-branch protocol, one full TAGE
+    /// table walk per branch. Kept for one PR as the reference the
+    /// golden-stats and oracle tests pin [`PredictorStack::predict_block`]
+    /// against.
+    pub fn predict_block_sequential(&mut self, requests: &mut [PredictRequest]) -> usize {
         for (i, request) in requests.iter_mut().enumerate() {
             request.mispredicted = predict_one_inner(
                 &mut self.tage,
@@ -122,9 +312,10 @@ impl PredictorStack {
     }
 }
 
-/// The per-branch prediction protocol, shared verbatim by the batched and
-/// per-branch entry points (free function so `predict_block` can call it
-/// while iterating a borrowed request slice).
+/// The per-branch prediction protocol, shared verbatim by the sequential
+/// and per-branch entry points (free function so the block loop can call
+/// it while iterating a borrowed request slice).
+#[inline]
 fn predict_one_inner(
     tage: &mut Tage,
     btb: &mut Btb,

@@ -17,7 +17,7 @@
 //! `predictor_stack` bench).
 
 use crate::counters::Lfsr;
-use crate::history::{FoldedHistory, GlobalHistory};
+use crate::history::{FoldStateSoa, GlobalHistory, MAX_HISTORY_BITS};
 use crate::predictor::{BranchPredictor, Predictor, PredictorStats};
 
 /// Configuration of a TAGE branch predictor.
@@ -137,9 +137,28 @@ pub struct Tage {
     /// Packed tagged entries (tag | counter | useful), one word per entry,
     /// `comp << tagged_log2 | idx`.
     entries: Box<[u32]>,
-    index_fold: Vec<FoldedHistory>,
-    tag_fold0: Vec<FoldedHistory>,
-    tag_fold1: Vec<FoldedHistory>,
+    /// All folded-history images as one SoA family, role-major: lanes
+    /// `0..num_tagged` are the index folds, `num_tagged..2*num_tagged` the
+    /// primary tag folds, `2*num_tagged..3*num_tagged` the secondary tag
+    /// folds. One [`FoldStateSoa::advance`] per outcome replaces 36
+    /// per-object updates.
+    folds: FoldStateSoa,
+    /// In-flight fetch-block scratch ([`Tage::begin_block`]): per-lane
+    /// packed evicted-bit windows, the packed block outcomes and the
+    /// block length — the inputs the closed-form fold evaluation
+    /// ([`FoldStateSoa::virtual_value`]) needs to serve any branch of the
+    /// block from the *unmodified* fold state. Never part of predictor
+    /// state proper — `folds` itself is untouched until
+    /// [`Tage::finish_block`].
+    block_evicted: Box<[u64]>,
+    /// Detached working copy of the fold values, stepped branch-by-branch
+    /// through the block by [`Tage::advance_block`] so each gather is a
+    /// plain row read. Seeded from `folds` by [`Tage::begin_block`]; the
+    /// element-wise step ([`FoldStateSoa::advance_values`]) is the loop the
+    /// AVX2 build vectorises.
+    block_values: Box<[u64]>,
+    block_outcomes: u64,
+    block_len: usize,
     lfsr: Lfsr,
     stats: PredictorStats,
 }
@@ -151,28 +170,26 @@ impl Tage {
         let base = vec![0i8; 1 << config.base_log2].into_boxed_slice();
         let tagged_entries = config.num_tagged << config.tagged_log2;
         let entries = vec![NEW_ENTRY; tagged_entries].into_boxed_slice();
-        let index_fold = (0..config.num_tagged)
-            .map(|i| FoldedHistory::new(config.history_length(i), config.tagged_log2 as usize))
-            .collect();
-        let tag_fold0 = (0..config.num_tagged)
-            .map(|i| FoldedHistory::new(config.history_length(i), config.tag_bits[i] as usize))
-            .collect();
-        let tag_fold1 = (0..config.num_tagged)
-            .map(|i| {
-                FoldedHistory::new(
-                    config.history_length(i),
-                    (config.tag_bits[i] as usize).saturating_sub(1).max(1),
-                )
-            })
-            .collect();
+        let mut geometry = Vec::with_capacity(3 * config.num_tagged);
+        geometry.extend(
+            (0..config.num_tagged).map(|i| (config.history_length(i), config.tagged_log2 as usize)),
+        );
+        geometry.extend(
+            (0..config.num_tagged).map(|i| (config.history_length(i), config.tag_bits[i] as usize)),
+        );
+        geometry.extend((0..config.num_tagged).map(|i| {
+            (config.history_length(i), (config.tag_bits[i] as usize).saturating_sub(1).max(1))
+        }));
         Tage {
+            folds: FoldStateSoa::new(&geometry),
+            block_evicted: vec![0u64; 3 * config.num_tagged].into_boxed_slice(),
+            block_values: vec![0u64; 3 * config.num_tagged].into_boxed_slice(),
             config,
             base,
             entries,
-            index_fold,
-            tag_fold0,
-            tag_fold1,
             lfsr: Lfsr::new(0xb5ad_4ece_da1c_e2a9),
+            block_outcomes: 0,
+            block_len: 0,
             stats: PredictorStats::default(),
         }
     }
@@ -182,6 +199,7 @@ impl Tage {
         Tage::new(TageConfig::table1())
     }
 
+    #[inline]
     fn base_index(&self, pc: u64) -> usize {
         ((pc >> 2) as usize) & ((1 << self.config.base_log2) - 1)
     }
@@ -196,7 +214,7 @@ impl Tage {
     fn tagged_index(&self, pc: u64, comp: usize, history: &GlobalHistory) -> usize {
         let mask = (1usize << self.config.tagged_log2) - 1;
         let pc = pc >> 2;
-        let h = self.index_fold[comp].value();
+        let h = self.folds.value(comp);
         let path = history.path(8);
         ((pc ^ (pc >> self.config.tagged_log2 as u64) ^ h ^ (path << 1) ^ comp as u64) as usize)
             & mask
@@ -206,7 +224,271 @@ impl Tage {
     fn tag(&self, pc: u64, comp: usize) -> u16 {
         let mask = (1u64 << self.config.tag_bits[comp]) - 1;
         let pc = pc >> 2;
-        ((pc ^ self.tag_fold0[comp].value() ^ (self.tag_fold1[comp].value() << 1)) & mask) as u16
+        let c = self.config.num_tagged;
+        ((pc ^ self.folds.value(c + comp) ^ (self.folds.value(2 * c + comp) << 1)) & mask) as u16
+    }
+
+    /// Number of tagged components — the number of probe lanes per branch
+    /// that [`Tage::gather_block_probes`] fills.
+    #[inline]
+    pub fn num_tagged(&self) -> usize {
+        self.config.num_tagged
+    }
+
+    /// Maximum fetch-block width of the batched block protocol: the block
+    /// outcome and evicted-bit windows are packed into `u64`s, capped so
+    /// the shifted windows of [`FoldStateSoa::virtual_value`] cannot
+    /// overflow.
+    pub const MAX_BLOCK: usize = 32;
+
+    /// Starts a batched fetch block from the block's packed oracle
+    /// outcomes (`len` bits, branch 0 at bit `len-1`): precomputes, per
+    /// tagged component, the packed window of bits that leave its history
+    /// window as the outcomes are pushed — everything the closed-form
+    /// fold evaluation needs; no predictor state is modified until
+    /// [`Tage::finish_block`]. `len` must be at most [`Tage::MAX_BLOCK`].
+    /// The history is `&mut` only for [`GlobalHistory::window`]'s lazy
+    /// word-ring sync; no observable history state changes.
+    #[inline]
+    pub fn begin_block(&mut self, history: &mut GlobalHistory, outcomes: u64, len: usize) {
+        debug_assert!(len <= Self::MAX_BLOCK && outcomes < (1u64 << len));
+        self.block_outcomes = outcomes;
+        self.block_len = len;
+        for comp in 0..self.config.num_tagged {
+            let orig = self.folds.orig_len(comp);
+            // Window bit i is the bit `orig - len + i` pushes old at block
+            // start; once the block outlives the window (age < 0) the
+            // evicted bits are the block's own outcomes. Full-window
+            // lanes never evict: their window stays zero.
+            let w = if orig >= MAX_HISTORY_BITS {
+                0
+            } else if orig >= len {
+                history.window(orig - len, len)
+            } else {
+                let mut w = 0u64;
+                for i in 0..len as isize {
+                    let age = orig as isize - len as isize + i;
+                    let bit = if age >= 0 {
+                        history.bit(age as usize) as u64
+                    } else {
+                        (outcomes >> (len as isize + age)) & 1
+                    };
+                    w |= bit << i;
+                }
+                w
+            };
+            self.block_evicted[comp] = w;
+        }
+        // The three fold roles of a component share its history window;
+        // replicate role-major so per-lane reads need no index mapping.
+        let c = self.config.num_tagged;
+        for lane in c..3 * c {
+            self.block_evicted[lane] = self.block_evicted[lane - c];
+        }
+        self.block_values.copy_from_slice(self.folds.values());
+    }
+
+    /// Steps the block's working fold copy past branch `j`: one
+    /// element-wise [`FoldStateSoa::advance_values`] pass feeding each
+    /// lane's evicted bit from the windows prepared by
+    /// [`Tage::begin_block`]. Called once per block branch (conditional or
+    /// not — every branch enters the history), after that branch's
+    /// gather; afterwards [`Tage::gather_block_probes_at`] serves branch
+    /// `j + 1`.
+    #[inline]
+    pub fn advance_block(&mut self, j: usize) {
+        debug_assert!(j < self.block_len);
+        let shift = (self.block_len - 1 - j) as u32;
+        let inserted = (self.block_outcomes >> shift) & 1;
+        self.folds.advance_values(&mut self.block_values, inserted, &self.block_evicted, shift);
+    }
+
+    /// Computes the flat entry index and partial tag of every tagged
+    /// component for the conditional branch the block's working fold copy
+    /// currently sits at — exactly the values [`Predictor::predict`] and
+    /// [`Predictor::train`] would derive after the preceding outcomes
+    /// entered the history (`train` recomputes `predict`'s indices, so one
+    /// gathered set serves both). Per-branch fold values are plain row
+    /// reads of the working copy stepped by [`Tage::advance_block`];
+    /// `path8` is the caller's virtual path register masked to 8 bits.
+    /// `idx_out` and `tag_out` must be [`Tage::num_tagged`] long.
+    #[inline]
+    pub fn gather_block_probes_at(
+        &self,
+        pc: u64,
+        path8: u64,
+        idx_out: &mut [u32],
+        tag_out: &mut [u16],
+    ) {
+        let c = self.config.num_tagged;
+        let idx_mask = (1u64 << self.config.tagged_log2) - 1;
+        let pc2 = pc >> 2;
+        for comp in 0..c {
+            let h = self.block_values[comp];
+            let t0 = self.block_values[c + comp];
+            let t1 = self.block_values[2 * c + comp];
+            let idx =
+                ((pc2 ^ (pc2 >> self.config.tagged_log2 as u64) ^ h ^ (path8 << 1) ^ comp as u64)
+                    & idx_mask) as usize;
+            idx_out[comp] = self.flat(comp, idx) as u32;
+            let tag_mask = (1u64 << self.config.tag_bits[comp]) - 1;
+            tag_out[comp] = ((pc2 ^ t0 ^ (t1 << 1)) & tag_mask) as u16;
+        }
+    }
+
+    /// Commits a resolved block prefix into the fold state — bit-identical
+    /// to one [`Predictor::on_history_update`] per resolved branch, with
+    /// nothing to roll back since the block never touched the fold state.
+    /// A fully resolved block adopts the working copy outright (it was
+    /// stepped past every branch); a mispredict-truncated prefix is
+    /// committed with one closed-form [`FoldStateSoa::jump`] over the
+    /// block windows instead. The caller pushes the same outcomes into
+    /// the shared [`GlobalHistory`].
+    #[inline]
+    pub fn finish_block(&mut self, resolved: usize) {
+        debug_assert!(resolved <= self.block_len);
+        let shift = self.block_len - resolved;
+        if shift == 0 {
+            let Tage { folds, block_values, .. } = self;
+            folds.restore(block_values);
+            return;
+        }
+        let inserted = self.block_outcomes >> shift;
+        let Tage { folds, block_evicted, .. } = self;
+        folds.jump(resolved, inserted, |lane| block_evicted[lane] >> shift);
+    }
+
+    /// Reads the probed entry words for `branches` gathered branches.
+    /// `idx` and `out` are slot-major (`slot * num_tagged + comp`, as laid
+    /// out by per-slot [`Tage::gather_block_probes`] calls), but the walk
+    /// is component-major: all of component 0's slots, then component 1's,
+    /// … — so each tagged table is probed once per block with its accesses
+    /// adjacent instead of being re-visited per branch.
+    ///
+    /// Probes are read-only against the pre-block table state; the caller
+    /// forwards any intra-block provider updates via the `patched` hook of
+    /// [`Tage::train_probed`].
+    #[inline]
+    pub fn probe_entries(&self, idx: &[u32], out: &mut [u32], branches: usize) {
+        let c = self.config.num_tagged;
+        debug_assert!(idx.len() >= branches * c && out.len() >= branches * c);
+        for comp in 0..c {
+            for slot in 0..branches {
+                let k = slot * c + comp;
+                out[k] = self.entries[idx[k] as usize];
+            }
+        }
+    }
+
+    /// [`Predictor::predict`] against pre-read entry words and gathered
+    /// tags (each [`Tage::num_tagged`] long for this branch). Bit-identical
+    /// to `predict` when `entries[comp]` equals the live table word at the
+    /// gathered index — the block driver guarantees that by patching
+    /// provider updates of older in-flight branches into younger slots.
+    #[inline]
+    pub fn predict_probed(&mut self, pc: u64, entries: &[u32], tags: &[u16]) -> TagePrediction {
+        self.stats.lookups += 1;
+        let base_taken = self.base[self.base_index(pc)] >= 0;
+        let mut provider = None;
+        let mut alt: Option<bool> = None;
+        let mut provider_taken = base_taken;
+        // Search from longest history to shortest.
+        for comp in (0..self.config.num_tagged).rev() {
+            let entry = entries[comp];
+            if entry_tag(entry) == tags[comp] {
+                if provider.is_none() {
+                    provider = Some(comp);
+                    provider_taken = entry_ctr(entry) >= 0;
+                } else if alt.is_none() {
+                    alt = Some(entry_ctr(entry) >= 0);
+                }
+            }
+        }
+        if provider.is_some() {
+            self.stats.used += 1;
+        }
+        TagePrediction { taken: provider_taken, provider, alt_taken: alt.unwrap_or(base_taken) }
+    }
+
+    /// [`Predictor::train`] against gathered indices and tags (each
+    /// [`Tage::num_tagged`] long, as written by [`Tage::gather_block_probes`]
+    /// for this branch — `train` recomputes the very same values, so no
+    /// history is needed here). The provider counter/useful update is
+    /// reported through `patched(component, flat_index, new_word)` so the
+    /// block driver can forward it into younger branches' probed copies
+    /// (only the same component's lane of a younger slot can alias the
+    /// flat index, so one lane per slot needs checking); allocation and
+    /// grace-decay writes happen only on mispredictions, which terminate
+    /// the fetch block, so they never need forwarding.
+    #[inline]
+    pub fn train_probed(
+        &mut self,
+        pc: u64,
+        (taken, prediction): (bool, TagePrediction),
+        idx: &[u32],
+        tags: &[u16],
+        mut patched: impl FnMut(usize, u32, u32),
+    ) {
+        let mispredicted = prediction.taken != taken;
+        if mispredicted {
+            self.stats.incorrect += 1;
+        } else {
+            self.stats.correct += 1;
+        }
+
+        // Update the provider.
+        match prediction.provider {
+            Some(comp) => {
+                let k = idx[comp] as usize;
+                let entry = self.entries[k];
+                let mut ctr = entry_ctr(entry);
+                let mut useful = entry_useful(entry);
+                ctr = if taken { (ctr + 1).min(3) } else { (ctr - 1).max(-4) };
+                if prediction.taken != prediction.alt_taken {
+                    if !mispredicted {
+                        useful = (useful + 1).min(3);
+                    } else {
+                        useful = useful.saturating_sub(1);
+                    }
+                }
+                let new = pack_entry(entry_tag(entry), ctr, useful);
+                self.entries[k] = new;
+                patched(comp, idx[comp], new);
+            }
+            None => {
+                let k = self.base_index(pc);
+                let c = &mut self.base[k];
+                *c = if taken { (*c + 1).min(1) } else { (*c - 1).max(-2) };
+            }
+        }
+
+        // Allocate a new entry in a longer-history component on a
+        // misprediction.
+        if mispredicted {
+            let start = prediction.provider.map(|p| p + 1).unwrap_or(0);
+            let mut allocated = false;
+            for comp in start..self.config.num_tagged {
+                let k = idx[comp] as usize;
+                if entry_useful(self.entries[k]) == 0 {
+                    self.entries[k] = pack_entry(tags[comp], if taken { 0 } else { -1 }, 0);
+                    allocated = true;
+                    break;
+                }
+            }
+            if !allocated && self.lfsr.one_in(4) {
+                // Grace: periodically age useful bits so allocation does not
+                // starve.
+                for &flat in &idx[start..self.config.num_tagged] {
+                    let k = flat as usize;
+                    let entry = self.entries[k];
+                    self.entries[k] = pack_entry(
+                        entry_tag(entry),
+                        entry_ctr(entry),
+                        entry_useful(entry).saturating_sub(1),
+                    );
+                }
+            }
+        }
     }
 }
 
@@ -330,15 +612,7 @@ impl Predictor for Tage {
     /// into the global history. Must be called once per outcome, after
     /// [`GlobalHistory::push`].
     fn on_history_update(&mut self, history: &GlobalHistory) {
-        for f in self.index_fold.iter_mut() {
-            f.update(history);
-        }
-        for f in self.tag_fold0.iter_mut() {
-            f.update(history);
-        }
-        for f in self.tag_fold1.iter_mut() {
-            f.update(history);
-        }
+        self.folds.advance(history);
     }
 
     fn config(&self) -> &TageConfig {

@@ -1,0 +1,190 @@
+//! SoA fold state against the per-object [`FoldedHistory`] reference.
+//!
+//! [`FoldStateSoa`] replaced one `FoldedHistory` object per fold with flat
+//! parallel arrays advanced in a single pass, plus a batched-block protocol
+//! (detached working copy + closed-form jump) the front end runs on. Every
+//! entry point must be *bit-identical* to replaying the same outcome
+//! stream through per-object folds:
+//!
+//! * `advance` after each push, with `save_into`/`restore` checkpoints and
+//!   rollbacks landing exactly where the per-object state (cloned at the
+//!   checkpoint) lands;
+//! * `advance_values` stepping a detached working copy through a fetch
+//!   block off precomputed evicted-bit windows — including the AVX2 build,
+//!   pinned against the scalar reference on every step;
+//! * `virtual_value` / `jump` evaluating the closed form of the fold
+//!   recurrence at every block prefix.
+//!
+//! The lane family under test is the full Table I TAGE geometry — all
+//! twelve history lengths in all three fold roles (index, tag fold 0, tag
+//! fold 1), exactly what `Tage::new` builds — plus one full-window lane
+//! (`orig_len == MAX_HISTORY_BITS`, never evicts) for the edge the Table I
+//! lengths do not reach.
+
+use proptest::collection;
+use proptest::prelude::*;
+use rsep_predictors::history::MAX_HISTORY_BITS;
+use rsep_predictors::{FoldStateSoa, FoldedHistory, GlobalHistory, TageConfig};
+
+/// The lane geometry `Tage::new(TageConfig::table1())` builds — every
+/// Table I history length in each of the three fold roles — plus a
+/// full-window lane.
+fn table1_geometry() -> Vec<(usize, usize)> {
+    let cfg = TageConfig::table1();
+    let mut geometry = Vec::with_capacity(3 * cfg.num_tagged + 1);
+    geometry.extend((0..cfg.num_tagged).map(|i| (cfg.history_length(i), cfg.tagged_log2 as usize)));
+    geometry.extend((0..cfg.num_tagged).map(|i| (cfg.history_length(i), cfg.tag_bits[i] as usize)));
+    geometry.extend(
+        (0..cfg.num_tagged)
+            .map(|i| (cfg.history_length(i), (cfg.tag_bits[i] as usize).saturating_sub(1).max(1))),
+    );
+    geometry.push((MAX_HISTORY_BITS, 13));
+    geometry
+}
+
+fn per_object(geometry: &[(usize, usize)]) -> Vec<FoldedHistory> {
+    geometry.iter().map(|&(orig, comp)| FoldedHistory::new(orig, comp)).collect()
+}
+
+/// Packs the evicted-bit window lane `orig` sees over a block of `taken`
+/// outcomes pushed after `h` — the oracle construction of the windows
+/// `Tage::begin_block` prepares. Bit `len - 1 - j` is the bit leaving the
+/// lane's window at block step `j`: `orig - 1 - j` pushes old at block
+/// start, or one of the block's own outcomes once the block outlives the
+/// window. Full-window lanes never evict.
+fn evicted_window(h: &GlobalHistory, taken: &[bool], orig: usize) -> u64 {
+    if orig >= MAX_HISTORY_BITS {
+        return 0;
+    }
+    let mut window = 0u64;
+    for j in 0..taken.len() {
+        let bit = if j < orig { h.bit(orig - 1 - j) } else { taken[j - orig] };
+        window = (window << 1) | bit as u64;
+    }
+    window
+}
+
+proptest! {
+    /// Replays a random outcome stream — interleaved with checkpoint and
+    /// rollback (squash) points — through the SoA family and the
+    /// per-object folds: every lane must match after every operation.
+    #[test]
+    fn soa_replay_with_rollbacks_matches_per_object_folds(
+        ops in collection::vec((any::<bool>(), 0u8..10), 1..600)
+    ) {
+        let geometry = table1_geometry();
+        let mut soa = FoldStateSoa::new(&geometry);
+        let mut objects = per_object(&geometry);
+        let mut h = GlobalHistory::new();
+
+        let mut saved = Vec::new();
+        let mut saved_objects: Option<(Vec<FoldedHistory>, GlobalHistory)> = None;
+        for (step, &(taken, kind)) in ops.iter().enumerate() {
+            match kind {
+                // Checkpoint: the SoA side saves just the folded values;
+                // the reference side clones everything.
+                0 => {
+                    soa.save_into(&mut saved);
+                    saved_objects = Some((objects.clone(), h.clone()));
+                }
+                // Rollback (squash): both sides return to the checkpoint.
+                1 => {
+                    if let Some((ckpt_objects, ckpt_h)) = &saved_objects {
+                        soa.restore(&saved);
+                        objects = ckpt_objects.clone();
+                        h = ckpt_h.clone();
+                    }
+                }
+                // Push an outcome (the common case).
+                _ => {
+                    h.push(taken, 0x40_0000 + step as u64 * 4);
+                    soa.advance(&h);
+                    for f in objects.iter_mut() {
+                        f.update(&h);
+                    }
+                }
+            }
+            for (lane, f) in objects.iter().enumerate() {
+                prop_assert_eq!(
+                    soa.value(lane), f.value(),
+                    "lane {} diverges after op {} (kind {})", lane, step, kind
+                );
+            }
+        }
+    }
+
+    /// Steps the batched-block working copy through random fetch blocks
+    /// after a random warm-up: on every block step the working copy (AVX2
+    /// dispatch *and* scalar reference), the closed-form `virtual_value`
+    /// prefix and the per-object folds replayed over real pushes must all
+    /// hold the same 36-lane state; the final `jump` must commit it.
+    #[test]
+    fn block_working_copy_matches_per_object_replay(
+        warm in collection::vec(any::<bool>(), 0..300),
+        block in collection::vec(any::<bool>(), 1..17)
+    ) {
+        let geometry = table1_geometry();
+        let mut soa = FoldStateSoa::new(&geometry);
+        let mut objects = per_object(&geometry);
+        let mut h = GlobalHistory::new();
+        for (i, &t) in warm.iter().enumerate() {
+            h.push(t, 0x1000 + i as u64 * 4);
+            soa.advance(&h);
+            for f in objects.iter_mut() {
+                f.update(&h);
+            }
+        }
+
+        let len = block.len();
+        let outcomes = block.iter().fold(0u64, |packed, &t| (packed << 1) | t as u64);
+        let windows: Vec<u64> =
+            geometry.iter().map(|&(orig, _)| evicted_window(&h, &block, orig)).collect();
+
+        // The working copy and its scalar shadow, stepped branch by branch
+        // as `Tage::advance_block` does; per-object folds follow real
+        // pushes into a cloned history.
+        let mut values = soa.values().to_vec();
+        let mut values_scalar = values.clone();
+        let mut ref_h = h.clone();
+        for (j, &taken) in block.iter().enumerate() {
+            let shift = (len - 1 - j) as u32;
+            let inserted = (outcomes >> shift) & 1;
+            soa.advance_values(&mut values, inserted, &windows, shift);
+            soa.advance_values_scalar(&mut values_scalar, inserted, &windows, shift);
+            prop_assert_eq!(
+                &values, &values_scalar,
+                "AVX2 dispatch diverges from the scalar reference at block step {}", j
+            );
+            ref_h.push(taken, 0x9000 + j as u64 * 4);
+            for f in objects.iter_mut() {
+                f.update(&ref_h);
+            }
+            for (lane, f) in objects.iter().enumerate() {
+                prop_assert_eq!(
+                    values[lane], f.value(),
+                    "working copy lane {} diverges at block step {}", lane, j
+                );
+            }
+            // The closed form evaluates the same prefix without stepping.
+            let done = j + 1;
+            let tail = (len - done) as u32;
+            for lane in 0..geometry.len() {
+                prop_assert_eq!(
+                    soa.virtual_value(lane, done, outcomes >> tail, windows[lane] >> tail),
+                    values[lane],
+                    "virtual_value lane {} diverges at {}-step prefix", lane, done
+                );
+            }
+        }
+
+        // Committing the whole block in one jump lands on the same state.
+        let mut jumped = soa.clone();
+        jumped.jump(len, outcomes, |lane| windows[lane]);
+        for (lane, f) in objects.iter().enumerate() {
+            prop_assert_eq!(
+                jumped.value(lane), f.value(),
+                "jump lane {} diverges after a {}-branch block", lane, len
+            );
+        }
+    }
+}

@@ -19,8 +19,14 @@ pub enum Json {
     /// `true` / `false`.
     Bool(bool),
     /// A finite number (non-finite values serialise as `null`, like
-    /// serde_json).
+    /// serde_json). Integral values serialise with a trailing `.0`
+    /// (serde_json's f64 behaviour) — the byte-stable form every campaign
+    /// report uses.
     Num(f64),
+    /// An integer, serialised without a fractional part (serde_json's u64
+    /// behaviour). Used for genuinely discrete quantities such as host
+    /// core counts; campaign measurement values stay `Num`.
+    Int(i64),
     /// A string.
     Str(String),
     /// An array.
@@ -51,10 +57,19 @@ impl Json {
         }
     }
 
-    /// The numeric payload, if this is a number.
+    /// The numeric payload, if this is a number (integers included).
     pub fn as_f64(&self) -> Option<f64> {
         match self {
             Json::Num(n) => Some(*n),
+            Json::Int(i) => Some(*i as f64),
+            _ => None,
+        }
+    }
+
+    /// The integer payload, if this is an integer.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Json::Int(i) => Some(*i),
             _ => None,
         }
     }
@@ -126,6 +141,7 @@ impl Json {
                     out.push_str("null");
                 }
             }
+            Json::Int(i) => out.push_str(&i.to_string()),
             Json::Str(s) => write_escaped(out, s),
             Json::Array(items) => {
                 out.push('[');
@@ -367,6 +383,7 @@ impl<'a> Parser<'a> {
 
     fn number(&mut self) -> Result<Json, ParseError> {
         let start = self.pos;
+        let mut integral = true;
         if self.peek() == Some(b'-') {
             self.pos += 1;
         }
@@ -374,12 +391,14 @@ impl<'a> Parser<'a> {
             self.pos += 1;
         }
         if self.peek() == Some(b'.') {
+            integral = false;
             self.pos += 1;
             while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
                 self.pos += 1;
             }
         }
         if matches!(self.peek(), Some(b'e' | b'E')) {
+            integral = false;
             self.pos += 1;
             if matches!(self.peek(), Some(b'+' | b'-')) {
                 self.pos += 1;
@@ -389,6 +408,14 @@ impl<'a> Parser<'a> {
             }
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        // Integer syntax round-trips as `Int` (falling back to f64 for
+        // magnitudes beyond i64, like serde_json's arbitrary-precision
+        // fallback); anything with a fraction or exponent is `Num`.
+        if integral {
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Json::Int(i));
+            }
+        }
         text.parse::<f64>()
             .map(Json::Num)
             .map_err(|_| ParseError { offset: start, message: format!("bad number '{text}'") })
@@ -429,6 +456,26 @@ mod tests {
         assert_eq!(Json::parse(&text).unwrap(), v);
         let compact = v.to_string_compact();
         assert_eq!(Json::parse(&compact).unwrap(), v);
+    }
+
+    #[test]
+    fn integers_serialise_without_a_fraction_and_round_trip() {
+        let v = Json::Object(vec![
+            ("cores".into(), Json::Int(8)),
+            ("offset".into(), Json::Int(-3)),
+            ("rate".into(), Json::Num(8.0)),
+        ]);
+        assert_eq!(v.to_string_compact(), "{\"cores\":8,\"offset\":-3,\"rate\":8.0}");
+        assert_eq!(Json::parse(&v.to_string_pretty()).unwrap(), v);
+        assert_eq!(Json::parse("42").unwrap(), Json::Int(42));
+        // Fractions and exponents stay floats; i64 overflow falls back.
+        assert_eq!(Json::parse("42.0").unwrap(), Json::Num(42.0));
+        assert_eq!(Json::parse("4e2").unwrap(), Json::Num(400.0));
+        assert_eq!(Json::parse("99999999999999999999").unwrap(), Json::Num(1e20));
+        // Numeric accessors cover both forms; as_i64 only the integer.
+        assert_eq!(Json::Int(8).as_f64(), Some(8.0));
+        assert_eq!(Json::Int(8).as_i64(), Some(8));
+        assert_eq!(Json::Num(8.0).as_i64(), None);
     }
 
     #[test]

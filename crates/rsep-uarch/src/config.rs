@@ -27,20 +27,23 @@ pub enum SchedulerKind {
 /// Which fetch-stage prediction protocol the core uses.
 ///
 /// Both produce bit-identical [`SimStats`](crate::SimStats) — the
-/// per-branch loop is retained for one PR as the oracle for the batched
-/// fetch-block path and is exercised against it by the golden-stats and
-/// property tests. Simulated behaviour is the same; only simulator
-/// throughput differs.
+/// sequential probe path is retained for one PR as the oracle for the
+/// gather/probe/resolve batched path and is exercised against it by the
+/// golden-stats and property tests. Simulated behaviour is the same; only
+/// simulator throughput differs. (The per-instruction `PerBranch` loop of
+/// PR 5 is gone: its equivalence proofs landed, and `SequentialProbe`
+/// inherits its role as the reference arm.)
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum FrontendKind {
     /// One [`PredictorStack::predict_block`](rsep_predictors::PredictorStack::predict_block)
-    /// call resolves the whole fetch block's branches per cycle. The
-    /// default.
+    /// call resolves the whole fetch block's branches per cycle with
+    /// batched per-block TAGE table probes. The default.
     #[default]
     BatchedBlock,
-    /// The original per-instruction pull/predict/push loop, kept as the
-    /// reference implementation.
-    PerBranch,
+    /// The sequential probe reference:
+    /// [`PredictorStack::predict_block_sequential`](rsep_predictors::PredictorStack::predict_block_sequential),
+    /// one full table walk per branch.
+    SequentialProbe,
 }
 
 /// Front-end, back-end and memory parameters of the simulated core.
@@ -433,7 +436,7 @@ mod tests {
         };
         // Both fetch protocols are observationally identical, so cached
         // cells are shared between them.
-        assert_eq!(digest(FrontendKind::BatchedBlock), digest(FrontendKind::PerBranch));
+        assert_eq!(digest(FrontendKind::BatchedBlock), digest(FrontendKind::SequentialProbe));
     }
 
     #[test]

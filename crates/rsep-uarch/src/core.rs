@@ -301,8 +301,17 @@ impl PortBudget {
 }
 
 /// The cycle-level core.
+///
+/// Generic over the speculation engine so every per-branch
+/// ([`SpecEngine::on_branch`]) and per-instruction (`at_rename` /
+/// `at_commit` / `release_register`) engine call is statically dispatched
+/// and inlines into the pipeline loop — the monomorphised front end of
+/// PR 9. `Core<Box<dyn SpecEngine>>` (the default parameter, served by the
+/// forwarding impl on `Box`) keeps the dynamically-dispatched construction
+/// surface for callers that pick the engine at runtime without naming its
+/// type.
 #[derive(Debug)]
-pub struct Core {
+pub struct Core<E: SpecEngine = Box<dyn SpecEngine>> {
     config: CoreConfig,
     clock: u64,
     hierarchy: CacheHierarchy,
@@ -356,7 +365,7 @@ pub struct Core {
     /// computation is a shift instead of a division.
     fetch_block_shift: u32,
     last_fetch_block: u64,
-    engine: Box<dyn SpecEngine>,
+    engine: E,
     stats: SimStats,
     /// Per-stage cycle attribution (the `obs` observability feature).
     /// Deliberately outside [`SimStats`]: attribution describes the
@@ -379,14 +388,27 @@ pub struct Core {
     last_true_commit_cycle: u64,
 }
 
-impl Core {
+impl Core<crate::engine::NullEngine> {
+    /// Creates a baseline core (no speculation engine), fully
+    /// monomorphised for [`NullEngine`](crate::engine::NullEngine) — its
+    /// empty hooks compile away entirely.
+    pub fn baseline(config: CoreConfig) -> Core<crate::engine::NullEngine> {
+        Core::new(config, crate::engine::NullEngine)
+    }
+}
+
+impl<E: SpecEngine> Core<E> {
     /// Creates a core with the given configuration and speculation engine.
+    ///
+    /// Passing the engine by value (any `E: SpecEngine`, concrete or
+    /// boxed) monomorphises the whole pipeline for it; `Box<dyn
+    /// SpecEngine>` still works for callers that need runtime selection.
     ///
     /// # Panics
     ///
     /// Panics if the configuration is inconsistent (see
     /// [`CoreConfig::validate`]).
-    pub fn new(config: CoreConfig, engine: Box<dyn SpecEngine>) -> Core {
+    pub fn new(config: CoreConfig, engine: E) -> Core<E> {
         if let Err(problem) = config.validate() {
             panic!("invalid core configuration: {problem}");
         }
@@ -444,11 +466,6 @@ impl Core {
             last_commit_cycle: 0,
             last_true_commit_cycle: 0,
         }
-    }
-
-    /// Creates a baseline core (no speculation engine).
-    pub fn baseline(config: CoreConfig) -> Core {
-        Core::new(config, Box::new(crate::engine::NullEngine))
     }
 
     /// Current cycle.
@@ -538,8 +555,8 @@ impl Core {
     }
 
     /// The speculation engine driving this core.
-    pub fn engine(&self) -> &dyn SpecEngine {
-        self.engine.as_ref()
+    pub fn engine(&self) -> &E {
+        &self.engine
     }
 
     /// Validates internal register-file bookkeeping: the free lists must
@@ -567,7 +584,7 @@ impl Core {
     /// can record the failed cell and continue.
     pub fn run(
         &mut self,
-        trace: &mut dyn Iterator<Item = DynInst>,
+        trace: &mut impl Iterator<Item = DynInst>,
         commits: u64,
     ) -> Result<u64, SimError> {
         let target = self.stats.committed + commits;
@@ -614,7 +631,7 @@ impl Core {
     }
 
     /// Advances the core by one cycle.
-    fn step(&mut self, trace: &mut dyn Iterator<Item = DynInst>) {
+    fn step(&mut self, trace: &mut impl Iterator<Item = DynInst>) {
         self.resolve_redirect();
         self.commit();
         self.issue();
@@ -1459,7 +1476,7 @@ impl Core {
 
     // ------------------------------------------------------------- fetch
 
-    fn fetch(&mut self, trace: &mut dyn Iterator<Item = DynInst>) {
+    fn fetch(&mut self, trace: &mut impl Iterator<Item = DynInst>) {
         if self.clock < self.fetch_resume_at || self.pending_redirect.is_some() {
             obs! {
                 self.attribution.fetch.redirect += 1;
@@ -1472,8 +1489,8 @@ impl Core {
         #[cfg(feature = "obs")]
         let queue_was_full = self.fetch_queue.len() >= self.config.fetch_queue_size;
         match self.config.frontend {
-            FrontendKind::BatchedBlock => self.fetch_batched(trace),
-            FrontendKind::PerBranch => self.fetch_per_branch(trace),
+            FrontendKind::BatchedBlock => self.fetch_block(trace, false),
+            FrontendKind::SequentialProbe => self.fetch_block(trace, true),
         }
         self.resolve_fetch_batch();
         obs! {
@@ -1495,18 +1512,21 @@ impl Core {
         }
     }
 
-    /// Batched fetch: enqueue the cycle's fetch block instruction by
+    /// Block fetch: enqueue the cycle's fetch block instruction by
     /// instruction (recording a rollback mark per branch), then resolve
-    /// every branch of the block with **one**
-    /// [`PredictorStack::predict_block`] call — in fetch order, stopping
-    /// at the first misprediction. Instructions enqueued past a
-    /// mispredicted branch are unwound: until the block's i-cache batch
-    /// resolves at the end of the fetch stage, nothing they did has left
-    /// the fetch stage's own buffers, so popping them back into the
-    /// replay queue and truncating the batch restores exactly the state
-    /// the per-branch reference path would have produced (see
-    /// `DESIGN.md`).
-    fn fetch_batched(&mut self, trace: &mut dyn Iterator<Item = DynInst>) {
+    /// every branch of the block with **one** predictor-stack call — in
+    /// fetch order, stopping at the first misprediction. With
+    /// `sequential` false that call is the batched gather/probe/resolve
+    /// [`PredictorStack::predict_block`]; with `sequential` true it is
+    /// the [`PredictorStack::predict_block_sequential`] reference (one
+    /// full table walk per branch) — bit-identical by construction and
+    /// pinned so by the golden-stats and oracle tests. Instructions
+    /// enqueued past a mispredicted branch are unwound: until the block's
+    /// i-cache batch resolves at the end of the fetch stage, nothing they
+    /// did has left the fetch stage's own buffers, so popping them back
+    /// into the replay queue and truncating the batch restores exactly
+    /// the state a per-branch loop would have produced (see `DESIGN.md`).
+    fn fetch_block(&mut self, trace: &mut impl Iterator<Item = DynInst>, sequential: bool) {
         let mut requests = std::mem::take(&mut self.predict_requests);
         let mut marks = std::mem::take(&mut self.predict_marks);
         debug_assert!(requests.is_empty() && marks.is_empty());
@@ -1552,8 +1572,12 @@ impl Core {
             }
         }
 
-        // One batched call resolves the block's branches in fetch order.
-        let resolved = self.stack.predict_block(&mut requests);
+        // One call resolves the block's branches in fetch order.
+        let resolved = if sequential {
+            self.stack.predict_block_sequential(&mut requests)
+        } else {
+            self.stack.predict_block(&mut requests)
+        };
 
         // The engine observes exactly the resolved branches, in fetch
         // order (its history state is disjoint from the stack's, so
@@ -1581,47 +1605,6 @@ impl Core {
         self.predict_requests = requests;
         marks.clear();
         self.predict_marks = marks;
-    }
-
-    /// Per-branch fetch: the original pull/predict/push loop, retained for
-    /// one PR as the oracle for [`Core::fetch_batched`].
-    fn fetch_per_branch(&mut self, trace: &mut dyn Iterator<Item = DynInst>) {
-        let mut fetched = 0;
-        let mut taken_branches = 0;
-        while fetched < self.config.fetch_width
-            && self.fetch_queue.len() < self.config.fetch_queue_size
-        {
-            let inst = match self.replay.pop_front() {
-                Some(inst) => inst,
-                None => match trace.next() {
-                    Some(inst) => inst,
-                    None => {
-                        self.trace_done = true;
-                        break;
-                    }
-                },
-            };
-            let mut mispredicted = false;
-            if let Some(branch) = inst.branch {
-                mispredicted = self.stack.predict_one(inst.pc, branch);
-                self.engine.on_branch(inst.pc, branch.taken);
-            }
-            let is_taken = inst.branch.map(|b| b.taken).unwrap_or(false);
-            let seq = inst.seq;
-            self.push_fetched(inst, mispredicted);
-            fetched += 1;
-
-            if mispredicted {
-                self.pending_redirect = Some(seq);
-                break;
-            }
-            if is_taken {
-                taken_branches += 1;
-                if taken_branches > self.config.fetch_taken_branches {
-                    break;
-                }
-            }
-        }
     }
 
     /// Enqueues one fetched instruction, charging the instruction cache
@@ -1985,7 +1968,7 @@ mod tests {
     }
 
     #[test]
-    fn batched_fetch_matches_the_per_branch_reference_on_generated_traces() {
+    fn batched_fetch_matches_the_sequential_probe_reference_on_generated_traces() {
         use rsep_trace::{BenchmarkProfile, TraceGenerator};
         for name in ["gcc", "mcf", "libquantum"] {
             let profile = BenchmarkProfile::by_name(name).unwrap();
@@ -1999,8 +1982,8 @@ mod tests {
                     core.take_stats()
                 };
                 let batched = run(FrontendKind::BatchedBlock);
-                let per_branch = run(FrontendKind::PerBranch);
-                assert_eq!(batched, per_branch, "{name} seed {seed}: fetch protocols diverge");
+                let sequential = run(FrontendKind::SequentialProbe);
+                assert_eq!(batched, sequential, "{name} seed {seed}: fetch protocols diverge");
             }
         }
     }

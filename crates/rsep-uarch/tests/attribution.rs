@@ -44,7 +44,7 @@ fn run_attributed(
 fn stage_counters_sum_to_cycles_on_real_traces() {
     for profile in ["gcc", "mcf"] {
         for scheduler in [SchedulerKind::EventDriven, SchedulerKind::Polling] {
-            for frontend in [FrontendKind::BatchedBlock, FrontendKind::PerBranch] {
+            for frontend in [FrontendKind::BatchedBlock, FrontendKind::SequentialProbe] {
                 let a = run_attributed(profile, 5_000, scheduler, frontend);
                 // Work counters are sanity-bounded, not exact: every cycle
                 // loop commits at least the requested instructions.
