@@ -2,14 +2,18 @@
 //! campaign cell's wall-clock is spent *making* instructions rather than
 //! simulating them?
 //!
-//! Three modes over the same gcc workload as `cycle_loop`:
+//! Five modes over the same gcc workload as `cycle_loop`:
 //!
 //! * `trace_gen/generate` — [`TraceGenerator`] iteration alone (the cost
 //!   the simulator pays on top of simulation in a streamed run);
 //! * `trace_gen/simulate_pregenerated` — the baseline core over a
 //!   pre-collected `Vec<DynInst>` (pure simulation);
 //! * `trace_gen/simulate_streaming` — the baseline core pulling straight
-//!   from a live generator (how campaign cells actually run).
+//!   from a live generator (how campaign cells actually run);
+//! * `trace_gen/record` — [`record_profile`] writing the workload as an
+//!   in-memory trace file (generation + delta/varint encoding);
+//! * `trace_gen/replay` — the baseline core pulling from a parsed trace
+//!   file segment (decode + simulation, how `rsep trace replay` runs).
 //!
 //! The `throughput` entry derives the generation share of streamed
 //! wall-clock as `generate / streaming` — the standalone generation cost
@@ -25,7 +29,8 @@
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use rsep_bench::record::BenchRecord;
 use rsep_stats::json::Json;
-use rsep_trace::{BenchmarkProfile, TraceGenerator};
+use rsep_trace::{BenchmarkProfile, CheckpointSpec, TraceGenerator};
+use rsep_tracefile::{record_profile, AnonScheme, TraceFile, RECORD_SLACK};
 use rsep_uarch::{Core, CoreConfig};
 use std::time::Instant;
 
@@ -36,6 +41,13 @@ const SEED: u64 = 42;
 
 fn profile() -> BenchmarkProfile {
     BenchmarkProfile::by_name("gcc").unwrap()
+}
+
+/// One-checkpoint spec whose recorded segment holds exactly [`INSTS`]
+/// instructions, so record/replay numbers are comparable to the other
+/// modes.
+fn record_spec() -> CheckpointSpec {
+    CheckpointSpec::scaled(1, 0, INSTS as u64 - RECORD_SLACK)
 }
 
 /// Generation alone: drain the generator, folding PCs so the work cannot
@@ -65,12 +77,32 @@ fn simulate_streaming(profile: &BenchmarkProfile) -> u64 {
     core.stats().cycles
 }
 
+/// Trace recording: generate the workload and encode it as an in-memory
+/// trace file, the way `rsep trace record` does per profile.
+fn record(profile: &BenchmarkProfile) -> u64 {
+    let bytes = record_profile(Vec::new(), profile, &record_spec(), SEED, AnonScheme::KeyedBlock)
+        .expect("bench recording cannot fail");
+    bytes.len() as u64
+}
+
+/// Trace replay: the core pulls decoded instructions straight from a
+/// parsed trace-file segment.
+fn replay(file: &TraceFile) -> u64 {
+    let mut core = Core::baseline(CoreConfig::table1());
+    let mut trace = file.segment(0).expect("bench trace has segment 0");
+    core.run(&mut trace, COMMITS).expect("bench trace cannot wedge");
+    core.stats().cycles
+}
+
 fn bench(c: &mut Criterion) {
     let profile = profile();
     let insts: Vec<rsep_isa::DynInst> = TraceGenerator::new(&profile, SEED).take(INSTS).collect();
     // The streamed and pregenerated runs must simulate identical cycles —
     // the comparison is meaningless otherwise.
     assert_eq!(simulate_pregenerated(&insts), simulate_streaming(&profile));
+    let bytes = record_profile(Vec::new(), &profile, &record_spec(), SEED, AnonScheme::KeyedBlock)
+        .expect("bench recording cannot fail");
+    let file = TraceFile::parse(bytes, "bench".to_string()).expect("bench trace parses");
     c.bench_function("trace_gen/generate", |b| b.iter(|| black_box(generate(&profile))));
     c.bench_function("trace_gen/simulate_pregenerated", |b| {
         b.iter(|| black_box(simulate_pregenerated(&insts)))
@@ -78,6 +110,8 @@ fn bench(c: &mut Criterion) {
     c.bench_function("trace_gen/simulate_streaming", |b| {
         b.iter(|| black_box(simulate_streaming(&profile)))
     });
+    c.bench_function("trace_gen/record", |b| b.iter(|| black_box(record(&profile))));
+    c.bench_function("trace_gen/replay", |b| b.iter(|| black_box(replay(&file))));
 }
 
 /// Default output path: the workspace root, next to the other records.
@@ -108,10 +142,18 @@ fn throughput(_c: &mut Criterion) {
         (best, payload)
     };
 
+    let trace_bytes =
+        record_profile(Vec::new(), &profile, &record_spec(), SEED, AnonScheme::KeyedBlock)
+            .expect("bench recording cannot fail");
+    let file_bytes = trace_bytes.len() as u64;
+    let file = TraceFile::parse(trace_bytes, "bench".to_string()).expect("bench trace parses");
+
     let (gen_secs, _) = best_of("generate", &mut || generate(&profile));
     let (pregen_secs, cycles) =
         best_of("simulate_pregenerated", &mut || simulate_pregenerated(&insts));
     let (stream_secs, _) = best_of("simulate_streaming", &mut || simulate_streaming(&profile));
+    let (record_secs, _) = best_of("record", &mut || record(&profile));
+    let (replay_secs, replay_cycles) = best_of("replay", &mut || replay(&file));
 
     let share_pct = (gen_secs / stream_secs * 100.0).min(100.0);
     println!("trace_gen/throughput/generation_share       {share_pct:>8.1} % of streamed run");
@@ -148,6 +190,22 @@ fn throughput(_c: &mut Criterion) {
                 "simulate_streaming",
                 stream_secs,
                 vec![("mcycles_per_sec", mcycles(stream_secs))],
+            ),
+            mode_result(
+                "record",
+                record_secs,
+                vec![
+                    ("file_bytes", Json::Num(file_bytes as f64)),
+                    ("mb_per_sec", Json::Num(round2(file_bytes as f64 / record_secs / 1e6))),
+                ],
+            ),
+            mode_result(
+                "replay",
+                replay_secs,
+                vec![(
+                    "mcycles_per_sec",
+                    Json::Num(round2(replay_cycles as f64 / replay_secs / 1e6)),
+                )],
             ),
         ],
         attribution: Json::Null,

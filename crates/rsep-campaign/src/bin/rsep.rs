@@ -13,6 +13,14 @@
 //!   table1  simulated core configuration (Table I)
 //!   sweep   sensitivity sweeps (history depth, ISRB size, hash width)
 //!   merge   join shard .jsonl files into one report
+//!   trace   record / analyze / replay binary trace files:
+//!             trace record <fig4|fig5|fig6|fig7> --dir D   freeze every
+//!                     profile of the campaign into D/<profile>.rseptrc
+//!             trace analyze <file> [--json]   behaviour distributions
+//!                     (op mix, branch rates, value locality, working sets)
+//!             trace replay <fig4|fig5|fig6|fig7> --dir D   run the grid
+//!                     from the recorded corpus; the report is
+//!                     byte-identical to the live campaign's
 //!
 //! flags:
 //!   --jobs N         worker threads (default: RSEP_JOBS or all cores)
@@ -41,6 +49,9 @@
 //!   --progress       heartbeat on stderr: `[done/total] cells  N cells/s
 //!                    ETA Ts` (off by default; stdout is byte-identical
 //!                    with or without it)
+//!   --dir D          corpus directory for `trace record` / `trace replay`
+//!   --raw-addresses  with `trace record`: store data addresses verbatim
+//!                    instead of applying the keyed block translation
 //!   --quiet          suppress progress and timing on stderr
 //!   --version        print the version and exit
 //! ```
@@ -60,8 +71,10 @@ use rsep_campaign::{
 };
 use rsep_core::MechanismConfig;
 use rsep_predictors::{BtbConfig, TageConfig};
+use rsep_stats::json::Json;
 use rsep_stats::Experiment;
 use rsep_trace::CheckpointSpec;
+use rsep_tracefile::AnonScheme;
 use rsep_uarch::CoreConfig;
 use std::process::ExitCode;
 
@@ -90,7 +103,8 @@ enum StoreChoice {
 #[derive(Debug)]
 struct Cli {
     command: String,
-    /// Positional arguments after the command (shard files for `merge`).
+    /// Positional arguments after the command (shard files for `merge`,
+    /// action and target for `trace`).
     files: Vec<String>,
     jobs: Option<usize>,
     smoke: bool,
@@ -106,14 +120,18 @@ struct Cli {
     storage: bool,
     attribution: bool,
     progress: bool,
+    dir: Option<String>,
+    raw_addresses: bool,
 }
 
 fn usage() -> &'static str {
-    "usage: rsep <run|fig1|fig4|fig5|fig6|fig7|table1|sweep|merge> \
+    "usage: rsep <run|fig1|fig4|fig5|fig6|fig7|table1|sweep|merge|trace> \
      [--jobs N] [--smoke] [--json|--csv|--md] [--benchmarks list] \
      [--seed N] [--checkpoints N] [--warmup N] [--measure N] \
      [--store jsonl:path] [--shard i/n] [--cache-dir dir | --cache] [--storage] \
-     [--attribution] [--progress] [--quiet] [--version]"
+     [--attribution] [--progress] [--quiet] [--version]\n\
+     trace subcommands: rsep trace record <campaign> --dir D | \
+     rsep trace analyze <file> [--json] | rsep trace replay <campaign> --dir D"
 }
 
 fn parse_args(args: &[String]) -> Result<Cli, String> {
@@ -134,6 +152,8 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         storage: false,
         attribution: false,
         progress: false,
+        dir: None,
+        raw_addresses: false,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -206,13 +226,17 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
                 cli.store = StoreChoice::Cached(dir);
             }
             "--shard" => cli.shard = Some(Shard::parse(&value_of("--shard")?)?),
+            "--dir" => cli.dir = Some(value_of("--dir")?),
+            "--raw-addresses" => cli.raw_addresses = true,
             "--storage" => cli.storage = true,
             "--attribution" => cli.attribution = true,
             "--progress" => cli.progress = true,
             "--help" | "-h" => return Err(usage().to_string()),
             flag if flag.starts_with('-') => return Err(format!("unknown flag '{flag}'")),
             command if cli.command.is_empty() => cli.command = command.to_string(),
-            file if cli.command == "merge" => cli.files.push(file.to_string()),
+            file if cli.command == "merge" || cli.command == "trace" => {
+                cli.files.push(file.to_string())
+            }
             extra => return Err(format!("unexpected argument '{extra}'")),
         }
     }
@@ -430,6 +454,31 @@ fn validate(cli: &Cli) -> Result<(), Failure> {
     if cli.command == "merge" && cli.files.is_empty() {
         return Err(usage_error("merge needs at least one shard .jsonl file"));
     }
+    if cli.command == "trace" {
+        match cli.files.first().map(String::as_str) {
+            Some("record") | Some("replay") => {
+                if cli.files.len() != 2 {
+                    return Err(usage_error(
+                        "trace record/replay needs exactly one campaign (fig4|fig5|fig6|fig7)",
+                    ));
+                }
+                if cli.dir.is_none() {
+                    return Err(usage_error("trace record/replay needs --dir <directory>"));
+                }
+            }
+            Some("analyze") => {
+                if cli.files.len() != 2 {
+                    return Err(usage_error("trace analyze needs exactly one trace file"));
+                }
+            }
+            _ => return Err(usage_error("trace needs a subcommand: record, analyze or replay")),
+        }
+        if !matches!(cli.store, StoreChoice::Memory) || cli.shard.is_some() {
+            return Err(usage_error("--store/--shard/--cache are not supported with 'trace'"));
+        }
+    } else if cli.dir.is_some() || cli.raw_addresses {
+        return Err(usage_error("--dir/--raw-addresses are only supported with 'trace'"));
+    }
     if cli.storage && cli.command != "run" {
         return Err(usage_error("--storage is only supported with 'run'"));
     }
@@ -490,6 +539,136 @@ fn attribution_text(_cli: &Cli) -> Result<String, Failure> {
     ))
 }
 
+/// Resolves the campaign preset a trace corpus is recorded for / replayed
+/// against.
+fn trace_campaign(name: &str) -> Result<CampaignSpec, Failure> {
+    match name {
+        "fig4" => Ok(presets::fig4()),
+        "fig5" => Ok(presets::fig5()),
+        "fig6" => Ok(presets::fig6()),
+        "fig7" => Ok(presets::fig7()),
+        other => Err(usage_error(format!(
+            "'{other}' is not a recordable campaign (expected fig4, fig5, fig6 or fig7)"
+        ))),
+    }
+}
+
+/// Renders the analyze report: a header block describing the file, then
+/// the behaviour distributions of all segments combined.
+fn analyze_text(target: &str, file: &rsep_tracefile::TraceFile) -> String {
+    let h = file.header();
+    let report = rsep_tracefile::analyze(
+        (0..file.segment_count()).flat_map(|i| file.segment(i).expect("validated segment")),
+    );
+    let mut out = format!("trace {target}\n");
+    out.push_str(&format!("profile           {}\n", h.profile));
+    out.push_str(&format!(
+        "format            v{}.{}\n",
+        rsep_tracefile::format::FORMAT_MAJOR,
+        h.minor
+    ));
+    out.push_str(&format!("seed              {}\n", h.seed));
+    out.push_str(&format!(
+        "checkpoints       {} x ({} warm-up + {} measured + {} slack)\n",
+        h.checkpoints, h.warmup, h.measure, h.slack
+    ));
+    out.push_str(&format!("anonymisation     {}\n", anon_name(h.anon)));
+    out.push_str(&format!(
+        "payload           {} bytes ({:.2} bytes/instruction)\n\n",
+        file.payload_bytes(),
+        file.payload_bytes() as f64 / file.instructions().max(1) as f64
+    ));
+    out.push_str(&report.render_text());
+    out
+}
+
+fn anon_name(anon: AnonScheme) -> &'static str {
+    match anon {
+        AnonScheme::None => "none",
+        AnonScheme::KeyedBlock => "keyed-block",
+    }
+}
+
+/// The analyze report as JSON: file metadata plus the behaviour report.
+fn analyze_json(target: &str, file: &rsep_tracefile::TraceFile) -> Json {
+    let h = file.header();
+    let report = rsep_tracefile::analyze(
+        (0..file.segment_count()).flat_map(|i| file.segment(i).expect("validated segment")),
+    );
+    Json::object(vec![
+        ("file".into(), Json::Str(target.to_string())),
+        ("profile".into(), Json::Str(h.profile.clone())),
+        (
+            "format".into(),
+            Json::Str(format!("{}.{}", rsep_tracefile::format::FORMAT_MAJOR, h.minor)),
+        ),
+        ("seed".into(), Json::Str(h.seed.to_string())),
+        ("checkpoints".into(), Json::Int(h.checkpoints as i64)),
+        ("warmup".into(), Json::Int(h.warmup as i64)),
+        ("measure".into(), Json::Int(h.measure as i64)),
+        ("slack".into(), Json::Int(h.slack as i64)),
+        ("anonymisation".into(), Json::Str(anon_name(h.anon).to_string())),
+        ("payload_bytes".into(), Json::Int(file.payload_bytes() as i64)),
+        ("instructions".into(), Json::Int(file.instructions() as i64)),
+        ("report".into(), report.to_json()),
+    ])
+}
+
+/// `rsep trace <record|analyze|replay>`: the trace-file subsystem.
+fn run_trace(cli: &Cli) -> Result<(), Failure> {
+    let action = cli.files[0].as_str();
+    let target = cli.files[1].as_str();
+    match action {
+        "record" => {
+            let spec = cli.configure(trace_campaign(target)?)?;
+            let dir = std::path::PathBuf::from(cli.dir.as_deref().expect("validated"));
+            let anon = if cli.raw_addresses { AnonScheme::None } else { AnonScheme::KeyedBlock };
+            let written =
+                rsep_campaign::record_campaign(&dir, &spec, anon).map_err(runtime_error)?;
+            let mut out = String::new();
+            for trace in &written {
+                out.push_str(&format!(
+                    "recorded {}  {} instructions, {} bytes\n",
+                    trace.path.display(),
+                    trace.instructions,
+                    trace.bytes
+                ));
+            }
+            emit_text(&out);
+        }
+        "analyze" => {
+            let file = rsep_tracefile::TraceFile::open(std::path::Path::new(target))
+                .map_err(|e| runtime_error(format!("{target}: {e}")))?;
+            if cli.format == ReportFormat::Json {
+                emit_text(&analyze_json(target, &file).to_string_pretty());
+                emit_text("\n");
+            } else {
+                emit_text(&analyze_text(target, &file));
+            }
+        }
+        "replay" => {
+            let spec = cli.configure(trace_campaign(target)?)?;
+            let dir = std::path::Path::new(cli.dir.as_deref().expect("validated"));
+            let corpus = rsep_campaign::open_corpus(dir, &spec).map_err(runtime_error)?;
+            let jobs = cli.jobs.unwrap_or_else(rsep_campaign::jobs_from_env);
+            let executor =
+                Executor::new(jobs).with_progress(!cli.quiet).with_heartbeat(cli.progress);
+            let result =
+                rsep_campaign::replay_campaign(&executor, &spec, &corpus).map_err(runtime_error)?;
+            cli.emit_grid(&result);
+            cli.note(format!(
+                "{}: replayed {} cells from {} trace file(s) in {:.2?}",
+                result.id,
+                result.exec.cells,
+                corpus.len(),
+                result.exec.wall
+            ));
+        }
+        _ => unreachable!("validated"),
+    }
+    Ok(())
+}
+
 fn run_command(cli: &Cli) -> Result<(), Failure> {
     validate(cli)?;
     if cli.storage {
@@ -502,6 +681,7 @@ fn run_command(cli: &Cli) -> Result<(), Failure> {
     }
     match cli.command.as_str() {
         "table1" => emit_text(&table1_text()),
+        "trace" => run_trace(cli)?,
         "merge" => {
             let result = merge_stored(&cli.files).map_err(|e| runtime_error(e.to_string()))?;
             cli.emit_grid(&result);

@@ -60,12 +60,14 @@
 pub mod env;
 pub mod executor;
 pub mod presets;
+pub mod replay;
 pub mod report;
 pub mod spec;
 pub mod store;
 
 pub use env::jobs_from_env;
 pub use executor::{ExecStats, Executor};
+pub use replay::{open_corpus, record_campaign, replay_campaign, RecordedTrace};
 pub use report::ReportFormat;
 pub use spec::CampaignSpec;
 pub use store::{

@@ -1,13 +1,10 @@
 //! Golden-stats guard for the simulator-internals rewrites: every figure
 //! campaign of the paper, at smoke scale, must produce **bit-identical**
-//! results under
-//!
-//! * the event-driven scheduler and the retained polling oracle
-//!   ([`SchedulerKind`], PR 3), and
-//! * the batched gather/probe/resolve front end (SoA fold state plus
-//!   per-block TAGE bank probes behind `PredictorStack::predict_block`)
-//!   and the retained sequential-probe reference protocol
-//!   ([`FrontendKind`], PRs 5 and 9).
+//! results under the event-driven scheduler and the retained polling
+//! oracle ([`SchedulerKind`], PR 3). (The batched-vs-sequential-probe
+//! front-end arms retired with `FrontendKind` once the block-probe
+//! equivalence proofs landed; `tests/block_probe_oracle.rs` still pins
+//! the batched schedule against the per-branch protocol.)
 //!
 //! This is the end-to-end complement to the unit- and property-level
 //! equivalence tests: it drives the real campaign engine over the real
@@ -18,15 +15,10 @@
 //! determinism of the analysis itself.
 
 use rsep_campaign::{presets, Campaign, CampaignSpec};
-use rsep_uarch::{FrontendKind, SchedulerKind};
+use rsep_uarch::SchedulerKind;
 
 fn with_scheduler(mut spec: CampaignSpec, scheduler: SchedulerKind) -> CampaignSpec {
     spec.core_config.scheduler = scheduler;
-    spec
-}
-
-fn with_frontend(mut spec: CampaignSpec, frontend: FrontendKind) -> CampaignSpec {
-    spec.core_config.frontend = frontend;
     spec
 }
 
@@ -69,17 +61,6 @@ fn assert_campaign_identical(name: &str, spec: CampaignSpec) {
     );
 }
 
-/// The batched gather/probe/resolve front end (the default) against the
-/// retained sequential probe reference protocol.
-fn assert_batched_matches_sequential_probe(name: &str, spec: CampaignSpec) {
-    assert_campaigns_identical(
-        name,
-        "batched and sequential-probe front ends",
-        with_frontend(spec.clone(), FrontendKind::BatchedBlock),
-        with_frontend(spec, FrontendKind::SequentialProbe),
-    );
-}
-
 #[test]
 fn figure4_smoke_is_bit_identical_across_schedulers() {
     assert_campaign_identical("fig4", presets::fig4().smoke());
@@ -98,26 +79,6 @@ fn figure6_smoke_is_bit_identical_across_schedulers() {
 #[test]
 fn figure7_smoke_is_bit_identical_across_schedulers() {
     assert_campaign_identical("fig7", presets::fig7().smoke());
-}
-
-#[test]
-fn figure4_smoke_is_bit_identical_across_frontends() {
-    assert_batched_matches_sequential_probe("fig4", presets::fig4().smoke());
-}
-
-#[test]
-fn figure5_smoke_is_bit_identical_across_frontends() {
-    assert_batched_matches_sequential_probe("fig5", presets::fig5().smoke());
-}
-
-#[test]
-fn figure6_smoke_is_bit_identical_across_frontends() {
-    assert_batched_matches_sequential_probe("fig6", presets::fig6().smoke());
-}
-
-#[test]
-fn figure7_smoke_is_bit_identical_across_frontends() {
-    assert_batched_matches_sequential_probe("fig7", presets::fig7().smoke());
 }
 
 #[test]

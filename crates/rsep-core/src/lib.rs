@@ -58,6 +58,6 @@ pub use hrf::HashRegFile;
 pub use isrb::{Isrb, IsrbConfig, IsrbStats};
 pub use redundancy::{RedundancyAnalyzer, RedundancyConfig, RedundancyReport};
 pub use runner::{
-    checkpoint_seed, run_benchmark, run_checkpoint, run_comparison, BenchmarkResult,
-    CheckpointResult,
+    checkpoint_seed, run_benchmark, run_checkpoint, run_checkpoint_on, run_comparison,
+    BenchmarkResult, CheckpointResult,
 };

@@ -18,6 +18,7 @@
 
 use crate::config::MechanismConfig;
 use crate::engine::RsepEngine;
+use rsep_isa::DynInst;
 use rsep_trace::{BenchmarkProfile, CheckpointSpec, TraceGenerator};
 use rsep_uarch::{Core, CoreConfig, SimError, SimStats};
 
@@ -151,16 +152,32 @@ pub fn run_checkpoint(
     index: usize,
 ) -> CheckpointResult {
     let mut trace = TraceGenerator::new(profile, checkpoint_seed(seed, index));
+    run_checkpoint_on(&mut trace, mechanism, core_config, spec, index)
+}
+
+/// Simulates one checkpoint cell over an already-constructed instruction
+/// stream — the warm-up/reset/measure protocol of [`run_checkpoint`]
+/// without the generator construction, so the same cell can be driven
+/// from a live [`TraceGenerator`] or a recorded trace file
+/// (`rsep trace replay`). Feeding the identical stream produces
+/// bit-identical results by construction.
+pub fn run_checkpoint_on(
+    trace: &mut impl Iterator<Item = DynInst>,
+    mechanism: &MechanismConfig,
+    core_config: &CoreConfig,
+    spec: CheckpointSpec,
+    index: usize,
+) -> CheckpointResult {
     // By-value engine: the cell runs on `Core<RsepEngine>`, so every
     // per-branch / per-instruction engine hook is statically dispatched
     // and inlined into the pipeline loop.
     let engine = RsepEngine::new(mechanism.clone());
     let mut core = Core::new(core_config.clone(), engine);
-    if let Err(e) = core.run(&mut trace, spec.warmup) {
+    if let Err(e) = core.run(trace, spec.warmup) {
         return CheckpointResult::failed(index, &e);
     }
     core.reset_stats();
-    if let Err(e) = core.run(&mut trace, spec.measure) {
+    if let Err(e) = core.run(trace, spec.measure) {
         return CheckpointResult::failed(index, &e);
     }
     let stats = core.take_stats();

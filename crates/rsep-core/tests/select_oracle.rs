@@ -14,21 +14,11 @@ use proptest::prelude::*;
 use rsep_core::{run_checkpoint, MechanismConfig, RsepEngine};
 use rsep_isa::{ArchReg, BranchKind, DynInst, DynInstBuilder, OpClass};
 use rsep_trace::{BenchmarkProfile, CheckpointSpec};
-use rsep_uarch::{Core, CoreConfig, FrontendKind, SchedulerKind, SimStats};
+use rsep_uarch::{Core, CoreConfig, SchedulerKind, SimStats};
 
 fn config_with(scheduler: SchedulerKind) -> CoreConfig {
     let mut config = CoreConfig::small_test();
     config.scheduler = scheduler;
-    config
-}
-
-/// The event-driven scheduler with the retained sequential probe fetch
-/// protocol — compared against the default batched gather/probe/resolve
-/// front end to prove the block-probe refactor bit-identical under full
-/// speculation.
-fn sequential_probe_frontend_config() -> CoreConfig {
-    let mut config = CoreConfig::small_test();
-    config.frontend = FrontendKind::SequentialProbe;
     config
 }
 
@@ -125,9 +115,7 @@ fn simulate_with_engine(insts: &[DynInst], scheduler: SchedulerKind) -> SimStats
 
 proptest! {
     /// Random redundant DAGs under RSEP + VP: identical retirement (full
-    /// commit) and bit-identical statistics in both scheduler modes and
-    /// under both fetch protocols (batched block probes vs. the
-    /// sequential probe reference).
+    /// commit) and bit-identical statistics in both scheduler modes.
     #[test]
     fn schedulers_agree_under_speculative_squashes(
         raws in collection::vec(
@@ -141,8 +129,6 @@ proptest! {
         let polling = simulate_with_engine(&insts, SchedulerKind::Polling);
         prop_assert_eq!(event.committed, insts.len() as u64);
         prop_assert_eq!(&event, &polling);
-        let sequential = simulate_with_config(&insts, sequential_probe_frontend_config());
-        prop_assert_eq!(&event, &sequential);
     }
 }
 

@@ -26,12 +26,14 @@
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
 
+pub mod codec;
 pub mod fingerprint;
 pub mod hash;
 pub mod inst;
 pub mod op;
 pub mod reg;
 
+pub use codec::{CodecError, CodecState};
 pub use fingerprint::{Fingerprint, Fnv};
 pub use hash::FoldHash;
 pub use inst::{BranchInfo, BranchKind, DynInst, DynInstBuilder, MemInfo, MAX_SOURCES};

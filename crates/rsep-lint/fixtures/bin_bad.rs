@@ -1,0 +1,23 @@
+//! Fixture: the encoder packs `F_GHOST` that the decoder never tests, and
+//! the decoder checks `END_MARK` that the encoder never writes. The
+//! matched `F_MEM` flag and the lone `encode_orphan` are clean.
+
+const F_MEM: u8 = 1 << 0;
+const F_GHOST: u8 = 1 << 1;
+const END_MARK: u8 = 0xFF;
+
+pub fn encode_rec(flags: u8, out: &mut Vec<u8>) {
+    out.push(flags & (F_MEM | F_GHOST));
+}
+
+pub fn decode_rec(bytes: &[u8]) -> u8 {
+    let flags = bytes[0];
+    if flags == END_MARK {
+        return 0;
+    }
+    flags & F_MEM
+}
+
+pub fn encode_orphan(out: &mut Vec<u8>) {
+    out.push(END_MARK);
+}

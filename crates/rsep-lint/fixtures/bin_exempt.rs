@@ -1,0 +1,20 @@
+//! Exempted twin of `bin_bad.rs`: the asymmetric constants are declared
+//! deliberate.
+
+const F_MEM: u8 = 1 << 0;
+const F_GHOST: u8 = 1 << 1;
+const END_MARK: u8 = 0xFF;
+
+// lint: exempt(bin-roundtrip, END_MARK is a read-side sentinel never written by this encoder)
+pub fn encode_rec(flags: u8, out: &mut Vec<u8>) {
+    out.push(flags & (F_MEM | F_GHOST));
+}
+
+// lint: exempt(bin-roundtrip, F_GHOST is reserved for future writers and ignored when reading)
+pub fn decode_rec(bytes: &[u8]) -> u8 {
+    let flags = bytes[0];
+    if flags == END_MARK {
+        return 0;
+    }
+    flags & F_MEM
+}

@@ -54,8 +54,9 @@ use std::path::{Path, PathBuf};
 use lexer::{Directive, ReaderDecl, Token};
 use parse::ParsedFile;
 
-/// The nine enforced lints, in diagnostic-name form.
-pub const LINT_NAMES: [&str; 9] = [
+/// The ten enforced lints, in diagnostic-name form.
+pub const LINT_NAMES: [&str; 10] = [
+    "bin-roundtrip",
     "cfg-gate-consistency",
     "dead-pub-api",
     "determinism",
@@ -212,6 +213,7 @@ pub fn lint_sources_with_root(files: Vec<SourceFile>, root: Option<&Path>) -> Ve
     raw.extend(lints::merge_coverage(&units));
     raw.extend(lints::json_roundtrip(&units));
     raw.extend(lints::json_reader_checks(&units));
+    raw.extend(lints::bin_roundtrip(&units));
     raw.extend(lints::obs_gate(&units));
     raw.extend(lints::determinism(&units));
     for u in units.iter().filter(|u| u.tree == Tree::Src) {

@@ -145,6 +145,88 @@ pub fn merge_coverage(units: &[Unit]) -> Vec<Diagnostic> {
     diags
 }
 
+/// `ALL_CAPS`-with-underscore identifier: the naming shape of a binary
+/// layout constant (`F_MEM`, `FORMAT_MAJOR`, `MAX_SOURCES`). Plain
+/// one-word consts like `ALL` are excluded — they name tables, not wire
+/// layout.
+fn is_layout_const(name: &str) -> bool {
+    let mut first = true;
+    let mut has_underscore = false;
+    for c in name.chars() {
+        if first {
+            if !c.is_ascii_uppercase() {
+                return false;
+            }
+            first = false;
+        } else if c == '_' {
+            has_underscore = true;
+        } else if !c.is_ascii_uppercase() && !c.is_ascii_digit() {
+            return false;
+        }
+    }
+    has_underscore && !name.ends_with('_') && !name.contains("__")
+}
+
+/// Layout constants referenced by one body range.
+fn layout_consts(u: &Unit, body: (usize, usize)) -> BTreeSet<&str> {
+    body_idents(u, &[body]).into_iter().filter(|n| is_layout_const(n)).collect()
+}
+
+/// **bin-roundtrip** — binary-codec symmetry. An `encode_<x>` /
+/// `decode_<x>` free-function pair in one file is a two-sided wire codec;
+/// every layout constant (an `ALL_CAPS` identifier with an underscore,
+/// e.g. `F_MEM`, `FORMAT_MAJOR`) one side depends on must be referenced
+/// by the other. A flag byte the writer packs but the reader never tests
+/// — or a chunk id the reader skips that no writer emits — is a silently
+/// skewed on-disk format that round-trip tests with matched halves cannot
+/// catch. Functions with only one side present are skipped.
+pub fn bin_roundtrip(units: &[Unit]) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for u in units {
+        if u.tree != Tree::Src {
+            continue;
+        }
+        type Side = Option<((usize, usize), usize)>;
+        let mut pairs: BTreeMap<&str, (Side, Side)> = BTreeMap::new();
+        for f in &u.parsed.free_fns {
+            let Some(b) = f.body else { continue };
+            if let Some(p) = f.name.strip_prefix("encode_") {
+                pairs.entry(p).or_default().0.get_or_insert((b, f.line));
+            } else if let Some(p) = f.name.strip_prefix("decode_") {
+                pairs.entry(p).or_default().1.get_or_insert((b, f.line));
+            }
+        }
+        for (name, sides) in pairs {
+            let (Some((enc, enc_line)), Some((dec, dec_line))) = sides else { continue };
+            let enc_consts = layout_consts(u, enc);
+            let dec_consts = layout_consts(u, dec);
+            for c in enc_consts.difference(&dec_consts) {
+                diags.push(Diagnostic::new(
+                    &u.path,
+                    dec_line,
+                    "bin-roundtrip",
+                    format!(
+                        "`encode_{name}` uses layout constant `{c}` but `decode_{name}` \
+                         never references it"
+                    ),
+                ));
+            }
+            for c in dec_consts.difference(&enc_consts) {
+                diags.push(Diagnostic::new(
+                    &u.path,
+                    enc_line,
+                    "bin-roundtrip",
+                    format!(
+                        "`decode_{name}` uses layout constant `{c}` but `encode_{name}` \
+                         never references it"
+                    ),
+                ));
+            }
+        }
+    }
+    diags
+}
+
 /// **json-roundtrip** — string keys emitted by a `to_json`/`to_json_value`
 /// must be read by the paired `from_json` and vice versa. Pairing is
 /// workspace-wide: impl methods pair by type name, free functions pair by

@@ -88,6 +88,27 @@ fn json_exempted_twin_is_clean() {
 }
 
 #[test]
+fn bin_bad_pins_both_asymmetries() {
+    // `F_GHOST` (writer-only) anchors at the decoder; `END_MARK`
+    // (reader-only) anchors at the encoder. The lone `encode_orphan` with
+    // no decode partner is skipped.
+    assert_eq!(
+        run("bin_bad.rs", "fixture"),
+        [
+            "fixtures/bin_bad.rs:9: bin-roundtrip: `decode_rec` uses layout constant \
+             `END_MARK` but `encode_rec` never references it",
+            "fixtures/bin_bad.rs:13: bin-roundtrip: `encode_rec` uses layout constant \
+             `F_GHOST` but `decode_rec` never references it",
+        ]
+    );
+}
+
+#[test]
+fn bin_exempted_twin_is_clean() {
+    assert_eq!(run("bin_exempt.rs", "fixture"), [] as [&str; 0]);
+}
+
+#[test]
 fn json_pairing_crosses_file_boundaries() {
     // Writer and reader live in different files of different crates; the
     // pairing must still find the `written`/`ghost` mismatches (the old

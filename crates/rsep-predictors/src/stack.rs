@@ -21,12 +21,11 @@
 //!   (which ends the block). Only then does the resolved prefix enter the
 //!   architectural history — plain pushes plus one whole-block fold jump
 //!   ([`Tage::finish_block`]) — so there is nothing to roll back.
-//! * [`PredictorStack::predict_block_sequential`] — the retired
-//!   sequential probe path (one full table walk per branch), kept for
-//!   one PR as the `FrontendKind::SequentialProbe` reference the
-//!   golden-stats and oracle tests pin the batched path against.
-//! * [`PredictorStack::predict_one`] — the per-branch protocol both
-//!   block paths must match, also the unit-test oracle.
+//! * [`PredictorStack::predict_one`] — the per-branch protocol the
+//!   block path must match, and the unit-test/proptest oracle. (The
+//!   sequential probe block path — one full table walk per branch — was
+//!   retired after its equivalence proofs landed; `predict_one` driven
+//!   in a loop is the surviving reference.)
 //!
 //! # Bit-identity of the batched path
 //!
@@ -138,9 +137,10 @@ impl PredictorStack {
     /// block). Returns the number of requests resolved; requests past that
     /// point were not touched and must not be treated as fetched.
     ///
-    /// Batched gather/probe/resolve schedule — bit-identical to
-    /// [`PredictorStack::predict_block_sequential`] (see the module docs
-    /// for the argument, `tests/block_probe_oracle.rs` for the proof).
+    /// Batched gather/probe/resolve schedule — bit-identical to a
+    /// per-branch [`PredictorStack::predict_one`] walk (see the module
+    /// docs for the argument, `tests/block_probe_oracle.rs` for the
+    /// proof).
     pub fn predict_block(&mut self, requests: &mut [PredictRequest]) -> usize {
         if requests.is_empty() {
             return 0;
@@ -149,7 +149,20 @@ impl PredictorStack {
             // Wider than the packed block windows support (never hit by the
             // core's fetch width) — the per-branch protocol is the same
             // observable behaviour by construction.
-            return self.predict_block_sequential(requests);
+            for (i, request) in requests.iter_mut().enumerate() {
+                request.mispredicted = predict_one_inner(
+                    &mut self.tage,
+                    &mut self.btb,
+                    &mut self.ras,
+                    &mut self.ghist,
+                    request.pc,
+                    request.branch,
+                );
+                if request.mispredicted {
+                    return i + 1;
+                }
+            }
+            return requests.len();
         }
         let PredictorStack { tage, btb, ras, ghist, scratch } = self;
         let lanes_per_slot = tage.num_tagged();
@@ -267,28 +280,6 @@ impl PredictorStack {
         resolved
     }
 
-    /// The retired sequential probe path (`FrontendKind::SequentialProbe`):
-    /// resolves the block with the per-branch protocol, one full TAGE
-    /// table walk per branch. Kept for one PR as the reference the
-    /// golden-stats and oracle tests pin [`PredictorStack::predict_block`]
-    /// against.
-    pub fn predict_block_sequential(&mut self, requests: &mut [PredictRequest]) -> usize {
-        for (i, request) in requests.iter_mut().enumerate() {
-            request.mispredicted = predict_one_inner(
-                &mut self.tage,
-                &mut self.btb,
-                &mut self.ras,
-                &mut self.ghist,
-                request.pc,
-                request.branch,
-            );
-            if request.mispredicted {
-                return i + 1;
-            }
-        }
-        requests.len()
-    }
-
     /// Predicts one branch, updates the predictors and returns `true` if
     /// the front end mispredicted it — the retired per-branch protocol,
     /// kept as the reference for [`PredictorStack::predict_block`].
@@ -312,9 +303,10 @@ impl PredictorStack {
     }
 }
 
-/// The per-branch prediction protocol, shared verbatim by the sequential
-/// and per-branch entry points (free function so the block loop can call
-/// it while iterating a borrowed request slice).
+/// The per-branch prediction protocol, shared by [`PredictorStack::predict_one`]
+/// and the wide-block fallback of [`PredictorStack::predict_block`] (free
+/// function so the block loop can call it while iterating a borrowed
+/// request slice).
 #[inline]
 fn predict_one_inner(
     tage: &mut Tage,

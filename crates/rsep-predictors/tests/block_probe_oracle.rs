@@ -16,10 +16,11 @@
 //!   state afterwards. A small geometry keeps aliasing, allocation and
 //!   useful-aging firing constantly, which is precisely what makes probe
 //!   reordering observable if it were wrong.
-//! * **Full stack** — `predict_block` against
-//!   `predict_block_sequential` over random mixed-kind branch streams cut
-//!   into random block widths: same resolved prefixes, same mispredict
-//!   flags, same statistics, same history.
+//! * **Full stack** — `predict_block` against a per-branch `predict_one`
+//!   walk (one full table walk per branch, stopping at the first
+//!   misprediction as the fetch stage does) over random mixed-kind branch
+//!   streams cut into random block widths: same resolved prefixes, same
+//!   mispredict flags, same statistics, same history.
 
 use proptest::collection;
 use proptest::prelude::*;
@@ -146,11 +147,11 @@ proptest! {
     }
 
     /// Drives identical mixed-kind branch streams through
-    /// `predict_block` and `predict_block_sequential` in random block
-    /// widths: the full front-end stack (TAGE + BTB + RAS + history) must
-    /// behave identically.
+    /// `predict_block` and a per-branch `predict_one` walk in random
+    /// block widths: the full front-end stack (TAGE + BTB + RAS +
+    /// history) must behave identically.
     #[test]
-    fn predict_block_matches_the_sequential_probe_reference(
+    fn predict_block_matches_the_per_branch_reference(
         stream in collection::vec((0u64..24, 0u8..8, any::<bool>()), 1..400),
         widths in collection::vec(1usize..9, 1..40)
     ) {
@@ -188,22 +189,28 @@ proptest! {
                 .iter()
                 .map(|&(pc, branch)| PredictRequest::new(pc, branch))
                 .collect();
-            let mut ref_requests = requests.clone();
+            let ref_requests = requests.clone();
             let resolved = batched.predict_block(&mut requests);
-            let ref_resolved = sequential.predict_block_sequential(&mut ref_requests);
+            // The per-branch reference: one full table walk per branch,
+            // stopping at the first misprediction exactly as the fetch
+            // stage (and the block path) does.
+            let mut ref_resolved = ref_requests.len();
+            for (j, reference) in ref_requests.iter().enumerate() {
+                let mispredicted = sequential.predict_one(reference.pc, reference.branch);
+                prop_assert_eq!(
+                    requests[j].mispredicted,
+                    mispredicted,
+                    "branch {} mispredict flag diverges", cursor + j
+                );
+                if mispredicted {
+                    ref_resolved = j + 1;
+                    break;
+                }
+            }
             prop_assert_eq!(
                 resolved, ref_resolved,
                 "resolved prefix diverges at branch {}", cursor
             );
-            for (offset, (request, reference)) in
-                requests[..resolved].iter().zip(&ref_requests[..resolved]).enumerate()
-            {
-                prop_assert_eq!(
-                    request.mispredicted,
-                    reference.mispredicted,
-                    "branch {} mispredict flag diverges", cursor + offset
-                );
-            }
             cursor += resolved;
         }
         prop_assert_eq!(batched.stats(), sequential.stats(), "statistics diverge");

@@ -21,6 +21,9 @@ use rsep_isa::{DynInst, DynInstBuilder, OpClass};
 #[derive(Debug)]
 pub struct TraceGenerator {
     program: StaticProgram,
+    /// Profile the program was synthesised from ("program" when built
+    /// over a caller-supplied [`StaticProgram`]).
+    profile_name: &'static str,
     rng: SmallRng,
     /// Per-static-instruction behaviour state.
     value_states: Vec<ValueState>,
@@ -39,7 +42,9 @@ impl TraceGenerator {
     /// Creates a generator for the given profile and seed.
     pub fn new(profile: &BenchmarkProfile, seed: u64) -> TraceGenerator {
         let program = StaticProgram::synthesize(profile, seed);
-        TraceGenerator::from_program(program, seed)
+        let mut generator = TraceGenerator::from_program(program, seed);
+        generator.profile_name = profile.name;
+        generator
     }
 
     /// Creates a generator over an already-synthesised program.
@@ -47,6 +52,7 @@ impl TraceGenerator {
         let n = program.len();
         TraceGenerator {
             program,
+            profile_name: "program",
             rng: SmallRng::seed_from_u64(seed ^ 0x7ace_0002),
             value_states: vec![ValueState::default(); n],
             branch_states: vec![BranchState::default(); n],
@@ -61,6 +67,12 @@ impl TraceGenerator {
     /// The underlying static program.
     pub fn program(&self) -> &StaticProgram {
         &self.program
+    }
+
+    /// Name of the profile the program was synthesised from ("program"
+    /// when built over a caller-supplied [`StaticProgram`]).
+    pub fn profile_name(&self) -> &'static str {
+        self.profile_name
     }
 
     /// Number of dynamic instructions generated so far.

@@ -1,0 +1,277 @@
+//! Behaviour-distribution analysis of an instruction stream.
+//!
+//! [`analyze`] drains any iterator of [`DynInst`] — a live generator or a
+//! [`SegmentSource`](crate::SegmentSource) — into a [`TraceReport`]:
+//! op-class mix, per-kind branch taken rates, value locality (zero
+//! results, per-pc last-value repeats), memory stride distribution and
+//! working-set sizes. The report renders as aligned text or as the
+//! workspace's hand-rolled insertion-ordered JSON, so `rsep trace
+//! analyze --json` output is byte-stable.
+
+use std::collections::BTreeMap;
+
+use rsep_isa::{BranchKind, DynInst, OpClass};
+use rsep_stats::json::Json;
+
+/// Aggregated behaviour distributions of one instruction stream.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TraceReport {
+    /// Total instructions analyzed.
+    pub instructions: u64,
+    /// Dynamic count per op class, indexed by `OpClass::index()`.
+    pub op_counts: [u64; OpClass::ALL.len()],
+    /// Per-branch-kind `(taken, total)` counts, ordered conditional /
+    /// unconditional / indirect / return.
+    pub branch_counts: [(u64, u64); 4],
+    /// Register-producing instructions whose result was zero.
+    pub zero_results: u64,
+    /// Register-producing instructions total.
+    pub producing: u64,
+    /// Producing instructions whose result equals the previous result of
+    /// the same static instruction (the redundancy RSEP exploits).
+    pub repeated_results: u64,
+    /// Memory accesses whose address stride from the same pc's previous
+    /// access repeats that pc's previous stride.
+    pub repeated_strides: u64,
+    /// Memory accesses total.
+    pub mem_accesses: u64,
+    /// Distinct 64-byte cache lines touched by data accesses.
+    pub data_lines: u64,
+    /// Distinct 4 KiB pages touched by data accesses.
+    pub data_pages: u64,
+    /// Distinct static instruction pcs seen.
+    pub static_pcs: u64,
+}
+
+fn branch_kind_slot(kind: BranchKind) -> usize {
+    match kind {
+        BranchKind::Conditional => 0,
+        BranchKind::Unconditional => 1,
+        BranchKind::Indirect => 2,
+        BranchKind::Return => 3,
+    }
+}
+
+const BRANCH_KIND_NAMES: [&str; 4] = ["conditional", "unconditional", "indirect", "return"];
+
+/// Drains `source` and aggregates its behaviour distributions.
+pub fn analyze(source: impl Iterator<Item = DynInst>) -> TraceReport {
+    let mut report = TraceReport::default();
+    // BTree maps keep the analysis deterministic (and lint-clean) — the
+    // report must not depend on hash iteration order.
+    let mut last_result: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut last_addr_stride: BTreeMap<u64, (u64, Option<i64>)> = BTreeMap::new();
+    let mut lines: BTreeMap<u64, ()> = BTreeMap::new();
+    let mut pages: BTreeMap<u64, ()> = BTreeMap::new();
+    let mut pcs: BTreeMap<u64, ()> = BTreeMap::new();
+
+    for inst in source {
+        report.instructions += 1;
+        report.op_counts[inst.op.index()] += 1;
+        pcs.entry(inst.pc).or_insert(());
+        if let Some(branch) = &inst.branch {
+            let slot = branch_kind_slot(branch.kind);
+            report.branch_counts[slot].1 += 1;
+            if branch.taken {
+                report.branch_counts[slot].0 += 1;
+            }
+        }
+        if inst.dest.is_some() {
+            report.producing += 1;
+            if inst.result == 0 {
+                report.zero_results += 1;
+            }
+            match last_result.insert(inst.pc, inst.result) {
+                Some(previous) if previous == inst.result => report.repeated_results += 1,
+                _ => {}
+            }
+        }
+        if let Some(mem) = &inst.mem {
+            report.mem_accesses += 1;
+            lines.entry(mem.addr >> 6).or_insert(());
+            pages.entry(mem.addr >> 12).or_insert(());
+            let entry = last_addr_stride.entry(inst.pc).or_insert((mem.addr, None));
+            let stride = mem.addr.wrapping_sub(entry.0) as i64;
+            if entry.1 == Some(stride) {
+                report.repeated_strides += 1;
+            }
+            *entry = (mem.addr, Some(stride));
+        }
+    }
+    report.data_lines = lines.len() as u64;
+    report.data_pages = pages.len() as u64;
+    report.static_pcs = pcs.len() as u64;
+    report
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+impl TraceReport {
+    /// The report as insertion-ordered JSON (byte-stable rendering).
+    pub fn to_json(&self) -> Json {
+        let mix = OpClass::ALL
+            .iter()
+            .map(|op| (op.to_string(), Json::Int(self.op_counts[op.index()] as i64)))
+            .collect();
+        let branches = BRANCH_KIND_NAMES
+            .iter()
+            .zip(&self.branch_counts)
+            .map(|(name, &(taken, total))| {
+                (
+                    name.to_string(),
+                    Json::object(vec![
+                        ("total".into(), Json::Int(total as i64)),
+                        ("taken_rate".into(), Json::Num(ratio(taken, total))),
+                    ]),
+                )
+            })
+            .collect();
+        Json::object(vec![
+            ("instructions".into(), Json::Int(self.instructions as i64)),
+            ("op_mix".into(), Json::Object(mix)),
+            ("branches".into(), Json::Object(branches)),
+            (
+                "values".into(),
+                Json::object(vec![
+                    ("producing".into(), Json::Int(self.producing as i64)),
+                    ("zero_rate".into(), Json::Num(ratio(self.zero_results, self.producing))),
+                    ("repeat_rate".into(), Json::Num(ratio(self.repeated_results, self.producing))),
+                ]),
+            ),
+            (
+                "memory".into(),
+                Json::object(vec![
+                    ("accesses".into(), Json::Int(self.mem_accesses as i64)),
+                    (
+                        "stride_repeat_rate".into(),
+                        Json::Num(ratio(self.repeated_strides, self.mem_accesses)),
+                    ),
+                    ("working_set_lines".into(), Json::Int(self.data_lines as i64)),
+                    ("working_set_pages".into(), Json::Int(self.data_pages as i64)),
+                ]),
+            ),
+            ("static_pcs".into(), Json::Int(self.static_pcs as i64)),
+        ])
+    }
+
+    /// The report as aligned human-readable text.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("instructions      {}\n", self.instructions));
+        out.push_str(&format!("static pcs        {}\n", self.static_pcs));
+        out.push_str("op mix:\n");
+        for op in OpClass::ALL {
+            let count = self.op_counts[op.index()];
+            if count > 0 {
+                out.push_str(&format!(
+                    "  {:<12} {:>10}  {:>6.2}%\n",
+                    op.to_string(),
+                    count,
+                    100.0 * ratio(count, self.instructions)
+                ));
+            }
+        }
+        out.push_str("branches:\n");
+        for (name, &(taken, total)) in BRANCH_KIND_NAMES.iter().zip(&self.branch_counts) {
+            if total > 0 {
+                out.push_str(&format!(
+                    "  {:<12} {:>10}  taken {:>6.2}%\n",
+                    name,
+                    total,
+                    100.0 * ratio(taken, total)
+                ));
+            }
+        }
+        out.push_str(&format!(
+            "values            {} producing, {:.2}% zero, {:.2}% repeat last\n",
+            self.producing,
+            100.0 * ratio(self.zero_results, self.producing),
+            100.0 * ratio(self.repeated_results, self.producing),
+        ));
+        out.push_str(&format!(
+            "memory            {} accesses, {:.2}% stride repeats, {} lines / {} pages touched\n",
+            self.mem_accesses,
+            100.0 * ratio(self.repeated_strides, self.mem_accesses),
+            self.data_lines,
+            self.data_pages,
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsep_isa::{ArchReg, DynInstBuilder};
+
+    fn sample() -> Vec<DynInst> {
+        vec![
+            DynInst::simple(0, 0x1000, OpClass::IntAlu, ArchReg::int(1), 5),
+            DynInst::simple(1, 0x1000, OpClass::IntAlu, ArchReg::int(1), 5),
+            DynInst::simple(2, 0x1004, OpClass::IntAlu, ArchReg::int(2), 0),
+            DynInstBuilder::new(3, 0x1008, OpClass::Load)
+                .dest(ArchReg::int(3))
+                .result(9)
+                .mem(0x10_0000, 8)
+                .build(),
+            DynInstBuilder::new(4, 0x1008, OpClass::Load)
+                .dest(ArchReg::int(3))
+                .result(9)
+                .mem(0x10_0040, 8)
+                .build(),
+            DynInstBuilder::new(5, 0x1008, OpClass::Load)
+                .dest(ArchReg::int(3))
+                .result(9)
+                .mem(0x10_0080, 8)
+                .build(),
+            DynInstBuilder::new(6, 0x100c, OpClass::Branch)
+                .branch(rsep_isa::BranchKind::Conditional, true, 0x1000)
+                .build(),
+            DynInstBuilder::new(7, 0x100c, OpClass::Branch)
+                .branch(rsep_isa::BranchKind::Conditional, false, 0x1000)
+                .build(),
+        ]
+    }
+
+    #[test]
+    fn counts_are_aggregated() {
+        let report = analyze(sample().into_iter());
+        assert_eq!(report.instructions, 8);
+        assert_eq!(report.op_counts[OpClass::IntAlu.index()], 3);
+        assert_eq!(report.op_counts[OpClass::Load.index()], 3);
+        assert_eq!(report.branch_counts[0], (1, 2));
+        assert_eq!(report.producing, 6);
+        assert_eq!(report.zero_results, 1);
+        // pc 0x1000 repeats 5, pc 0x1008 repeats 9 twice.
+        assert_eq!(report.repeated_results, 3);
+        assert_eq!(report.mem_accesses, 3);
+        // Strides: first access no stride, second sets 0x40, third repeats.
+        assert_eq!(report.repeated_strides, 1);
+        assert_eq!(report.data_lines, 3);
+        assert_eq!(report.data_pages, 1);
+        assert_eq!(report.static_pcs, 4);
+    }
+
+    #[test]
+    fn json_is_byte_stable() {
+        let a = analyze(sample().into_iter()).to_json().to_string_pretty();
+        let b = analyze(sample().into_iter()).to_json().to_string_pretty();
+        assert_eq!(a, b);
+        assert!(a.contains("\"op_mix\""));
+        assert!(a.contains("\"working_set_lines\""));
+    }
+
+    #[test]
+    fn text_mentions_every_section() {
+        let text = analyze(sample().into_iter()).render_text();
+        for needle in ["instructions", "op mix", "branches", "values", "memory"] {
+            assert!(text.contains(needle), "missing {needle} in:\n{text}");
+        }
+    }
+}

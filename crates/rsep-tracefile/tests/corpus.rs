@@ -1,0 +1,120 @@
+//! Frozen trace corpus: pins the on-disk format bit for bit.
+//!
+//! `tests/corpus/` holds one smoke-sized recording per fig4-smoke profile
+//! (the CI campaign subset), with a sha256sum-compatible
+//! `MANIFEST.sha256`. Three properties are pinned:
+//!
+//! 1. the checked-in bytes match the manifest (no silent corruption or
+//!    accidental regeneration in a PR);
+//! 2. every file still parses, decodes fully and matches its header;
+//! 3. recording the same profiles today reproduces the frozen bytes —
+//!    any change to the binary format, the codec, the generator or the
+//!    seed derivation fails here and forces a deliberate format bump.
+//!
+//! To regenerate after an intentional change:
+//! `RSEP_REGEN_CORPUS=1 cargo test -p rsep-tracefile --test corpus`.
+
+use std::fs;
+use std::path::PathBuf;
+
+use rsep_trace::{BenchmarkProfile, CheckpointSpec};
+use rsep_tracefile::{record_profile, sha256_hex, AnonScheme, TraceFile};
+
+/// The fig4 CI-smoke profile subset (kept in sync by the replay CI job,
+/// which records and replays the live campaign end to end).
+const PROFILES: [&str; 6] = ["mcf", "dealII", "libquantum", "perlbench", "gcc", "zeusmp"];
+
+/// The fig4 CI-smoke scale and default campaign seed.
+const SEED: u64 = 42;
+
+fn corpus_spec() -> CheckpointSpec {
+    CheckpointSpec::scaled(1, 2_000, 8_000)
+}
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests").join("corpus")
+}
+
+fn record(name: &str) -> Vec<u8> {
+    let profile = BenchmarkProfile::by_name(name).expect("corpus profile exists");
+    record_profile(Vec::new(), &profile, &corpus_spec(), SEED, AnonScheme::KeyedBlock)
+        .expect("recording cannot fail in memory")
+}
+
+/// Regenerates once per process when `RSEP_REGEN_CORPUS` is set — every
+/// test calls this first, so parallel test threads never read files mid-
+/// rewrite.
+fn maybe_regenerate() {
+    static REGEN: std::sync::Once = std::sync::Once::new();
+    REGEN.call_once(|| {
+        if std::env::var("RSEP_REGEN_CORPUS").is_ok() {
+            regenerate();
+        }
+    });
+}
+
+fn regenerate() {
+    let dir = corpus_dir();
+    fs::create_dir_all(&dir).expect("create corpus dir");
+    let mut manifest = String::new();
+    for name in PROFILES {
+        let bytes = record(name);
+        let file = format!("{name}.rseptrc");
+        fs::write(dir.join(&file), &bytes).expect("write corpus file");
+        manifest.push_str(&format!("{}  {file}\n", sha256_hex(&bytes)));
+    }
+    fs::write(dir.join("MANIFEST.sha256"), manifest).expect("write manifest");
+}
+
+#[test]
+fn corpus_matches_manifest() {
+    maybe_regenerate();
+    let dir = corpus_dir();
+    let manifest = fs::read_to_string(dir.join("MANIFEST.sha256"))
+        .expect("MANIFEST.sha256 (regenerate with RSEP_REGEN_CORPUS=1)");
+    let mut listed = 0;
+    for line in manifest.lines() {
+        let (digest, file) = line.split_once("  ").expect("manifest line: '<sha256>  <file>'");
+        let bytes = fs::read(dir.join(file)).expect("corpus file from manifest");
+        assert_eq!(sha256_hex(&bytes), digest, "{file} does not match its manifest digest");
+        listed += 1;
+    }
+    assert_eq!(listed, PROFILES.len(), "manifest must list every corpus profile");
+}
+
+#[test]
+fn corpus_files_parse_and_decode_fully() {
+    maybe_regenerate();
+    let spec = corpus_spec();
+    for name in PROFILES {
+        let path = corpus_dir().join(format!("{name}.rseptrc"));
+        let file = TraceFile::open(&path).expect("corpus file parses");
+        let h = file.header();
+        assert_eq!(h.profile, name);
+        assert_eq!(h.seed, SEED);
+        assert_eq!(h.checkpoints, spec.count as u64);
+        assert_eq!(h.warmup, spec.warmup);
+        assert_eq!(h.measure, spec.measure);
+        for index in 0..file.segment_count() {
+            let mut segment = file.segment(index).expect("segment");
+            let decoded = segment.by_ref().count() as u64;
+            assert!(segment.error().is_none(), "{name}#{index} decode error");
+            assert_eq!(decoded, h.segment_instructions(), "{name}#{index} short segment");
+        }
+    }
+}
+
+#[test]
+fn recording_today_reproduces_the_frozen_bytes() {
+    maybe_regenerate();
+    for name in PROFILES {
+        let frozen = fs::read(corpus_dir().join(format!("{name}.rseptrc"))).expect("corpus file");
+        assert_eq!(
+            record(name),
+            frozen,
+            "{name}: recording no longer reproduces the frozen corpus — the format, codec, \
+             generator or seed derivation changed; bump the format version and regenerate \
+             deliberately (RSEP_REGEN_CORPUS=1)"
+        );
+    }
+}

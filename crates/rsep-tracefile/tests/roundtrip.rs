@@ -1,0 +1,208 @@
+//! Round-trip and rejection properties of the on-disk trace format.
+//!
+//! These proptests pin the format end to end: any instruction stream a
+//! writer accepts must read back identical (modulo the documented keyed
+//! address translation), and any single-byte payload flip or truncation
+//! must be rejected before a record is decoded.
+
+use proptest::prelude::*;
+use rsep_isa::{ArchReg, BranchKind, DynInst, DynInstBuilder, OpClass};
+use rsep_tracefile::format::{encode_header, ANON_BLOCK_BYTES, FORMAT_MINOR};
+use rsep_tracefile::{AnonScheme, TraceError, TraceFile, TraceHeader, TraceWriter};
+
+/// Raw sampled material for one instruction: `(op index, pc, flags,
+/// register material, result, address, branch target)`. The vendored
+/// proptest has no `prop_map`, so construction happens in [`build_inst`].
+type RawInst = (usize, u64, u8, u64, u64, u64, u64);
+
+fn raw_inst() -> impl Strategy<Value = RawInst> {
+    (
+        0usize..OpClass::ALL.len(),
+        any::<u64>(),
+        any::<u8>(),
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+    )
+}
+
+fn reg_from(material: u64) -> ArchReg {
+    let index = (material % 31) as u8;
+    if material & 0x80 != 0 {
+        ArchReg::fp(index)
+    } else {
+        ArchReg::int(index)
+    }
+}
+
+/// Builds an unconstrained instruction: the flag byte independently
+/// toggles dest / mem / branch and picks 0–3 sources, so the codec is
+/// exercised on anything the type can express, not just streams the
+/// generator happens to emit.
+fn build_inst(seq: u64, raw: RawInst) -> DynInst {
+    let (op_idx, pc, flags, regs, result, addr, target) = raw;
+    let mut builder = DynInstBuilder::new(seq, pc, OpClass::ALL[op_idx]);
+    for slot in 0..(flags >> 3) & 0x3 {
+        builder = builder.src(reg_from(regs >> (slot * 9)));
+    }
+    if flags & 0x1 != 0 {
+        builder = builder.dest(reg_from(regs >> 32)).result(result);
+    }
+    if flags & 0x2 != 0 {
+        builder = builder.mem(addr, 1 << (regs % 4));
+    }
+    if flags & 0x4 != 0 {
+        let kind = match (flags >> 6) & 0x3 {
+            0 => BranchKind::Conditional,
+            1 => BranchKind::Unconditional,
+            2 => BranchKind::Indirect,
+            _ => BranchKind::Return,
+        };
+        builder = builder.branch(kind, flags & 0x20 != 0, target);
+    }
+    builder.build()
+}
+
+fn build_segments(raw: &[Vec<RawInst>]) -> Vec<Vec<DynInst>> {
+    let mut seq = 0u64;
+    raw.iter()
+        .map(|segment| {
+            segment
+                .iter()
+                .map(|r| {
+                    let inst = build_inst(seq, *r);
+                    seq += 1;
+                    inst
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn header(checkpoints: u64, anon: AnonScheme) -> TraceHeader {
+    TraceHeader {
+        profile: "proptest".to_string(),
+        profile_fingerprint: 0xfeed_beef_cafe_f00d,
+        seed: 99,
+        checkpoints,
+        warmup: 0,
+        measure: 0,
+        slack: 0,
+        anon,
+        minor: FORMAT_MINOR,
+    }
+}
+
+fn write_file(segments: &[Vec<DynInst>], anon: AnonScheme) -> Vec<u8> {
+    let mut writer =
+        TraceWriter::new(Vec::new(), header(segments.len() as u64, anon)).expect("writer");
+    for segment in segments {
+        writer.begin_segment().expect("begin");
+        for inst in segment {
+            writer.write_inst(inst).expect("write");
+        }
+        writer.end_segment().expect("end");
+    }
+    writer.finish().expect("finish")
+}
+
+proptest! {
+    /// Write → read is the identity under `AnonScheme::None`.
+    #[test]
+    fn roundtrip_is_identity_without_anonymisation(
+        raw in collection::vec(collection::vec(raw_inst(), 0..40), 1..4),
+    ) {
+        let segments = build_segments(&raw);
+        let bytes = write_file(&segments, AnonScheme::None);
+        let file = TraceFile::parse(bytes, "mem".into()).expect("parse");
+        prop_assert_eq!(file.segment_count(), segments.len());
+        for (index, expected) in segments.iter().enumerate() {
+            let got: Vec<DynInst> = file.segment(index).expect("segment").collect();
+            prop_assert_eq!(&got, expected);
+        }
+    }
+
+    /// Under `KeyedBlock`, every field round-trips exactly except data
+    /// addresses, which are all shifted by one block-aligned constant.
+    #[test]
+    fn keyed_anonymisation_is_a_uniform_block_shift(
+        raw in collection::vec(collection::vec(raw_inst(), 0..40), 1..4),
+    ) {
+        let segments = build_segments(&raw);
+        let bytes = write_file(&segments, AnonScheme::KeyedBlock);
+        let file = TraceFile::parse(bytes, "mem".into()).expect("parse");
+        let mut offset: Option<u64> = None;
+        for (index, expected) in segments.iter().enumerate() {
+            let got: Vec<DynInst> = file.segment(index).expect("segment").collect();
+            prop_assert_eq!(got.len(), expected.len());
+            for (g, e) in got.iter().zip(expected) {
+                let mut e = e.clone();
+                if let (Some(gm), Some(em)) = (&g.mem, &mut e.mem) {
+                    let shift = gm.addr.wrapping_sub(em.addr);
+                    prop_assert_eq!(shift % ANON_BLOCK_BYTES, 0);
+                    match offset {
+                        Some(seen) => prop_assert_eq!(shift, seen),
+                        None => offset = Some(shift),
+                    }
+                    em.addr = em.addr.wrapping_add(shift);
+                }
+                prop_assert_eq!(g, &e);
+            }
+        }
+    }
+
+    /// Flipping any single payload byte is caught by the checksum.
+    #[test]
+    fn payload_corruption_is_rejected(
+        raw in collection::vec(collection::vec(raw_inst(), 1..40), 1..4),
+        flip in any::<u64>(),
+    ) {
+        let segments = build_segments(&raw);
+        let good = write_file(&segments, AnonScheme::None);
+        let file = TraceFile::parse(good.clone(), "mem".into()).expect("parse");
+        let payload_len = file.payload_bytes() as usize;
+        prop_assert!(payload_len > 0);
+        // The payload sits directly after the header; locate it by
+        // re-encoding the header we read back.
+        let header_len = encode_header(file.header()).len();
+        let target = header_len + (flip as usize % payload_len);
+        let mut bad = good;
+        bad[target] ^= 0x01;
+        match TraceFile::parse(bad, "mem".into()) {
+            Err(TraceError::ChecksumMismatch { .. }) => {}
+            other => prop_assert!(false, "expected checksum mismatch, got {other:?}"),
+        }
+    }
+
+    /// A file cut at any byte boundary never parses successfully.
+    #[test]
+    fn truncation_is_rejected_at_every_boundary(seed in any::<u64>()) {
+        let segments = vec![vec![
+            DynInst::simple(0, 0x4000, OpClass::IntAlu, ArchReg::int(1), seed),
+            DynInst::simple(1, 0x4004, OpClass::IntAlu, ArchReg::int(2), 7),
+        ]];
+        let good = write_file(&segments, AnonScheme::None);
+        for cut in 0..good.len() {
+            let result = TraceFile::parse(good[..cut].to_vec(), "mem".into());
+            prop_assert!(result.is_err(), "cut at {cut} of {} parsed", good.len());
+        }
+    }
+}
+
+#[test]
+fn segment_count_mismatch_is_rejected_by_the_writer() {
+    let mut writer = TraceWriter::new(Vec::new(), header(2, AnonScheme::None)).expect("writer");
+    writer.begin_segment().expect("begin");
+    writer.end_segment().expect("end");
+    match writer.finish() {
+        Err(TraceError::Corrupt(_)) => {}
+        other => panic!("expected corrupt error, got {other:?}"),
+    }
+}
+
+#[test]
+fn empty_file_and_garbage_are_rejected() {
+    assert!(TraceFile::parse(Vec::new(), "mem".into()).is_err());
+    assert!(matches!(TraceFile::parse(vec![0u8; 64], "mem".into()), Err(TraceError::BadMagic)));
+}

@@ -24,28 +24,6 @@ pub enum SchedulerKind {
     Polling,
 }
 
-/// Which fetch-stage prediction protocol the core uses.
-///
-/// Both produce bit-identical [`SimStats`](crate::SimStats) — the
-/// sequential probe path is retained for one PR as the oracle for the
-/// gather/probe/resolve batched path and is exercised against it by the
-/// golden-stats and property tests. Simulated behaviour is the same; only
-/// simulator throughput differs. (The per-instruction `PerBranch` loop of
-/// PR 5 is gone: its equivalence proofs landed, and `SequentialProbe`
-/// inherits its role as the reference arm.)
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum FrontendKind {
-    /// One [`PredictorStack::predict_block`](rsep_predictors::PredictorStack::predict_block)
-    /// call resolves the whole fetch block's branches per cycle with
-    /// batched per-block TAGE table probes. The default.
-    #[default]
-    BatchedBlock,
-    /// The sequential probe reference:
-    /// [`PredictorStack::predict_block_sequential`](rsep_predictors::PredictorStack::predict_block_sequential),
-    /// one full table walk per branch.
-    SequentialProbe,
-}
-
 /// Front-end, back-end and memory parameters of the simulated core.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CoreConfig {
@@ -139,10 +117,6 @@ pub struct CoreConfig {
     /// [`SchedulerKind`]).
     // lint: exempt(fingerprint-coverage, proven bit-identical variants must share cached cells; proven-by crates/rsep-campaign/tests/golden_stats.rs)
     pub scheduler: SchedulerKind,
-    /// Fetch-stage prediction protocol (identical simulated behaviour; see
-    /// [`FrontendKind`]).
-    // lint: exempt(fingerprint-coverage, proven bit-identical variants must share cached cells; proven-by crates/rsep-campaign/tests/golden_stats.rs)
-    pub frontend: FrontendKind,
 }
 
 impl CoreConfig {
@@ -189,7 +163,6 @@ impl CoreConfig {
             l1d_prefetch: true,
             l2_prefetch: true,
             scheduler: SchedulerKind::EventDriven,
-            frontend: FrontendKind::BatchedBlock,
         }
     }
 
@@ -350,11 +323,11 @@ impl rsep_isa::Fingerprint for CoreConfig {
         self.dram_latency.fingerprint(h);
         self.l1d_prefetch.fingerprint(h);
         self.l2_prefetch.fingerprint(h);
-        // `scheduler` and `frontend` are deliberately NOT part of the
-        // fingerprint: each pair of implementations is proven bit-identical
-        // (golden-stats and property tests), so cells cached under one mode
-        // stay valid for the others — and stores written before the fields
-        // existed resume cleanly. (`rob` and `cache_layout` were the same
+        // `scheduler` is deliberately NOT part of the fingerprint: both
+        // implementations are proven bit-identical (golden-stats and
+        // property tests), so cells cached under one mode stay valid for
+        // the other — and stores written before the field existed resume
+        // cleanly. (`rob`, `cache_layout` and `frontend` were the same
         // kind of switch until their legacy backends were retired.)
     }
 }
@@ -422,21 +395,6 @@ mod tests {
         // shared between them (and with stores written before the field
         // existed).
         assert_eq!(digest(SchedulerKind::EventDriven), digest(SchedulerKind::Polling));
-    }
-
-    #[test]
-    fn frontend_choice_does_not_change_the_fingerprint() {
-        use rsep_isa::Fingerprint;
-        let digest = |frontend: FrontendKind| {
-            let mut config = CoreConfig::table1();
-            config.frontend = frontend;
-            let mut h = rsep_isa::Fnv::new();
-            config.fingerprint(&mut h);
-            h.finish()
-        };
-        // Both fetch protocols are observationally identical, so cached
-        // cells are shared between them.
-        assert_eq!(digest(FrontendKind::BatchedBlock), digest(FrontendKind::SequentialProbe));
     }
 
     #[test]

@@ -17,7 +17,7 @@
 #[cfg(feature = "obs")]
 use crate::attribution::{RenameBlock, StageAttribution};
 use crate::cache::{CacheHierarchy, MemRequest};
-use crate::config::{CoreConfig, FrontendKind, SchedulerKind};
+use crate::config::{CoreConfig, SchedulerKind};
 use crate::engine::{Disposition, RenameAction, RenameContext, SpecEngine, ValidationKind};
 use crate::regfile::{PhysRegFile, RegisterFiles, NOT_READY};
 use crate::rename::RenameMap;
@@ -1488,10 +1488,7 @@ impl<E: SpecEngine> Core<E> {
         let queue_len_before = self.fetch_queue.len();
         #[cfg(feature = "obs")]
         let queue_was_full = self.fetch_queue.len() >= self.config.fetch_queue_size;
-        match self.config.frontend {
-            FrontendKind::BatchedBlock => self.fetch_block(trace, false),
-            FrontendKind::SequentialProbe => self.fetch_block(trace, true),
-        }
+        self.fetch_block(trace);
         self.resolve_fetch_batch();
         obs! {
             // Even the batched frontend's misprediction unwind keeps the
@@ -1514,19 +1511,18 @@ impl<E: SpecEngine> Core<E> {
 
     /// Block fetch: enqueue the cycle's fetch block instruction by
     /// instruction (recording a rollback mark per branch), then resolve
-    /// every branch of the block with **one** predictor-stack call — in
-    /// fetch order, stopping at the first misprediction. With
-    /// `sequential` false that call is the batched gather/probe/resolve
-    /// [`PredictorStack::predict_block`]; with `sequential` true it is
-    /// the [`PredictorStack::predict_block_sequential`] reference (one
-    /// full table walk per branch) — bit-identical by construction and
-    /// pinned so by the golden-stats and oracle tests. Instructions
-    /// enqueued past a mispredicted branch are unwound: until the block's
-    /// i-cache batch resolves at the end of the fetch stage, nothing they
-    /// did has left the fetch stage's own buffers, so popping them back
-    /// into the replay queue and truncating the batch restores exactly
-    /// the state a per-branch loop would have produced (see `DESIGN.md`).
-    fn fetch_block(&mut self, trace: &mut impl Iterator<Item = DynInst>, sequential: bool) {
+    /// every branch of the block with **one** batched gather/probe/resolve
+    /// [`PredictorStack::predict_block`] call — in fetch order, stopping at
+    /// the first misprediction. The batched schedule was proven
+    /// bit-identical to a per-branch table walk by the golden-stats and
+    /// oracle tests before the sequential reference path was retired.
+    /// Instructions enqueued past a mispredicted branch are unwound: until
+    /// the block's i-cache batch resolves at the end of the fetch stage,
+    /// nothing they did has left the fetch stage's own buffers, so popping
+    /// them back into the replay queue and truncating the batch restores
+    /// exactly the state a per-branch loop would have produced (see
+    /// `DESIGN.md`).
+    fn fetch_block(&mut self, trace: &mut impl Iterator<Item = DynInst>) {
         let mut requests = std::mem::take(&mut self.predict_requests);
         let mut marks = std::mem::take(&mut self.predict_marks);
         debug_assert!(requests.is_empty() && marks.is_empty());
@@ -1573,11 +1569,7 @@ impl<E: SpecEngine> Core<E> {
         }
 
         // One call resolves the block's branches in fetch order.
-        let resolved = if sequential {
-            self.stack.predict_block_sequential(&mut requests)
-        } else {
-            self.stack.predict_block(&mut requests)
-        };
+        let resolved = self.stack.predict_block(&mut requests);
 
         // The engine observes exactly the resolved branches, in fetch
         // order (its history state is disjoint from the stack's, so
@@ -1963,27 +1955,6 @@ mod tests {
                 let event = run(SchedulerKind::EventDriven);
                 let polling = run(SchedulerKind::Polling);
                 assert_eq!(event, polling, "{name} seed {seed}: scheduler modes diverge");
-            }
-        }
-    }
-
-    #[test]
-    fn batched_fetch_matches_the_sequential_probe_reference_on_generated_traces() {
-        use rsep_trace::{BenchmarkProfile, TraceGenerator};
-        for name in ["gcc", "mcf", "libquantum"] {
-            let profile = BenchmarkProfile::by_name(name).unwrap();
-            for seed in [1u64, 7] {
-                let run = |frontend: FrontendKind| {
-                    let mut config = CoreConfig::small_test();
-                    config.frontend = frontend;
-                    let mut core = Core::baseline(config);
-                    let mut trace = TraceGenerator::new(&profile, seed);
-                    core.run(&mut trace, 20_000).unwrap();
-                    core.take_stats()
-                };
-                let batched = run(FrontendKind::BatchedBlock);
-                let sequential = run(FrontendKind::SequentialProbe);
-                assert_eq!(batched, sequential, "{name} seed {seed}: fetch protocols diverge");
             }
         }
     }

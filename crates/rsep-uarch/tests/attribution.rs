@@ -6,7 +6,7 @@
 //! traces and check the structural invariant the whole feature rests on:
 //! every cycle is attributed to exactly one class per stage, so each
 //! stage's counters sum to `SimStats::cycles` — on any workload, under
-//! either scheduler and either front end, and across `reset_stats`. The
+//! either scheduler, and across `reset_stats`. The
 //! property tests check that [`StageAttribution::merge`] is associative
 //! and commutative on arbitrary counter values, which is what lets
 //! checkpoint attributions be merged in any grouping.
@@ -16,20 +16,14 @@
 use proptest::collection;
 use proptest::prelude::*;
 use rsep_trace::{BenchmarkProfile, TraceGenerator};
-use rsep_uarch::{Core, CoreConfig, FrontendKind, SchedulerKind, StageAttribution};
+use rsep_uarch::{Core, CoreConfig, SchedulerKind, StageAttribution};
 
 /// Runs `commits` instructions of `profile` on a fresh baseline core and
 /// returns the validated attribution.
-fn run_attributed(
-    profile: &str,
-    commits: u64,
-    scheduler: SchedulerKind,
-    frontend: FrontendKind,
-) -> StageAttribution {
+fn run_attributed(profile: &str, commits: u64, scheduler: SchedulerKind) -> StageAttribution {
     let profile = BenchmarkProfile::by_name(profile).expect("known profile");
     let mut config = CoreConfig::table1();
     config.scheduler = scheduler;
-    config.frontend = frontend;
     let mut core = Core::baseline(config);
     let mut trace = TraceGenerator::new(&profile, 42).take(commits as usize + 2_000);
     core.run(&mut trace, commits).expect("trace cannot wedge");
@@ -44,13 +38,11 @@ fn run_attributed(
 fn stage_counters_sum_to_cycles_on_real_traces() {
     for profile in ["gcc", "mcf"] {
         for scheduler in [SchedulerKind::EventDriven, SchedulerKind::Polling] {
-            for frontend in [FrontendKind::BatchedBlock, FrontendKind::SequentialProbe] {
-                let a = run_attributed(profile, 5_000, scheduler, frontend);
-                // Work counters are sanity-bounded, not exact: every cycle
-                // loop commits at least the requested instructions.
-                assert!(a.work.insts_issued >= 5_000, "{profile}: {a:?}");
-                assert!(a.commit_slots.iter().sum::<u64>() == a.cycles);
-            }
+            let a = run_attributed(profile, 5_000, scheduler);
+            // Work counters are sanity-bounded, not exact: every cycle
+            // loop commits at least the requested instructions.
+            assert!(a.work.insts_issued >= 5_000, "{profile}: {a:?}");
+            assert!(a.commit_slots.iter().sum::<u64>() == a.cycles);
         }
     }
 }
